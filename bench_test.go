@@ -1,0 +1,272 @@
+package speedybox_test
+
+import (
+	"fmt"
+	"testing"
+
+	speedybox "github.com/fastpathnfv/speedybox"
+	"github.com/fastpathnfv/speedybox/internal/harness"
+)
+
+// Benchmarks: one per table/figure of the paper's evaluation, each
+// running the corresponding harness experiment and reporting the
+// headline modeled metric alongside Go-level timings, plus
+// micro-benchmarks of the hot code paths themselves.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+
+func benchCfg() harness.Config { return harness.Config{Seed: 1, Flows: 30} }
+
+// BenchmarkFig4HeaderActionConsolidation regenerates Figure 4:
+// CPU cycles per packet vs number of header actions.
+func BenchmarkFig4HeaderActionConsolidation(b *testing.B) {
+	var last *harness.Fig4Result
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunFig4(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if row.Platform == "BESS" {
+			b.ReportMetric(row.SubSaving(), fmt.Sprintf("saving%%@%dHA", row.NumHA))
+		}
+	}
+}
+
+// BenchmarkTable3EarlyDrop regenerates Table III: early packet drop.
+func BenchmarkTable3EarlyDrop(b *testing.B) {
+	var last *harness.Table3Result
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunTable3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if row.Platform == "BESS" {
+			b.ReportMetric(row.Saving(), "drop-saving%")
+			b.ReportMetric(row.SBoxAggregate, "sbox-cycles/pkt")
+		}
+	}
+}
+
+// BenchmarkFig5SFParallelism regenerates Figure 5: state-function
+// parallelism rate and latency.
+func BenchmarkFig5SFParallelism(b *testing.B) {
+	var last *harness.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunFig5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.BESSSpeedupAt3SF(), "bess-rate-x@3SF")
+	b.ReportMetric(last.BESSLatencyReductionAt3SF(), "bess-lat-cut%@3SF")
+}
+
+// BenchmarkFig6SnortMonitor regenerates Figure 6.
+func BenchmarkFig6SnortMonitor(b *testing.B) {
+	var last *harness.Fig6Result
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunFig6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if row.Platform == "BESS" {
+			b.ReportMetric(row.WorkReduction(), "cycle-cut%")
+			b.ReportMetric(row.RateImprovement(), "rate-gain%")
+		}
+	}
+}
+
+// BenchmarkFig7LatencyBreakdown regenerates Figure 7: ablation shares.
+func BenchmarkFig7LatencyBreakdown(b *testing.B) {
+	var last *harness.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunFig7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		ha, sf := row.Shares()
+		if row.Platform == "BESS" {
+			b.ReportMetric(row.TotalReduction(), "lat-cut%")
+			b.ReportMetric(ha, "ha-share%")
+			b.ReportMetric(sf, "sf-share%")
+		}
+	}
+}
+
+// BenchmarkFig8ChainLength regenerates Figure 8: 1-9 NF chains.
+func BenchmarkFig8ChainLength(b *testing.B) {
+	var last *harness.Fig8Result
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunFig8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	sbox := last.Series("BESS", true)
+	orig := last.Series("BESS", false)
+	b.ReportMetric(orig[8].LatencyMicro, "bess-orig-us@9")
+	b.ReportMetric(sbox[8].LatencyMicro, "bess-sbox-us@9")
+}
+
+// BenchmarkFig9Chain1 and BenchmarkFig9Chain2 regenerate Figure 9:
+// flow-processing-time CDFs on the real-world chains.
+func BenchmarkFig9Chain1(b *testing.B) { benchFig9(b, 1) }
+
+// BenchmarkFig9Chain2 is the second real-world chain.
+func BenchmarkFig9Chain2(b *testing.B) { benchFig9(b, 2) }
+
+func benchFig9(b *testing.B, chain int) {
+	b.Helper()
+	var last *harness.Fig9Result
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunFig9(harness.Config{Seed: 1, Flows: 60}, chain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if row.Platform == "BESS" {
+			b.ReportMetric(row.P50Reduction(), "p50-cut%")
+		}
+	}
+}
+
+// BenchmarkTable2Equivalence runs the §VII-C equivalence suite (the
+// paper's correctness tables).
+func BenchmarkEquivalenceSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunEquivalence(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllPassed() {
+			b.Fatalf("equivalence failed:\n%s", res.Format())
+		}
+	}
+}
+
+// ---- Micro-benchmarks of the hot paths (real Go time, not modeled
+// cycles) ----
+
+func benchChain(b *testing.B) []speedybox.NF {
+	b.Helper()
+	fw, err := speedybox.NewIPFilter(speedybox.IPFilterConfig{
+		Name: "fw", Rules: speedybox.PadIPFilterRules(nil, 100),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids, err := speedybox.NewSnort("ids", speedybox.DefaultSnortRules())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := speedybox.NewMonitor("mon")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []speedybox.NF{fw, ids, mon}
+}
+
+// BenchmarkFastPathPerPacket measures the Go-level cost of one
+// fast-path packet through a 3-NF chain on BESS.
+func BenchmarkFastPathPerPacket(b *testing.B) {
+	p, err := speedybox.NewBESS(benchChain(b), speedybox.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	mk := func(i int) *speedybox.Packet {
+		pkt, err := speedybox.BuildPacket(speedybox.PacketSpec{
+			SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{20, 0, 0, 1},
+			SrcPort: 7777, DstPort: 80, Proto: 17, // UDP: no handshake
+			Payload: []byte("bench payload bytes"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return pkt
+	}
+	// Install the rule with one initial packet.
+	if _, err := p.Process(mk(0)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Process(mk(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSlowPathPerPacket measures the original-chain traversal.
+func BenchmarkSlowPathPerPacket(b *testing.B) {
+	p, err := speedybox.NewBESS(benchChain(b), speedybox.BaselineOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt, err := speedybox.BuildPacket(speedybox.PacketSpec{
+			SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{20, 0, 0, 1},
+			SrcPort: 7777, DstPort: 80, Proto: 17,
+			Payload: []byte("bench payload bytes"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Process(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkONVMPipelinePerPacket measures a packet through the real
+// goroutine pipeline.
+func BenchmarkONVMPipelinePerPacket(b *testing.B) {
+	p, err := speedybox.NewONVM(benchChain(b), speedybox.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt, err := speedybox.BuildPacket(speedybox.PacketSpec{
+			SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{20, 0, 0, 1},
+			SrcPort: 7777, DstPort: 80, Proto: 17,
+			Payload: []byte("bench payload"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Process(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures synthetic trace synthesis.
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := speedybox.GenerateTrace(speedybox.TraceConfig{Seed: int64(i), Flows: 100, Interleave: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Command chainsim runs an arbitrary service chain over a synthetic
+// (or pcap) trace on either platform model and reports processing
+// rate, latency and flow-time percentiles, with and without SpeedyBox.
+//
+// Usage:
+//
+//	chainsim -chain nat,maglev,monitor,ipfilter -platform bess
+//	chainsim -chain ipfilter,snort,monitor -platform onvm -flows 300
+//	chainsim -chain vpn-encap,monitor,vpn-decap -compare=false -sbox
+//	chainsim -chain snort,monitor -pcap trace.pcap
+//	chainsim -config testdata/chain.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	speedybox "github.com/fastpathnfv/speedybox"
+	"github.com/fastpathnfv/speedybox/internal/chainspec"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/stats"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "chainsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("chainsim", flag.ContinueOnError)
+	chainSpec := fs.String("chain", "ipfilter,snort,monitor", "comma-separated NFs: nat, maglev, monitor, ipfilter, ipfilter-deny, snort, vpn-encap, vpn-decap, dos, gateway, ratelimiter, synthetic")
+	platformName := fs.String("platform", "bess", "platform model: bess or onvm")
+	compare := fs.Bool("compare", true, "run both baseline and SpeedyBox and compare")
+	sbox := fs.Bool("sbox", true, "enable SpeedyBox (when -compare=false)")
+	seed := fs.Int64("seed", 1, "trace seed")
+	flows := fs.Int("flows", 200, "trace size in flows")
+	pcapPath := fs.String("pcap", "", "replay this pcap instead of generating a trace")
+	dumpRules := fs.Bool("dump-rules", false, "print the consolidated Global MAT rules after the SpeedyBox run")
+	snortRules := fs.String("snort-rules", "", "load Snort rules for snort NFs from this file (Snort rule syntax)")
+	configPath := fs.String("config", "", "build the chain from this JSON chain-spec file (overrides -chain and -platform)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var spec *chainspec.Spec
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		spec, err = chainspec.Parse(data)
+		if err != nil {
+			return err
+		}
+		if spec.Platform != "" {
+			*platformName = spec.Platform
+		}
+	}
+
+	rules := speedybox.DefaultSnortRules()
+	if *snortRules != "" {
+		text, err := os.ReadFile(*snortRules)
+		if err != nil {
+			return err
+		}
+		rules, err = speedybox.ParseSnortRules(string(text))
+		if err != nil {
+			return err
+		}
+	}
+
+	names := strings.Split(*chainSpec, ",")
+	pktsFor, err := packetSource(*pcapPath, *seed, *flows)
+	if err != nil {
+		return err
+	}
+
+	variants := []bool{*sbox}
+	if *compare {
+		variants = []bool{false, true}
+	}
+	var results []*speedybox.RunResult
+	for _, enabled := range variants {
+		opts := speedybox.BaselineOptions()
+		if enabled {
+			opts = speedybox.DefaultOptions()
+		}
+		var (
+			chain []speedybox.NF
+			err   error
+		)
+		if spec != nil {
+			chain, err = spec.Build()
+		} else {
+			chain, err = buildChain(names, rules)
+		}
+		if err != nil {
+			return err
+		}
+		var p speedybox.Platform
+		switch *platformName {
+		case "bess":
+			p, err = speedybox.NewBESS(chain, opts)
+		case "onvm":
+			p, err = speedybox.NewONVM(chain, opts)
+		default:
+			return fmt.Errorf("unknown platform %q", *platformName)
+		}
+		if err != nil {
+			return err
+		}
+		res, err := speedybox.Run(p, pktsFor())
+		if err == nil && enabled && *dumpRules {
+			fmt.Printf("\nGlobal MAT (%d rules):\n%s\n", p.Engine().Global().Len(), p.Engine().Global().Dump())
+		}
+		cerr := p.Close()
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			return cerr
+		}
+		results = append(results, res)
+		report(*platformName, enabled, res)
+	}
+	if len(results) == 2 {
+		fmt.Printf("\nSpeedyBox vs baseline: latency %+.1f%%  rate %+.1f%%  p50 flow time %+.1f%%\n",
+			change(results[0].MeanLatencyMicros(), results[1].MeanLatencyMicros()),
+			change(results[0].RateMpps(), results[1].RateMpps()),
+			change(stats.Percentile(results[0].FlowTimesMicros(), 50),
+				stats.Percentile(results[1].FlowTimesMicros(), 50)))
+	}
+	return nil
+}
+
+func change(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (b - a) / a * 100
+}
+
+// packetSource returns a function producing a fresh packet sequence
+// per call (each variant consumes its own copies).
+func packetSource(pcapPath string, seed int64, flows int) (func() []*speedybox.Packet, error) {
+	if pcapPath != "" {
+		f, err := os.Open(pcapPath)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = f.Close() }()
+		pkts, err := trace.ReadPcap(f)
+		if err != nil {
+			return nil, err
+		}
+		return func() []*packet.Packet {
+			out := make([]*packet.Packet, len(pkts))
+			for i, p := range pkts {
+				out[i] = p.Clone()
+			}
+			return out
+		}, nil
+	}
+	tr, err := trace.Generate(trace.Config{Seed: seed, Flows: flows, Interleave: true})
+	if err != nil {
+		return nil, err
+	}
+	return tr.Packets, nil
+}
+
+func buildChain(names []string, snortRules []speedybox.SnortRule) ([]speedybox.NF, error) {
+	chain := make([]speedybox.NF, 0, len(names))
+	for i, raw := range names {
+		name := strings.TrimSpace(raw)
+		inst := fmt.Sprintf("%s%d", name, i+1)
+		var (
+			nf  speedybox.NF
+			err error
+		)
+		switch name {
+		case "nat":
+			nf, err = speedybox.NewMazuNAT(speedybox.MazuNATConfig{
+				Name: inst, InternalPrefix: [4]byte{10, 0, 0, 0}, InternalBits: 8,
+				ExternalIP: [4]byte{198, 51, 100, 1},
+			})
+		case "maglev":
+			nf, err = speedybox.NewMaglev(speedybox.MaglevConfig{
+				Name: inst,
+				Backends: []speedybox.MaglevBackend{
+					{Name: "a", IP: [4]byte{192, 168, 1, 10}, Port: 8080},
+					{Name: "b", IP: [4]byte{192, 168, 1, 11}, Port: 8080},
+					{Name: "c", IP: [4]byte{192, 168, 1, 12}, Port: 8080},
+				},
+			})
+		case "monitor":
+			nf, err = speedybox.NewMonitor(inst)
+		case "ipfilter":
+			nf, err = speedybox.NewIPFilter(speedybox.IPFilterConfig{
+				Name: inst, Rules: speedybox.PadIPFilterRules(nil, 100),
+			})
+		case "ipfilter-deny":
+			nf, err = speedybox.NewIPFilter(speedybox.IPFilterConfig{
+				Name: inst, Rules: speedybox.PadIPFilterRules(nil, 100), DefaultDeny: true,
+			})
+		case "snort":
+			nf, err = speedybox.NewSnort(inst, snortRules)
+		case "vpn-encap":
+			nf, err = speedybox.NewVPNGateway(speedybox.VPNConfig{Name: inst, Mode: speedybox.VPNEncap})
+		case "vpn-decap":
+			nf, err = speedybox.NewVPNGateway(speedybox.VPNConfig{Name: inst, Mode: speedybox.VPNDecap})
+		case "dos":
+			nf, err = speedybox.NewDoSDefender(speedybox.DoSDefenderConfig{Name: inst, SYNThreshold: 100})
+		case "gateway":
+			nf, err = speedybox.NewMediaGateway(speedybox.MediaGatewayConfig{
+				Name: inst, NextHopMAC: [6]byte{0x02, 0, 0, 0, 0, 0x42},
+				VoicePorts: []uint16{5060}, VideoPorts: []uint16{8801},
+			})
+		case "ratelimiter":
+			nf, err = speedybox.NewRateLimiter(speedybox.RateLimiterConfig{Name: inst, Quota: 1000})
+		case "synthetic":
+			nf, err = speedybox.NewSyntheticNF(speedybox.SyntheticConfig{Name: inst})
+		default:
+			return nil, fmt.Errorf("unknown NF %q", name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, nf)
+	}
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("empty chain")
+	}
+	return chain, nil
+}
+
+func report(platformName string, sbox bool, res *speedybox.RunResult) {
+	label := platformName
+	if sbox {
+		label += " w/ SBox"
+	}
+	ft := res.FlowTimesMicros()
+	fmt.Printf("%-16s packets=%d drops=%d fastpath=%d events=%d\n",
+		label, res.Packets, res.Drops, res.Stats.FastPath, res.Stats.EventsFired)
+	fmt.Printf("%-16s rate=%.3f Mpps  latency(mean)=%.3f µs  flow p50=%.1f µs  p90=%.1f µs\n",
+		"", res.RateMpps(), res.MeanLatencyMicros(),
+		stats.Percentile(ft, 50), stats.Percentile(ft, 90))
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	speedybox "github.com/fastpathnfv/speedybox"
+)
+
+func TestBuildChainAllNames(t *testing.T) {
+	names := []string{
+		"nat", "maglev", "monitor", "ipfilter", "ipfilter-deny",
+		"snort", "vpn-encap", "vpn-decap", "dos", "gateway", "ratelimiter", "synthetic",
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			chain, err := buildChain([]string{name}, speedybox.DefaultSnortRules())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(chain) != 1 || chain[0].Name() == "" {
+				t.Errorf("chain = %v", chain)
+			}
+		})
+	}
+}
+
+func TestBuildChainMultipleWithSpaces(t *testing.T) {
+	chain, err := buildChain([]string{" nat", "monitor ", "ipfilter"}, speedybox.DefaultSnortRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 {
+		t.Fatalf("len = %d", len(chain))
+	}
+	// Instance names must be unique for the engine.
+	seen := map[string]bool{}
+	for _, nf := range chain {
+		if seen[nf.Name()] {
+			t.Errorf("duplicate NF name %q", nf.Name())
+		}
+		seen[nf.Name()] = true
+	}
+}
+
+func TestBuildChainSameNFTwice(t *testing.T) {
+	chain, err := buildChain([]string{"ipfilter", "ipfilter"}, speedybox.DefaultSnortRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain[0].Name() == chain[1].Name() {
+		t.Error("duplicate instance names for repeated NF")
+	}
+}
+
+func TestBuildChainErrors(t *testing.T) {
+	if _, err := buildChain([]string{"teleporter"}, nil); err == nil {
+		t.Error("unknown NF accepted")
+	}
+	if _, err := buildChain(nil, nil); err == nil {
+		t.Error("empty chain accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run([]string{"-chain", "monitor,ipfilter", "-flows", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleVariant(t *testing.T) {
+	if err := run([]string{"-chain", "monitor", "-flows", "5", "-compare=false", "-platform", "onvm"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownPlatform(t *testing.T) {
+	if err := run([]string{"-platform", "vector-packet-processor"}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestRunMissingPcap(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.pcap")
+	if err := run([]string{"-pcap", missing}); err == nil {
+		t.Error("missing pcap accepted")
+	}
+}
+
+func TestRunWithSnortRulesFile(t *testing.T) {
+	if err := run([]string{
+		"-chain", "snort", "-flows", "10",
+		"-snort-rules", filepath.Join("testdata", "sample.rules"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithBadSnortRulesFile(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.rules")
+	if err := os.WriteFile(bad, []byte("not a rule at all (x)"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-chain", "snort", "-snort-rules", bad}); err == nil {
+		t.Error("bad rules file accepted")
+	}
+	if err := run([]string{"-chain", "snort", "-snort-rules", filepath.Join(t.TempDir(), "missing.rules")}); err == nil {
+		t.Error("missing rules file accepted")
+	}
+}
+
+func TestRunWithConfigFile(t *testing.T) {
+	if err := run([]string{"-config", filepath.Join("testdata", "chain.json"), "-flows", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithBadConfigFile(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", bad}); err == nil {
+		t.Error("bad config accepted")
+	}
+	if err := run([]string{"-config", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("missing config accepted")
+	}
+}

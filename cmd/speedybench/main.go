@@ -1,0 +1,98 @@
+// Command speedybench regenerates the tables and figures of the
+// SpeedyBox paper's evaluation (§VII) on the simulated BESS and
+// OpenNetVM platforms.
+//
+// Usage:
+//
+//	speedybench [-exp all|fig4|table3|fig5|fig6|fig7|fig8|fig9a|fig9b|equiv|vpnx|crossover] [-seed N] [-flows N] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/fastpathnfv/speedybox/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "speedybench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// formatter is the common surface of every experiment result.
+type formatter interface{ Format() string }
+
+// experiments enumerates the runnable experiments in paper order.
+func experiments(cfg harness.Config) []struct {
+	name string
+	run  func() (formatter, error)
+} {
+	return []struct {
+		name string
+		run  func() (formatter, error)
+	}{
+		{"fig4", func() (formatter, error) { return harness.RunFig4(cfg) }},
+		{"table3", func() (formatter, error) { return harness.RunTable3(cfg) }},
+		{"fig5", func() (formatter, error) { return harness.RunFig5(cfg) }},
+		{"fig6", func() (formatter, error) { return harness.RunFig6(cfg) }},
+		{"fig7", func() (formatter, error) { return harness.RunFig7(cfg) }},
+		{"fig8", func() (formatter, error) { return harness.RunFig8(cfg) }},
+		{"fig9a", func() (formatter, error) { return harness.RunFig9(cfg, 1) }},
+		{"fig9b", func() (formatter, error) { return harness.RunFig9(cfg, 2) }},
+		{"equiv", func() (formatter, error) { return harness.RunEquivalence(cfg) }},
+		{"vpnx", func() (formatter, error) { return harness.RunVPNX(cfg) }},
+		{"crossover", func() (formatter, error) { return harness.RunCrossover(cfg) }},
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("speedybench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run: all, fig4, table3, fig5, fig6, fig7, fig8, fig9a, fig9b, equiv, vpnx, crossover")
+	seed := fs.Int64("seed", 1, "trace generation seed")
+	flows := fs.Int("flows", 0, "trace size in flows (0 = experiment default)")
+	asJSON := fs.Bool("json", false, "emit results as JSON instead of tables")
+	cdf := fs.Bool("cdf", false, "for fig9a/fig9b: print the full CDF series (plot data) instead of summaries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := harness.Config{Seed: *seed, Flows: *flows}
+
+	jsonOut := make(map[string]any)
+	ran := false
+	for _, e := range experiments(cfg) {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		switch {
+		case *asJSON:
+			jsonOut[e.name] = res
+		case *cdf:
+			if f9, ok := res.(*harness.Fig9Result); ok {
+				fmt.Fprintln(out, f9.FormatCDF())
+				break
+			}
+			fmt.Fprintln(out, res.Format())
+		default:
+			fmt.Fprintln(out, res.Format())
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonOut)
+	}
+	return nil
+}

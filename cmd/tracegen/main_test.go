@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+func TestRunWritesReadablePcap(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.pcap")
+	if err := run([]string{"-flows", "20", "-seed", "3", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pkts, err := trace.ReadPcap(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) == 0 {
+		t.Error("pcap empty")
+	}
+}
+
+func TestRunSummaryOnly(t *testing.T) {
+	if err := run([]string{"-flows", "10", "-summary"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInvalidPayloadBounds(t *testing.T) {
+	if err := run([]string{"-payload-min", "100", "-payload-max", "10"}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestRunUnwritablePath(t *testing.T) {
+	if err := run([]string{"-o", filepath.Join(t.TempDir(), "no", "such", "dir", "x.pcap")}); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package speedybox_test
+
+import (
+	"fmt"
+
+	speedybox "github.com/fastpathnfv/speedybox"
+)
+
+// Example demonstrates the end-to-end workflow: build a chain, pick a
+// platform, run a deterministic trace and compare paths.
+func Example() {
+	mon, err := speedybox.NewMonitor("monitor")
+	if err != nil {
+		panic(err)
+	}
+	fw, err := speedybox.NewIPFilter(speedybox.IPFilterConfig{
+		Name:  "firewall",
+		Rules: speedybox.PadIPFilterRules(nil, 100),
+	})
+	if err != nil {
+		panic(err)
+	}
+	p, err := speedybox.NewBESS([]speedybox.NF{mon, fw}, speedybox.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	defer p.Close()
+
+	tr, err := speedybox.GenerateTrace(speedybox.TraceConfig{Seed: 1, Flows: 10, Interleave: true})
+	if err != nil {
+		panic(err)
+	}
+	res, err := speedybox.Run(p, tr.Packets())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fast-path packets: %d of %d\n", res.Stats.FastPath, res.Packets)
+	fmt.Printf("consolidations: %d\n", res.Stats.Consolidations)
+	// Output:
+	// fast-path packets: 148 of 178
+	// consolidations: 10
+}
+
+// ExampleParseSnortRules shows loading IDS rules in the familiar Snort
+// syntax.
+func ExampleParseSnortRules() {
+	rules, err := speedybox.ParseSnortRules(`
+alert tcp any any -> any 80 (msg:"exploit attempt"; content:"ATTACK"; sid:1001;)
+pass  ip  any any -> any any (content:"HEALTHCHECK"; sid:1002;)
+`)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rules {
+		fmt.Printf("sid %d: %v\n", r.ID, r.Type)
+	}
+	// Output:
+	// sid 1001: alert
+	// sid 1002: pass
+}
+
+// ExampleModify shows the paper's Figure-1 notation for header
+// actions.
+func ExampleModify() {
+	a := speedybox.Modify(speedybox.FieldDstIP, []byte{192, 168, 1, 10})
+	fmt.Println(a)
+	// Output:
+	// modify(DIP)
+}

@@ -1,0 +1,78 @@
+// Load balancer failover: reproduce the paper's Maglev event walk-
+// through (§V-A and §VII-C2). A flow is pinned to a backend via
+// consistent hashing; mid-stream the backend fails, the registered
+// Event Table entry fires, the flow's consolidated modify(DIP) action
+// is rewritten, and every later packet goes to the new backend — while
+// the packets keep flowing on the fast path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	speedybox "github.com/fastpathnfv/speedybox"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	backends := []speedybox.MaglevBackend{
+		{Name: "backend-0", IP: [4]byte{192, 168, 9, 1}, Port: 80},
+		{Name: "backend-1", IP: [4]byte{192, 168, 9, 2}, Port: 80},
+	}
+	lb, err := speedybox.NewMaglev(speedybox.MaglevConfig{
+		Name: "maglev", Backends: backends,
+	})
+	if err != nil {
+		return err
+	}
+	p, err := speedybox.NewBESS([]speedybox.NF{lb}, speedybox.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	mkPkt := func(i int) (*speedybox.Packet, error) {
+		return speedybox.BuildPacket(speedybox.PacketSpec{
+			SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{100, 0, 0, 9},
+			SrcPort: 7777, DstPort: 80, Proto: 6,
+			TCPFlags: 0x10, // ACK: established data packets
+			Seq:      uint32(i),
+			Payload:  []byte(fmt.Sprintf("request %d", i)),
+		})
+	}
+
+	var firstBackend [4]byte
+	for i := 1; i <= 10; i++ {
+		if i == 6 {
+			// The pinned backend fails between packets 5 and 6.
+			for idx, b := range backends {
+				if b.IP == firstBackend {
+					fmt.Printf("--- backend %s fails ---\n", b.Name)
+					if err := lb.FailBackend(idx); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		pkt, err := mkPkt(i)
+		if err != nil {
+			return err
+		}
+		if _, err := p.Process(pkt); err != nil {
+			return err
+		}
+		if i == 1 {
+			firstBackend = pkt.DstIP()
+		}
+		d := pkt.DstIP()
+		fmt.Printf("packet %2d -> %d.%d.%d.%d\n", i, d[0], d[1], d[2], d[3])
+	}
+	fmt.Printf("\nreroutes performed by the Event Table: %d\n", lb.Rerouted())
+	fmt.Printf("engine: %+v\n", p.Engine().Stats())
+	return nil
+}

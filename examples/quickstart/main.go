@@ -1,0 +1,92 @@
+// Quickstart: build the paper's motivating service chain
+// (NAT -> Load Balancer -> Monitor -> Firewall, §II-A), push a
+// synthetic datacenter trace through it on the BESS platform model,
+// and compare the original chain against SpeedyBox.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	speedybox "github.com/fastpathnfv/speedybox"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildChain() ([]speedybox.NF, error) {
+	nat, err := speedybox.NewMazuNAT(speedybox.MazuNATConfig{
+		Name:           "nat",
+		InternalPrefix: [4]byte{10, 0, 0, 0},
+		InternalBits:   8,
+		ExternalIP:     [4]byte{198, 51, 100, 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	lb, err := speedybox.NewMaglev(speedybox.MaglevConfig{
+		Name: "lb",
+		Backends: []speedybox.MaglevBackend{
+			{Name: "web-1", IP: [4]byte{192, 168, 1, 10}, Port: 8080},
+			{Name: "web-2", IP: [4]byte{192, 168, 1, 11}, Port: 8080},
+			{Name: "web-3", IP: [4]byte{192, 168, 1, 12}, Port: 8080},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	mon, err := speedybox.NewMonitor("monitor")
+	if err != nil {
+		return nil, err
+	}
+	fw, err := speedybox.NewIPFilter(speedybox.IPFilterConfig{
+		Name:  "firewall",
+		Rules: speedybox.PadIPFilterRules(nil, 100),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []speedybox.NF{nat, lb, mon, fw}, nil
+}
+
+func run() error {
+	tr, err := speedybox.GenerateTrace(speedybox.TraceConfig{
+		Seed: 42, Flows: 200, Interleave: true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d flows, %d packets\n\n", len(tr.Flows), tr.Len())
+
+	for _, mode := range []struct {
+		label string
+		opts  speedybox.Options
+	}{
+		{"original chain", speedybox.BaselineOptions()},
+		{"with SpeedyBox", speedybox.DefaultOptions()},
+	} {
+		chain, err := buildChain()
+		if err != nil {
+			return err
+		}
+		p, err := speedybox.NewBESS(chain, mode.opts)
+		if err != nil {
+			return err
+		}
+		res, err := speedybox.Run(p, tr.Packets())
+		if cerr := p.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s rate %.3f Mpps, mean latency %.3f µs\n",
+			mode.label, res.RateMpps(), res.MeanLatencyMicros())
+		fmt.Printf("%-16s slow path %d pkts, fast path %d pkts, %d consolidations\n\n",
+			"", res.Stats.SlowPath, res.Stats.FastPath, res.Stats.Consolidations)
+	}
+	return nil
+}

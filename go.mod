@@ -1,0 +1,3 @@
+module github.com/fastpathnfv/speedybox
+
+go 1.22

@@ -1,0 +1,123 @@
+// Package bess implements the BESS execution-platform model (paper
+// §VI-A): the entire service chain runs as a single process on one
+// dedicated core, run-to-completion — each packet traverses every
+// module before the next packet starts. SpeedyBox on BESS adds a
+// packet classifier task and a Global MAT executor module; the service
+// graph has two branches, one for initial packets (the original chain)
+// and one for subsequent packets (the Global MAT), with parallel
+// state-function stages carved out to worker cores.
+//
+// Latency and throughput derive from the cost model:
+//
+//   - original path: latency = framework + Σ NF work + module
+//     crossings; throughput = freq / latency (one core does it all).
+//   - fast path: the main core pays the fast-path fixed work, header
+//     application and batch dispatch; parallel SF stages add only
+//     their critical path to latency, and throughput is bounded by
+//     the busiest core (main or worker).
+package bess
+
+import (
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/cost"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/platform"
+)
+
+// Config configures a BESS platform instance.
+type Config struct {
+	// Chain is the service chain in order.
+	Chain []core.NF
+	// Options selects baseline vs SpeedyBox and the ablations.
+	Options core.Options
+}
+
+// Platform is the BESS model.
+type Platform struct {
+	eng  *core.Engine
+	name string
+}
+
+var _ platform.Platform = (*Platform)(nil)
+
+// New builds a BESS platform. BESS has no chain-length limit: all NFs
+// share one process (§VII-B2).
+func New(cfg Config) (*Platform, error) {
+	eng, err := core.NewEngine(cfg.Chain, cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("bess: %w", err)
+	}
+	return &Platform{
+		eng:  eng,
+		name: platform.DisplayName("BESS", cfg.Options.EnableSpeedyBox),
+	}, nil
+}
+
+// Name implements platform.Platform.
+func (p *Platform) Name() string { return p.name }
+
+// Engine implements platform.Platform.
+func (p *Platform) Engine() *core.Engine { return p.eng }
+
+// Model implements platform.Platform.
+func (p *Platform) Model() *cost.Model { return p.eng.Model() }
+
+// Close implements platform.Platform; BESS holds no goroutines.
+func (p *Platform) Close() error { return nil }
+
+// Process implements platform.Platform.
+func (p *Platform) Process(pkt *packet.Packet) (platform.Measurement, error) {
+	res, err := p.eng.ProcessPacket(pkt)
+	if err != nil {
+		return platform.Measurement{}, err
+	}
+	m := platform.Measurement{Result: res, WorkCycles: res.WorkCycles}
+	model := p.eng.Model()
+
+	switch res.Path {
+	case core.PathSlow:
+		lat := model.BESSFramework +
+			res.Slow.ClassifierCycles +
+			res.NFWork() +
+			model.BESSPerModule*uint64(len(res.Slow.PerNF)) +
+			res.Slow.ConsolidateCycles
+		m.LatencyCycles = lat
+		m.BottleneckCycles = lat // run-to-completion: one core pays it all
+	case core.PathFast:
+		f := res.Fast
+		mainCore := model.BESSFastFramework + f.FixedCycles + f.HeaderCycles +
+			f.DispatchCycles + f.ReconsolidateCycles
+		if p.eng.Options().ParallelSF && f.BatchCount > 0 {
+			// SF stages run on worker cores; latency adds their
+			// critical path, throughput is bounded by the busiest
+			// core.
+			m.LatencyCycles = mainCore + f.SF.CriticalCycles
+			worker := maxStageCritical(res)
+			m.BottleneckCycles = maxU64(mainCore, worker)
+		} else {
+			// Sequential SF execution stays on the main core.
+			m.LatencyCycles = mainCore + f.SF.TotalCycles
+			m.BottleneckCycles = m.LatencyCycles
+		}
+	}
+	return m, nil
+}
+
+func maxStageCritical(res *core.PacketResult) uint64 {
+	var worst uint64
+	for _, st := range res.Fast.SF.Stages {
+		if st.CriticalCycles > worst {
+			worst = st.CriticalCycles
+		}
+	}
+	return worst
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

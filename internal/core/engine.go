@@ -1,0 +1,590 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/fastpathnfv/speedybox/internal/classifier"
+	"github.com/fastpathnfv/speedybox/internal/cost"
+	"github.com/fastpathnfv/speedybox/internal/event"
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/sfunc"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Model is the cycle-cost model; nil selects cost.DefaultModel.
+	Model *cost.Model
+	// EnableSpeedyBox turns on recording, consolidation and the fast
+	// path. When false the engine is the unmodified baseline chain.
+	EnableSpeedyBox bool
+	// ConsolidateHeaders enables header-action consolidation on the
+	// fast path. Disabling it (with EnableSpeedyBox on) gives the
+	// SF-parallelism-only ablation of Figure 7: header work is priced
+	// as if each NF still applied its own actions.
+	ConsolidateHeaders bool
+	// ParallelSF enables Table-I parallel state-function execution.
+	// Disabling it gives the header-consolidation-only ablation.
+	ParallelSF bool
+}
+
+// DefaultOptions returns full SpeedyBox: both optimizations on.
+func DefaultOptions() Options {
+	return Options{EnableSpeedyBox: true, ConsolidateHeaders: true, ParallelSF: true}
+}
+
+// BaselineOptions returns the unmodified original chain.
+func BaselineOptions() Options { return Options{} }
+
+// Sentinel errors.
+var (
+	// ErrEmptyChain reports an engine built with no NFs.
+	ErrEmptyChain = errors.New("core: empty service chain")
+	// ErrDuplicateNF reports two NFs sharing a name.
+	ErrDuplicateNF = errors.New("core: duplicate NF name")
+	// ErrNFFailed wraps NF processing errors.
+	ErrNFFailed = errors.New("core: NF processing failed")
+)
+
+// Engine wires a service chain to the SpeedyBox machinery. It is safe
+// for concurrent use so the pipelined ONVM platform can classify,
+// process and consolidate from different goroutines.
+type Engine struct {
+	model  *cost.Model
+	opts   Options
+	chain  []NF
+	locals []*mat.Local
+	global *mat.Global
+	events *event.Table
+	class  *classifier.Classifier
+
+	mu    sync.Mutex
+	stats Stats
+
+	recMu     sync.Mutex
+	recording map[flow.FID]bool
+}
+
+// NewEngine builds an engine over the chain.
+func NewEngine(chain []NF, opts Options) (*Engine, error) {
+	if len(chain) == 0 {
+		return nil, ErrEmptyChain
+	}
+	if opts.Model == nil {
+		opts.Model = cost.DefaultModel()
+	}
+	if err := opts.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	seen := make(map[string]bool, len(chain))
+	locals := make([]*mat.Local, len(chain))
+	for i, nf := range chain {
+		if seen[nf.Name()] {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateNF, nf.Name())
+		}
+		seen[nf.Name()] = true
+		locals[i] = mat.NewLocal(nf.Name())
+	}
+	return &Engine{
+		model:     opts.Model,
+		opts:      opts,
+		chain:     chain,
+		locals:    locals,
+		global:    mat.NewGlobal(),
+		events:    event.NewTable(),
+		class:     classifier.New(flow.NewTable()),
+		recording: make(map[flow.FID]bool),
+	}, nil
+}
+
+// TryBeginRecording claims the flow's recording slot. When several
+// initial packets of one flow are in flight concurrently (free-running
+// pipeline mode), only the first may record — a second recorder would
+// append duplicate actions and state functions to the Local MATs. The
+// losers traverse the chain without recording, which is always
+// correct. EndRecording releases the slot.
+func (e *Engine) TryBeginRecording(fid flow.FID) bool {
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
+	if e.recording[fid] {
+		return false
+	}
+	e.recording[fid] = true
+	return true
+}
+
+// EndRecording releases the flow's recording slot.
+func (e *Engine) EndRecording(fid flow.FID) {
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
+	delete(e.recording, fid)
+}
+
+// Model returns the engine's cost model.
+func (e *Engine) Model() *cost.Model { return e.model }
+
+// Options returns the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// ChainLen returns the number of NFs.
+func (e *Engine) ChainLen() int { return len(e.chain) }
+
+// Global exposes the Global MAT (tests and platforms).
+func (e *Engine) Global() *mat.Global { return e.global }
+
+// Events exposes the Event Table.
+func (e *Engine) Events() *event.Table { return e.events }
+
+// Local returns the Local MAT of the i-th NF.
+func (e *Engine) Local(i int) *mat.Local { return e.locals[i] }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Classify runs the Packet Classifier on one packet, deciding which
+// path it takes. Exposed so pipelined platforms can run classification
+// on a dedicated RX core.
+func (e *Engine) Classify(pkt *packet.Packet) (classifier.Result, error) {
+	var hasRule func(flow.FID) bool
+	if e.opts.EnableSpeedyBox {
+		hasRule = func(fid flow.FID) bool {
+			_, ok := e.global.Lookup(fid)
+			return ok
+		}
+	}
+	return e.class.Classify(pkt, hasRule)
+}
+
+// ProcessNF runs the i-th NF on a slow-path packet, returning the
+// verdict and the work cycles the NF charged. Pipelined platforms call
+// it from per-NF goroutines; PrepareRecording must have run first for
+// recording packets.
+func (e *Engine) ProcessNF(i int, fid flow.FID, pkt *packet.Packet, recording bool) (Verdict, uint64, error) {
+	if i < 0 || i >= len(e.chain) {
+		return 0, 0, fmt.Errorf("core: NF index %d out of range", i)
+	}
+	nf := e.chain[i]
+	ledger := cost.NewLedger()
+	ctx := &Ctx{
+		FID:       fid,
+		Initial:   recording,
+		Model:     e.model,
+		nf:        nf.Name(),
+		ledger:    ledger,
+		local:     e.locals[i],
+		events:    e.events,
+		recording: recording,
+	}
+	v, err := nf.Process(ctx, pkt)
+	if err != nil {
+		return 0, ledger.Total(), fmt.Errorf("%w: %s: %w", ErrNFFailed, nf.Name(), err)
+	}
+	return v, ledger.Total(), nil
+}
+
+// PrepareRecording clears the flow's Local MAT entries and events so
+// an initial packet re-records from scratch.
+func (e *Engine) PrepareRecording(fid flow.FID) {
+	for _, l := range e.locals {
+		l.Delete(fid)
+	}
+	e.events.Remove(fid)
+}
+
+// ConsolidateFlow snapshots the Local MATs and installs the Global MAT
+// rule, returning the consolidation work cycles. A
+// mat.ErrNotConsolidatable error means the flow stays on the slow
+// path; the caller decides whether that is fatal.
+func (e *Engine) ConsolidateFlow(fid flow.FID) (uint64, error) {
+	info := &SlowPathInfo{}
+	if err := e.consolidate(fid, info); err != nil {
+		return 0, err
+	}
+	return info.ConsolidateCycles, nil
+}
+
+// TeardownFlow removes all state for a finished flow (FIN/RST
+// cleanup, §VI-B).
+func (e *Engine) TeardownFlow(fid flow.FID) { e.teardown(fid) }
+
+// Account folds a finished packet's result into the engine counters.
+// ProcessPacket calls it automatically; platforms that assemble
+// results themselves call it once per packet.
+func (e *Engine) Account(res *PacketResult) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Packets++
+	switch res.Kind {
+	case classifier.KindInitial:
+		e.stats.Initial++
+	case classifier.KindSubsequent:
+		e.stats.Subsequent++
+	case classifier.KindHandshake:
+		e.stats.Handshake++
+	case classifier.KindFinal:
+		e.stats.Final++
+	}
+	if res.Path == PathFast {
+		e.stats.FastPath++
+	} else {
+		e.stats.SlowPath++
+	}
+	if res.Verdict == VerdictDrop {
+		e.stats.Dropped++
+	}
+	if res.Fast != nil {
+		e.stats.EventsFired += uint64(res.Fast.EventsFired)
+	}
+	if res.Slow != nil && res.Slow.ConsolidateCycles > 0 {
+		e.stats.Consolidations++
+	}
+}
+
+// ProcessPacket classifies and processes one packet, returning the
+// full accounting. The packet is mutated (or dropped) in place.
+func (e *Engine) ProcessPacket(pkt *packet.Packet) (*PacketResult, error) {
+	cls, err := e.Classify(pkt)
+	if err != nil {
+		return nil, err
+	}
+
+	var res *PacketResult
+	switch cls.Kind {
+	case classifier.KindSubsequent:
+		res, err = e.fastPath(cls.FID, pkt)
+	case classifier.KindFinal:
+		if e.opts.EnableSpeedyBox {
+			if _, ok := e.global.Lookup(cls.FID); ok {
+				res, err = e.fastPath(cls.FID, pkt)
+			} else {
+				res, err = e.slowPath(cls.FID, pkt, false)
+			}
+		} else {
+			res, err = e.slowPath(cls.FID, pkt, false)
+		}
+		if err == nil {
+			e.teardown(cls.FID)
+			res.TornDown = true
+		}
+	case classifier.KindInitial:
+		// Claim the flow's recording slot: if another packet of this
+		// flow is recording concurrently (callers that overlap
+		// ProcessPacket for one flow), traverse without recording.
+		recording := e.opts.EnableSpeedyBox && e.TryBeginRecording(cls.FID)
+		if recording {
+			defer e.EndRecording(cls.FID)
+		}
+		res, err = e.slowPath(cls.FID, pkt, recording)
+	default: // KindHandshake
+		res, err = e.slowPath(cls.FID, pkt, false)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.FID = cls.FID
+	res.Kind = cls.Kind
+	e.Account(res)
+	return res, nil
+}
+
+// slowPath runs the packet through the original service chain,
+// recording behaviour when requested.
+func (e *Engine) slowPath(fid flow.FID, pkt *packet.Packet, recording bool) (*PacketResult, error) {
+	ledger := cost.NewLedger()
+	info := &SlowPathInfo{DropIndex: -1}
+	if e.opts.EnableSpeedyBox {
+		// The SpeedyBox classifier hashed the 5-tuple and attached
+		// metadata; the baseline has no such stage.
+		info.ClassifierCycles = e.model.HashFID
+	}
+	if recording {
+		// Re-recording an initial packet (e.g. several packets raced
+		// in before consolidation) starts from clean Local MATs.
+		e.PrepareRecording(fid)
+	}
+
+	verdict := VerdictForward
+	for i, nf := range e.chain {
+		ctx := &Ctx{
+			FID:       fid,
+			Initial:   recording,
+			Model:     e.model,
+			nf:        nf.Name(),
+			ledger:    ledger,
+			local:     e.locals[i],
+			events:    e.events,
+			recording: recording,
+		}
+		v, err := nf.Process(ctx, pkt)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %w", ErrNFFailed, nf.Name(), err)
+		}
+		if v == VerdictDrop {
+			verdict = VerdictDrop
+			info.DropIndex = i
+			if !pkt.Dropped() {
+				pkt.Drop()
+			}
+			break
+		}
+	}
+	info.PerNF = ledger.Stages()
+
+	res := &PacketResult{
+		Path:    PathSlow,
+		Verdict: verdict,
+		Slow:    info,
+	}
+	if recording {
+		if err := e.consolidate(fid, info); err != nil {
+			if !errors.Is(err, mat.ErrNotConsolidatable) {
+				return nil, err
+			}
+			// No rule is installed: the flow stays on the (always
+			// correct) slow path, just without acceleration.
+		}
+	}
+	res.WorkCycles = info.ClassifierCycles + res.NFWork() + info.ConsolidateCycles
+	return res, nil
+}
+
+// consolidate snapshots the Local MATs and installs the Global MAT
+// rule, charging the consolidation cost into info.
+func (e *Engine) consolidate(fid flow.FID, info *SlowPathInfo) error {
+	contribs := make([]mat.Contribution, 0, len(e.chain))
+	contributed := 0
+	for i, nf := range e.chain {
+		rule, ok := e.locals[i].Get(fid)
+		if !ok {
+			contribs = append(contribs, mat.Contribution{NF: nf.Name()})
+			continue
+		}
+		contributed++
+		contribs = append(contribs, mat.Contribution{NF: nf.Name(), Rule: rule})
+	}
+	rule, err := mat.Consolidate(fid, contribs)
+	if err != nil {
+		return err
+	}
+	e.global.Install(rule)
+	info.ConsolidateCycles = e.model.ConsolidateBase + e.model.ConsolidatePerNF*uint64(contributed)
+	return nil
+}
+
+// reconsolidate rebuilds the flow's rule after event updates.
+func (e *Engine) reconsolidate(fid flow.FID) (uint64, error) {
+	info := &SlowPathInfo{}
+	if err := e.consolidate(fid, info); err != nil {
+		return 0, err
+	}
+	return info.ConsolidateCycles, nil
+}
+
+// FastProcess runs the consolidated fast path for a subsequent packet,
+// exposed for platforms that dispatch fast-path packets from their own
+// cores (the ONVM manager).
+func (e *Engine) FastProcess(fid flow.FID, pkt *packet.Packet) (*PacketResult, error) {
+	return e.fastPath(fid, pkt)
+}
+
+// fastPath applies the consolidated rule.
+func (e *Engine) fastPath(fid flow.FID, pkt *packet.Packet) (*PacketResult, error) {
+	m := e.model
+	info := &FastPathInfo{}
+	info.FixedCycles = m.HashFID + m.FastPathBase + m.EventCheck + m.GMATLookup
+
+	// Event Table pre-check: a previously-satisfied condition updates
+	// the rule before this packet is processed (§III).
+	if fired, err := e.fireEvents(fid, info); err != nil {
+		return nil, err
+	} else if fired {
+		// The rule was rebuilt; the fresh lookup below sees it.
+		info.FixedCycles += m.GMATLookup
+	}
+
+	rule, ok := e.global.Lookup(fid)
+	if !ok {
+		// Defensive: rule vanished (e.g. torn down concurrently).
+		// Fall back to the original chain, which is always correct.
+		return e.slowPath(fid, pkt, false)
+	}
+	if !rule.Drop {
+		info.FixedCycles += m.FastPathPerHA * uint64(rule.SourceNFs)
+	}
+
+	// State functions execute first, on the packet as it arrived at
+	// the chain: payload-facing functions (the only kind with data
+	// dependencies, per Table I) see the same bytes as on the original
+	// path, and for consolidated drops the upstream NFs' functions
+	// still observe the packet before it is discarded.
+	if len(rule.Batches) > 0 {
+		var exec sfunc.ExecResult
+		var err error
+		if e.opts.ParallelSF {
+			exec, err = rule.Plan.Execute(rule.Batches, pkt, m.ForkJoin)
+		} else {
+			exec, err = sfunc.ExecuteSequential(rule.Batches, pkt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		info.SF = exec
+		info.BatchCount = len(rule.Batches)
+		if e.opts.ParallelSF {
+			// Worker dispatch overhead; sequential execution stays
+			// inline and pays nothing extra.
+			info.DispatchCycles = m.ForkJoin / 2 * uint64(len(rule.Batches))
+		}
+	}
+
+	// Consolidated header work (functionally always the consolidated
+	// rule; the ablation only changes the *charged* cost).
+	alive, err := rule.ApplyHeader(pkt)
+	if err != nil {
+		return nil, err
+	}
+	info.HeaderCycles = e.headerCost(rule)
+
+	verdict := VerdictForward
+	if !alive {
+		verdict = VerdictDrop
+	}
+
+	// Post-execution event check: state updates from this packet may
+	// arm a condition that changes processing for the next packet.
+	if _, err := e.fireEvents(fid, info); err != nil {
+		return nil, err
+	}
+
+	res := &PacketResult{
+		Path:    PathFast,
+		Verdict: verdict,
+		Fast:    info,
+	}
+	// The "CPU cycle per packet" metric measures the primary
+	// processing core, as the paper's rdtsc instrumentation does:
+	// with parallel SF execution, worker-core cycles overlap the main
+	// core's and only the critical path is observed. Sequential
+	// execution keeps all SF work on the main core.
+	// Batch dispatch (DispatchCycles) is scheduling overhead the
+	// platform formulas account for; it is not NF-attributable work.
+	sfCycles := info.SF.TotalCycles
+	if e.opts.ParallelSF {
+		sfCycles = info.SF.CriticalCycles
+	}
+	res.WorkCycles = info.FixedCycles + info.HeaderCycles + sfCycles +
+		info.ReconsolidateCycles
+	return res, nil
+}
+
+// fireEvents probes the Event Table for the flow, applies any updates
+// to the owning Local MATs and reconsolidates. It returns whether
+// anything fired.
+func (e *Engine) fireEvents(fid flow.FID, info *FastPathInfo) (bool, error) {
+	firings := e.events.Check(fid)
+	if len(firings) == 0 {
+		return false, nil
+	}
+	byName := make(map[string]*mat.Local, len(e.locals))
+	for _, l := range e.locals {
+		byName[l.NF()] = l
+	}
+	for _, f := range firings {
+		local, ok := byName[f.Event.NF]
+		if !ok {
+			return false, fmt.Errorf("core: event from unknown NF %q", f.Event.NF)
+		}
+		local.Mutate(fid, func(r *mat.LocalRule) { f.Event.Update(fid, r) })
+		info.ReconsolidateCycles += e.model.EventFire
+	}
+	cycles, err := e.reconsolidate(fid)
+	switch {
+	case err == nil:
+		info.ReconsolidateCycles += cycles
+	case errors.Is(err, mat.ErrNotConsolidatable):
+		// The updated actions no longer fold into one rule: evict the
+		// stale rule so this and future packets take the (always
+		// correct) slow path instead of executing outdated actions.
+		e.global.Remove(fid)
+	default:
+		return false, err
+	}
+	info.EventsFired += len(firings)
+	return true, nil
+}
+
+// headerCost prices the rule's header work under the active options.
+func (e *Engine) headerCost(rule *mat.GlobalRule) uint64 {
+	m := e.model
+	if rule.Drop {
+		return m.DropAction
+	}
+	if e.opts.ConsolidateHeaders {
+		var c uint64
+		c += uint64(len(rule.Modifies)) * m.ModifyField
+		c += uint64(len(rule.Stack.Decaps)) * m.DecapHeader
+		for range rule.Stack.Encaps {
+			c += m.EncapHeader
+		}
+		if _, _, ck := rule.HeaderWork(); ck {
+			c += m.ChecksumUpdate
+		}
+		return c
+	}
+	// Ablation: price the header work as if every contributing NF
+	// still parsed the packet and applied its own actions with its
+	// own checksum refresh (redundancies R1 and R3 back in place).
+	var c uint64
+	for _, s := range rule.Sources {
+		c += m.Parse
+		c += uint64(s.Modifies) * m.ModifyField
+		c += uint64(s.Encaps) * m.EncapHeader
+		c += uint64(s.Decaps) * m.DecapHeader
+		if s.Modifies+s.Encaps+s.Decaps > 0 {
+			c += m.ChecksumUpdate
+		}
+	}
+	return c
+}
+
+// ExpireIdle tears down every flow that has been idle for more than
+// idleFor classified packets (a logical-clock age), returning how many
+// flows were expired. The paper's cleanup runs only on TCP FIN/RST
+// (§VI-B), which never fires for UDP or abandoned flows; this
+// extension bounds the MAT footprint for such traffic. Expired flows
+// are not harmed: their next packet simply re-records as an initial
+// packet.
+func (e *Engine) ExpireIdle(idleFor uint64) int {
+	now := e.class.Now()
+	if now <= idleFor {
+		return 0
+	}
+	stale := e.class.Flows().IdleSince(now - idleFor)
+	for _, fid := range stale {
+		e.teardown(fid)
+	}
+	return len(stale)
+}
+
+// teardown removes all state for a finished flow (§VI-B), including
+// NF-internal per-flow state for NFs implementing FlowCloser.
+func (e *Engine) teardown(fid flow.FID) {
+	e.global.Remove(fid)
+	for _, l := range e.locals {
+		l.Delete(fid)
+	}
+	e.events.Remove(fid)
+	for _, nf := range e.chain {
+		if closer, ok := nf.(FlowCloser); ok {
+			closer.FlowClosed(fid)
+		}
+	}
+	e.class.Teardown(fid)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/event"
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// poisonEventNF registers an event whose update rewrites the flow's
+// actions into a sequence that cannot be consolidated (a decap with no
+// matching pending encap type after an encap of a different type).
+type poisonEventNF struct {
+	name  string
+	armed atomic.Bool
+}
+
+func (p *poisonEventNF) Name() string { return p.name }
+
+func (p *poisonEventNF) Process(ctx *Ctx, pkt *packet.Packet) (Verdict, error) {
+	ctx.Charge(100)
+	if err := ctx.AddHeaderAction(mat.Forward()); err != nil {
+		return 0, err
+	}
+	err := ctx.RegisterEvent(event.Event{
+		Condition: func(flow.FID) bool { return p.armed.Load() },
+		OneShot:   true,
+		Update: func(_ flow.FID, r *mat.LocalRule) {
+			r.Actions = []mat.HeaderAction{
+				mat.Encap(packet.ExtraHeader{Type: packet.HeaderAH, SPI: 1}),
+				mat.Decap(packet.HeaderVLAN), // mismatched: not consolidatable
+			}
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return VerdictForward, nil
+}
+
+// TestEventUpdateToNonConsolidatableFallsBack: when an event rewrites
+// a rule into something the consolidator rejects, the engine must
+// evict the rule and keep serving the flow on the slow path rather
+// than failing or executing stale actions.
+func TestEventUpdateToNonConsolidatableFallsBack(t *testing.T) {
+	nf := &poisonEventNF{name: "poison"}
+	eng, err := NewEngine([]NF{nf}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(i int) *packet.Packet { return udpPkt(t, 4242, "p") }
+	if _, err := eng.ProcessPacket(mk(0)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := eng.ProcessPacket(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Path != PathFast {
+		t.Fatalf("pre-event path = %v", r.Path)
+	}
+
+	nf.armed.Store(true)
+	// The event fires on this packet's pre-check; reconsolidation
+	// fails; the packet must still be processed (slow-path fallback).
+	r, err = eng.ProcessPacket(mk(2))
+	if err != nil {
+		t.Fatalf("packet after poison event errored: %v", err)
+	}
+	if r.Path != PathSlow {
+		t.Errorf("post-event path = %v, want slow-path fallback", r.Path)
+	}
+	if eng.Global().Len() != 0 {
+		// Careful: the slow-path fallback runs without recording
+		// (kind was Subsequent), so no new rule gets installed either.
+		t.Errorf("stale rule still installed: %d", eng.Global().Len())
+	}
+	// While the condition stays armed, every re-record re-registers
+	// the event and every consolidation gets poisoned again: the flow
+	// correctly stays on the slow path. Once the condition clears,
+	// the next initial packet records a clean rule and the flow
+	// re-stabilizes on the fast path.
+	nf.armed.Store(false)
+	if _, err := eng.ProcessPacket(mk(3)); err != nil {
+		t.Fatal(err)
+	}
+	r, err = eng.ProcessPacket(mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Path != PathFast {
+		t.Errorf("flow did not restabilize: path = %v", r.Path)
+	}
+}

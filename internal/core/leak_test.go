@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// TestNoStateLeakAcrossFlowLifecycles runs many full TCP lifecycles
+// and asserts every table returns to empty: Global MAT, all Local
+// MATs, the Event Table and the flow table.
+func TestNoStateLeakAcrossFlowLifecycles(t *testing.T) {
+	mod := &fakeModifier{name: "nat", dip: [4]byte{7, 7, 7, 7}}
+	ev := &fakeEventNF{name: "dos"}
+	eng, err := NewEngine([]NF{mod, ev}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkPkt := func(sport uint16, flags uint8, payload string) *packet.Packet {
+		return packet.MustBuild(packet.Spec{
+			SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 0, 0, 2),
+			SrcPort: sport, DstPort: 80, Proto: packet.ProtoTCP,
+			TCPFlags: flags, Payload: []byte(payload),
+		})
+	}
+	for f := 0; f < 200; f++ {
+		sport := uint16(10000 + f)
+		seq := []*packet.Packet{
+			mkPkt(sport, packet.TCPFlagSYN, ""),
+			mkPkt(sport, packet.TCPFlagACK, ""),
+			mkPkt(sport, packet.TCPFlagACK|packet.TCPFlagPSH, "data-1"),
+			mkPkt(sport, packet.TCPFlagACK|packet.TCPFlagPSH, "data-2"),
+			mkPkt(sport, packet.TCPFlagFIN|packet.TCPFlagACK, ""),
+		}
+		for i, p := range seq {
+			if _, err := eng.ProcessPacket(p); err != nil {
+				t.Fatalf("flow %d packet %d: %v", f, i, err)
+			}
+		}
+	}
+	if n := eng.Global().Len(); n != 0 {
+		t.Errorf("Global MAT leaked %d rules", n)
+	}
+	for i := 0; i < eng.ChainLen(); i++ {
+		if n := eng.Local(i).Len(); n != 0 {
+			t.Errorf("Local MAT %d leaked %d rules", i, n)
+		}
+	}
+	if n := eng.Events().Len(); n != 0 {
+		t.Errorf("Event Table leaked %d flows", n)
+	}
+	st := eng.Stats()
+	if st.Packets != 200*5 || st.Final != 200 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestConcurrentDistinctFlows drives the engine from many goroutines,
+// each owning distinct flows, under -race.
+func TestConcurrentDistinctFlows(t *testing.T) {
+	counter := &fakeCounter{name: "mon"}
+	mod := &fakeModifier{name: "nat", dip: [4]byte{3, 3, 3, 3}}
+	eng, err := NewEngine([]NF{mod, counter}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, flowsPer, pktsPer = 8, 5, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for f := 0; f < flowsPer; f++ {
+				sport := uint16(1000 + g*100 + f)
+				for k := 0; k < pktsPer; k++ {
+					p := packet.MustBuild(packet.Spec{
+						SrcIP: packet.IP4(10, 0, byte(g), byte(f)), DstIP: packet.IP4(10, 9, 9, 9),
+						SrcPort: sport, DstPort: 53, Proto: packet.ProtoUDP,
+						Payload: []byte(fmt.Sprintf("g%d-f%d-k%d", g, f, k)),
+					})
+					if _, err := eng.ProcessPacket(p); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	want := uint64(goroutines * flowsPer * pktsPer)
+	if counter.count.Load() != want {
+		t.Errorf("counter = %d, want %d", counter.count.Load(), want)
+	}
+	if st := eng.Stats(); st.Packets != want {
+		t.Errorf("stats.Packets = %d, want %d", st.Packets, want)
+	}
+}
+
+// TestProcessNFBounds covers the exported stage API's error handling.
+func TestProcessNFBounds(t *testing.T) {
+	mod := &fakeModifier{name: "nat", dip: [4]byte{1, 1, 1, 1}}
+	eng, err := NewEngine([]NF{mod}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.ProcessNF(-1, 1, dataPkt(t, 0), false); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, _, err := eng.ProcessNF(1, 1, dataPkt(t, 0), false); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	v, cycles, err := eng.ProcessNF(0, 1, dataPkt(t, 0), false)
+	if err != nil || v != VerdictForward || cycles == 0 {
+		t.Errorf("ProcessNF = (%v, %d, %v)", v, cycles, err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package core implements the SpeedyBox engine: the NF integration
+// API (paper Figure 2), the slow path that records behaviour into
+// Local MATs while the initial packet traverses the chain, and the
+// fast path that applies consolidated Global MAT rules to subsequent
+// packets, with Event Table checks preserving stateful semantics.
+//
+// The paper's C APIs map to this package as follows:
+//
+//	nf_extract_fid(pkt)          -> Ctx.FID (assigned by the classifier)
+//	localmat_add_HA(fid, ha, a)  -> Ctx.AddHeaderAction(mat.HeaderAction)
+//	localmat_add_SF(fid, h, t, a)-> Ctx.AddStateFunc(sfunc.Func)
+//	register_event(fid, c, a, u) -> Ctx.RegisterEvent(event.Event)
+package core
+
+import (
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/cost"
+	"github.com/fastpathnfv/speedybox/internal/event"
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/sfunc"
+)
+
+// Verdict is an NF's per-packet decision on the slow path.
+type Verdict int
+
+// Verdicts. Enum starts at one so a zero Verdict is detectably unset.
+const (
+	// VerdictForward passes the packet to the next NF.
+	VerdictForward Verdict = iota + 1
+	// VerdictDrop discards the packet; downstream NFs never see it.
+	VerdictDrop
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictForward:
+		return "forward"
+	case VerdictDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// NF is a network function integrated with SpeedyBox. Process runs the
+// NF's genuine logic on a packet traversing the original chain; inside
+// it, the NF calls the Ctx instrumentation APIs to record its per-flow
+// behaviour. The APIs are no-ops when recording is disabled (original
+// chain baseline, handshake packets), so one implementation serves
+// both the baseline and the SpeedyBox configurations.
+type NF interface {
+	// Name identifies the NF; it labels ledger stages and Local MATs.
+	Name() string
+	// Process handles one slow-path packet.
+	Process(ctx *Ctx, pkt *packet.Packet) (Verdict, error)
+}
+
+// Ctx is the per-NF, per-packet instrumentation context.
+type Ctx struct {
+	// FID is the flow identifier the classifier assigned.
+	FID flow.FID
+	// Initial reports whether this is the flow's initial packet
+	// (recording enabled).
+	Initial bool
+	// Model exposes the cycle-cost model so NFs charge calibrated
+	// costs for their work.
+	Model *cost.Model
+
+	nf        string
+	ledger    *cost.Ledger
+	local     *mat.Local
+	events    *event.Table
+	recording bool
+}
+
+// FlowCloser is an optional NF interface: the engine calls FlowClosed
+// when a flow's rules are torn down (TCP FIN/RST, §VI-B, or idle
+// expiry), so NFs can release their own per-flow state — connection
+// pins, per-flow rule assignments, NAT mappings — alongside the MAT
+// entries. NFs whose per-flow state is a reporting artifact (e.g. the
+// Monitor's counters) simply do not implement it.
+type FlowCloser interface {
+	FlowClosed(fid flow.FID)
+}
+
+// CtxConfig assembles a standalone instrumentation context, used by NF
+// unit tests and by tools that drive a single NF outside an Engine.
+type CtxConfig struct {
+	// FID is the flow identifier.
+	FID flow.FID
+	// Model defaults to cost.DefaultModel when nil.
+	Model *cost.Model
+	// Ledger defaults to a fresh ledger when nil.
+	Ledger *cost.Ledger
+	// Local is the NF's Local MAT; required when Recording.
+	Local *mat.Local
+	// Events is the Event Table; required when Recording.
+	Events *event.Table
+	// Recording enables the instrumentation APIs.
+	Recording bool
+}
+
+// NewCtx builds a context for the named NF.
+func NewCtx(nf string, cfg CtxConfig) *Ctx {
+	if cfg.Model == nil {
+		cfg.Model = cost.DefaultModel()
+	}
+	if cfg.Ledger == nil {
+		cfg.Ledger = cost.NewLedger()
+	}
+	if cfg.Recording && cfg.Local == nil {
+		cfg.Local = mat.NewLocal(nf)
+	}
+	if cfg.Recording && cfg.Events == nil {
+		cfg.Events = event.NewTable()
+	}
+	return &Ctx{
+		FID:       cfg.FID,
+		Initial:   cfg.Recording,
+		Model:     cfg.Model,
+		nf:        nf,
+		ledger:    cfg.Ledger,
+		local:     cfg.Local,
+		events:    cfg.Events,
+		recording: cfg.Recording,
+	}
+}
+
+// Charge attributes work cycles to this NF's ledger stage.
+func (c *Ctx) Charge(cycles uint64) {
+	c.ledger.Charge(c.nf, cycles)
+}
+
+// Recording reports whether the instrumentation APIs are live.
+func (c *Ctx) Recording() bool { return c.recording }
+
+// AddHeaderAction records a header action in the NF's Local MAT
+// (localmat_add_HA). The recording itself costs Model.RecordHA cycles,
+// charged to the NF — this is the "extra overhead for recording"
+// visible in Figure 4's one-action case.
+func (c *Ctx) AddHeaderAction(a mat.HeaderAction) error {
+	if !c.recording {
+		return nil
+	}
+	c.Charge(c.Model.RecordHA)
+	if err := c.local.AddHeaderAction(c.FID, a); err != nil {
+		return fmt.Errorf("core: %s: %w", c.nf, err)
+	}
+	return nil
+}
+
+// AddStateFunc records a state-function handler (localmat_add_SF).
+func (c *Ctx) AddStateFunc(f sfunc.Func) error {
+	if !c.recording {
+		return nil
+	}
+	c.Charge(c.Model.RecordSF)
+	if err := c.local.AddStateFunc(c.FID, f); err != nil {
+		return fmt.Errorf("core: %s: %w", c.nf, err)
+	}
+	return nil
+}
+
+// RegisterEvent records an event for this flow (register_event). The
+// event's NF field is filled in from the context.
+func (c *Ctx) RegisterEvent(e event.Event) error {
+	if !c.recording {
+		return nil
+	}
+	c.Charge(c.Model.RecordEvent)
+	e.NF = c.nf
+	if err := c.events.Register(c.FID, e); err != nil {
+		return fmt.Errorf("core: %s: %w", c.nf, err)
+	}
+	return nil
+}

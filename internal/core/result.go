@@ -1,0 +1,113 @@
+package core
+
+import (
+	"github.com/fastpathnfv/speedybox/internal/classifier"
+	"github.com/fastpathnfv/speedybox/internal/cost"
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/sfunc"
+)
+
+// Path identifies which data path a packet took.
+type Path int
+
+// Paths. Enum starts at one.
+const (
+	// PathSlow is the original service chain (all packets when
+	// SpeedyBox is disabled; handshake/initial packets otherwise).
+	PathSlow Path = iota + 1
+	// PathFast is the consolidated Global MAT path.
+	PathFast
+)
+
+// String returns the path name.
+func (p Path) String() string {
+	if p == PathFast {
+		return "fast"
+	}
+	return "slow"
+}
+
+// SlowPathInfo decomposes a slow-path traversal for the platform cost
+// formulas.
+type SlowPathInfo struct {
+	// ClassifierCycles is the SpeedyBox classifier work (zero when
+	// SpeedyBox is disabled — the baseline has no classifier stage).
+	ClassifierCycles uint64
+	// PerNF is each traversed NF's work cycles, in chain order,
+	// including any Local MAT recording overhead.
+	PerNF []cost.StageCost
+	// ConsolidateCycles is the Global MAT consolidation work after an
+	// initial packet finishes the chain (zero otherwise).
+	ConsolidateCycles uint64
+	// DropIndex is the index of the NF that dropped the packet, or -1.
+	DropIndex int
+}
+
+// FastPathInfo decomposes a fast-path execution.
+type FastPathInfo struct {
+	// FixedCycles is the per-packet fixed work: FID hash, metadata,
+	// Event Table pre-check, Global MAT lookup, rule-size marginal.
+	FixedCycles uint64
+	// HeaderCycles is the consolidated header-action application.
+	HeaderCycles uint64
+	// SF is the state-function execution result (critical path and
+	// total work per stage).
+	SF sfunc.ExecResult
+	// DispatchCycles is the batch dispatch overhead paid by the
+	// dispatching core.
+	DispatchCycles uint64
+	// BatchCount is the number of executed state-function batches.
+	BatchCount int
+	// EventsFired counts Event Table firings during this packet
+	// (pre-check and post-execution checks).
+	EventsFired int
+	// ReconsolidateCycles is the cost of event-driven rule rebuilds.
+	ReconsolidateCycles uint64
+}
+
+// PacketResult is the engine's full account of one processed packet.
+type PacketResult struct {
+	// FID is the flow identifier.
+	FID flow.FID
+	// Kind is the classifier's decision.
+	Kind classifier.Kind
+	// Path is the data path taken.
+	Path Path
+	// Verdict is the final fate of the packet.
+	Verdict Verdict
+	// WorkCycles is the total processing work — the paper's "CPU
+	// cycle per packet" metric (framework overheads excluded).
+	WorkCycles uint64
+	// Slow is populated when Path == PathSlow.
+	Slow *SlowPathInfo
+	// Fast is populated when Path == PathFast.
+	Fast *FastPathInfo
+	// TornDown reports that FIN/RST cleanup ran after processing.
+	TornDown bool
+}
+
+// NFWork sums the per-NF work on the slow path.
+func (r *PacketResult) NFWork() uint64 {
+	if r.Slow == nil {
+		return 0
+	}
+	var sum uint64
+	for _, s := range r.Slow.PerNF {
+		sum += s.Cycles
+	}
+	return sum
+}
+
+// Stats aggregates engine-level counters across a run.
+type Stats struct {
+	Packets        uint64
+	Initial        uint64
+	Subsequent     uint64
+	Handshake      uint64
+	Final          uint64
+	FastPath       uint64
+	SlowPath       uint64
+	Dropped        uint64
+	EventsFired    uint64
+	Consolidations uint64
+}

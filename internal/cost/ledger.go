@@ -1,0 +1,120 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Ledger accumulates per-packet work cycles attributed to named
+// stages. A stage is one NF on the slow path, or a SpeedyBox component
+// ("classifier", "globalmat", one state-function batch) on the fast
+// path. The platform executors read the stage decomposition to compute
+// latency (sequential or parallel composition) and throughput
+// (pipeline bottleneck).
+//
+// A Ledger is safe for concurrent use: the parallel state-function
+// executor charges batches from multiple goroutines.
+type Ledger struct {
+	mu     sync.Mutex
+	order  []string
+	stages map[string]uint64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{stages: make(map[string]uint64)}
+}
+
+// Charge adds cycles to the named stage, creating it if needed.
+func (l *Ledger) Charge(stage string, cycles uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.stages[stage]; !ok {
+		l.order = append(l.order, stage)
+	}
+	l.stages[stage] += cycles
+}
+
+// Stage returns the cycles charged to one stage.
+func (l *Ledger) Stage(name string) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stages[name]
+}
+
+// Total returns the sum over all stages: the per-packet work-cycle
+// metric ("CPU cycle per packet").
+func (l *Ledger) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var sum uint64
+	for _, c := range l.stages {
+		sum += c
+	}
+	return sum
+}
+
+// Stages returns (name, cycles) pairs in first-charge order.
+func (l *Ledger) Stages() []StageCost {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]StageCost, 0, len(l.order))
+	for _, name := range l.order {
+		out = append(out, StageCost{Name: name, Cycles: l.stages[name]})
+	}
+	return out
+}
+
+// Max returns the largest single stage cost (the pipeline bottleneck
+// candidate) and its name.
+func (l *Ledger) Max() (string, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var (
+		best     uint64
+		bestName string
+	)
+	for _, name := range l.order {
+		if c := l.stages[name]; c > best {
+			best, bestName = c, name
+		}
+	}
+	return bestName, best
+}
+
+// Reset clears all stages for descriptor reuse.
+func (l *Ledger) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.order = l.order[:0]
+	for k := range l.stages {
+		delete(l.stages, k)
+	}
+}
+
+// String renders the ledger for debugging.
+func (l *Ledger) String() string {
+	stages := l.Stages()
+	parts := make([]string, 0, len(stages))
+	for _, s := range stages {
+		parts = append(parts, fmt.Sprintf("%s=%d", s.Name, s.Cycles))
+	}
+	return fmt.Sprintf("ledger{%s total=%d}", strings.Join(parts, " "), l.Total())
+}
+
+// StageCost is one named stage's accumulated cycles.
+type StageCost struct {
+	Name   string
+	Cycles uint64
+}
+
+// SortedStages returns the stages sorted by descending cost, for
+// reporting.
+func SortedStages(stages []StageCost) []StageCost {
+	out := make([]StageCost, len(stages))
+	copy(out, stages)
+	sort.Slice(out, func(i, j int) bool { return out[i].Cycles > out[j].Cycles })
+	return out
+}

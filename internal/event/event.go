@@ -1,0 +1,153 @@
+// Package event implements SpeedyBox's Event Table (paper §V-C1).
+//
+// Observation 2 of the paper: some NFs update their header actions or
+// state functions at runtime when internal state reaches a condition
+// (a Maglev backend fails, a DoS counter crosses a threshold). The
+// Event Table stores (condition, update) pairs registered by NFs via
+// the register_event API. The Global MAT probes the table before
+// applying a cached rule and again after state-function batches update
+// state; when a condition fires, the update rewrites the owning NF's
+// Local MAT entry and the flow's rule is reconsolidated, so subsequent
+// packets immediately follow the new logic.
+package event
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+)
+
+// ConditionFunc reports whether the event's condition currently holds
+// for the flow. It corresponds to the paper's condition_handler: "a
+// general callback handler that can be implemented with user-defined
+// functions" (§III).
+type ConditionFunc func(fid flow.FID) bool
+
+// UpdateFunc rewrites the owning NF's Local MAT rule for the flow when
+// the event fires. It corresponds to the update_action /
+// update_function_handler arguments of register_event.
+type UpdateFunc func(fid flow.FID, rule *mat.LocalRule)
+
+// Event is one registered (condition → update) pair.
+type Event struct {
+	// NF names the registering network function; the update applies
+	// to that NF's Local MAT.
+	NF string
+	// Condition is probed by the Event Table.
+	Condition ConditionFunc
+	// Update edits the NF's Local MAT rule for the flow.
+	Update UpdateFunc
+	// OneShot events are deregistered after firing once (e.g. a
+	// Maglev reroute to the new backend). Recurring events stay
+	// armed (e.g. a DoS counter that could cross further thresholds).
+	OneShot bool
+}
+
+// Validate reports whether the event is well-formed.
+func (e Event) Validate() error {
+	if e.NF == "" {
+		return fmt.Errorf("event: empty NF name")
+	}
+	if e.Condition == nil {
+		return fmt.Errorf("event: %s registered nil condition", e.NF)
+	}
+	if e.Update == nil {
+		return fmt.Errorf("event: %s registered nil update", e.NF)
+	}
+	return nil
+}
+
+// Firing describes one triggered event, returned to the engine so it
+// can apply the update and reconsolidate.
+type Firing struct {
+	FID   flow.FID
+	Event *Event
+}
+
+// Table is the Event Table: per-FID registered events. It is safe for
+// concurrent use.
+type Table struct {
+	mu    sync.Mutex
+	byFID map[flow.FID][]*Event
+	fired uint64
+}
+
+// NewTable returns an empty Event Table.
+func NewTable() *Table {
+	return &Table{byFID: make(map[flow.FID][]*Event)}
+}
+
+// Register adds an event for a flow (the register_event API, paper
+// Figure 2).
+func (t *Table) Register(fid flow.FID, e Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev := e
+	t.byFID[fid] = append(t.byFID[fid], &ev)
+	return nil
+}
+
+// Check probes all events registered for the flow and returns the ones
+// whose conditions hold, removing one-shot firings from the table. The
+// caller applies the updates and reconsolidates. Events fire in
+// registration order.
+func (t *Table) Check(fid flow.FID) []Firing {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	events := t.byFID[fid]
+	if len(events) == 0 {
+		return nil
+	}
+	var fired []Firing
+	remaining := events[:0]
+	for _, e := range events {
+		if e.Condition(fid) {
+			fired = append(fired, Firing{FID: fid, Event: e})
+			t.fired++
+			if e.OneShot {
+				continue // drop from table
+			}
+		}
+		remaining = append(remaining, e)
+	}
+	if len(remaining) == 0 {
+		delete(t.byFID, fid)
+	} else {
+		t.byFID[fid] = remaining
+	}
+	return fired
+}
+
+// Pending returns how many events are registered for the flow.
+func (t *Table) Pending(fid flow.FID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byFID[fid])
+}
+
+// FiredTotal returns how many firings the table has produced, a
+// statistic the evaluation reports on.
+func (t *Table) FiredTotal() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fired
+}
+
+// Remove drops all events for a flow (FIN/RST teardown).
+func (t *Table) Remove(fid flow.FID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.byFID, fid)
+}
+
+// Len returns the number of flows with registered events.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byFID)
+}

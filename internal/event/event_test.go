@@ -1,0 +1,206 @@
+package event
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+func always(flow.FID) bool              { return true }
+func never(flow.FID) bool               { return false }
+func noUpdate(flow.FID, *mat.LocalRule) {}
+
+func TestRegisterValidation(t *testing.T) {
+	tbl := NewTable()
+	tests := []struct {
+		name    string
+		event   Event
+		wantErr bool
+	}{
+		{"valid", Event{NF: "maglev", Condition: always, Update: noUpdate}, false},
+		{"no nf", Event{Condition: always, Update: noUpdate}, true},
+		{"nil condition", Event{NF: "x", Update: noUpdate}, true},
+		{"nil update", Event{NF: "x", Condition: always}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tbl.Register(1, tt.event); (err != nil) != tt.wantErr {
+				t.Errorf("Register = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCheckFiresOnCondition(t *testing.T) {
+	tbl := NewTable()
+	armed := false
+	cond := func(flow.FID) bool { return armed }
+	if err := tbl.Register(5, Event{NF: "dos", Condition: cond, Update: noUpdate}); err != nil {
+		t.Fatal(err)
+	}
+	if fired := tbl.Check(5); len(fired) != 0 {
+		t.Errorf("fired %d events with condition false", len(fired))
+	}
+	armed = true
+	fired := tbl.Check(5)
+	if len(fired) != 1 || fired[0].Event.NF != "dos" || fired[0].FID != 5 {
+		t.Errorf("fired = %+v", fired)
+	}
+	if tbl.FiredTotal() != 1 {
+		t.Errorf("FiredTotal = %d", tbl.FiredTotal())
+	}
+}
+
+func TestCheckWrongFID(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Register(5, Event{NF: "x", Condition: always, Update: noUpdate}); err != nil {
+		t.Fatal(err)
+	}
+	if fired := tbl.Check(6); len(fired) != 0 {
+		t.Error("event fired for a different flow")
+	}
+}
+
+func TestOneShotRemovedAfterFiring(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Register(1, Event{NF: "maglev", Condition: always, Update: noUpdate, OneShot: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tbl.Check(1)); got != 1 {
+		t.Fatalf("first Check fired %d", got)
+	}
+	if got := len(tbl.Check(1)); got != 0 {
+		t.Errorf("one-shot fired again: %d", got)
+	}
+	if tbl.Pending(1) != 0 {
+		t.Errorf("Pending = %d after one-shot", tbl.Pending(1))
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("Len = %d, empty FID slot not reclaimed", tbl.Len())
+	}
+}
+
+func TestRecurringStaysArmed(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Register(1, Event{NF: "dos", Condition: always, Update: noUpdate}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := len(tbl.Check(1)); got != 1 {
+			t.Fatalf("check %d fired %d", i, got)
+		}
+	}
+	if tbl.FiredTotal() != 3 {
+		t.Errorf("FiredTotal = %d, want 3", tbl.FiredTotal())
+	}
+	if tbl.Pending(1) != 1 {
+		t.Errorf("Pending = %d, want 1", tbl.Pending(1))
+	}
+}
+
+func TestMultipleEventsFireInRegistrationOrder(t *testing.T) {
+	tbl := NewTable()
+	for _, nf := range []string{"first", "second", "third"} {
+		if err := tbl.Register(2, Event{NF: nf, Condition: always, Update: noUpdate, OneShot: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One never-firing event interleaved.
+	if err := tbl.Register(2, Event{NF: "sleeper", Condition: never, Update: noUpdate}); err != nil {
+		t.Fatal(err)
+	}
+	fired := tbl.Check(2)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d, want 3", len(fired))
+	}
+	for i, want := range []string{"first", "second", "third"} {
+		if fired[i].Event.NF != want {
+			t.Errorf("fired[%d] = %s, want %s", i, fired[i].Event.NF, want)
+		}
+	}
+	if tbl.Pending(2) != 1 {
+		t.Errorf("Pending = %d, want sleeper still armed", tbl.Pending(2))
+	}
+}
+
+func TestUpdateAppliesToLocalRule(t *testing.T) {
+	// End-to-end through the Local MAT: the Maglev failover example
+	// from §V-A — replace modify(DIP, origin) with modify(DIP, new).
+	local := mat.NewLocal("maglev")
+	fid := flow.FID(3)
+	if err := local.AddHeaderAction(fid, mat.Modify(packet.FieldDstIP, []byte{10, 0, 0, 1})); err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable()
+	err := tbl.Register(fid, Event{
+		NF:        "maglev",
+		Condition: always,
+		OneShot:   true,
+		Update: func(_ flow.FID, r *mat.LocalRule) {
+			for i, a := range r.Actions {
+				if a.Kind == mat.ActionModify && a.Field == packet.FieldDstIP {
+					r.Actions[i] = mat.Modify(packet.FieldDstIP, []byte{10, 0, 0, 2})
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range tbl.Check(fid) {
+		local.Mutate(f.FID, func(r *mat.LocalRule) { f.Event.Update(f.FID, r) })
+	}
+	r, _ := local.Get(fid)
+	if got := r.Actions[0].Value; got[3] != 2 {
+		t.Errorf("DIP after event = %v, want .2 backend", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Register(9, Event{NF: "x", Condition: always, Update: noUpdate}); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Remove(9)
+	if len(tbl.Check(9)) != 0 {
+		t.Error("removed event fired")
+	}
+	if tbl.Len() != 0 {
+		t.Error("Len != 0 after Remove")
+	}
+}
+
+func TestConcurrentCheckAndRegister(t *testing.T) {
+	tbl := NewTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				fid := flow.FID(g*100 + i)
+				if err := tbl.Register(fid, Event{NF: "x", Condition: always, Update: noUpdate, OneShot: true}); err != nil {
+					t.Errorf("Register: %v", err)
+					return
+				}
+			}
+		}(g)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tbl.Check(flow.FID(g*100 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Drain: every registered event fires exactly once overall.
+	for fid := flow.FID(0); fid < 400; fid++ {
+		tbl.Check(fid)
+	}
+	if got := tbl.FiredTotal(); got != 400 {
+		t.Errorf("FiredTotal = %d, want exactly 400", got)
+	}
+}

@@ -1,0 +1,43 @@
+package flow
+
+import (
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// BenchmarkHashTuple measures FID derivation, paid once per packet at
+// the classifier.
+func BenchmarkHashTuple(b *testing.B) {
+	ft := packet.FiveTuple{
+		SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 0, 0, 2),
+		SrcPort: 1234, DstPort: 80, Proto: packet.ProtoTCP,
+	}
+	for i := 0; i < b.N; i++ {
+		ft.SrcPort = uint16(i)
+		_ = HashTuple(ft)
+	}
+}
+
+// BenchmarkTableInsertLookup measures flow tracking under a realistic
+// table population.
+func BenchmarkTableInsertLookup(b *testing.B) {
+	tbl := NewTable()
+	mk := func(i int) packet.FiveTuple {
+		return packet.FiveTuple{
+			SrcIP: packet.IP4(10, byte(i>>16), byte(i>>8), byte(i)), DstIP: packet.IP4(10, 1, 0, 1),
+			SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoTCP,
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := tbl.Insert(mk(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tbl.Lookup(mk(i % 10000)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package flow implements flow identification and tracking for
+// SpeedyBox: the 20-bit FID derived from the 5-tuple (paper §VI-B),
+// and the flow table the Packet Classifier uses to distinguish initial
+// from subsequent packets and to tear down rules on TCP FIN/RST.
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// FIDBits is the width of the flow identifier. 20 bits represent more
+// than one million concurrent flows (paper §VI-B); the width is a
+// constant here but the table handles collisions by probing, so the
+// design extends to wider FIDs unchanged.
+const FIDBits = 20
+
+// MaxFID is the largest representable FID.
+const MaxFID = 1<<FIDBits - 1
+
+// FID is a flow identifier. It stays attached to the packet descriptor
+// as metadata, so it remains consistent along the chain even when NFs
+// rewrite the 5-tuple.
+type FID uint32
+
+// String renders the FID in hex.
+func (f FID) String() string { return fmt.Sprintf("fid:%05x", uint32(f)) }
+
+// HashTuple maps a 5-tuple to its home FID slot. Collisions are
+// resolved by the Table, not here.
+func HashTuple(ft packet.FiveTuple) FID {
+	h := fnv.New32a()
+	var buf [13]byte
+	copy(buf[0:4], ft.SrcIP[:])
+	copy(buf[4:8], ft.DstIP[:])
+	buf[8] = byte(ft.SrcPort >> 8)
+	buf[9] = byte(ft.SrcPort)
+	buf[10] = byte(ft.DstPort >> 8)
+	buf[11] = byte(ft.DstPort)
+	buf[12] = ft.Proto
+	_, _ = h.Write(buf[:]) // fnv Write cannot fail
+	return FID(h.Sum32() & MaxFID)
+}
+
+// State is the lifecycle of a tracked flow.
+type State int
+
+// Flow lifecycle states. For TCP, a flow becomes Established once the
+// 3-way handshake completes; the packet after that is the "initial
+// packet" in the paper's sense (§III). UDP flows are established by
+// their first packet.
+const (
+	// StateHandshake covers TCP SYN / SYN-ACK / ACK exchange.
+	StateHandshake State = iota + 1
+	// StateEstablished means the connection is up; the first
+	// established-state packet is the flow's initial packet.
+	StateEstablished
+	// StateClosed means FIN or RST was seen; rules are torn down.
+	StateClosed
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateHandshake:
+		return "handshake"
+	case StateEstablished:
+		return "established"
+	case StateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Entry is the tracked state of one flow.
+type Entry struct {
+	FID     FID
+	Tuple   packet.FiveTuple
+	State   State
+	Packets uint64
+	Bytes   uint64
+	// LastSeen is the logical timestamp (classifier packet sequence
+	// number) of the flow's most recent packet, used by idle-flow
+	// rule expiry — the paper cleans up on FIN/RST (§VI-B), which
+	// never fires for UDP or abandoned flows.
+	LastSeen uint64
+}
+
+// ErrTableFull reports FID space exhaustion.
+var ErrTableFull = errors.New("flow: FID space exhausted")
+
+// Table tracks flows and allocates collision-free FIDs by linear
+// probing in FID space: a flow whose home slot is taken by a different
+// 5-tuple gets the next free slot. The table is safe for concurrent
+// use (the ONVM platform classifies from an RX goroutine while the
+// manager tears down flows).
+type Table struct {
+	mu      sync.RWMutex
+	entries map[FID]*Entry
+	byTuple map[packet.FiveTuple]FID
+}
+
+// NewTable returns an empty flow table.
+func NewTable() *Table {
+	return &Table{
+		entries: make(map[FID]*Entry),
+		byTuple: make(map[packet.FiveTuple]FID),
+	}
+}
+
+// Lookup returns the entry for a tuple, if tracked.
+func (t *Table) Lookup(ft packet.FiveTuple) (*Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	fid, ok := t.byTuple[ft]
+	if !ok {
+		return nil, false
+	}
+	return t.entries[fid], true
+}
+
+// LookupFID returns the entry for a FID, if tracked.
+func (t *Table) LookupFID(fid FID) (*Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.entries[fid]
+	return e, ok
+}
+
+// Insert tracks a new flow, allocating a collision-free FID. It
+// returns the existing entry if the tuple is already tracked.
+func (t *Table) Insert(ft packet.FiveTuple) (*Entry, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if fid, ok := t.byTuple[ft]; ok {
+		return t.entries[fid], nil
+	}
+	fid := HashTuple(ft)
+	for probes := 0; probes <= MaxFID; probes++ {
+		if _, taken := t.entries[fid]; !taken {
+			e := &Entry{FID: fid, Tuple: ft, State: StateHandshake}
+			t.entries[fid] = e
+			t.byTuple[ft] = fid
+			return e, nil
+		}
+		fid = (fid + 1) & MaxFID
+	}
+	return nil, ErrTableFull
+}
+
+// Remove deletes a flow by FID. It reports whether the flow existed.
+func (t *Table) Remove(fid FID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[fid]
+	if !ok {
+		return false
+	}
+	delete(t.entries, fid)
+	delete(t.byTuple, e.Tuple)
+	return true
+}
+
+// Len returns the number of tracked flows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Update applies fn to the entry for fid under the table lock.
+func (t *Table) Update(fid FID, fn func(*Entry)) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[fid]
+	if !ok {
+		return false
+	}
+	fn(e)
+	return true
+}
+
+// IdleSince returns the FIDs of flows whose LastSeen is strictly
+// below the cutoff, for idle-rule garbage collection.
+func (t *Table) IdleSince(cutoff uint64) []FID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []FID
+	for fid, e := range t.entries {
+		if e.LastSeen < cutoff {
+			out = append(out, fid)
+		}
+	}
+	return out
+}

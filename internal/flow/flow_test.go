@@ -1,0 +1,208 @@
+package flow
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+func tuple(n uint16) packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP: packet.IP4(10, 0, byte(n>>8), byte(n)), DstIP: packet.IP4(10, 1, 0, 1),
+		SrcPort: 1000 + n, DstPort: 80, Proto: packet.ProtoTCP,
+	}
+}
+
+func TestHashTupleInRange(t *testing.T) {
+	f := func(src, dst [4]byte, sp, dp uint16, proto uint8) bool {
+		fid := HashTuple(packet.FiveTuple{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: proto})
+		return fid <= MaxFID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashTupleDeterministic(t *testing.T) {
+	ft := tuple(7)
+	if HashTuple(ft) != HashTuple(ft) {
+		t.Error("HashTuple not deterministic")
+	}
+	// Different tuples should usually hash differently.
+	if HashTuple(tuple(1)) == HashTuple(tuple(2)) {
+		t.Log("collision between adjacent tuples (allowed but suspicious)")
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base := tuple(1)
+	variants := []packet.FiveTuple{base.Reverse()}
+	v := base
+	v.Proto = packet.ProtoUDP
+	variants = append(variants, v)
+	v = base
+	v.DstPort = 81
+	variants = append(variants, v)
+	for i, variant := range variants {
+		if HashTuple(variant) == HashTuple(base) {
+			t.Logf("variant %d collides with base (possible, but flag it)", i)
+		}
+	}
+}
+
+func TestTableInsertLookup(t *testing.T) {
+	tbl := NewTable()
+	e, err := tbl.Insert(tuple(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.State != StateHandshake {
+		t.Errorf("new entry state = %v, want handshake", e.State)
+	}
+	got, ok := tbl.Lookup(tuple(1))
+	if !ok || got.FID != e.FID {
+		t.Errorf("Lookup = (%v, %v)", got, ok)
+	}
+	if _, ok := tbl.LookupFID(e.FID); !ok {
+		t.Error("LookupFID missed")
+	}
+	if _, ok := tbl.Lookup(tuple(2)); ok {
+		t.Error("Lookup found untracked tuple")
+	}
+	// Re-insert returns the same entry.
+	e2, err := tbl.Insert(tuple(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.FID != e.FID {
+		t.Errorf("re-insert changed FID: %v != %v", e2.FID, e.FID)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestTableRemove(t *testing.T) {
+	tbl := NewTable()
+	e, _ := tbl.Insert(tuple(1))
+	if !tbl.Remove(e.FID) {
+		t.Error("Remove returned false for tracked flow")
+	}
+	if tbl.Remove(e.FID) {
+		t.Error("double Remove returned true")
+	}
+	if _, ok := tbl.Lookup(tuple(1)); ok {
+		t.Error("Lookup found removed flow")
+	}
+	// FID is reusable after removal.
+	e2, err := tbl.Insert(tuple(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.FID != e.FID {
+		t.Errorf("slot not reused: %v != %v", e2.FID, e.FID)
+	}
+}
+
+func TestTableCollisionProbing(t *testing.T) {
+	tbl := NewTable()
+	// Force a collision: occupy the home slot of tuple(2) with a
+	// different tuple by pre-inserting an entry at that FID.
+	victim := tuple(2)
+	home := HashTuple(victim)
+	squatter := &Entry{FID: home, Tuple: tuple(999), State: StateEstablished}
+	tbl.entries[home] = squatter
+	tbl.byTuple[squatter.Tuple] = home
+
+	e, err := tbl.Insert(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.FID == home {
+		t.Error("collision not probed to a new slot")
+	}
+	if e.FID != (home+1)&MaxFID {
+		t.Errorf("probe landed at %v, want next slot %v", e.FID, (home+1)&MaxFID)
+	}
+	// Both flows remain independently addressable.
+	if got, _ := tbl.Lookup(victim); got.FID != e.FID {
+		t.Error("victim lookup broken after probing")
+	}
+	if got, _ := tbl.Lookup(tuple(999)); got.FID != home {
+		t.Error("squatter lookup broken after probing")
+	}
+}
+
+func TestTableUpdate(t *testing.T) {
+	tbl := NewTable()
+	e, _ := tbl.Insert(tuple(1))
+	ok := tbl.Update(e.FID, func(en *Entry) {
+		en.State = StateEstablished
+		en.Packets = 10
+	})
+	if !ok {
+		t.Fatal("Update returned false")
+	}
+	got, _ := tbl.LookupFID(e.FID)
+	if got.State != StateEstablished || got.Packets != 10 {
+		t.Errorf("entry after update = %+v", got)
+	}
+	if tbl.Update(FID(0xfffff), func(*Entry) {}) && tbl.Len() == 1 {
+		// Only fails if that FID happens to be e.FID, which Update
+		// would legitimately find.
+		if e.FID != FID(0xfffff) {
+			t.Error("Update returned true for unknown FID")
+		}
+	}
+}
+
+func TestTableConcurrent(t *testing.T) {
+	tbl := NewTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ft := tuple(uint16(g*200 + i))
+				e, err := tbl.Insert(ft)
+				if err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+				tbl.Update(e.FID, func(en *Entry) { en.Packets++ })
+				if _, ok := tbl.Lookup(ft); !ok {
+					t.Error("concurrent Lookup missed own insert")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tbl.Len() != 1600 {
+		t.Errorf("Len = %d, want 1600", tbl.Len())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateHandshake:   "handshake",
+		StateEstablished: "established",
+		StateClosed:      "closed",
+	} {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if State(0).String() == "handshake" {
+		t.Error("zero State must not alias a real state (enums start at one)")
+	}
+}
+
+func TestFIDString(t *testing.T) {
+	if FID(0xabc).String() != "fid:00abc" {
+		t.Errorf("FID.String() = %q", FID(0xabc).String())
+	}
+}

@@ -1,0 +1,123 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// TestQuickTableModelEquivalence: random insert/remove sequences keep
+// the table equivalent to a reference map model, with both indexes
+// (by tuple and by FID) consistent.
+func TestQuickTableModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := NewTable()
+		model := make(map[packet.FiveTuple]FID)
+
+		mkTuple := func() packet.FiveTuple {
+			return packet.FiveTuple{
+				SrcIP:   packet.IP4(10, 0, 0, byte(rng.Intn(20))),
+				DstIP:   packet.IP4(10, 1, 0, 1),
+				SrcPort: uint16(1000 + rng.Intn(20)),
+				DstPort: 80,
+				Proto:   packet.ProtoTCP,
+			}
+		}
+		for op := 0; op < 300; op++ {
+			ft := mkTuple()
+			if rng.Intn(3) != 0 {
+				e, err := tbl.Insert(ft)
+				if err != nil {
+					return false
+				}
+				if prev, ok := model[ft]; ok && prev != e.FID {
+					return false // re-insert changed FID
+				}
+				model[ft] = e.FID
+			} else if fid, ok := model[ft]; ok {
+				if !tbl.Remove(fid) {
+					return false
+				}
+				delete(model, ft)
+			}
+			if tbl.Len() != len(model) {
+				return false
+			}
+		}
+		// Full cross-check of both indexes.
+		for ft, fid := range model {
+			e, ok := tbl.Lookup(ft)
+			if !ok || e.FID != fid || e.Tuple != ft {
+				return false
+			}
+			if e2, ok := tbl.LookupFID(fid); !ok || e2 != e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoFIDCollisions: distinct concurrent tuples always receive
+// distinct FIDs (probing resolves hash collisions).
+func TestQuickNoFIDCollisions(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := NewTable()
+		fids := make(map[FID]packet.FiveTuple)
+		for i := 0; i < int(n)+2; i++ {
+			ft := packet.FiveTuple{
+				SrcIP:   packet.IP4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))),
+				DstIP:   packet.IP4(10, 1, 0, 1),
+				SrcPort: uint16(rng.Intn(65536)),
+				DstPort: uint16(rng.Intn(65536)),
+				Proto:   packet.ProtoTCP,
+			}
+			e, err := tbl.Insert(ft)
+			if err != nil {
+				return false
+			}
+			if prev, taken := fids[e.FID]; taken && prev != ft {
+				return false
+			}
+			fids[e.FID] = ft
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIdleSincePartition: IdleSince splits flows exactly at the
+// cutoff.
+func TestQuickIdleSincePartition(t *testing.T) {
+	f := func(stamps []uint16, cutoff uint16) bool {
+		tbl := NewTable()
+		want := 0
+		for i, s := range stamps {
+			ft := packet.FiveTuple{
+				SrcIP: packet.IP4(10, 0, byte(i>>8), byte(i)), DstIP: packet.IP4(1, 1, 1, 1),
+				SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoTCP,
+			}
+			e, err := tbl.Insert(ft)
+			if err != nil {
+				return false
+			}
+			tbl.Update(e.FID, func(en *Entry) { en.LastSeen = uint64(s) })
+			if uint64(s) < uint64(cutoff) {
+				want++
+			}
+		}
+		return len(tbl.IdleSince(uint64(cutoff))) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// CrossoverPoint is one chain length's original-vs-SpeedyBox
+// comparison on the subsequent-packet work metric.
+type CrossoverPoint struct {
+	ChainLen    int
+	OriginalSub float64
+	SBoxSub     float64
+}
+
+// Wins reports whether SpeedyBox is cheaper at this length.
+func (p CrossoverPoint) Wins() bool { return p.SBoxSub < p.OriginalSub }
+
+// CrossoverResult is an extension experiment: Figure 4 shows SpeedyBox
+// *losing* at one header action and winning at two — this sweep
+// locates the break-even chain length precisely and confirms the
+// fixed fast-path machinery cost (FID hash + metadata + Event Table
+// probe + Global MAT lookup) is the crossover's cause. It quantifies
+// the design trade-off the paper concedes in §VII-A1.
+type CrossoverResult struct {
+	Points []CrossoverPoint
+	// BreakEvenLen is the smallest chain length where SpeedyBox wins.
+	BreakEvenLen int
+}
+
+// RunCrossover executes the sweep over 1-6 IPFilter chains.
+func RunCrossover(cfg Config) (*CrossoverResult, error) {
+	cfg = cfg.withDefaults(60)
+	tr, err := trace.Generate(trace.Config{
+		Seed: cfg.Seed, Flows: cfg.Flows,
+		PayloadMin: 4, PayloadMax: 12,
+		UDPFraction: 1.0,
+		Interleave:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &CrossoverResult{}
+	for n := 1; n <= 6; n++ {
+		n := n
+		mk := func() ([]core.NF, error) { return filterChain(n) }
+		orig, err := runVariant(PlatformBESS, mk, core.BaselineOptions(), tr.Packets())
+		if err != nil {
+			return nil, err
+		}
+		sbox, err := runVariant(PlatformBESS, mk, core.DefaultOptions(), tr.Packets())
+		if err != nil {
+			return nil, err
+		}
+		pt := CrossoverPoint{
+			ChainLen:    n,
+			OriginalSub: orig.MeanSubWork(),
+			SBoxSub:     sbox.MeanSubWork(),
+		}
+		if pt.Wins() && res.BreakEvenLen == 0 {
+			res.BreakEvenLen = n
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Format renders the sweep.
+func (r *CrossoverResult) Format() string {
+	t := &tableWriter{}
+	t.title("Extension: consolidation crossover — break-even chain length (BESS, subsequent-packet cycles)")
+	t.row("len", "original", "SBox", "winner")
+	for _, p := range r.Points {
+		winner := "original"
+		if p.Wins() {
+			winner = "SBox"
+		}
+		t.row(fmt.Sprintf("%d", p.ChainLen), f1(p.OriginalSub), f1(p.SBoxSub), winner)
+	}
+	t.row("break-even length:", fmt.Sprintf("%d", r.BreakEvenLen), "", "")
+	return t.String()
+}

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// Fig4Row is one (platform, #header actions) cell group of Figure 4:
+// CPU cycles per packet for initial and subsequent packets, with and
+// without SpeedyBox.
+type Fig4Row struct {
+	Platform     string
+	NumHA        int
+	OriginalInit float64
+	SBoxInit     float64
+	OriginalSub  float64
+	SBoxSub      float64
+}
+
+// SubSaving returns the subsequent-packet cycle reduction in percent
+// (negative when SpeedyBox costs more, as the paper reports for one
+// header action).
+func (r Fig4Row) SubSaving() float64 {
+	if r.OriginalSub == 0 {
+		return 0
+	}
+	return (r.OriginalSub - r.SBoxSub) / r.OriginalSub * 100
+}
+
+// Fig4Result reproduces Figure 4 (a) and (b): the effect of header
+// action consolidation on chains of 1-3 IPFilters, 64B packets.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// RunFig4 executes the experiment.
+func RunFig4(cfg Config) (*Fig4Result, error) {
+	cfg = cfg.withDefaults(60)
+	tr, err := trace.Generate(trace.Config{
+		Seed: cfg.Seed, Flows: cfg.Flows,
+		PayloadMin: 4, PayloadMax: 12, // 64B-class packets (§VII-A)
+		// DPDK-pktgen-style traffic: stateless streams with no TCP
+		// handshake, so the first packet of each flow is the initial
+		// packet, as on the paper's testbed.
+		UDPFraction: 1.0,
+		Interleave:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{}
+	for _, kind := range []PlatformKind{PlatformBESS, PlatformONVM} {
+		for n := 1; n <= 3; n++ {
+			n := n
+			mk := func() ([]core.NF, error) { return filterChain(n) }
+			orig, err := runVariant(kind, mk, core.BaselineOptions(), tr.Packets())
+			if err != nil {
+				return nil, err
+			}
+			sbox, err := runVariant(kind, mk, core.DefaultOptions(), tr.Packets())
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Fig4Row{
+				Platform:     kind.String(),
+				NumHA:        n,
+				OriginalInit: orig.MeanInitWork(),
+				SBoxInit:     sbox.MeanInitWork(),
+				OriginalSub:  orig.MeanSubWork(),
+				SBoxSub:      sbox.MeanSubWork(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Format renders the figure as the paper's two panels.
+func (r *Fig4Result) Format() string {
+	t := &tableWriter{}
+	t.title("Figure 4: Effect of header action consolidation (CPU cycles per packet)")
+	t.row("platform", "#HA", "Original-init", "SBox-init", "Original-sub", "SBox-sub", "sub saving")
+	for _, row := range r.Rows {
+		t.row(row.Platform, fmt.Sprintf("%d", row.NumHA),
+			f1(row.OriginalInit), f1(row.SBoxInit),
+			f1(row.OriginalSub), f1(row.SBoxSub),
+			fmt.Sprintf("%.1f%%", row.SubSaving()))
+	}
+	return t.String()
+}

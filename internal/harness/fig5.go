@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/nf/synthetic"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// synthSFCycles is the modeled cost of one synthetic state function,
+// chosen Snort-inspection-equivalent (§VII-A2) for a full-sized
+// payload.
+const synthSFCycles = 1200
+
+// Fig5Point is one (platform, #state functions) measurement.
+type Fig5Point struct {
+	Platform     string
+	SBox         bool
+	NumSF        int
+	RateMpps     float64
+	LatencyMicro float64
+}
+
+// Fig5Result reproduces Figure 5: the effect of state function
+// parallelism on processing rate (a) and latency (b) for chains of
+// 1-3 identical synthetic NFs whose read-class state functions can
+// run in parallel per Table I.
+type Fig5Result struct {
+	Points []Fig5Point
+}
+
+// RunFig5 executes the experiment.
+func RunFig5(cfg Config) (*Fig5Result, error) {
+	cfg = cfg.withDefaults(60)
+	tr, err := trace.Generate(trace.Config{
+		Seed: cfg.Seed, Flows: cfg.Flows,
+		PayloadMin: 4, PayloadMax: 12,
+		// DPDK-pktgen-style traffic (see fig4.go).
+		UDPFraction: 1.0,
+		Interleave:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{}
+	for _, kind := range []PlatformKind{PlatformBESS, PlatformONVM} {
+		for n := 1; n <= 3; n++ {
+			n := n
+			mk := func() ([]core.NF, error) {
+				chain := make([]core.NF, n)
+				for i := 0; i < n; i++ {
+					nf, err := synthetic.New(synthetic.Config{
+						Name:         fmt.Sprintf("synth%d", i+1),
+						Cycles:       synthSFCycles,
+						TouchPayload: true,
+					})
+					if err != nil {
+						return nil, err
+					}
+					chain[i] = nf
+				}
+				return chain, nil
+			}
+			for _, sbox := range []bool{false, true} {
+				opts := core.BaselineOptions()
+				if sbox {
+					opts = core.DefaultOptions()
+				}
+				part, err := runVariant(kind, mk, opts, tr.Packets())
+				if err != nil {
+					return nil, err
+				}
+				res.Points = append(res.Points, Fig5Point{
+					Platform:     kind.String(),
+					SBox:         sbox,
+					NumSF:        n,
+					RateMpps:     part.SubRateMpps(),
+					LatencyMicro: part.MeanSubLatencyMicros(),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Format renders both panels.
+func (r *Fig5Result) Format() string {
+	t := &tableWriter{}
+	t.title("Figure 5: Effect of state function parallelism")
+	t.row("platform", "#SF", "rate (Mpps)", "latency (µs)")
+	for _, p := range r.Points {
+		name := p.Platform
+		if p.SBox {
+			name += " w/ SBox"
+		}
+		t.row(name, fmt.Sprintf("%d", p.NumSF), f3(p.RateMpps), f3(p.LatencyMicro))
+	}
+	return t.String()
+}
+
+// point finds a result point (tests and EXPERIMENTS generation).
+func (r *Fig5Result) point(platform string, sbox bool, n int) (Fig5Point, bool) {
+	for _, p := range r.Points {
+		if p.Platform == platform && p.SBox == sbox && p.NumSF == n {
+			return p, true
+		}
+	}
+	return Fig5Point{}, false
+}
+
+// BESSSpeedupAt3SF returns the rate ratio the paper headlines ("BESS
+// with SpeedyBox achieves 2.1x processing rate" at 3 SFs).
+func (r *Fig5Result) BESSSpeedupAt3SF() float64 {
+	orig, ok1 := r.point("BESS", false, 3)
+	sbox, ok2 := r.point("BESS", true, 3)
+	if !ok1 || !ok2 || orig.RateMpps == 0 {
+		return 0
+	}
+	return sbox.RateMpps / orig.RateMpps
+}
+
+// BESSLatencyReductionAt3SF returns the latency cut at 3 SFs (paper:
+// 59%).
+func (r *Fig5Result) BESSLatencyReductionAt3SF() float64 {
+	orig, ok1 := r.point("BESS", false, 3)
+	sbox, ok2 := r.point("BESS", true, 3)
+	if !ok1 || !ok2 || orig.LatencyMicro == 0 {
+		return 0
+	}
+	return (orig.LatencyMicro - sbox.LatencyMicro) / orig.LatencyMicro * 100
+}

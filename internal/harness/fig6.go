@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/nf/monitor"
+	"github.com/fastpathnfv/speedybox/internal/nf/snort"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// snortMonitorChain is the Figure 6/7 chain: Snort followed by
+// Monitor; both have header actions and state functions, so both
+// optimizations apply simultaneously (§VII-B1).
+func snortMonitorChain() ([]core.NF, error) {
+	ids, err := snort.New("snort", snort.DefaultRules())
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.New("monitor")
+	if err != nil {
+		return nil, err
+	}
+	return []core.NF{ids, mon}, nil
+}
+
+// Fig6Row is one platform's Snort+Monitor numbers.
+type Fig6Row struct {
+	Platform     string
+	OriginalWork float64 // CPU cycles per packet
+	SBoxWork     float64
+	OriginalMpps float64
+	SBoxMpps     float64
+}
+
+// WorkReduction returns the per-packet cycle reduction in percent
+// (paper: 46.3% BESS, 47.4% ONVM).
+func (r Fig6Row) WorkReduction() float64 {
+	if r.OriginalWork == 0 {
+		return 0
+	}
+	return (r.OriginalWork - r.SBoxWork) / r.OriginalWork * 100
+}
+
+// RateImprovement returns the processing-rate gain in percent (paper:
+// +32.1% BESS, ~0% ONVM).
+func (r Fig6Row) RateImprovement() float64 {
+	if r.OriginalMpps == 0 {
+		return 0
+	}
+	return (r.SBoxMpps - r.OriginalMpps) / r.OriginalMpps * 100
+}
+
+// Fig6Result reproduces Figure 6: consolidation and parallelism on the
+// Snort+Monitor chain.
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// RunFig6 executes the experiment.
+func RunFig6(cfg Config) (*Fig6Result, error) {
+	cfg = cfg.withDefaults(80)
+	tr, err := trace.Generate(trace.Config{
+		Seed: cfg.Seed, Flows: cfg.Flows,
+		PayloadMin: 64, PayloadMax: 200,
+		AlertFraction: 0.05, LogFraction: 0.1,
+		Interleave: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{}
+	for _, kind := range []PlatformKind{PlatformBESS, PlatformONVM} {
+		orig, err := runVariant(kind, snortMonitorChain, core.BaselineOptions(), tr.Packets())
+		if err != nil {
+			return nil, err
+		}
+		sbox, err := runVariant(kind, snortMonitorChain, core.DefaultOptions(), tr.Packets())
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig6Row{
+			Platform:     kind.String(),
+			OriginalWork: orig.MeanSubWork(),
+			SBoxWork:     sbox.MeanSubWork(),
+			OriginalMpps: orig.SubRateMpps(),
+			SBoxMpps:     sbox.SubRateMpps(),
+		})
+	}
+	return res, nil
+}
+
+// Format renders both panels.
+func (r *Fig6Result) Format() string {
+	t := &tableWriter{}
+	t.title("Figure 6: Snort+Monitor chain — consolidation and parallelism")
+	t.row("platform", "orig cycles", "SBox cycles", "cycle change", "orig Mpps", "SBox Mpps", "rate change")
+	for _, row := range r.Rows {
+		t.row(row.Platform,
+			f1(row.OriginalWork), f1(row.SBoxWork), pct(row.OriginalWork, row.SBoxWork),
+			f3(row.OriginalMpps), f3(row.SBoxMpps), pct(row.OriginalMpps, row.SBoxMpps))
+	}
+	return t.String()
+}

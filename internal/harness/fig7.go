@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// Fig7Row is one platform's latency breakdown of the Snort+Monitor
+// chain: total reduction and the share contributed by each
+// optimization, obtained by ablation (header-consolidation-only and
+// SF-parallelism-only runs).
+type Fig7Row struct {
+	Platform       string
+	OriginalMicros float64
+	SBoxMicros     float64
+	// HAOnlyMicros and SFOnlyMicros are the ablation latencies.
+	HAOnlyMicros float64
+	SFOnlyMicros float64
+}
+
+// TotalReduction returns the full-SpeedyBox latency reduction in
+// percent (paper: 35.9% on BESS).
+func (r Fig7Row) TotalReduction() float64 {
+	if r.OriginalMicros == 0 {
+		return 0
+	}
+	return (r.OriginalMicros - r.SBoxMicros) / r.OriginalMicros * 100
+}
+
+// Shares splits the total reduction between header-action
+// consolidation and state-function parallelism, attributing each
+// optimization its standalone reduction and normalizing (paper:
+// 49.4% HA / 50.6% SF on BESS; 41.1% / 58.9% on ONVM).
+func (r Fig7Row) Shares() (haShare, sfShare float64) {
+	haGain := r.OriginalMicros - r.HAOnlyMicros
+	sfGain := r.OriginalMicros - r.SFOnlyMicros
+	if haGain < 0 {
+		haGain = 0
+	}
+	if sfGain < 0 {
+		sfGain = 0
+	}
+	total := haGain + sfGain
+	if total == 0 {
+		return 0, 0
+	}
+	return haGain / total * 100, sfGain / total * 100
+}
+
+// Fig7Result reproduces Figure 7.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// RunFig7 executes the experiment.
+func RunFig7(cfg Config) (*Fig7Result, error) {
+	cfg = cfg.withDefaults(80)
+	tr, err := trace.Generate(trace.Config{
+		Seed: cfg.Seed, Flows: cfg.Flows,
+		PayloadMin: 64, PayloadMax: 200,
+		Interleave: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		opts core.Options
+		set  func(*Fig7Row, float64)
+	}{
+		{core.BaselineOptions(), func(r *Fig7Row, v float64) { r.OriginalMicros = v }},
+		{core.DefaultOptions(), func(r *Fig7Row, v float64) { r.SBoxMicros = v }},
+		{core.Options{EnableSpeedyBox: true, ConsolidateHeaders: true, ParallelSF: false},
+			func(r *Fig7Row, v float64) { r.HAOnlyMicros = v }},
+		{core.Options{EnableSpeedyBox: true, ConsolidateHeaders: false, ParallelSF: true},
+			func(r *Fig7Row, v float64) { r.SFOnlyMicros = v }},
+	}
+	res := &Fig7Result{}
+	for _, kind := range []PlatformKind{PlatformBESS, PlatformONVM} {
+		row := Fig7Row{Platform: kind.String()}
+		for _, v := range variants {
+			part, err := runVariant(kind, snortMonitorChain, v.opts, tr.Packets())
+			if err != nil {
+				return nil, err
+			}
+			v.set(&row, part.MeanSubLatencyMicros())
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the breakdown.
+func (r *Fig7Result) Format() string {
+	t := &tableWriter{}
+	t.title("Figure 7: Latency reduction of Snort+Monitor and per-optimization contributions")
+	t.row("platform", "orig (µs)", "SBox (µs)", "reduction", "HA share", "SF share")
+	for _, row := range r.Rows {
+		ha, sf := row.Shares()
+		t.row(row.Platform,
+			f3(row.OriginalMicros), f3(row.SBoxMicros),
+			f1(row.TotalReduction())+"%",
+			f1(ha)+"%", f1(sf)+"%")
+	}
+	return t.String()
+}

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/cost"
+	"github.com/fastpathnfv/speedybox/internal/onvm"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// Fig8Point is one (platform, chain length) measurement.
+type Fig8Point struct {
+	Platform     string
+	SBox         bool
+	ChainLen     int
+	LatencyMicro float64
+	RateMpps     float64
+}
+
+// Fig8Result reproduces Figure 8: service chains of 1-9 IPFilters.
+// OpenNetVM stops at length 5, limited by the testbed's core count
+// (§VII-B2).
+type Fig8Result struct {
+	Points []Fig8Point
+	// ONVMMaxLen is the core-budget chain limit actually applied.
+	ONVMMaxLen int
+}
+
+// RunFig8 executes the experiment.
+func RunFig8(cfg Config) (*Fig8Result, error) {
+	cfg = cfg.withDefaults(60)
+	tr, err := trace.Generate(trace.Config{
+		Seed: cfg.Seed, Flows: cfg.Flows,
+		PayloadMin: 4, PayloadMax: 12,
+		// DPDK-pktgen-style traffic (see fig4.go).
+		UDPFraction: 1.0,
+		Interleave:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{ONVMMaxLen: onvm.MaxChainLen(cost.DefaultModel().ONVMCoreBudget)}
+	for _, kind := range []PlatformKind{PlatformBESS, PlatformONVM} {
+		maxLen := 9
+		if kind == PlatformONVM {
+			maxLen = res.ONVMMaxLen
+		}
+		for n := 1; n <= maxLen; n++ {
+			n := n
+			mk := func() ([]core.NF, error) { return filterChain(n) }
+			for _, sbox := range []bool{false, true} {
+				opts := core.BaselineOptions()
+				if sbox {
+					opts = core.DefaultOptions()
+				}
+				part, err := runVariant(kind, mk, opts, tr.Packets())
+				if err != nil {
+					return nil, err
+				}
+				res.Points = append(res.Points, Fig8Point{
+					Platform:     kind.String(),
+					SBox:         sbox,
+					ChainLen:     n,
+					LatencyMicro: part.MeanSubLatencyMicros(),
+					RateMpps:     part.SubRateMpps(),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Series extracts one curve (latency or rate by chain length).
+func (r *Fig8Result) Series(platform string, sbox bool) []Fig8Point {
+	var out []Fig8Point
+	for _, p := range r.Points {
+		if p.Platform == platform && p.SBox == sbox {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Format renders both panels.
+func (r *Fig8Result) Format() string {
+	t := &tableWriter{}
+	t.title(fmt.Sprintf("Figure 8: Chain length scaling (OpenNetVM capped at %d by core budget)", r.ONVMMaxLen))
+	t.row("platform", "len", "latency (µs)", "rate (Mpps)")
+	for _, p := range r.Points {
+		name := p.Platform
+		if p.SBox {
+			name += " w/ SBox"
+		}
+		t.row(name, fmt.Sprintf("%d", p.ChainLen), f3(p.LatencyMicro), f3(p.RateMpps))
+	}
+	return t.String()
+}

@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/nf/ipfilter"
+	"github.com/fastpathnfv/speedybox/internal/nf/maglev"
+	"github.com/fastpathnfv/speedybox/internal/nf/mazunat"
+	"github.com/fastpathnfv/speedybox/internal/nf/monitor"
+	"github.com/fastpathnfv/speedybox/internal/nf/snort"
+	"github.com/fastpathnfv/speedybox/internal/stats"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// Chain1 builds the paper's first real-world chain (§VII-B3, derived
+// from the motivation example §II-A):
+// MazuNAT -> Maglev -> Monitor -> IPFilter.
+func Chain1() ([]core.NF, error) {
+	nat, err := mazunat.New(mazunat.Config{
+		Name:           "mazunat",
+		InternalPrefix: [4]byte{10, 0, 0, 0},
+		InternalBits:   8,
+		ExternalIP:     [4]byte{198, 51, 100, 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	lb, err := maglev.New(maglev.Config{
+		Name: "maglev",
+		Backends: []maglev.Backend{
+			{Name: "backend-a", IP: [4]byte{192, 168, 1, 10}, Port: 8080},
+			{Name: "backend-b", IP: [4]byte{192, 168, 1, 11}, Port: 8080},
+			{Name: "backend-c", IP: [4]byte{192, 168, 1, 12}, Port: 8080},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.New("monitor")
+	if err != nil {
+		return nil, err
+	}
+	fw, err := ipfilter.New(ipfilter.Config{
+		Name:  "ipfilter",
+		Rules: ipfilter.PadRules(nil, 100),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []core.NF{nat, lb, mon, fw}, nil
+}
+
+// Chain2 builds the paper's second real-world chain (§VII-B3):
+// IPFilter -> Snort -> Monitor.
+func Chain2() ([]core.NF, error) {
+	fw, err := ipfilter.New(ipfilter.Config{
+		Name:  "ipfilter",
+		Rules: ipfilter.PadRules(nil, 100),
+	})
+	if err != nil {
+		return nil, err
+	}
+	ids, err := snort.New("snort", snort.DefaultRules())
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.New("monitor")
+	if err != nil {
+		return nil, err
+	}
+	return []core.NF{fw, ids, mon}, nil
+}
+
+// Fig9Series is one variant's flow-processing-time distribution.
+type Fig9Series struct {
+	Variant   string
+	FlowTimes []float64 // µs
+	P50       float64
+}
+
+// Fig9Row is one (chain, platform) comparison.
+type Fig9Row struct {
+	Chain    string
+	Platform string
+	Original Fig9Series
+	SBox     Fig9Series
+}
+
+// P50Reduction returns the median flow-time reduction (paper: 39.6% /
+// 40.2% on Chain 1, 41.3% / 34.2% on Chain 2).
+func (r Fig9Row) P50Reduction() float64 {
+	if r.Original.P50 == 0 {
+		return 0
+	}
+	return (r.Original.P50 - r.SBox.P50) / r.Original.P50 * 100
+}
+
+// Fig9Result reproduces Figure 9: CDFs of flow processing time on
+// datacenter-style traces through the two real-world chains.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// RunFig9 executes one chain's experiment; chain is 1 or 2.
+func RunFig9(cfg Config, chain int) (*Fig9Result, error) {
+	cfg = cfg.withDefaults(150)
+	var (
+		mk   chainFactory
+		name string
+	)
+	switch chain {
+	case 1:
+		mk, name = Chain1, "Chain 1 (MazuNAT+Maglev+Monitor+IPFilter)"
+	case 2:
+		mk, name = Chain2, "Chain 2 (IPFilter+Snort+Monitor)"
+	default:
+		return nil, fmt.Errorf("harness: unknown chain %d", chain)
+	}
+	tr, err := trace.Generate(trace.Config{
+		Seed: cfg.Seed, Flows: cfg.Flows,
+		PayloadMin: 64, PayloadMax: 256,
+		AlertFraction: 0.05, LogFraction: 0.1,
+		Interleave: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{}
+	for _, kind := range []PlatformKind{PlatformBESS, PlatformONVM} {
+		row := Fig9Row{Chain: name, Platform: kind.String()}
+		orig, err := runVariant(kind, mk, core.BaselineOptions(), tr.Packets())
+		if err != nil {
+			return nil, err
+		}
+		sbox, err := runVariant(kind, mk, core.DefaultOptions(), tr.Packets())
+		if err != nil {
+			return nil, err
+		}
+		ot, st := orig.FlowTimesMicros(), sbox.FlowTimesMicros()
+		row.Original = Fig9Series{Variant: kind.String(), FlowTimes: ot, P50: stats.Percentile(ot, 50)}
+		row.SBox = Fig9Series{Variant: kind.String() + " w/ SBox", FlowTimes: st, P50: stats.Percentile(st, 50)}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// FormatCDF renders the full empirical CDF series — the data behind
+// the paper's Figure 9 plot — as "value fraction" columns per variant,
+// ready for gnuplot or a spreadsheet.
+func (r *Fig9Result) FormatCDF() string {
+	t := &tableWriter{}
+	if len(r.Rows) > 0 {
+		t.title("Figure 9 CDF series — " + r.Rows[0].Chain)
+	}
+	for _, row := range r.Rows {
+		for _, s := range []Fig9Series{row.Original, row.SBox} {
+			t.row("# " + s.Variant)
+			for _, pt := range stats.CDF(s.FlowTimes) {
+				t.row(f1(pt.Value), f3(pt.Fraction))
+			}
+		}
+	}
+	return t.String()
+}
+
+// Format renders the CDF summaries the way the paper reports them.
+func (r *Fig9Result) Format() string {
+	t := &tableWriter{}
+	if len(r.Rows) > 0 {
+		t.title("Figure 9: CDF of flow processing time — " + r.Rows[0].Chain)
+	}
+	t.row("variant", "p10 (µs)", "p50 (µs)", "p90 (µs)", "p50 change")
+	for _, row := range r.Rows {
+		for _, s := range []Fig9Series{row.Original, row.SBox} {
+			t.row(s.Variant,
+				f1(stats.Percentile(s.FlowTimes, 10)),
+				f1(s.P50),
+				f1(stats.Percentile(s.FlowTimes, 90)),
+				"")
+		}
+		t.row(fmt.Sprintf("-> %s p50 reduction", row.Platform), "", "", "",
+			f1(row.P50Reduction())+"%")
+	}
+	return t.String()
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/nf/ipfilter"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// dropChain builds the Table III chain: NF1 and NF2 forward all flows,
+// NF3 drops them.
+func dropChain() ([]core.NF, error) {
+	chain, err := filterChain(2)
+	if err != nil {
+		return nil, err
+	}
+	deny, err := ipfilter.New(ipfilter.Config{
+		Name:        "ipfilter3",
+		Rules:       ipfilter.PadRules(nil, 100),
+		DefaultDeny: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append(chain, deny), nil
+}
+
+// Table3Row is one platform's early-packet-drop numbers: per-NF CPU
+// cycles on the original path and the SpeedyBox aggregate.
+type Table3Row struct {
+	Platform      string
+	PerNF         []float64 // subsequent-packet cycles per NF, chain order
+	Aggregate     float64
+	SBoxAggregate float64
+}
+
+// Saving returns the aggregate cycle reduction in percent.
+func (r Table3Row) Saving() float64 {
+	if r.Aggregate == 0 {
+		return 0
+	}
+	return (r.Aggregate - r.SBoxAggregate) / r.Aggregate * 100
+}
+
+// Table3Result reproduces Table III: a chain of three IPFilters with
+// actions {forward, forward, drop}; SpeedyBox drops subsequent packets
+// at the head of the chain.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// RunTable3 executes the experiment.
+func RunTable3(cfg Config) (*Table3Result, error) {
+	cfg = cfg.withDefaults(60)
+	tr, err := trace.Generate(trace.Config{
+		Seed: cfg.Seed, Flows: cfg.Flows,
+		PayloadMin: 4, PayloadMax: 12,
+		// DPDK-pktgen-style traffic (see fig4.go).
+		UDPFraction: 1.0,
+		Interleave:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mk := dropChain
+
+	res := &Table3Result{}
+	for _, kind := range []PlatformKind{PlatformBESS, PlatformONVM} {
+		orig, err := runVariant(kind, mk, core.BaselineOptions(), tr.Packets())
+		if err != nil {
+			return nil, err
+		}
+		sbox, err := runVariant(kind, mk, core.DefaultOptions(), tr.Packets())
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{Platform: kind.String(), SBoxAggregate: sbox.MeanSubWork()}
+		names := make([]string, 0, len(orig.PerNFSub))
+		for name := range orig.PerNFSub {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			m := mean(orig.PerNFSub[name])
+			row.PerNF = append(row.PerNF, m)
+			row.Aggregate += m
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the table in the paper's layout.
+func (r *Table3Result) Format() string {
+	t := &tableWriter{}
+	t.title("Table III: Early packet drop saves CPU cycles (subsequent packets)")
+	t.row("(CPU cycle)", "NF1", "NF2", "NF3", "Aggregate")
+	for _, row := range r.Rows {
+		cells := []string{row.Platform}
+		for _, v := range row.PerNF {
+			cells = append(cells, f1(v))
+		}
+		for len(cells) < 4 {
+			cells = append(cells, "—")
+		}
+		cells = append(cells, f1(row.Aggregate))
+		t.row(cells...)
+		t.row(row.Platform+" w/ SBox", "—", "—", "—",
+			fmt.Sprintf("%s (%s)", f1(row.SBoxAggregate), pct(row.Aggregate, row.SBoxAggregate)))
+	}
+	return t.String()
+}

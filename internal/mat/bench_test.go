@@ -1,0 +1,102 @@
+package mat
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/sfunc"
+)
+
+func benchContribs(nNFs int) []Contribution {
+	cs := make([]Contribution, nNFs)
+	for i := range cs {
+		cs[i] = Contribution{
+			NF: fmt.Sprintf("nf%d", i),
+			Rule: &LocalRule{
+				Actions: []HeaderAction{
+					Modify(packet.FieldDstIP, []byte{byte(i), 1, 2, 3}),
+					Modify(packet.FieldDstPort, packet.PutUint16(uint16(8000+i))),
+				},
+				Funcs: []sfunc.Func{{
+					Name: "sf", Class: sfunc.ClassIgnore,
+					Run: func(*packet.Packet) (uint64, error) { return 10, nil },
+				}},
+			},
+		}
+	}
+	return cs
+}
+
+// BenchmarkConsolidate measures the Global MAT rule-synthesis cost per
+// chain length — the work charged once per flow on the initial packet.
+func BenchmarkConsolidate(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("nfs=%d", n), func(b *testing.B) {
+			cs := benchContribs(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Consolidate(1, cs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkApplyConsolidated vs BenchmarkApplyNaive is the header-
+// action design ablation: one merged application + single checksum
+// refresh against per-NF application with per-NF checksums (the R1+R3
+// redundancy).
+func BenchmarkApplyConsolidated(b *testing.B) {
+	cs := benchContribs(4)
+	rule, err := Consolidate(1, cs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := packet.Spec{
+		SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 0, 0, 2),
+		SrcPort: 1, DstPort: 2, Payload: make([]byte, 128),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := packet.MustBuild(spec)
+		if _, err := rule.ApplyHeader(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyNaive is the unconsolidated baseline for the ablation
+// above.
+func BenchmarkApplyNaive(b *testing.B) {
+	cs := benchContribs(4)
+	spec := packet.Spec{
+		SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 0, 0, 2),
+		SrcPort: 1, DstPort: 2, Payload: make([]byte, 128),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := packet.MustBuild(spec)
+		if _, err := ApplyNaive(p, cs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGlobalLookup measures the fast-path table fetch.
+func BenchmarkGlobalLookup(b *testing.B) {
+	g := NewGlobal()
+	for fid := 0; fid < 10000; fid++ {
+		g.Install(&GlobalRule{FID: flow.FID(fid)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Lookup(flow.FID(i % 10000)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/sfunc"
+)
+
+// Contribution is one NF's Local MAT rule presented to the
+// consolidation algorithm, in chain order.
+type Contribution struct {
+	// NF names the contributing network function.
+	NF string
+	// Rule is the snapshot of the NF's Local MAT entry for the flow.
+	Rule *LocalRule
+}
+
+// FieldValue is one merged modify: the final value a field takes after
+// consolidation.
+type FieldValue struct {
+	Field packet.Field
+	Value []byte
+}
+
+// StackOps is the residual encapsulation work after the stack
+// simulation of §V-B cancels matched encap/decap pairs: first pop
+// Decaps headers already on the packet (outermost first), then push
+// Encaps (bottom-to-top).
+type StackOps struct {
+	Decaps []packet.HeaderType
+	Encaps []packet.ExtraHeader
+}
+
+// Empty reports whether no stack work remains.
+func (s StackOps) Empty() bool { return len(s.Decaps) == 0 && len(s.Encaps) == 0 }
+
+// SourceSummary counts one contributing NF's recorded header work, so
+// the engine can price what the same work would cost without
+// consolidation (the SF-only ablation of Figure 7).
+type SourceSummary struct {
+	NF       string
+	Modifies int
+	Encaps   int
+	Decaps   int
+	Dropped  bool
+}
+
+// ErrNotConsolidatable reports an action sequence the algorithm cannot
+// fold into a single rule (e.g. a decap whose type does not match the
+// most recent pending encap). Callers fall back to the original slow
+// path for such flows, preserving correctness.
+var ErrNotConsolidatable = errors.New("mat: action sequence not consolidatable")
+
+// Consolidate synthesizes the Global MAT rule for a flow from the
+// per-NF contributions, implementing §V-B and §V-C:
+//
+//   - Drop dominance: any drop makes the final verdict drop; state
+//     functions of NFs at or before the dropping NF still execute so
+//     internal state stays equivalent, and header work is skipped.
+//   - Encap/decap: simulated on a stack; adjacent matched pairs cancel.
+//   - Modify: same field — the latter NF wins; different fields merge
+//     into one composite patch (the paper expresses the merge as
+//     P0 ⊕ [(P0⊕P1)|(P0⊕P2)]; field-granular merging computes the
+//     identical bytes because the five standardized actions only touch
+//     disjoint whole fields — the property tests verify the identity).
+//   - State functions: batched per NF in chain order and scheduled for
+//     parallel execution per Table I.
+//
+// Trailer fields (checksums) are recomputed once when the rule is
+// applied rather than once per NF (§V-B, "we modify these fields at
+// the end of the consolidation").
+func Consolidate(fid flow.FID, contribs []Contribution) (*GlobalRule, error) {
+	rule := &GlobalRule{FID: fid, SourceNFs: len(contribs)}
+
+	fieldIdx := make(map[packet.Field]int)
+	var stack []packet.ExtraHeader
+
+	for _, c := range contribs {
+		if c.Rule == nil {
+			continue
+		}
+		summary := SourceSummary{NF: c.NF}
+		if len(c.Rule.Funcs) > 0 && !rule.Drop {
+			rule.Batches = append(rule.Batches, sfunc.Batch{NF: c.NF, Funcs: append([]sfunc.Func(nil), c.Rule.Funcs...)})
+		}
+		if rule.Drop {
+			// NFs after a recorded drop never see the packet on the
+			// original path; defensively ignore any contribution that
+			// slipped in.
+			continue
+		}
+		for _, a := range c.Rule.Actions {
+			if err := a.Validate(); err != nil {
+				return nil, fmt.Errorf("consolidating %v from %s: %w", fid, c.NF, err)
+			}
+			switch a.Kind {
+			case ActionForward:
+				// Default action; nothing to fold.
+			case ActionDrop:
+				rule.Drop = true
+				summary.Dropped = true
+			case ActionModify:
+				summary.Modifies++
+				if i, ok := fieldIdx[a.Field]; ok {
+					// Same field modified again: the latter wins.
+					rule.Modifies[i].Value = append([]byte(nil), a.Value...)
+				} else {
+					fieldIdx[a.Field] = len(rule.Modifies)
+					rule.Modifies = append(rule.Modifies, FieldValue{
+						Field: a.Field, Value: append([]byte(nil), a.Value...),
+					})
+				}
+			case ActionEncap:
+				summary.Encaps++
+				stack = append(stack, a.Header)
+			case ActionDecap:
+				summary.Decaps++
+				if len(stack) > 0 {
+					top := stack[len(stack)-1]
+					if top.Type != a.HeaderType {
+						return nil, fmt.Errorf("%w: decap(%v) does not match pending encap(%v)",
+							ErrNotConsolidatable, a.HeaderType, top.Type)
+					}
+					// Matched adjacent pair eliminated (§V-B).
+					stack = stack[:len(stack)-1]
+				} else {
+					// Pops a header that was on the packet at ingress.
+					rule.Stack.Decaps = append(rule.Stack.Decaps, a.HeaderType)
+				}
+			default:
+				return nil, fmt.Errorf("consolidating %v: invalid action kind %d", fid, int(a.Kind))
+			}
+			if rule.Drop {
+				break
+			}
+		}
+		rule.Sources = append(rule.Sources, summary)
+	}
+	rule.Stack.Encaps = stack
+	if rule.Drop {
+		// Dropped flows do no header work on the fast path.
+		rule.Modifies = nil
+		rule.Stack = StackOps{}
+	}
+	rule.Plan = sfunc.Plan(rule.Batches)
+	return rule, nil
+}
+
+// ApplyNaive executes the raw per-NF action lists on a packet exactly
+// as the original chain would: each NF's modifies are applied and the
+// checksums refreshed immediately (the R3 redundancy), encaps/decaps
+// take effect in place, and a drop terminates the walk. It is the
+// reference semantics the consolidated rule must match; the
+// equivalence property tests compare the two.
+func ApplyNaive(pkt *packet.Packet, contribs []Contribution) (dropped bool, err error) {
+	for _, c := range contribs {
+		if c.Rule == nil {
+			continue
+		}
+		touched := false
+		for _, a := range c.Rule.Actions {
+			alive, err := a.Apply(pkt)
+			if err != nil {
+				return false, err
+			}
+			if !alive {
+				return true, nil
+			}
+			if a.Kind == ActionModify || a.Kind == ActionEncap || a.Kind == ActionDecap {
+				touched = true
+			}
+		}
+		if touched {
+			if err := pkt.FinalizeChecksums(); err != nil {
+				return false, err
+			}
+		}
+	}
+	return false, nil
+}

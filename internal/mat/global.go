@@ -1,0 +1,202 @@
+package mat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/sfunc"
+)
+
+// GlobalRule is one consolidated fast-path rule: the single header
+// action equivalent to the whole chain, plus the state-function
+// execution plan.
+type GlobalRule struct {
+	// FID identifies the flow.
+	FID flow.FID
+	// Drop is the consolidated verdict: the packet is dropped at the
+	// head of the chain (early packet drop, redundancy R2).
+	Drop bool
+	// Modifies are the merged field rewrites in first-touch order.
+	Modifies []FieldValue
+	// Stack is the residual encap/decap work.
+	Stack StackOps
+	// Batches are the per-NF state-function batches in chain order.
+	// For dropped flows these are the batches of NFs up to and
+	// including the dropping NF, so internal state (e.g. Monitor
+	// counters upstream of a Firewall) evolves exactly as on the
+	// original path.
+	Batches []sfunc.Batch
+	// Plan is the Table-I parallel schedule over Batches.
+	Plan sfunc.Schedule
+	// SourceNFs is how many NFs contributed, which sizes the
+	// fast-path rule metadata (cost model's FastPathPerHA).
+	SourceNFs int
+	// Sources summarizes each contributing NF's header work, used by
+	// the cost model to price the un-consolidated baseline in the
+	// header-consolidation ablation (Figure 7).
+	Sources []SourceSummary
+	// Version counts reconsolidations triggered by events.
+	Version uint64
+}
+
+// ApplyHeader performs the consolidated header work on a packet:
+// residual decaps, residual encaps, merged modifies, then a single
+// checksum refresh. It returns false when the verdict is drop.
+// State-function execution is separate (the engine runs the Plan).
+func (r *GlobalRule) ApplyHeader(pkt *packet.Packet) (alive bool, err error) {
+	if r.Drop {
+		pkt.Drop()
+		return false, nil
+	}
+	touched := false
+	for _, t := range r.Stack.Decaps {
+		if err := pkt.Decap(t); err != nil {
+			return false, fmt.Errorf("mat: global rule %v: %w", r.FID, err)
+		}
+		touched = true
+	}
+	for _, h := range r.Stack.Encaps {
+		if err := pkt.Encap(h); err != nil {
+			return false, fmt.Errorf("mat: global rule %v: %w", r.FID, err)
+		}
+		touched = true
+	}
+	for _, m := range r.Modifies {
+		if err := pkt.Set(m.Field, m.Value); err != nil {
+			return false, fmt.Errorf("mat: global rule %v: %w", r.FID, err)
+		}
+		touched = true
+	}
+	if touched {
+		if err := pkt.FinalizeChecksums(); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// HeaderWork summarizes the rule's header effort for the cost model:
+// the number of field rewrites and stack operations, and whether a
+// checksum refresh is needed.
+func (r *GlobalRule) HeaderWork() (modifies, stackOps int, checksum bool) {
+	modifies = len(r.Modifies)
+	stackOps = len(r.Stack.Decaps) + len(r.Stack.Encaps)
+	return modifies, stackOps, modifies > 0 || stackOps > 0
+}
+
+// String renders the rule in the paper's Figure-1 notation, e.g.
+// "fid:00001 -> modify(DIP,DPort) + 2 SF batches [v0]".
+func (r *GlobalRule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v -> ", r.FID)
+	switch {
+	case r.Drop:
+		b.WriteString("drop")
+	case len(r.Modifies) == 0 && r.Stack.Empty():
+		b.WriteString("forward")
+	default:
+		if len(r.Modifies) > 0 {
+			fields := make([]string, len(r.Modifies))
+			for i, m := range r.Modifies {
+				fields[i] = m.Field.String()
+			}
+			fmt.Fprintf(&b, "modify(%s)", strings.Join(fields, ","))
+		}
+		for _, t := range r.Stack.Decaps {
+			fmt.Fprintf(&b, " decap(%v)", t)
+		}
+		for _, h := range r.Stack.Encaps {
+			fmt.Fprintf(&b, " encap(%v)", h.Type)
+		}
+	}
+	if n := len(r.Batches); n > 0 {
+		fmt.Fprintf(&b, " + %d SF batch(es) in %d stage(s)", n, len(r.Plan.Stages))
+	}
+	fmt.Fprintf(&b, " [v%d]", r.Version)
+	return b.String()
+}
+
+// Global is the Global MAT: the table of consolidated fast-path rules
+// keyed by FID (implemented in BESS as a global array reachable from
+// all Local MATs, and in ONVM at the NF manager, §VI-A). It is safe
+// for concurrent use.
+type Global struct {
+	mu    sync.RWMutex
+	rules map[flow.FID]*GlobalRule
+}
+
+// NewGlobal returns an empty Global MAT.
+func NewGlobal() *Global {
+	return &Global{rules: make(map[flow.FID]*GlobalRule)}
+}
+
+// Install inserts or replaces the rule for a flow. When replacing (an
+// event-driven reconsolidation), the version counter carries over and
+// increments.
+func (g *Global) Install(r *GlobalRule) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if old, ok := g.rules[r.FID]; ok {
+		r.Version = old.Version + 1
+	}
+	g.rules[r.FID] = r
+}
+
+// Lookup fetches the rule for a flow.
+func (g *Global) Lookup(fid flow.FID) (*GlobalRule, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r, ok := g.rules[fid]
+	return r, ok
+}
+
+// Remove deletes a flow's rule (FIN/RST teardown, §VI-B). It reports
+// whether a rule existed.
+func (g *Global) Remove(fid flow.FID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.rules[fid]; !ok {
+		return false
+	}
+	delete(g.rules, fid)
+	return true
+}
+
+// Len returns the number of installed rules.
+func (g *Global) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.rules)
+}
+
+// ForEach calls fn for every installed rule under the read lock; fn
+// must not mutate the rule or call back into the table.
+func (g *Global) ForEach(fn func(*GlobalRule)) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, r := range g.rules {
+		fn(r)
+	}
+}
+
+// Dump renders every installed rule, sorted by FID, for debugging and
+// the chainsim -dump-rules flag.
+func (g *Global) Dump() string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	fids := make([]flow.FID, 0, len(g.rules))
+	for fid := range g.rules {
+		fids = append(fids, fid)
+	}
+	sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+	var b strings.Builder
+	for _, fid := range fids {
+		b.WriteString(g.rules[fid].String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,450 @@
+package mat
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/sfunc"
+)
+
+func testPkt(t *testing.T) *packet.Packet {
+	t.Helper()
+	return packet.MustBuild(packet.Spec{
+		SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 0, 0, 2),
+		SrcPort: 4000, DstPort: 80, Proto: packet.ProtoTCP,
+		Payload: []byte("test payload"),
+	})
+}
+
+func noopSF(name string) sfunc.Func {
+	return sfunc.Func{Name: name, Class: sfunc.ClassIgnore,
+		Run: func(*packet.Packet) (uint64, error) { return 10, nil }}
+}
+
+func TestActionKindEnum(t *testing.T) {
+	if ActionKind(0).Valid() {
+		t.Error("zero ActionKind must be invalid")
+	}
+	for k, name := range map[ActionKind]string{
+		ActionForward: "forward", ActionDrop: "drop", ActionModify: "modify",
+		ActionEncap: "encap", ActionDecap: "decap",
+	} {
+		if !k.Valid() || k.String() != name {
+			t.Errorf("kind %d: valid=%v name=%q", k, k.Valid(), k.String())
+		}
+	}
+}
+
+func TestActionConstructorsAndValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		action  HeaderAction
+		wantErr bool
+	}{
+		{"forward", Forward(), false},
+		{"drop", Drop(), false},
+		{"modify dip", Modify(packet.FieldDstIP, []byte{1, 2, 3, 4}), false},
+		{"modify bad length", HeaderAction{Kind: ActionModify, Field: packet.FieldDstIP, Value: []byte{1}}, true},
+		{"modify bad field", HeaderAction{Kind: ActionModify, Field: 0, Value: nil}, true},
+		{"encap ah", Encap(packet.ExtraHeader{Type: packet.HeaderAH, SPI: 1}), false},
+		{"encap bad type", HeaderAction{Kind: ActionEncap}, true},
+		{"decap vlan", Decap(packet.HeaderVLAN), false},
+		{"decap bad type", HeaderAction{Kind: ActionDecap}, true},
+		{"zero kind", HeaderAction{}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.action.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestModifyCopiesValue(t *testing.T) {
+	buf := []byte{9, 9, 9, 9}
+	a := Modify(packet.FieldSrcIP, buf)
+	buf[0] = 0
+	if a.Value[0] != 9 {
+		t.Error("Modify aliased the caller's buffer")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if s := Modify(packet.FieldDstIP, []byte{1, 2, 3, 4}).String(); s != "modify(DIP)" {
+		t.Errorf("String = %q, want the paper's modify(DIP) notation", s)
+	}
+	if s := Encap(packet.ExtraHeader{Type: packet.HeaderAH}).String(); s != "encap(AH)" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Decap(packet.HeaderVLAN).String(); s != "decap(VLAN)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestLocalMATRecordingOrder(t *testing.T) {
+	l := NewLocal("nat")
+	fid := flow.FID(1)
+	if err := l.AddHeaderAction(fid, Modify(packet.FieldDstIP, []byte{1, 1, 1, 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddHeaderAction(fid, Modify(packet.FieldDstPort, packet.PutUint16(8080))); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddStateFunc(fid, noopSF("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddStateFunc(fid, noopSF("second")); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := l.Get(fid)
+	if !ok {
+		t.Fatal("rule missing")
+	}
+	if len(r.Actions) != 2 || r.Actions[0].Field != packet.FieldDstIP {
+		t.Errorf("actions = %v", r.Actions)
+	}
+	if len(r.Funcs) != 2 || r.Funcs[0].Name != "first" || r.Funcs[1].Name != "second" {
+		t.Errorf("funcs out of order: %v, %v", r.Funcs[0].Name, r.Funcs[1].Name)
+	}
+	if l.NF() != "nat" {
+		t.Errorf("NF() = %q", l.NF())
+	}
+}
+
+func TestLocalMATValidation(t *testing.T) {
+	l := NewLocal("x")
+	if err := l.AddHeaderAction(1, HeaderAction{}); err == nil {
+		t.Error("invalid action accepted")
+	}
+	if err := l.AddStateFunc(1, sfunc.Func{Name: "nil"}); err == nil {
+		t.Error("invalid state function accepted")
+	}
+	if l.Len() != 0 {
+		t.Error("failed adds must not create rules")
+	}
+}
+
+func TestLocalMATGetIsSnapshot(t *testing.T) {
+	l := NewLocal("x")
+	fid := flow.FID(2)
+	if err := l.AddHeaderAction(fid, Forward()); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := l.Get(fid)
+	snap.Actions[0] = Drop()
+	r, _ := l.Get(fid)
+	if r.Actions[0].Kind != ActionForward {
+		t.Error("Get returned aliased rule; mutation leaked into the table")
+	}
+}
+
+func TestLocalMATLifecycle(t *testing.T) {
+	l := NewLocal("x")
+	fid := flow.FID(3)
+	if err := l.AddHeaderAction(fid, Forward()); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	l.Reset(fid)
+	if _, ok := l.Get(fid); ok {
+		t.Error("rule survived Reset")
+	}
+	if err := l.AddHeaderAction(fid, Drop()); err != nil {
+		t.Fatal(err)
+	}
+	l.Delete(fid)
+	if l.Len() != 0 {
+		t.Error("rule survived Delete")
+	}
+	// Replace and Mutate on fresh FIDs.
+	l.Replace(fid, &LocalRule{Actions: []HeaderAction{Forward()}})
+	l.Mutate(fid, func(r *LocalRule) { r.Actions[0] = Drop() })
+	r, _ := l.Get(fid)
+	if r.Actions[0].Kind != ActionDrop {
+		t.Error("Mutate did not apply")
+	}
+}
+
+func contribs(nf string, rule *LocalRule, rest ...Contribution) []Contribution {
+	return append([]Contribution{{NF: nf, Rule: rule}}, rest...)
+}
+
+func TestConsolidateDropDominance(t *testing.T) {
+	// NAT modifies, Firewall drops: verdict must be drop with no
+	// header work (Table III early drop).
+	cs := []Contribution{
+		{NF: "nat", Rule: &LocalRule{Actions: []HeaderAction{Modify(packet.FieldDstIP, []byte{1, 2, 3, 4})}}},
+		{NF: "monitor", Rule: &LocalRule{Funcs: []sfunc.Func{noopSF("count")}}},
+		{NF: "fw", Rule: &LocalRule{Actions: []HeaderAction{Drop()}}},
+	}
+	r, err := Consolidate(7, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Drop {
+		t.Fatal("verdict not drop")
+	}
+	if len(r.Modifies) != 0 || !r.Stack.Empty() {
+		t.Error("dropped rule retains header work")
+	}
+	// Upstream monitor's batch must be retained for state
+	// equivalence.
+	if len(r.Batches) != 1 || r.Batches[0].NF != "monitor" {
+		t.Errorf("batches = %+v, want monitor's batch retained", r.Batches)
+	}
+}
+
+func TestConsolidateDropStopsDownstreamBatches(t *testing.T) {
+	cs := []Contribution{
+		{NF: "fw", Rule: &LocalRule{
+			Actions: []HeaderAction{Drop()},
+			Funcs:   []sfunc.Func{noopSF("fw-count")},
+		}},
+		{NF: "snort", Rule: &LocalRule{Funcs: []sfunc.Func{noopSF("inspect")}}},
+	}
+	r, err := Consolidate(8, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dropping NF's own state function runs (it processed the
+	// packet before dropping); downstream NFs' functions must not.
+	if len(r.Batches) != 1 || r.Batches[0].NF != "fw" {
+		t.Errorf("batches = %+v, want only fw", r.Batches)
+	}
+}
+
+func TestConsolidateModifySameFieldLatterWins(t *testing.T) {
+	// Paper §V-B: "If two modify actions change the same field but
+	// with different values, we select the value of the latter".
+	cs := []Contribution{
+		{NF: "nat", Rule: &LocalRule{Actions: []HeaderAction{Modify(packet.FieldDstIP, []byte{1, 1, 1, 1})}}},
+		{NF: "lb", Rule: &LocalRule{Actions: []HeaderAction{Modify(packet.FieldDstIP, []byte{2, 2, 2, 2})}}},
+	}
+	r, err := Consolidate(9, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Modifies) != 1 {
+		t.Fatalf("modifies = %v, want single merged entry", r.Modifies)
+	}
+	if !bytes.Equal(r.Modifies[0].Value, []byte{2, 2, 2, 2}) {
+		t.Errorf("merged value = %v, want the latter NF's", r.Modifies[0].Value)
+	}
+}
+
+func TestConsolidateModifyDifferentFieldsMerge(t *testing.T) {
+	// The running example from Figure 1: NF1 modify(DPort), NF2
+	// modify(DIP) consolidate to modify(DIP, DPort).
+	cs := []Contribution{
+		{NF: "nf1", Rule: &LocalRule{Actions: []HeaderAction{Modify(packet.FieldDstPort, packet.PutUint16(8080))}}},
+		{NF: "nf2", Rule: &LocalRule{Actions: []HeaderAction{Modify(packet.FieldDstIP, []byte{5, 5, 5, 5})}}},
+	}
+	r, err := Consolidate(10, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Modifies) != 2 {
+		t.Fatalf("modifies = %v, want 2", r.Modifies)
+	}
+	p := testPkt(t)
+	alive, err := r.ApplyHeader(p)
+	if err != nil || !alive {
+		t.Fatalf("ApplyHeader: alive=%v err=%v", alive, err)
+	}
+	if p.DstPort() != 8080 || p.DstIP() != [4]byte{5, 5, 5, 5} {
+		t.Errorf("packet after apply: dport=%d dip=%v", p.DstPort(), p.DstIP())
+	}
+	if !p.VerifyChecksums() {
+		t.Error("checksums stale after consolidated apply")
+	}
+}
+
+func TestConsolidateEncapDecapCancel(t *testing.T) {
+	// VPN encap followed by VPN decap of the same header type cancels
+	// entirely (§V-B: "If two adjacent encap and decap actions
+	// operate on the same header, we eliminate them simultaneously").
+	cs := []Contribution{
+		{NF: "vpn-in", Rule: &LocalRule{Actions: []HeaderAction{Encap(packet.ExtraHeader{Type: packet.HeaderAH, SPI: 9})}}},
+		{NF: "vpn-out", Rule: &LocalRule{Actions: []HeaderAction{Decap(packet.HeaderAH)}}},
+	}
+	r, err := Consolidate(11, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Stack.Empty() {
+		t.Errorf("stack ops = %+v, want empty after cancellation", r.Stack)
+	}
+	p := testPkt(t)
+	before := append([]byte(nil), p.Data()...)
+	if _, err := r.ApplyHeader(p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.Data(), before) {
+		t.Error("cancelled encap/decap still mutated the packet")
+	}
+}
+
+func TestConsolidateResidualEncap(t *testing.T) {
+	cs := []Contribution{
+		{NF: "vpn", Rule: &LocalRule{Actions: []HeaderAction{
+			Encap(packet.ExtraHeader{Type: packet.HeaderVLAN, Tag: 7}),
+			Encap(packet.ExtraHeader{Type: packet.HeaderAH, SPI: 3}),
+		}}},
+	}
+	r, err := Consolidate(12, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stack.Encaps) != 2 || len(r.Stack.Decaps) != 0 {
+		t.Fatalf("stack = %+v", r.Stack)
+	}
+	p := testPkt(t)
+	if _, err := r.ApplyHeader(p); err != nil {
+		t.Fatal(err)
+	}
+	if tag, ok := p.OutermostVLAN(); !ok || tag != 7 {
+		t.Errorf("vlan = (%d, %v)", tag, ok)
+	}
+	if spi, _, ok := p.OutermostAH(); !ok || spi != 3 {
+		t.Errorf("ah spi = (%d, %v)", spi, ok)
+	}
+}
+
+func TestConsolidateOutstandingDecap(t *testing.T) {
+	// A decap with no pending encap pops a header that arrived on the
+	// packet.
+	cs := []Contribution{
+		{NF: "vpn-term", Rule: &LocalRule{Actions: []HeaderAction{Decap(packet.HeaderAH)}}},
+	}
+	r, err := Consolidate(13, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stack.Decaps) != 1 || r.Stack.Decaps[0] != packet.HeaderAH {
+		t.Fatalf("stack = %+v", r.Stack)
+	}
+	p := testPkt(t)
+	if err := p.EncapAH(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ApplyHeader(p); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := p.Headers()
+	if h.AHCount != 0 {
+		t.Error("outstanding decap not applied")
+	}
+}
+
+func TestConsolidateMismatchedDecapFails(t *testing.T) {
+	cs := []Contribution{
+		{NF: "a", Rule: &LocalRule{Actions: []HeaderAction{
+			Encap(packet.ExtraHeader{Type: packet.HeaderAH}),
+			Decap(packet.HeaderVLAN),
+		}}},
+	}
+	_, err := Consolidate(14, cs)
+	if !errors.Is(err, ErrNotConsolidatable) {
+		t.Errorf("err = %v, want ErrNotConsolidatable", err)
+	}
+}
+
+func TestConsolidateNilAndEmptyContributions(t *testing.T) {
+	r, err := Consolidate(15, []Contribution{
+		{NF: "a", Rule: nil},
+		{NF: "b", Rule: &LocalRule{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Drop || len(r.Modifies) != 0 || len(r.Batches) != 0 {
+		t.Errorf("rule = %+v, want pure forward", r)
+	}
+	// Forward-only rule must not touch the packet.
+	p := testPkt(t)
+	before := append([]byte(nil), p.Data()...)
+	alive, err := r.ApplyHeader(p)
+	if err != nil || !alive {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.Data(), before) {
+		t.Error("forward rule mutated packet")
+	}
+}
+
+func TestConsolidateInvalidActionRejected(t *testing.T) {
+	cs := []Contribution{{NF: "a", Rule: &LocalRule{Actions: []HeaderAction{{Kind: ActionModify, Field: 99}}}}}
+	if _, err := Consolidate(16, cs); err == nil {
+		t.Error("invalid recorded action accepted")
+	}
+}
+
+func TestGlobalMAT(t *testing.T) {
+	g := NewGlobal()
+	r1 := &GlobalRule{FID: 1}
+	g.Install(r1)
+	if got, ok := g.Lookup(1); !ok || got != r1 {
+		t.Error("Lookup after Install failed")
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	// Reinstall bumps version (event-driven reconsolidation).
+	r2 := &GlobalRule{FID: 1}
+	g.Install(r2)
+	if r2.Version != 1 {
+		t.Errorf("Version = %d, want 1 after reinstall", r2.Version)
+	}
+	if !g.Remove(1) {
+		t.Error("Remove failed")
+	}
+	if g.Remove(1) {
+		t.Error("double Remove succeeded")
+	}
+	if _, ok := g.Lookup(1); ok {
+		t.Error("Lookup found removed rule")
+	}
+}
+
+func TestGlobalRuleHeaderWork(t *testing.T) {
+	r := &GlobalRule{
+		Modifies: []FieldValue{{Field: packet.FieldDstIP, Value: []byte{1, 2, 3, 4}}},
+		Stack:    StackOps{Encaps: []packet.ExtraHeader{{Type: packet.HeaderAH}}},
+	}
+	m, s, ck := r.HeaderWork()
+	if m != 1 || s != 1 || !ck {
+		t.Errorf("HeaderWork = (%d, %d, %v)", m, s, ck)
+	}
+	fwd := &GlobalRule{}
+	if _, _, ck := fwd.HeaderWork(); ck {
+		t.Error("forward rule claims checksum work")
+	}
+}
+
+func TestApplyNaiveMatchesChainSemantics(t *testing.T) {
+	cs := []Contribution{
+		{NF: "nat", Rule: &LocalRule{Actions: []HeaderAction{Modify(packet.FieldDstIP, []byte{9, 9, 9, 9})}}},
+		{NF: "fw", Rule: &LocalRule{Actions: []HeaderAction{Drop()}}},
+	}
+	p := testPkt(t)
+	dropped, err := ApplyNaive(p, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dropped || !p.Dropped() {
+		t.Error("naive apply did not drop")
+	}
+}
+
+func TestLocalRuleCloneNil(t *testing.T) {
+	var r *LocalRule
+	if r.Clone() != nil {
+		t.Error("Clone of nil rule must be nil")
+	}
+}

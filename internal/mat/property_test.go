@@ -1,0 +1,294 @@
+package mat
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// randomActions draws a random well-formed action list for one NF.
+// Encaps/decaps are generated in a balanced-ish way so that most
+// sequences are consolidatable; non-consolidatable sequences are
+// exercised separately.
+func randomActions(rng *rand.Rand, pending *[]packet.HeaderType) []HeaderAction {
+	n := rng.Intn(4)
+	out := make([]HeaderAction, 0, n)
+	fields := []packet.Field{
+		packet.FieldSrcIP, packet.FieldDstIP,
+		packet.FieldSrcPort, packet.FieldDstPort,
+		packet.FieldTTL, packet.FieldDSCP,
+	}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			out = append(out, Forward())
+		case 1:
+			f := fields[rng.Intn(len(fields))]
+			v := make([]byte, f.Size())
+			rng.Read(v)
+			out = append(out, Modify(f, v))
+		case 2:
+			t := packet.HeaderAH
+			h := packet.ExtraHeader{Type: t, SPI: rng.Uint32(), Seq: rng.Uint32()}
+			if rng.Intn(2) == 0 {
+				t = packet.HeaderVLAN
+				h = packet.ExtraHeader{Type: t, Tag: uint16(rng.Intn(4096))}
+			}
+			out = append(out, Encap(h))
+			*pending = append(*pending, t)
+		case 3:
+			if len(*pending) > 0 {
+				t := (*pending)[len(*pending)-1]
+				*pending = (*pending)[:len(*pending)-1]
+				out = append(out, Decap(t))
+			} else {
+				out = append(out, Forward())
+			}
+		case 4:
+			out = append(out, Forward())
+		}
+	}
+	return out
+}
+
+// TestQuickConsolidationEquivalence is invariant 3+4: for random
+// action lists across a random-length chain, applying the consolidated
+// rule produces byte-identical output to the naive per-NF application.
+func TestQuickConsolidationEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nNFs := 1 + rng.Intn(5)
+		var pending []packet.HeaderType
+		cs := make([]Contribution, nNFs)
+		for i := range cs {
+			cs[i] = Contribution{
+				NF:   "nf",
+				Rule: &LocalRule{Actions: randomActions(rng, &pending)},
+			}
+		}
+		rule, err := Consolidate(1, cs)
+		if err != nil {
+			// Mismatched decap sequences legitimately refuse to
+			// consolidate; that is a correct outcome, not a failure.
+			return errors.Is(err, ErrNotConsolidatable)
+		}
+
+		spec := packet.Spec{
+			SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 0, 0, 2),
+			SrcPort: 1111, DstPort: 2222, Proto: packet.ProtoTCP,
+			Payload: []byte("equivalence"),
+		}
+		pNaive, err := packet.Build(spec)
+		if err != nil {
+			return false
+		}
+		pFast := pNaive.Clone()
+
+		droppedNaive, err := ApplyNaive(pNaive, cs)
+		if err != nil {
+			return false
+		}
+		aliveFast, err := rule.ApplyHeader(pFast)
+		if err != nil {
+			return false
+		}
+		if droppedNaive != !aliveFast {
+			return false
+		}
+		if droppedNaive {
+			return pFast.Dropped()
+		}
+		// Both survivors: normalize checksums on the naive copy too
+		// (it already finalized per-NF; final state must match).
+		return bytes.Equal(pNaive.Data(), pFast.Data()) && pFast.VerifyChecksums()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDropDominance is invariant 5: any action list containing a
+// drop consolidates to a drop verdict.
+func TestQuickDropDominance(t *testing.T) {
+	f := func(seed int64, dropAt uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nNFs := 1 + rng.Intn(5)
+		pos := int(dropAt) % nNFs
+		var pending []packet.HeaderType
+		cs := make([]Contribution, 0, nNFs)
+		for i := 0; i < nNFs; i++ {
+			actions := randomActions(rng, &pending)
+			if i == pos {
+				actions = append(actions, Drop())
+			}
+			cs = append(cs, Contribution{NF: "nf", Rule: &LocalRule{Actions: actions}})
+			if i == pos {
+				// On the original path nothing downstream of the drop
+				// records anything; stop contributing.
+				break
+			}
+		}
+		rule, err := Consolidate(1, cs)
+		if err != nil {
+			return errors.Is(err, ErrNotConsolidatable)
+		}
+		return rule.Drop && len(rule.Modifies) == 0 && rule.Stack.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickXORMergeIdentity verifies the paper's bit-operation form of
+// the modify merge: for modifies touching disjoint fields,
+// P0 ⊕ [(P0⊕P1)|(P0⊕P2)] equals applying both modifies — and our
+// field-granular merge computes the same bytes.
+func TestQuickXORMergeIdentity(t *testing.T) {
+	f := func(dip [4]byte, dport uint16) bool {
+		spec := packet.Spec{
+			SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 0, 0, 2),
+			SrcPort: 1111, DstPort: 2222, Proto: packet.ProtoTCP,
+		}
+		p0, err := packet.Build(spec)
+		if err != nil {
+			return false
+		}
+		base := append([]byte(nil), p0.Data()...)
+
+		// P1: modify1 applied alone.
+		p1 := p0.Clone()
+		if p1.Set(packet.FieldDstIP, dip[:]) != nil {
+			return false
+		}
+		// P2: modify2 applied alone.
+		p2 := p0.Clone()
+		if p2.Set(packet.FieldDstPort, packet.PutUint16(dport)) != nil {
+			return false
+		}
+
+		// Paper's formula, byte-wise over the frame.
+		xorMerged := make([]byte, len(base))
+		for i := range base {
+			d1 := base[i] ^ p1.Data()[i]
+			d2 := base[i] ^ p2.Data()[i]
+			xorMerged[i] = base[i] ^ (d1 | d2)
+		}
+
+		// Our consolidation path.
+		cs := []Contribution{
+			{NF: "a", Rule: &LocalRule{Actions: []HeaderAction{Modify(packet.FieldDstIP, dip[:])}}},
+			{NF: "b", Rule: &LocalRule{Actions: []HeaderAction{Modify(packet.FieldDstPort, packet.PutUint16(dport))}}},
+		}
+		rule, err := Consolidate(1, cs)
+		if err != nil {
+			return false
+		}
+		pFast := p0.Clone()
+		if _, err := rule.ApplyHeader(pFast); err != nil {
+			return false
+		}
+		// Compare pre-checksum content: zero both checksum fields in
+		// the xor image by recomputing them through a packet wrapper.
+		px := packet.New(xorMerged)
+		if px.Parse() != nil || px.FinalizeChecksums() != nil {
+			return false
+		}
+		return bytes.Equal(px.Data(), pFast.Data())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEncapStackEquivalence: random balanced encap/decap
+// sequences consolidate to stack ops whose application equals naive
+// sequential application (invariant 4).
+func TestQuickEncapStackEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var pending []packet.HeaderType
+		nNFs := 1 + rng.Intn(4)
+		cs := make([]Contribution, nNFs)
+		for i := range cs {
+			var actions []HeaderAction
+			for j := 0; j < rng.Intn(3); j++ {
+				if rng.Intn(2) == 0 {
+					t := packet.HeaderAH
+					h := packet.ExtraHeader{Type: t, SPI: rng.Uint32()}
+					if rng.Intn(2) == 0 {
+						t = packet.HeaderVLAN
+						h = packet.ExtraHeader{Type: t, Tag: uint16(rng.Intn(4096))}
+					}
+					actions = append(actions, Encap(h))
+					pending = append(pending, t)
+				} else if len(pending) > 0 {
+					t := pending[len(pending)-1]
+					pending = pending[:len(pending)-1]
+					actions = append(actions, Decap(t))
+				}
+			}
+			cs[i] = Contribution{NF: "vpn", Rule: &LocalRule{Actions: actions}}
+		}
+		rule, err := Consolidate(1, cs)
+		if err != nil {
+			return errors.Is(err, ErrNotConsolidatable)
+		}
+		// No unmatched encap may remain matched with a decap in the
+		// residual ops: residual decaps can only exist if the rule has
+		// no residual encap consumed by them (stack discipline).
+		spec := packet.Spec{
+			SrcIP: packet.IP4(1, 0, 0, 1), DstIP: packet.IP4(1, 0, 0, 2),
+			SrcPort: 1, DstPort: 2, Proto: packet.ProtoUDP,
+		}
+		pNaive, err := packet.Build(spec)
+		if err != nil {
+			return false
+		}
+		pFast := pNaive.Clone()
+		if _, err := ApplyNaive(pNaive, cs); err != nil {
+			return false
+		}
+		if _, err := rule.ApplyHeader(pFast); err != nil {
+			return false
+		}
+		return bytes.Equal(pNaive.Data(), pFast.Data())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConsolidateIdempotent: consolidating the same contributions
+// twice yields rules with identical observable behaviour.
+func TestQuickConsolidateIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var pending []packet.HeaderType
+		cs := []Contribution{{NF: "nf", Rule: &LocalRule{Actions: randomActions(rng, &pending)}}}
+		r1, err1 := Consolidate(1, cs)
+		r2, err2 := Consolidate(1, cs)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if r1.Drop != r2.Drop || len(r1.Modifies) != len(r2.Modifies) {
+			return false
+		}
+		for i := range r1.Modifies {
+			if r1.Modifies[i].Field != r2.Modifies[i].Field ||
+				!bytes.Equal(r1.Modifies[i].Value, r2.Modifies[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

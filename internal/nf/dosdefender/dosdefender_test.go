@@ -1,0 +1,127 @@
+package dosdefender
+
+import (
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/event"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+func synPkt(t *testing.T) *packet.Packet {
+	t.Helper()
+	return packet.MustBuild(packet.Spec{
+		SrcIP: packet.IP4(6, 6, 6, 6), DstIP: packet.IP4(10, 0, 0, 2),
+		SrcPort: 6666, DstPort: 80, Proto: packet.ProtoTCP, TCPFlags: packet.TCPFlagSYN,
+	})
+}
+
+func ackPkt(t *testing.T) *packet.Packet {
+	t.Helper()
+	return packet.MustBuild(packet.Spec{
+		SrcIP: packet.IP4(6, 6, 6, 6), DstIP: packet.IP4(10, 0, 0, 2),
+		SrcPort: 6666, DstPort: 80, Proto: packet.ProtoTCP, TCPFlags: packet.TCPFlagACK,
+		Payload: []byte("d"),
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty name accepted")
+	}
+	d, err := New(Config{Name: "dos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.threshold != 100 {
+		t.Errorf("default threshold = %d, want Figure 3's 100", d.threshold)
+	}
+}
+
+func TestCountsOnlySYN(t *testing.T) {
+	d, err := New(Config{Name: "dos", SYNThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Process(core.NewCtx("dos", core.CtxConfig{FID: 1}), synPkt(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Process(core.NewCtx("dos", core.CtxConfig{FID: 1}), ackPkt(t)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.SYNCount(1); got != 1 {
+		t.Errorf("SYNCount = %d, want 1 (ACK not counted)", got)
+	}
+}
+
+func TestThresholdBlocks(t *testing.T) {
+	d, err := New(Config{Name: "dos", SYNThreshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold is strict (cnt > threshold, per Figure 3): the 4th
+	// SYN crosses it.
+	for i := 0; i < 3; i++ {
+		v, err := d.Process(core.NewCtx("dos", core.CtxConfig{FID: 1}), synPkt(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != core.VerdictForward {
+			t.Fatalf("SYN %d blocked early", i+1)
+		}
+	}
+	v, err := d.Process(core.NewCtx("dos", core.CtxConfig{FID: 1}), synPkt(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != core.VerdictDrop {
+		t.Error("4th SYN not dropped")
+	}
+	if !d.Blocked(1) {
+		t.Error("flow not marked blocked")
+	}
+	// Other flows unaffected.
+	if d.Blocked(2) {
+		t.Error("unrelated flow blocked")
+	}
+}
+
+func TestEventFlipsRuleToDrop(t *testing.T) {
+	// Figure 3's walkthrough: the recorded SF counts SYNs on the fast
+	// path; when the count crosses the threshold, the event replaces
+	// the flow's forward action with drop.
+	d, err := New(Config{Name: "dos", SYNThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := mat.NewLocal("dos")
+	events := event.NewTable()
+	ctx := core.NewCtx("dos", core.CtxConfig{FID: 1, Local: local, Events: events, Recording: true})
+	if _, err := d.Process(ctx, synPkt(t)); err != nil {
+		t.Fatal(err)
+	}
+	rule, _ := local.Get(1)
+	if len(rule.Funcs) != 1 || rule.Actions[0].Kind != mat.ActionForward {
+		t.Fatalf("recorded rule = %+v", rule)
+	}
+	// Fast-path SYNs via the recorded handler.
+	if _, err := rule.Funcs[0].Run(synPkt(t)); err != nil {
+		t.Fatal(err)
+	}
+	if fired := events.Check(1); len(fired) != 0 {
+		t.Fatal("event fired below threshold")
+	}
+	if _, err := rule.Funcs[0].Run(synPkt(t)); err != nil {
+		t.Fatal(err)
+	}
+	fired := events.Check(1)
+	if len(fired) != 1 {
+		t.Fatalf("fired = %d, want 1 above threshold", len(fired))
+	}
+	local.Mutate(1, func(r *mat.LocalRule) { fired[0].Event.Update(1, r) })
+	updated, _ := local.Get(1)
+	if updated.Actions[0].Kind != mat.ActionDrop {
+		t.Errorf("rule after event = %v, want drop", updated.Actions[0])
+	}
+}

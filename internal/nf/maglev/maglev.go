@@ -1,0 +1,372 @@
+// Package maglev implements the Maglev software load balancer NF
+// (paper §VI-C). Google's Maglev is closed source, so — exactly as the
+// SpeedyBox authors did — the NF follows the consistent hashing
+// algorithm of Section 3.4 of the Maglev paper (Eisenbud et al., NSDI
+// 2016): per-backend permutations generated from two hashes populate a
+// prime-sized lookup table, giving near-uniform balance and minimal
+// disruption when the backend set changes. Connection tracking pins
+// established flows to their backend; when a backend fails, a
+// SpeedyBox event reroutes each affected flow and rewrites its
+// modify(DIP, DPort) header action at runtime (paper Observation 2 and
+// §V-A's failover example).
+package maglev
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/event"
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/sfunc"
+)
+
+// Backend is one load-balanced destination server.
+type Backend struct {
+	Name string
+	IP   [4]byte
+	Port uint16
+}
+
+// Config configures the load balancer.
+type Config struct {
+	// Name is the NF instance name.
+	Name string
+	// Backends is the server pool.
+	Backends []Backend
+	// TableSize is the lookup table size M; it must be a prime
+	// larger than the backend count. The Maglev paper uses 65537; a
+	// smaller prime keeps tests fast. Defaults to 653.
+	TableSize int
+	// RewritePort also rewrites the destination port to the backend's.
+	RewritePort bool
+}
+
+// Maglev is the load balancer NF.
+type Maglev struct {
+	name        string
+	rewritePort bool
+	m           int
+
+	mu       sync.Mutex
+	backends []Backend
+	healthy  []bool
+	table    []int // M entries, each a backend index (-1 when no healthy backend)
+	conns    map[flow.FID]int
+	rerouted uint64
+}
+
+// New builds a Maglev instance and populates its lookup table.
+func New(cfg Config) (*Maglev, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("maglev: empty name")
+	}
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("maglev: no backends")
+	}
+	m := cfg.TableSize
+	if m == 0 {
+		m = 653
+	}
+	if m <= len(cfg.Backends) {
+		return nil, fmt.Errorf("maglev: table size %d must exceed backend count %d", m, len(cfg.Backends))
+	}
+	if !isPrime(m) {
+		return nil, fmt.Errorf("maglev: table size %d must be prime", m)
+	}
+	lb := &Maglev{
+		name:        cfg.Name,
+		rewritePort: cfg.RewritePort,
+		m:           m,
+		backends:    append([]Backend(nil), cfg.Backends...),
+		healthy:     make([]bool, len(cfg.Backends)),
+		conns:       make(map[flow.FID]int),
+	}
+	for i := range lb.healthy {
+		lb.healthy[i] = true
+	}
+	lb.populateLocked()
+	return lb, nil
+}
+
+var _ core.NF = (*Maglev)(nil)
+
+// Name implements core.NF.
+func (lb *Maglev) Name() string { return lb.name }
+
+var _ core.FlowCloser = (*Maglev)(nil)
+
+// FlowClosed implements core.FlowCloser: the connection-tracking pin
+// is released.
+func (lb *Maglev) FlowClosed(fid flow.FID) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	delete(lb.conns, fid)
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func hashString(s string, seed uint32) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte{byte(seed), byte(seed >> 8)})
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// populateLocked rebuilds the lookup table from the healthy backends
+// using the Section 3.4 algorithm. Callers hold lb.mu.
+func (lb *Maglev) populateLocked() {
+	table := make([]int, lb.m)
+	for i := range table {
+		table[i] = -1
+	}
+	type perm struct {
+		offset, skip uint64
+		next         uint64
+		idx          int
+	}
+	var perms []perm
+	for i, b := range lb.backends {
+		if !lb.healthy[i] {
+			continue
+		}
+		perms = append(perms, perm{
+			offset: hashString(b.Name, 0x9e37) % uint64(lb.m),
+			skip:   hashString(b.Name, 0x85eb)%uint64(lb.m-1) + 1,
+			idx:    i,
+		})
+	}
+	lb.table = table
+	if len(perms) == 0 {
+		return
+	}
+	filled := 0
+	for filled < lb.m {
+		for p := range perms {
+			pm := &perms[p]
+			// Walk this backend's permutation to its next empty slot.
+			var c uint64
+			for {
+				c = (pm.offset + pm.next*pm.skip) % uint64(lb.m)
+				pm.next++
+				if table[c] == -1 {
+					break
+				}
+			}
+			table[c] = pm.idx
+			filled++
+			if filled == lb.m {
+				break
+			}
+		}
+	}
+}
+
+// FailBackend marks a backend unhealthy and rebuilds the table. Flows
+// pinned to it are rerouted by their registered events as their next
+// packets arrive.
+func (lb *Maglev) FailBackend(i int) error {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	if i < 0 || i >= len(lb.backends) {
+		return fmt.Errorf("maglev: backend %d out of range", i)
+	}
+	if !lb.healthy[i] {
+		return nil
+	}
+	lb.healthy[i] = false
+	lb.populateLocked()
+	return nil
+}
+
+// RestoreBackend marks a backend healthy again and rebuilds the table.
+func (lb *Maglev) RestoreBackend(i int) error {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	if i < 0 || i >= len(lb.backends) {
+		return fmt.Errorf("maglev: backend %d out of range", i)
+	}
+	if lb.healthy[i] {
+		return nil
+	}
+	lb.healthy[i] = true
+	lb.populateLocked()
+	return nil
+}
+
+// Table returns a copy of the lookup table (tests inspect balance).
+func (lb *Maglev) Table() []int {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return append([]int(nil), lb.table...)
+}
+
+// Rerouted returns how many flow reroutes the failover path performed.
+func (lb *Maglev) Rerouted() uint64 {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.rerouted
+}
+
+// BackendOf returns the backend currently assigned to a flow.
+func (lb *Maglev) BackendOf(fid flow.FID) (Backend, bool) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	i, ok := lb.conns[fid]
+	if !ok || i < 0 {
+		return Backend{}, false
+	}
+	return lb.backends[i], true
+}
+
+func (lb *Maglev) hashTuple(ft packet.FiveTuple) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(ft.SrcIP[:])
+	_, _ = h.Write(ft.DstIP[:])
+	_, _ = h.Write([]byte{byte(ft.SrcPort >> 8), byte(ft.SrcPort), byte(ft.DstPort >> 8), byte(ft.DstPort), ft.Proto})
+	return h.Sum64()
+}
+
+// assignLocked picks (or reuses) the backend for a flow. It returns
+// the backend index or -1 when no healthy backend exists.
+func (lb *Maglev) assignLocked(fid flow.FID, ft packet.FiveTuple) (idx int, isNew bool) {
+	if i, ok := lb.conns[fid]; ok && i >= 0 && lb.healthy[i] {
+		return i, false
+	}
+	i := lb.table[lb.hashTuple(ft)%uint64(lb.m)]
+	lb.conns[fid] = i
+	return i, true
+}
+
+// unhealthyAssigned reports whether the flow's pinned backend has
+// failed — the event condition.
+func (lb *Maglev) unhealthyAssigned(fid flow.FID) bool {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	i, ok := lb.conns[fid]
+	return ok && i >= 0 && !lb.healthy[i]
+}
+
+// reroute re-picks a healthy backend for the flow via the rebuilt
+// table and returns it. It is the event's update half.
+func (lb *Maglev) reroute(fid flow.FID, ft packet.FiveTuple) (Backend, bool) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	i := lb.table[lb.hashTuple(ft)%uint64(lb.m)]
+	lb.conns[fid] = i
+	if i < 0 {
+		return Backend{}, false
+	}
+	lb.rerouted++
+	return lb.backends[i], true
+}
+
+// Process implements core.NF: assign a backend, rewrite the
+// destination, record modify actions, register the failover event and
+// a connection-tracking state function.
+func (lb *Maglev) Process(ctx *core.Ctx, pkt *packet.Packet) (core.Verdict, error) {
+	ctx.Charge(ctx.Model.Parse + ctx.Model.Classify)
+	ft, err := pkt.FiveTuple()
+	if err != nil {
+		return 0, fmt.Errorf("maglev %s: %w", lb.name, err)
+	}
+	fid := ctx.FID
+
+	lb.mu.Lock()
+	idx, isNew := lb.assignLocked(fid, ft)
+	var backend Backend
+	if idx >= 0 {
+		backend = lb.backends[idx]
+	}
+	lb.mu.Unlock()
+
+	ctx.Charge(ctx.Model.ConnTrackLookup)
+	if isNew {
+		ctx.Charge(ctx.Model.MaglevTableLookup + ctx.Model.ConnTrackInsert)
+	}
+	if idx < 0 {
+		// No healthy backend: shed the flow.
+		if err := ctx.AddHeaderAction(mat.Drop()); err != nil {
+			return 0, err
+		}
+		return core.VerdictDrop, nil
+	}
+
+	if err := pkt.Set(packet.FieldDstIP, backend.IP[:]); err != nil {
+		return 0, err
+	}
+	ctx.Charge(ctx.Model.ModifyField)
+	if err := ctx.AddHeaderAction(mat.Modify(packet.FieldDstIP, backend.IP[:])); err != nil {
+		return 0, err
+	}
+	if lb.rewritePort {
+		if err := pkt.Set(packet.FieldDstPort, packet.PutUint16(backend.Port)); err != nil {
+			return 0, err
+		}
+		ctx.Charge(ctx.Model.ModifyField)
+		if err := ctx.AddHeaderAction(mat.Modify(packet.FieldDstPort, packet.PutUint16(backend.Port))); err != nil {
+			return 0, err
+		}
+	}
+	if err := pkt.FinalizeChecksums(); err != nil {
+		return 0, err
+	}
+	ctx.Charge(ctx.Model.ChecksumUpdate)
+
+	// Connection-tracking touch as a state function so the fast path
+	// keeps the conn table warm exactly like the original path.
+	connTouch := ctx.Model.ConnTrackLookup
+	if err := ctx.AddStateFunc(sfunc.Func{
+		Name:  "conntrack",
+		Class: sfunc.ClassIgnore,
+		Run: func(*packet.Packet) (uint64, error) {
+			return connTouch, nil
+		},
+	}); err != nil {
+		return 0, err
+	}
+
+	// The failover event (§V-A): when the assigned backend fails,
+	// replace the modify values with a freshly selected backend's.
+	rewritePort := lb.rewritePort
+	err = ctx.RegisterEvent(event.Event{
+		Condition: lb.unhealthyAssigned,
+		Update: func(fid flow.FID, r *mat.LocalRule) {
+			nb, ok := lb.reroute(fid, ft)
+			if !ok {
+				r.Actions = []mat.HeaderAction{mat.Drop()}
+				return
+			}
+			for i, a := range r.Actions {
+				if a.Kind != mat.ActionModify {
+					continue
+				}
+				switch a.Field {
+				case packet.FieldDstIP:
+					r.Actions[i] = mat.Modify(packet.FieldDstIP, nb.IP[:])
+				case packet.FieldDstPort:
+					if rewritePort {
+						r.Actions[i] = mat.Modify(packet.FieldDstPort, packet.PutUint16(nb.Port))
+					}
+				}
+			}
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return core.VerdictForward, nil
+}

@@ -1,0 +1,325 @@
+package maglev
+
+import (
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/event"
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+func backends(n int) []Backend {
+	out := make([]Backend, n)
+	for i := range out {
+		out[i] = Backend{
+			Name: string(rune('a' + i)),
+			IP:   packet.IP4(192, 168, 1, byte(10+i)),
+			Port: uint16(8000 + i),
+		}
+	}
+	return out
+}
+
+func pkt(t *testing.T, sport uint16) *packet.Packet {
+	t.Helper()
+	return packet.MustBuild(packet.Spec{
+		SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(100, 0, 0, 1),
+		SrcPort: sport, DstPort: 80, Proto: packet.ProtoTCP, Payload: []byte("x"),
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"empty name", Config{Backends: backends(2)}},
+		{"no backends", Config{Name: "lb"}},
+		{"non-prime table", Config{Name: "lb", Backends: backends(2), TableSize: 100}},
+		{"table too small", Config{Name: "lb", Backends: backends(5), TableSize: 5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestTableFullyPopulated(t *testing.T) {
+	lb, err := New(Config{Name: "lb", Backends: backends(3), TableSize: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range lb.Table() {
+		if b < 0 || b >= 3 {
+			t.Fatalf("slot %d = %d", i, b)
+		}
+	}
+}
+
+// TestTableBalance is the Maglev paper's core property: each backend
+// owns close to M/N slots.
+func TestTableBalance(t *testing.T) {
+	n := 5
+	lb, err := New(Config{Name: "lb", Backends: backends(n), TableSize: 653})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for _, b := range lb.Table() {
+		counts[b]++
+	}
+	ideal := 653 / n
+	for i, c := range counts {
+		if c < ideal-ideal/2 || c > ideal+ideal/2 {
+			t.Errorf("backend %d owns %d slots, ideal %d", i, c, ideal)
+		}
+	}
+}
+
+// TestMinimalDisruption: removing one backend must only remap slots
+// that pointed at it, plus a small consistent-hashing disturbance (the
+// Maglev paper tolerates a few percent).
+func TestMinimalDisruption(t *testing.T) {
+	lb, err := New(Config{Name: "lb", Backends: backends(5), TableSize: 653})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := lb.Table()
+	if err := lb.FailBackend(2); err != nil {
+		t.Fatal(err)
+	}
+	after := lb.Table()
+	moved := 0
+	for i := range before {
+		if before[i] != 2 && before[i] != after[i] {
+			moved++
+		}
+	}
+	if frac := float64(moved) / float64(len(before)); frac > 0.25 {
+		t.Errorf("%.1f%% of unaffected slots moved; consistent hashing should keep this small", frac*100)
+	}
+	for i, b := range after {
+		if b == 2 {
+			t.Fatalf("slot %d still points at failed backend", i)
+		}
+	}
+}
+
+func TestFailRestore(t *testing.T) {
+	lb, err := New(Config{Name: "lb", Backends: backends(2), TableSize: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.FailBackend(5); err == nil {
+		t.Error("out-of-range FailBackend accepted")
+	}
+	if err := lb.FailBackend(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.FailBackend(0); err != nil {
+		t.Error("idempotent FailBackend errored")
+	}
+	for _, b := range lb.Table() {
+		if b == 0 {
+			t.Fatal("failed backend still in table")
+		}
+	}
+	if err := lb.RestoreBackend(0); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range lb.Table() {
+		if b == 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("restored backend absent from table")
+	}
+}
+
+func TestProcessRewritesDestination(t *testing.T) {
+	lb, err := New(Config{Name: "lb", Backends: backends(3), TableSize: 101, RewritePort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := mat.NewLocal("lb")
+	ctx := core.NewCtx("lb", core.CtxConfig{FID: 1, Local: local, Recording: true})
+	p := pkt(t, 1111)
+	v, err := lb.Process(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != core.VerdictForward {
+		t.Fatalf("verdict = %v", v)
+	}
+	b, ok := lb.BackendOf(1)
+	if !ok {
+		t.Fatal("no backend pinned")
+	}
+	if p.DstIP() != b.IP || p.DstPort() != b.Port {
+		t.Errorf("packet dst = %v:%d, backend = %v:%d", p.DstIP(), p.DstPort(), b.IP, b.Port)
+	}
+	if !p.VerifyChecksums() {
+		t.Error("checksums stale after rewrite")
+	}
+	rule, _ := local.Get(1)
+	if len(rule.Actions) != 2 {
+		t.Errorf("recorded %d actions, want modify(DIP)+modify(DPort)", len(rule.Actions))
+	}
+}
+
+func TestConnectionStickiness(t *testing.T) {
+	lb, err := New(Config{Name: "lb", Backends: backends(4), TableSize: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := func() (Backend, bool) {
+		ctx := core.NewCtx("lb", core.CtxConfig{FID: 1})
+		if _, err := lb.Process(ctx, pkt(t, 1111)); err != nil {
+			t.Fatal(err)
+		}
+		return lb.BackendOf(1)
+	}()
+	for i := 0; i < 5; i++ {
+		ctx := core.NewCtx("lb", core.CtxConfig{FID: 1})
+		if _, err := lb.Process(ctx, pkt(t, 1111)); err != nil {
+			t.Fatal(err)
+		}
+		b, _ := lb.BackendOf(1)
+		if b != first {
+			t.Fatalf("flow moved from %v to %v without failure", first, b)
+		}
+	}
+}
+
+// TestFailoverEvent reproduces the §VII-C2 Maglev equivalence test:
+// the registered event reroutes the flow and rewrites its modify
+// action.
+func TestFailoverEvent(t *testing.T) {
+	lb, err := New(Config{Name: "lb", Backends: backends(3), TableSize: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := mat.NewLocal("lb")
+	events := event.NewTable()
+	ctx := core.NewCtx("lb", core.CtxConfig{FID: 7, Local: local, Events: events, Recording: true})
+	if _, err := lb.Process(ctx, pkt(t, 2222)); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := lb.BackendOf(7)
+
+	// Condition false while the backend is healthy.
+	if fired := events.Check(7); len(fired) != 0 {
+		t.Fatal("event fired with healthy backend")
+	}
+
+	// Find the pinned backend's index and fail it.
+	idx := -1
+	for i, b := range backends(3) {
+		if b == orig {
+			idx = i
+		}
+	}
+	if idx == -1 {
+		t.Fatal("pinned backend not found")
+	}
+	if err := lb.FailBackend(idx); err != nil {
+		t.Fatal(err)
+	}
+	fired := events.Check(7)
+	if len(fired) != 1 {
+		t.Fatalf("fired = %d, want 1", len(fired))
+	}
+	local.Mutate(7, func(r *mat.LocalRule) { fired[0].Event.Update(7, r) })
+
+	nb, ok := lb.BackendOf(7)
+	if !ok || nb == orig {
+		t.Fatalf("flow not rerouted: %v -> %v", orig, nb)
+	}
+	rule, _ := local.Get(7)
+	if rule.Actions[0].Kind != mat.ActionModify || rule.Actions[0].Field != packet.FieldDstIP {
+		t.Fatalf("action after update = %+v", rule.Actions[0])
+	}
+	if got := rule.Actions[0].Value; [4]byte{got[0], got[1], got[2], got[3]} != nb.IP {
+		t.Errorf("updated DIP = %v, want %v", got, nb.IP)
+	}
+	if lb.Rerouted() != 1 {
+		t.Errorf("Rerouted = %d", lb.Rerouted())
+	}
+}
+
+func TestAllBackendsDownDropsFlows(t *testing.T) {
+	lb, err := New(Config{Name: "lb", Backends: backends(1), TableSize: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.FailBackend(0); err != nil {
+		t.Fatal(err)
+	}
+	local := mat.NewLocal("lb")
+	ctx := core.NewCtx("lb", core.CtxConfig{FID: 1, Local: local, Recording: true})
+	v, err := lb.Process(ctx, pkt(t, 3333))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != core.VerdictDrop {
+		t.Errorf("verdict with no backends = %v", v)
+	}
+	rule, _ := local.Get(1)
+	if rule.Actions[0].Kind != mat.ActionDrop {
+		t.Errorf("recorded action = %v", rule.Actions[0])
+	}
+}
+
+func TestLookupDistributionAcrossFlows(t *testing.T) {
+	lb, err := New(Config{Name: "lb", Backends: backends(4), TableSize: 653})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[[4]byte]int)
+	for i := 0; i < 400; i++ {
+		fid := flow.FID(i + 1)
+		ctx := core.NewCtx("lb", core.CtxConfig{FID: fid})
+		p := packet.MustBuild(packet.Spec{
+			SrcIP: packet.IP4(10, 0, byte(i>>8), byte(i)), DstIP: packet.IP4(100, 0, 0, 1),
+			SrcPort: uint16(1024 + i), DstPort: 80, Proto: packet.ProtoTCP,
+		})
+		if _, err := lb.Process(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+		counts[p.DstIP()]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("flows landed on %d backends, want 4", len(counts))
+	}
+	for ip, c := range counts {
+		if c < 40 || c > 180 {
+			t.Errorf("backend %v got %d/400 flows; distribution badly skewed", ip, c)
+		}
+	}
+}
+
+func TestFlowClosedReleasesConnTrack(t *testing.T) {
+	lb, err := New(Config{Name: "lb", Backends: backends(2), TableSize: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := core.NewCtx("lb", core.CtxConfig{FID: 5})
+	if _, err := lb.Process(ctx, pkt(t, 4444)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lb.BackendOf(5); !ok {
+		t.Fatal("no pin")
+	}
+	lb.FlowClosed(5)
+	if _, ok := lb.BackendOf(5); ok {
+		t.Error("conn-track pin survived FlowClosed")
+	}
+}

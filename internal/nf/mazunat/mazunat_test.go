@@ -1,0 +1,237 @@
+package mazunat
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+func cfg() Config {
+	return Config{
+		Name:           "nat",
+		InternalPrefix: packet.IP4(10, 0, 0, 0),
+		InternalBits:   8,
+		ExternalIP:     packet.IP4(198, 51, 100, 1),
+		PortBase:       30000,
+	}
+}
+
+func outbound(t *testing.T, sport uint16) *packet.Packet {
+	t.Helper()
+	return packet.MustBuild(packet.Spec{
+		SrcIP: packet.IP4(10, 0, 0, 5), DstIP: packet.IP4(93, 184, 216, 34),
+		SrcPort: sport, DstPort: 443, Proto: packet.ProtoTCP, Payload: []byte("out"),
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{InternalBits: 8}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New(Config{Name: "nat", InternalBits: 0}); err == nil {
+		t.Error("zero prefix bits accepted")
+	}
+	if _, err := New(Config{Name: "nat", InternalBits: 40}); err == nil {
+		t.Error("oversized prefix bits accepted")
+	}
+}
+
+func TestOutboundSNAT(t *testing.T) {
+	n, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := mat.NewLocal("nat")
+	ctx := core.NewCtx("nat", core.CtxConfig{FID: 1, Local: local, Recording: true})
+	p := outbound(t, 1234)
+	v, err := n.Process(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != core.VerdictForward {
+		t.Fatalf("verdict = %v", v)
+	}
+	if p.SrcIP() != cfg().ExternalIP {
+		t.Errorf("SIP = %v, want external", p.SrcIP())
+	}
+	if p.SrcPort() < 30000 {
+		t.Errorf("SPort = %d, want allocated >= 30000", p.SrcPort())
+	}
+	if !p.VerifyChecksums() {
+		t.Error("checksums stale")
+	}
+	rule, _ := local.Get(1)
+	if len(rule.Actions) != 2 {
+		t.Errorf("recorded %d actions, want modify(SIP)+modify(SPort)", len(rule.Actions))
+	}
+	if n.Mappings() != 1 {
+		t.Errorf("Mappings = %d", n.Mappings())
+	}
+}
+
+func TestMappingStablePerFlow(t *testing.T) {
+	n, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := outbound(t, 1234)
+	if _, err := n.Process(core.NewCtx("nat", core.CtxConfig{FID: 1}), p1); err != nil {
+		t.Fatal(err)
+	}
+	port1 := p1.SrcPort()
+	p2 := outbound(t, 1234)
+	if _, err := n.Process(core.NewCtx("nat", core.CtxConfig{FID: 1}), p2); err != nil {
+		t.Fatal(err)
+	}
+	if p2.SrcPort() != port1 {
+		t.Errorf("same flow translated to different ports: %d vs %d", port1, p2.SrcPort())
+	}
+	// A different flow gets a different port.
+	p3 := outbound(t, 5678)
+	if _, err := n.Process(core.NewCtx("nat", core.CtxConfig{FID: 2}), p3); err != nil {
+		t.Fatal(err)
+	}
+	if p3.SrcPort() == port1 {
+		t.Error("distinct flows share an external port")
+	}
+}
+
+func TestInboundDNAT(t *testing.T) {
+	n, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := outbound(t, 1234)
+	if _, err := n.Process(core.NewCtx("nat", core.CtxConfig{FID: 1}), out); err != nil {
+		t.Fatal(err)
+	}
+	extPort := out.SrcPort()
+
+	in := packet.MustBuild(packet.Spec{
+		SrcIP: packet.IP4(93, 184, 216, 34), DstIP: cfg().ExternalIP,
+		SrcPort: 443, DstPort: extPort, Proto: packet.ProtoTCP, Payload: []byte("reply"),
+	})
+	v, err := n.Process(core.NewCtx("nat", core.CtxConfig{FID: 2}), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != core.VerdictForward {
+		t.Fatalf("inbound verdict = %v", v)
+	}
+	if in.DstIP() != packet.IP4(10, 0, 0, 5) || in.DstPort() != 1234 {
+		t.Errorf("reverse translation = %v:%d", in.DstIP(), in.DstPort())
+	}
+	if !in.VerifyChecksums() {
+		t.Error("checksums stale on inbound")
+	}
+}
+
+func TestUnsolicitedInboundDropped(t *testing.T) {
+	n, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := packet.MustBuild(packet.Spec{
+		SrcIP: packet.IP4(8, 8, 8, 8), DstIP: cfg().ExternalIP,
+		SrcPort: 53, DstPort: 31337, Proto: packet.ProtoUDP,
+	})
+	local := mat.NewLocal("nat")
+	v, err := n.Process(core.NewCtx("nat", core.CtxConfig{FID: 1, Local: local, Recording: true}), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != core.VerdictDrop {
+		t.Errorf("unsolicited inbound verdict = %v", v)
+	}
+	rule, _ := local.Get(1)
+	if rule.Actions[0].Kind != mat.ActionDrop {
+		t.Errorf("recorded %v, want drop", rule.Actions[0])
+	}
+}
+
+func TestTransitTrafficForwards(t *testing.T) {
+	n, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := packet.MustBuild(packet.Spec{
+		SrcIP: packet.IP4(4, 4, 4, 4), DstIP: packet.IP4(5, 5, 5, 5),
+		SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP,
+	})
+	before := append([]byte(nil), p.Data()...)
+	v, err := n.Process(core.NewCtx("nat", core.CtxConfig{FID: 1}), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != core.VerdictForward {
+		t.Errorf("transit verdict = %v", v)
+	}
+	if string(before) != string(p.Data()) {
+		t.Error("transit packet modified")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	n, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := outbound(t, 1234)
+	ft, _ := p.FiveTuple()
+	if _, err := n.Process(core.NewCtx("nat", core.CtxConfig{FID: 1}), p); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.MappingFor(ft); !ok {
+		t.Fatal("mapping missing")
+	}
+	n.Release(ft)
+	if _, ok := n.MappingFor(ft); ok {
+		t.Error("mapping survived Release")
+	}
+	if n.Mappings() != 0 {
+		t.Error("mapping count nonzero after Release")
+	}
+}
+
+func TestPortExhaustion(t *testing.T) {
+	c := cfg()
+	c.PortBase = 65534 // only ports 65534, 65535 available
+	n, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := n.Process(core.NewCtx("nat", core.CtxConfig{FID: 0}), outbound(t, uint16(1000+i))); err != nil {
+			t.Fatalf("flow %d: %v", i, err)
+		}
+	}
+	_, err = n.Process(core.NewCtx("nat", core.CtxConfig{FID: 0}), outbound(t, 3000))
+	if !errors.Is(err, ErrPortsExhausted) {
+		t.Errorf("err = %v, want ErrPortsExhausted", err)
+	}
+}
+
+func TestFlowClosedReleasesMapping(t *testing.T) {
+	n, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := outbound(t, 1234)
+	ctx := core.NewCtx("nat", core.CtxConfig{FID: 42})
+	if _, err := n.Process(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	if n.Mappings() != 1 {
+		t.Fatal("mapping missing")
+	}
+	n.FlowClosed(42)
+	if n.Mappings() != 0 {
+		t.Error("mapping survived FlowClosed")
+	}
+	// Idempotent on unknown flows.
+	n.FlowClosed(42)
+	n.FlowClosed(999)
+}

@@ -1,0 +1,164 @@
+// Package ratelimiter implements a per-source quota enforcer NF,
+// exercising the paper's shared-state case (§IV-A2): "Some state may
+// be shared by a collection of flows, and multiple flows may share a
+// state function. In this case, we record the state function for all
+// associated flows."
+//
+// The limiter tracks one packet counter per source address. Every flow
+// from that source records a state function updating the *shared*
+// counter, and registers an event whose condition reads the same
+// shared state — so when one flow exhausts the source's quota, the
+// Event Table flips *every* flow of that source to drop as their next
+// packets arrive.
+package ratelimiter
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/event"
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/sfunc"
+)
+
+// Config configures a Limiter.
+type Config struct {
+	// Name is the NF instance name.
+	Name string
+	// Quota is the per-source packet budget; sources exceeding it are
+	// blocked. Defaults to 1000.
+	Quota uint64
+}
+
+// Limiter is the per-source quota NF.
+type Limiter struct {
+	name  string
+	quota uint64
+
+	mu      sync.Mutex
+	counts  map[[4]byte]uint64
+	blocked map[[4]byte]bool
+	sources map[flow.FID][4]byte // flow -> shared-state key
+}
+
+// New builds a Limiter.
+func New(cfg Config) (*Limiter, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("ratelimiter: empty name")
+	}
+	quota := cfg.Quota
+	if quota == 0 {
+		quota = 1000
+	}
+	return &Limiter{
+		name:    cfg.Name,
+		quota:   quota,
+		counts:  make(map[[4]byte]uint64),
+		blocked: make(map[[4]byte]bool),
+		sources: make(map[flow.FID][4]byte),
+	}, nil
+}
+
+var _ core.NF = (*Limiter)(nil)
+
+// Name implements core.NF.
+func (l *Limiter) Name() string { return l.name }
+
+var _ core.FlowCloser = (*Limiter)(nil)
+
+// FlowClosed implements core.FlowCloser: the flow-to-source binding is
+// released; the shared per-source counters persist (quota state
+// outlives individual flows by design).
+func (l *Limiter) FlowClosed(fid flow.FID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.sources, fid)
+}
+
+// Count returns the shared packet counter for a source.
+func (l *Limiter) Count(src [4]byte) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counts[src]
+}
+
+// Blocked reports whether the source exhausted its quota.
+func (l *Limiter) Blocked(src [4]byte) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.blocked[src]
+}
+
+// observe charges one packet against the source's shared quota and
+// returns whether the source is (now) blocked.
+func (l *Limiter) observe(fid flow.FID, src [4]byte) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sources[fid] = src
+	l.counts[src]++
+	if l.counts[src] > l.quota {
+		l.blocked[src] = true
+	}
+	return l.blocked[src]
+}
+
+// sourceBlocked is the shared event condition: it reads the state of
+// the flow's *source*, which every flow from that source updates.
+func (l *Limiter) sourceBlocked(fid flow.FID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	src, ok := l.sources[fid]
+	return ok && l.blocked[src]
+}
+
+// Process implements core.NF.
+func (l *Limiter) Process(ctx *core.Ctx, pkt *packet.Packet) (core.Verdict, error) {
+	ctx.Charge(ctx.Model.Parse + ctx.Model.Classify)
+	ft, err := pkt.FiveTuple()
+	if err != nil {
+		return 0, fmt.Errorf("ratelimiter %s: %w", l.name, err)
+	}
+	fid := ctx.FID
+	over := l.observe(fid, ft.SrcIP)
+	ctx.Charge(ctx.Model.CounterUpdate)
+	if over {
+		if err := ctx.AddHeaderAction(mat.Drop()); err != nil {
+			return 0, err
+		}
+		ctx.Charge(ctx.Model.DropAction)
+		return core.VerdictDrop, nil
+	}
+
+	if err := ctx.AddHeaderAction(mat.Forward()); err != nil {
+		return 0, err
+	}
+	// The shared state function: every flow of the source records the
+	// same counting handler against the same counter.
+	src := ft.SrcIP
+	counterUpdate := ctx.Model.CounterUpdate
+	if err := ctx.AddStateFunc(sfunc.Func{
+		Name:  "quota",
+		Class: sfunc.ClassIgnore,
+		Run: func(*packet.Packet) (uint64, error) {
+			l.observe(fid, src)
+			return counterUpdate, nil
+		},
+	}); err != nil {
+		return 0, err
+	}
+	// The shared-condition event: it fires for this flow as soon as
+	// ANY flow of the same source exhausts the quota.
+	if err := ctx.RegisterEvent(event.Event{
+		Condition: l.sourceBlocked,
+		OneShot:   true,
+		Update: func(_ flow.FID, r *mat.LocalRule) {
+			r.Actions = []mat.HeaderAction{mat.Drop()}
+		},
+	}); err != nil {
+		return 0, err
+	}
+	return core.VerdictForward, nil
+}

@@ -1,0 +1,250 @@
+package snort
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// ParseRules parses a subset of the Snort rule language, so rule sets
+// can be supplied in the familiar syntax:
+//
+//	alert tcp any any -> any 80 (msg:"exploit"; content:"ATTACK"; sid:1001;)
+//	log   tcp any any -> any any (pcre:"/GET \/admin/"; msg:"admin"; sid:1005;)
+//	pass  tcp any any -> any any (content:"HEALTHCHECK"; sid:1004;)
+//
+// Supported header fields: action (alert|log|pass), protocol
+// (tcp|udp|ip), and the destination port (a number or "any"); source
+// address/port and destination address must be "any" (flow-level
+// addressing is the classifier's job in SpeedyBox). Supported options:
+// msg, content (with optional nocase), pcre ("/regex/" with optional i
+// flag), sid. Lines that are empty or start with '#' are skipped.
+func ParseRules(text string) ([]Rule, error) {
+	var rules []Rule
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, err := parseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("snort: line %d: %w", lineNo+1, err)
+		}
+		rules = append(rules, rule)
+	}
+	return rules, nil
+}
+
+func parseRule(line string) (Rule, error) {
+	open := strings.Index(line, "(")
+	closeIdx := strings.LastIndex(line, ")")
+	if open == -1 || closeIdx == -1 || closeIdx < open {
+		return Rule{}, fmt.Errorf("missing option block: %q", line)
+	}
+	header := strings.Fields(line[:open])
+	if len(header) != 7 {
+		return Rule{}, fmt.Errorf("header needs 7 fields (action proto src sport -> dst dport), got %d", len(header))
+	}
+	var rule Rule
+
+	switch header[0] {
+	case "alert":
+		rule.Type = TypeAlert
+	case "log":
+		rule.Type = TypeLog
+	case "pass":
+		rule.Type = TypePass
+	default:
+		return Rule{}, fmt.Errorf("unsupported action %q", header[0])
+	}
+	switch header[1] {
+	case "tcp":
+		rule.Proto = packet.ProtoTCP
+	case "udp":
+		rule.Proto = packet.ProtoUDP
+	case "ip":
+		rule.Proto = 0
+	default:
+		return Rule{}, fmt.Errorf("unsupported protocol %q", header[1])
+	}
+	if header[2] != "any" || header[3] != "any" {
+		return Rule{}, fmt.Errorf("source address/port must be 'any' (got %s %s)", header[2], header[3])
+	}
+	if header[4] != "->" {
+		return Rule{}, fmt.Errorf("expected '->', got %q", header[4])
+	}
+	if header[5] != "any" {
+		return Rule{}, fmt.Errorf("destination address must be 'any' (got %s)", header[5])
+	}
+	if header[6] != "any" {
+		port, err := strconv.ParseUint(header[6], 10, 16)
+		if err != nil {
+			return Rule{}, fmt.Errorf("bad destination port %q", header[6])
+		}
+		rule.DstPort = uint16(port)
+	}
+
+	opts, err := splitOptions(line[open+1 : closeIdx])
+	if err != nil {
+		return Rule{}, err
+	}
+	var content string
+	var nocase bool
+	for _, opt := range opts {
+		key, value, hasValue := strings.Cut(opt, ":")
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		switch key {
+		case "msg":
+			rule.Msg, err = unquote(value)
+			if err != nil {
+				return Rule{}, fmt.Errorf("msg: %w", err)
+			}
+		case "content":
+			content, err = unquote(value)
+			if err != nil {
+				return Rule{}, fmt.Errorf("content: %w", err)
+			}
+		case "nocase":
+			if hasValue && value != "" {
+				return Rule{}, fmt.Errorf("nocase takes no value")
+			}
+			nocase = true
+		case "pcre":
+			q, err := unquote(value)
+			if err != nil {
+				return Rule{}, fmt.Errorf("pcre: %w", err)
+			}
+			rule.Pattern, err = compilePCRE(q)
+			if err != nil {
+				return Rule{}, fmt.Errorf("pcre: %w", err)
+			}
+		case "sid":
+			id, err := strconv.Atoi(value)
+			if err != nil {
+				return Rule{}, fmt.Errorf("bad sid %q", value)
+			}
+			rule.ID = id
+		default:
+			return Rule{}, fmt.Errorf("unsupported option %q", key)
+		}
+	}
+	if content != "" {
+		if nocase {
+			// Case-insensitive content becomes an anchored-nowhere,
+			// case-folded regular expression.
+			pat, err := regexp.Compile("(?i)" + regexp.QuoteMeta(content))
+			if err != nil {
+				return Rule{}, fmt.Errorf("nocase content: %w", err)
+			}
+			rule.Pattern = pat
+		} else {
+			rule.Content = []byte(content)
+		}
+	} else if nocase {
+		return Rule{}, fmt.Errorf("nocase without content")
+	}
+	if rule.Content == nil && rule.Pattern == nil {
+		return Rule{}, fmt.Errorf("rule has neither content nor pcre")
+	}
+	if rule.ID == 0 {
+		return Rule{}, fmt.Errorf("rule has no sid")
+	}
+	return rule, nil
+}
+
+// splitOptions splits "a:1; b:\"x;y\"; c" on semicolons outside quotes.
+func splitOptions(s string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	escaped := false
+	for _, r := range s {
+		switch {
+		case escaped:
+			cur.WriteRune(r)
+			escaped = false
+		case r == '\\' && inQuote:
+			cur.WriteRune(r)
+			escaped = true
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ';' && !inQuote:
+			if t := strings.TrimSpace(cur.String()); t != "" {
+				out = append(out, t)
+			}
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote in options %q", s)
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" {
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// unquote strips surrounding double quotes and resolves \" and \\.
+func unquote(s string) (string, error) {
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("value %q not quoted", s)
+	}
+	body := s[1 : len(s)-1]
+	var out strings.Builder
+	escaped := false
+	for _, r := range body {
+		switch {
+		case escaped:
+			// Only quote and backslash escapes are resolved; any
+			// other backslash sequence (e.g. pcre's \s, \d) stays
+			// literal.
+			if r != '"' && r != '\\' {
+				out.WriteRune('\\')
+			}
+			out.WriteRune(r)
+			escaped = false
+		case r == '\\':
+			escaped = true
+		default:
+			out.WriteRune(r)
+		}
+	}
+	if escaped {
+		return "", fmt.Errorf("dangling escape in %q", s)
+	}
+	return out.String(), nil
+}
+
+// compilePCRE translates Snort's /regex/flags notation to a Go regexp
+// (Go's RE2 covers the subset used in payload rules; the i flag maps
+// to (?i)).
+func compilePCRE(s string) (*regexp.Regexp, error) {
+	if len(s) < 2 || s[0] != '/' {
+		return nil, fmt.Errorf("pattern %q must look like /regex/flags", s)
+	}
+	end := strings.LastIndex(s, "/")
+	if end == 0 {
+		return nil, fmt.Errorf("pattern %q missing closing slash", s)
+	}
+	body := s[1:end]
+	flags := s[end+1:]
+	prefix := ""
+	for _, f := range flags {
+		switch f {
+		case 'i':
+			prefix = "(?i)"
+		case 's':
+			prefix += "(?s)"
+		default:
+			return nil, fmt.Errorf("unsupported pcre flag %q", string(f))
+		}
+	}
+	return regexp.Compile(prefix + body)
+}

@@ -1,0 +1,144 @@
+// Package vpn implements a VPN gateway NF exercising the Encap and
+// Decap header actions (paper §IV-A1: "VPNs add an Authentication
+// Header (AH) for each packet before forwarding (encap), and remove
+// the AH when the other end receives the packet (decap)").
+//
+// An encap-mode gateway and a decap-mode gateway placed in one chain
+// demonstrate the §V-B stack elimination: the matched pair cancels and
+// the consolidated fast path touches no headers at all.
+package vpn
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// Mode selects the gateway direction.
+type Mode int
+
+// Gateway modes. Enum starts at one.
+const (
+	// ModeEncap adds an AH to every packet.
+	ModeEncap Mode = iota + 1
+	// ModeDecap removes the outermost AH.
+	ModeDecap
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeEncap:
+		return "encap"
+	case ModeDecap:
+		return "decap"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config configures a Gateway.
+type Config struct {
+	// Name is the NF instance name.
+	Name string
+	// Mode selects encapsulation or decapsulation.
+	Mode Mode
+	// SPIBase seeds per-flow SPI assignment in encap mode.
+	SPIBase uint32
+}
+
+// Gateway is the VPN NF. In encap mode each flow gets a stable SPI;
+// the AH sequence number is fixed per flow — a consolidation-friendly
+// simplification of AH anti-replay counters, documented in DESIGN.md.
+type Gateway struct {
+	name    string
+	mode    Mode
+	spiBase uint32
+
+	mu   sync.Mutex
+	spis map[flow.FID]uint32
+	next uint32
+}
+
+// New builds a Gateway.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("vpn: empty name")
+	}
+	if cfg.Mode != ModeEncap && cfg.Mode != ModeDecap {
+		return nil, fmt.Errorf("vpn: invalid mode %d", int(cfg.Mode))
+	}
+	return &Gateway{
+		name:    cfg.Name,
+		mode:    cfg.Mode,
+		spiBase: cfg.SPIBase,
+		spis:    make(map[flow.FID]uint32),
+	}, nil
+}
+
+var _ core.NF = (*Gateway)(nil)
+
+// Name implements core.NF.
+func (g *Gateway) Name() string { return g.name }
+
+var _ core.FlowCloser = (*Gateway)(nil)
+
+// FlowClosed implements core.FlowCloser: the flow's SPI assignment is
+// released.
+func (g *Gateway) FlowClosed(fid flow.FID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.spis, fid)
+}
+
+// Mode returns the gateway direction.
+func (g *Gateway) Mode() Mode { return g.mode }
+
+// spiFor allocates or returns the flow's SPI.
+func (g *Gateway) spiFor(fid flow.FID) uint32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if spi, ok := g.spis[fid]; ok {
+		return spi
+	}
+	g.next++
+	spi := g.spiBase + g.next
+	g.spis[fid] = spi
+	return spi
+}
+
+// Process implements core.NF.
+func (g *Gateway) Process(ctx *core.Ctx, pkt *packet.Packet) (core.Verdict, error) {
+	ctx.Charge(ctx.Model.Parse + ctx.Model.Classify)
+	switch g.mode {
+	case ModeEncap:
+		spi := g.spiFor(ctx.FID)
+		hdr := packet.ExtraHeader{Type: packet.HeaderAH, SPI: spi}
+		if err := pkt.Encap(hdr); err != nil {
+			return 0, fmt.Errorf("vpn %s: %w", g.name, err)
+		}
+		if err := pkt.FinalizeChecksums(); err != nil {
+			return 0, err
+		}
+		ctx.Charge(ctx.Model.EncapHeader + ctx.Model.ChecksumUpdate)
+		if err := ctx.AddHeaderAction(mat.Encap(hdr)); err != nil {
+			return 0, err
+		}
+	case ModeDecap:
+		if err := pkt.Decap(packet.HeaderAH); err != nil {
+			return 0, fmt.Errorf("vpn %s: %w", g.name, err)
+		}
+		if err := pkt.FinalizeChecksums(); err != nil {
+			return 0, err
+		}
+		ctx.Charge(ctx.Model.DecapHeader + ctx.Model.ChecksumUpdate)
+		if err := ctx.AddHeaderAction(mat.Decap(packet.HeaderAH)); err != nil {
+			return 0, err
+		}
+	}
+	return core.VerdictForward, nil
+}

@@ -1,0 +1,463 @@
+// Package onvm implements the OpenNetVM execution-platform model
+// (paper §VI-A): each NF runs on its own dedicated core (here: its own
+// goroutine), interconnected by shared-memory rings delivering packet
+// descriptors. The NF manager hosts the Global MAT and the packet
+// classifier runs at the manager's RX thread; Local MAT rules travel
+// to the manager over inter-core message queues for consolidation.
+//
+// Unlike the single-core BESS model, the pipeline here is real
+// concurrency: classification happens on the caller (the RX thread),
+// slow-path packets hop NF-goroutine to NF-goroutine through
+// internal/ring buffers, fast-path packets go to the manager
+// goroutine, and consolidation requests arrive at the manager on a
+// message ring — exactly the topology the paper describes. Throughput
+// and latency are still derived from the calibrated cost model (the
+// pipeline-bottleneck and per-hop formulas below), since goroutine
+// scheduling time has no relation to the modeled testbed.
+package onvm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/fastpathnfv/speedybox/internal/classifier"
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/cost"
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/platform"
+	"github.com/fastpathnfv/speedybox/internal/ring"
+)
+
+// ErrChainTooLong reports a chain exceeding the ONVM core budget: with
+// one dedicated core per NF plus the manager's RX/TX/consolidation
+// threads, the paper's 14-core testbed supports at most 5 NFs
+// (§VII-B2: "in OpenNetVM, we can only support a maximum chain length
+// of 5, limited by the number of cores on our testbed").
+var ErrChainTooLong = errors.New("onvm: chain exceeds core budget")
+
+// Config configures an OpenNetVM platform instance.
+type Config struct {
+	// Chain is the service chain in order.
+	Chain []core.NF
+	// Options selects baseline vs SpeedyBox and ablations.
+	Options core.Options
+	// RingCapacity sizes the inter-core rings; defaults to 64.
+	RingCapacity int
+}
+
+// MaxChainLen returns the largest supported chain for a core budget:
+// each NF needs a dedicated core and its RX-queue sibling, and four
+// cores are reserved for the manager (RX, TX, Global MAT executor,
+// message handling). For the paper's 14-core testbed this yields 5.
+func MaxChainLen(coreBudget int) int {
+	n := (coreBudget - 4) / 2
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// job is one packet descriptor travelling the pipeline.
+type job struct {
+	pkt       *packet.Packet
+	cls       classifier.Result
+	recording bool
+
+	// slow-path accounting, filled by the NF goroutines
+	perNF       []cost.StageCost
+	verdict     core.Verdict
+	dropIndex   int
+	consolidate uint64
+	err         error
+	// fast-path result, filled by the manager
+	fastRes *core.PacketResult
+
+	done   chan struct{}
+	engine *core.Engine
+}
+
+// finish completes the job exactly once: it releases the flow's
+// recording slot if this job held it, then signals completion.
+func (j *job) finish() {
+	if j.recording && j.engine != nil {
+		j.engine.EndRecording(j.cls.FID)
+	}
+	close(j.done)
+}
+
+// Platform is the OpenNetVM model.
+type Platform struct {
+	eng   *core.Engine
+	name  string
+	chain int
+
+	nfRings []*ring.Ring[*job] // nfRings[i] feeds NF i
+	mgrRing *ring.Ring[*job]   // fast-path + consolidation work
+
+	wg     sync.WaitGroup
+	closed bool
+	mu     sync.Mutex
+}
+
+var _ platform.Platform = (*Platform)(nil)
+
+// New builds the platform and starts its NF and manager goroutines.
+func New(cfg Config) (*Platform, error) {
+	eng, err := core.NewEngine(cfg.Chain, cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("onvm: %w", err)
+	}
+	model := eng.Model()
+	if max := MaxChainLen(model.ONVMCoreBudget); len(cfg.Chain) > max {
+		return nil, fmt.Errorf("%w: %d NFs, budget %d cores allows %d",
+			ErrChainTooLong, len(cfg.Chain), model.ONVMCoreBudget, max)
+	}
+	capacity := cfg.RingCapacity
+	if capacity == 0 {
+		capacity = 64
+	}
+	p := &Platform{
+		eng:   eng,
+		name:  platform.DisplayName("OpenNetVM", cfg.Options.EnableSpeedyBox),
+		chain: len(cfg.Chain),
+	}
+	p.nfRings = make([]*ring.Ring[*job], len(cfg.Chain))
+	for i := range p.nfRings {
+		p.nfRings[i] = ring.New[*job](capacity)
+	}
+	p.mgrRing = ring.New[*job](capacity)
+
+	// One goroutine per NF core.
+	for i := range cfg.Chain {
+		p.wg.Add(1)
+		go p.nfLoop(i)
+	}
+	// The manager core: Global MAT executor + consolidation handler.
+	p.wg.Add(1)
+	go p.managerLoop()
+	return p, nil
+}
+
+// nfLoop is NF i's dedicated core.
+func (p *Platform) nfLoop(i int) {
+	defer p.wg.Done()
+	in := p.nfRings[i]
+	for {
+		j, err := in.Dequeue()
+		if err != nil {
+			return // ring closed: shutdown
+		}
+		if j.err == nil && j.verdict != core.VerdictDrop {
+			v, cycles, err := p.eng.ProcessNF(i, j.cls.FID, j.pkt, j.recording)
+			j.perNF = append(j.perNF, cost.StageCost{Name: fmt.Sprintf("nf%d", i), Cycles: cycles})
+			switch {
+			case err != nil:
+				j.err = err
+			case v == core.VerdictDrop:
+				j.verdict = core.VerdictDrop
+				j.dropIndex = i
+				if !j.pkt.Dropped() {
+					j.pkt.Drop()
+				}
+			}
+		}
+		p.forward(i, j)
+	}
+}
+
+// forward routes a job leaving NF i: to the next NF, or to the manager
+// for consolidation, or completes it.
+func (p *Platform) forward(i int, j *job) {
+	atEnd := i == p.chain-1 || j.err != nil || j.verdict == core.VerdictDrop
+	if !atEnd {
+		if err := p.nfRings[i+1].Enqueue(j); err != nil {
+			j.err = err
+			j.finish()
+		}
+		return
+	}
+	if j.recording && j.err == nil {
+		// "As soon as the service chain finishes processing the
+		// packet, SpeedyBox notifies the Global MAT to consolidate
+		// the rules" — via the inter-core message queue.
+		if err := p.mgrRing.Enqueue(j); err != nil {
+			j.err = err
+			j.finish()
+		}
+		return
+	}
+	j.finish()
+}
+
+// managerLoop is the NF manager core: it consolidates freshly recorded
+// flows and executes the Global MAT fast path.
+func (p *Platform) managerLoop() {
+	defer p.wg.Done()
+	for {
+		j, err := p.mgrRing.Dequeue()
+		if err != nil {
+			return
+		}
+		if j.recording && j.fastRes == nil && j.err == nil && j.cls.Kind != classifier.KindSubsequent {
+			// Consolidation request from the last NF.
+			cycles, err := p.eng.ConsolidateFlow(j.cls.FID)
+			switch {
+			case err == nil:
+				j.consolidate = cycles
+			case errors.Is(err, mat.ErrNotConsolidatable):
+				// The flow stays on the (always correct) slow path;
+				// swallow, matching the engine's policy.
+			default:
+				j.err = err
+			}
+			j.finish()
+			continue
+		}
+		// Fast-path packet.
+		res, err := p.eng.FastProcess(j.cls.FID, j.pkt)
+		if err != nil {
+			j.err = err
+		} else {
+			j.fastRes = res
+		}
+		j.finish()
+	}
+}
+
+// Name implements platform.Platform.
+func (p *Platform) Name() string { return p.name }
+
+// Engine implements platform.Platform.
+func (p *Platform) Engine() *core.Engine { return p.eng }
+
+// Model implements platform.Platform.
+func (p *Platform) Model() *cost.Model { return p.eng.Model() }
+
+// Close shuts the pipeline down and joins all core goroutines.
+func (p *Platform) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, r := range p.nfRings {
+		r.Close()
+	}
+	p.mgrRing.Close()
+	p.wg.Wait()
+	return nil
+}
+
+// inject classifies a packet and routes its job into the pipeline
+// without waiting for completion.
+func (p *Platform) inject(pkt *packet.Packet) (*job, error) {
+	cls, err := p.eng.Classify(pkt)
+	if err != nil {
+		return nil, err
+	}
+	j := &job{
+		pkt:       pkt,
+		cls:       cls,
+		verdict:   core.VerdictForward,
+		dropIndex: -1,
+		done:      make(chan struct{}),
+		engine:    p.eng,
+	}
+	opts := p.eng.Options()
+
+	fastEligible := opts.EnableSpeedyBox &&
+		(cls.Kind == classifier.KindSubsequent ||
+			(cls.Kind == classifier.KindFinal && p.hasRule(cls.FID)))
+	if fastEligible {
+		if err := p.mgrRing.Enqueue(j); err != nil {
+			return nil, err
+		}
+		return j, nil
+	}
+	if opts.EnableSpeedyBox && cls.Kind == classifier.KindInitial {
+		// Only one in-flight packet may record for a flow; racing
+		// initial packets traverse the chain without recording,
+		// which is always correct.
+		j.recording = p.eng.TryBeginRecording(cls.FID)
+	}
+	if j.recording {
+		p.eng.PrepareRecording(cls.FID)
+	}
+	if err := p.nfRings[0].Enqueue(j); err != nil {
+		if j.recording {
+			p.eng.EndRecording(cls.FID)
+		}
+		return nil, err
+	}
+	return j, nil
+}
+
+// collect waits for a job, assembles its result and applies teardown
+// and accounting.
+func (p *Platform) collect(j *job) (platform.Measurement, error) {
+	<-j.done
+	if j.err != nil {
+		return platform.Measurement{}, j.err
+	}
+	res := p.assembleResult(j)
+	if j.cls.Kind == classifier.KindFinal {
+		p.eng.TeardownFlow(j.cls.FID)
+		res.TornDown = true
+	}
+	p.eng.Account(res)
+	return p.measure(res), nil
+}
+
+// Process implements platform.Platform. The caller acts as the RX
+// thread: it classifies the packet, injects it into the pipeline and
+// waits for completion (consolidation included), which keeps runs
+// deterministic — every packet observes all rule installations of its
+// predecessors, the strongest-ordering interpretation of the paper's
+// workflow. For a free-running pipeline with multiple packets in
+// flight, use RunPipelined.
+func (p *Platform) Process(pkt *packet.Packet) (platform.Measurement, error) {
+	j, err := p.inject(pkt)
+	if err != nil {
+		return platform.Measurement{}, err
+	}
+	return p.collect(j)
+}
+
+// RunPipelined pushes the whole packet sequence through the pipeline
+// free-running — packets of different flows genuinely overlap across
+// the NF cores, as on the real platform — and returns per-packet
+// measurements in arrival order. Compared to the lock-step runner:
+//
+//   - NF-internal state and MAT state stay exactly correct (the NFs
+//     are concurrent-safe and recording is single-writer per flow);
+//   - several leading packets of a flow may traverse the slow path
+//     before the first consolidation lands (each is safe), so the
+//     fast-path packet count can be lower than in lock-step mode;
+//   - measurements remain deterministic per packet given the path it
+//     took, but path assignment depends on scheduling.
+//
+// Injection stops at the first error; already-injected jobs are
+// drained before returning.
+func (p *Platform) RunPipelined(pkts []*packet.Packet) ([]platform.Measurement, error) {
+	jobs := make([]*job, 0, len(pkts))
+	var injectErr error
+	for _, pkt := range pkts {
+		j, err := p.inject(pkt)
+		if err != nil {
+			injectErr = err
+			break
+		}
+		jobs = append(jobs, j)
+	}
+	out := make([]platform.Measurement, 0, len(jobs))
+	var collectErr error
+	for _, j := range jobs {
+		m, err := p.collect(j)
+		if err != nil {
+			if collectErr == nil {
+				collectErr = err
+			}
+			continue
+		}
+		out = append(out, m)
+	}
+	if injectErr != nil {
+		return out, injectErr
+	}
+	return out, collectErr
+}
+
+func (p *Platform) hasRule(fid flow.FID) bool {
+	_, ok := p.eng.Global().Lookup(fid)
+	return ok
+}
+
+// assembleResult builds the core.PacketResult from the pipeline job.
+func (p *Platform) assembleResult(j *job) *core.PacketResult {
+	if j.fastRes != nil {
+		j.fastRes.FID = j.cls.FID
+		j.fastRes.Kind = j.cls.Kind
+		return j.fastRes
+	}
+	model := p.eng.Model()
+	info := &core.SlowPathInfo{
+		PerNF:             j.perNF,
+		ConsolidateCycles: j.consolidate,
+		DropIndex:         j.dropIndex,
+	}
+	if p.eng.Options().EnableSpeedyBox {
+		info.ClassifierCycles = model.HashFID
+	}
+	res := &core.PacketResult{
+		FID:     j.cls.FID,
+		Kind:    j.cls.Kind,
+		Path:    core.PathSlow,
+		Verdict: j.verdict,
+		Slow:    info,
+	}
+	res.WorkCycles = info.ClassifierCycles + res.NFWork() + info.ConsolidateCycles
+	if j.consolidate > 0 {
+		// Rule collection crosses cores over the message rings.
+		res.WorkCycles += model.ONVMMsgHop * uint64(len(j.perNF))
+	}
+	return res
+}
+
+// measure applies the ONVM latency and throughput formulas.
+func (p *Platform) measure(res *core.PacketResult) platform.Measurement {
+	model := p.eng.Model()
+	m := platform.Measurement{Result: res, WorkCycles: res.WorkCycles}
+
+	switch res.Path {
+	case core.PathSlow:
+		traversed := len(res.Slow.PerNF)
+		// RX -> NF1 -> ... -> NFk -> TX, one ring hop per edge.
+		lat := model.ONVMRx + res.Slow.ClassifierCycles + model.ONVMTx +
+			model.ONVMHop*uint64(traversed+1) + res.NFWork()
+		m.LatencyCycles = lat
+		// Pipeline bottleneck: the busiest stage.
+		bott := model.ONVMRx + res.Slow.ClassifierCycles
+		for _, s := range res.Slow.PerNF {
+			if c := model.ONVMStageFramework + s.Cycles; c > bott {
+				bott = c
+			}
+		}
+		if model.ONVMTx > bott {
+			bott = model.ONVMTx
+		}
+		m.BottleneckCycles = bott
+	case core.PathFast:
+		// The classifier runs at the manager's RX thread and the
+		// Global MAT executor at the manager itself (§VI-A), so the
+		// consolidated header work needs no ring hops. State-function
+		// batches execute on their owning NF cores — the NF's internal
+		// state lives there — costing one dispatch hop per batch
+		// (sequential mode) or per stage (parallel mode, where the
+		// dispatches to co-scheduled cores overlap).
+		f := res.Fast
+		mgrWork := f.FixedCycles + f.HeaderCycles + f.DispatchCycles + f.ReconsolidateCycles
+		parallel := p.eng.Options().ParallelSF && f.BatchCount > 0
+		if parallel {
+			lat := model.ONVMRx + mgrWork + model.ONVMTx
+			bott := model.ONVMStageFramework + mgrWork
+			for _, st := range f.SF.Stages {
+				lat += model.ONVMHop + st.CriticalCycles
+				if c := model.ONVMStageFramework + st.CriticalCycles; c > bott {
+					bott = c
+				}
+			}
+			m.LatencyCycles = lat
+			m.BottleneckCycles = bott
+		} else {
+			m.LatencyCycles = model.ONVMRx + mgrWork +
+				uint64(f.BatchCount)*model.ONVMHop + f.SF.TotalCycles + model.ONVMTx
+			m.BottleneckCycles = model.ONVMStageFramework + mgrWork + f.SF.TotalCycles
+		}
+	}
+	return m
+}

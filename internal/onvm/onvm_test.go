@@ -1,0 +1,249 @@
+package onvm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/bess"
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/nf/ipfilter"
+	"github.com/fastpathnfv/speedybox/internal/nf/monitor"
+	"github.com/fastpathnfv/speedybox/internal/nf/snort"
+	"github.com/fastpathnfv/speedybox/internal/platform"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+func filterChain(t *testing.T, n int) []core.NF {
+	t.Helper()
+	chain := make([]core.NF, n)
+	for i := 0; i < n; i++ {
+		f, err := ipfilter.New(ipfilter.Config{
+			Name:  "fw" + string(rune('0'+i)),
+			Rules: ipfilter.PadRules(nil, 100),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain[i] = f
+	}
+	return chain
+}
+
+func smallTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Generate(trace.Config{Seed: 21, Flows: 20, Interleave: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestMaxChainLen(t *testing.T) {
+	// The paper's 14-core testbed supports 5 NFs (§VII-B2).
+	if got := MaxChainLen(14); got != 5 {
+		t.Errorf("MaxChainLen(14) = %d, want 5", got)
+	}
+	if got := MaxChainLen(3); got != 0 {
+		t.Errorf("MaxChainLen(3) = %d", got)
+	}
+}
+
+func TestChainTooLongRejected(t *testing.T) {
+	_, err := New(Config{Chain: filterChain(t, 6), Options: core.DefaultOptions()})
+	if !errors.Is(err, ErrChainTooLong) {
+		t.Errorf("6-NF ONVM chain: err = %v, want ErrChainTooLong", err)
+	}
+	p, err := New(Config{Chain: filterChain(t, 5), Options: core.DefaultOptions()})
+	if err != nil {
+		t.Fatalf("5-NF chain rejected: %v", err)
+	}
+	_ = p.Close()
+}
+
+func TestNames(t *testing.T) {
+	p, err := New(Config{Chain: filterChain(t, 1), Options: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Name() != "OpenNetVM w/ SBox" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p, err := New(Config{Chain: filterChain(t, 2), Options: core.BaselineOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineRunOnTrace(t *testing.T) {
+	p, err := New(Config{Chain: filterChain(t, 3), Options: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tr := smallTrace(t)
+	res, err := platform.Run(p, tr.Packets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != tr.Len() {
+		t.Errorf("processed %d of %d", res.Packets, tr.Len())
+	}
+	if res.Stats.FastPath == 0 || res.Stats.Consolidations == 0 {
+		t.Errorf("stats = %+v: fast path or consolidation never happened", res.Stats)
+	}
+}
+
+func TestCrossPlatformOutputEquivalence(t *testing.T) {
+	// The same trace through BESS and ONVM (both with SpeedyBox) must
+	// produce byte-identical packets: the platform only changes
+	// execution topology, never semantics.
+	tr := smallTrace(t)
+	mkChain := func() []core.NF {
+		ids, err := snort.New("ids", snort.DefaultRules())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon, err := monitor.New("mon")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []core.NF{ids, mon}
+	}
+
+	bp, err := bess.New(bess.Config{Chain: mkChain(), Options: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bp.Close()
+	op, err := New(Config{Chain: mkChain(), Options: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer op.Close()
+
+	bessPkts, onvmPkts := tr.Packets(), tr.Packets()
+	for i := range bessPkts {
+		if _, err := bp.Process(bessPkts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := op.Process(onvmPkts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if bessPkts[i].Dropped() != onvmPkts[i].Dropped() {
+			t.Fatalf("packet %d: platforms disagree on drop", i)
+		}
+		if !bytes.Equal(bessPkts[i].Data(), onvmPkts[i].Data()) {
+			t.Fatalf("packet %d: platform outputs differ", i)
+		}
+	}
+}
+
+func TestONVMBaselineVsSboxEquivalence(t *testing.T) {
+	tr := smallTrace(t)
+	run := func(opts core.Options) ([]bool, [][]byte, monitor.Counters) {
+		mon, err := monitor.New("mon")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw, err := ipfilter.New(ipfilter.Config{Name: "fw", Rules: ipfilter.PadRules(nil, 50)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(Config{Chain: []core.NF{mon, fw}, Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		pkts := tr.Packets()
+		drops := make([]bool, len(pkts))
+		outs := make([][]byte, len(pkts))
+		for i, pkt := range pkts {
+			if _, err := p.Process(pkt); err != nil {
+				t.Fatal(err)
+			}
+			drops[i] = pkt.Dropped()
+			outs[i] = append([]byte(nil), pkt.Data()...)
+		}
+		return drops, outs, mon.Totals()
+	}
+	bd, bo, bc := run(core.BaselineOptions())
+	sd, so, sc := run(core.DefaultOptions())
+	for i := range bd {
+		if bd[i] != sd[i] || !bytes.Equal(bo[i], so[i]) {
+			t.Fatalf("packet %d differs between ONVM baseline and SBox", i)
+		}
+	}
+	if bc != sc {
+		t.Errorf("monitor totals differ: %+v vs %+v", bc, sc)
+	}
+}
+
+func TestPipelinedRateFlatVsChainLength(t *testing.T) {
+	// Figure 8's ONVM shape: the pipelined model's rate is set by the
+	// bottleneck stage, so it stays nearly flat as the chain grows.
+	rate := func(n int) float64 {
+		p, err := New(Config{Chain: filterChain(t, n), Options: core.BaselineOptions()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		res, err := platform.Run(p, smallTrace(t).Packets())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RateMpps()
+	}
+	r1, r5 := rate(1), rate(5)
+	if r5 < r1*0.8 {
+		t.Errorf("ONVM rate dropped from %.3f to %.3f Mpps across chain lengths; pipeline should hold it flat", r1, r5)
+	}
+}
+
+func TestONVMLatencyGrowsWithChainButSBoxFlat(t *testing.T) {
+	lat := func(n int, opts core.Options) float64 {
+		p, err := New(Config{Chain: filterChain(t, n), Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		res, err := platform.Run(p, smallTrace(t).Packets())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanLatencyMicros()
+	}
+	if l1, l5 := lat(1, core.BaselineOptions()), lat(5, core.BaselineOptions()); l5 < l1*1.5 {
+		t.Errorf("baseline latency %f -> %f did not grow with chain length", l1, l5)
+	}
+	l1, l5 := lat(1, core.DefaultOptions()), lat(5, core.DefaultOptions())
+	if l5 > l1*1.5 {
+		t.Errorf("SBox latency %f -> %f grew with chain length; fast path should be length-independent", l1, l5)
+	}
+}
+
+func TestRaceSafetyUnderLoad(t *testing.T) {
+	// Run the real concurrent pipeline under the race detector.
+	p, err := New(Config{Chain: filterChain(t, 4), Options: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tr, err := trace.Generate(trace.Config{Seed: 99, Flows: 60, Interleave: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := platform.Run(p, tr.Packets()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package onvm
+
+import (
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/nf/monitor"
+	"github.com/fastpathnfv/speedybox/internal/nf/snort"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// TestRunPipelinedStateEquivalence: free-running mode must produce the
+// same NF-visible state (per-flow counters, IDS log volume, drop
+// decisions) as the lock-step runner, even though packets overlap in
+// the pipeline.
+func TestRunPipelinedStateEquivalence(t *testing.T) {
+	tr, err := trace.Generate(trace.Config{
+		Seed: 31, Flows: 60, AlertFraction: 0.2, Interleave: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Lock-step reference.
+	refIDs, err := snort.New("ids", snort.DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMon, err := monitor.New("mon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(Config{Chain: []core.NF{refIDs, refMon}, Options: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for _, pkt := range tr.Packets() {
+		if _, err := ref.Process(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Free-running run.
+	ids, err := snort.New("ids", snort.DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.New("mon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Chain: []core.NF{ids, mon}, Options: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ms, err := p.RunPipelined(tr.Packets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != tr.Len() {
+		t.Fatalf("measured %d of %d packets", len(ms), tr.Len())
+	}
+
+	// Per-flow counters must match exactly: every packet is counted
+	// exactly once regardless of which path it took.
+	if refMon.Totals() != mon.Totals() {
+		t.Errorf("monitor totals: lock-step %+v vs pipelined %+v", refMon.Totals(), mon.Totals())
+	}
+	// IDS logs: same entries (order within a flow is preserved by the
+	// per-flow packet order; across flows it may differ, so compare
+	// counts per rule).
+	count := func(logs []snort.LogEntry) map[int]int {
+		out := map[int]int{}
+		for _, l := range logs {
+			out[l.RuleID]++
+		}
+		return out
+	}
+	refCounts, gotCounts := count(refIDs.Logs()), count(ids.Logs())
+	if len(refCounts) != len(gotCounts) {
+		t.Fatalf("log rule sets differ: %v vs %v", refCounts, gotCounts)
+	}
+	for id, n := range refCounts {
+		if gotCounts[id] != n {
+			t.Errorf("rule %d: %d logs lock-step vs %d pipelined", id, n, gotCounts[id])
+		}
+	}
+}
+
+// TestRunPipelinedNoDuplicateRecording: racing initial packets of one
+// flow must not double-record state functions — the flow's consolidated
+// rule must contain exactly one batch per state-functional NF.
+func TestRunPipelinedNoDuplicateRecording(t *testing.T) {
+	mon, err := monitor.New("mon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Chain: []core.NF{mon}, Options: core.DefaultOptions(), RingCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Burst of packets for ONE UDP flow, all injected before any
+	// completes: several race as initial packets.
+	tr, err := trace.Generate(trace.Config{Seed: 2, Flows: 1, UDPFraction: 1.0, MeanPackets: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := tr.Packets()
+	if _, err := p.RunPipelined(pkts); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one rule, with exactly one state-function batch.
+	if n := p.Engine().Global().Len(); n != 1 {
+		t.Fatalf("rules = %d", n)
+	}
+	var batches int
+	fid := pkts[0].Meta.FID
+	rule, ok := p.Engine().Global().Lookup(flowFIDFromMeta(fid))
+	if !ok {
+		t.Fatal("rule missing")
+	}
+	batches = len(rule.Batches)
+	if batches != 1 {
+		t.Errorf("rule has %d batches, want 1 (duplicate recording)", batches)
+	}
+	// Every packet counted exactly once.
+	if got := mon.Totals().Packets; got != uint64(len(pkts)) {
+		t.Errorf("counted %d of %d packets", got, len(pkts))
+	}
+}
+
+func flowFIDFromMeta(v uint32) flow.FID { return flow.FID(v) }

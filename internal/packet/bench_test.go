@@ -1,0 +1,90 @@
+package packet
+
+import "testing"
+
+func benchFrame(b *testing.B, payload int) []byte {
+	b.Helper()
+	p := MustBuild(Spec{
+		SrcIP: IP4(10, 0, 0, 1), DstIP: IP4(10, 0, 0, 2),
+		SrcPort: 4000, DstPort: 80, Proto: ProtoTCP,
+		Payload: make([]byte, payload),
+	})
+	return p.Data()
+}
+
+// BenchmarkParse measures one full header parse — the step every NF
+// repeats on the original path (redundancy R1).
+func BenchmarkParse(b *testing.B) {
+	frame := benchFrame(b, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := New(frame)
+		if err := p.Parse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFinalizeChecksums measures the checksum refresh charged per
+// modifying NF on the original path and once on the consolidated path.
+func BenchmarkFinalizeChecksums(b *testing.B) {
+	p := MustBuild(Spec{
+		SrcIP: IP4(10, 0, 0, 1), DstIP: IP4(10, 0, 0, 2),
+		SrcPort: 4000, DstPort: 80, Proto: ProtoTCP,
+		Payload: make([]byte, 512),
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.FinalizeChecksums(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSetField measures one header-field rewrite.
+func BenchmarkSetField(b *testing.B) {
+	p := MustBuild(Spec{
+		SrcIP: IP4(10, 0, 0, 1), DstIP: IP4(10, 0, 0, 2),
+		SrcPort: 4000, DstPort: 80,
+	})
+	v := []byte{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Set(FieldDstIP, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncapDecapAH measures the header push/pop pair a VPN NF
+// performs per packet.
+func BenchmarkEncapDecapAH(b *testing.B) {
+	p := MustBuild(Spec{
+		SrcIP: IP4(10, 0, 0, 1), DstIP: IP4(10, 0, 0, 2),
+		SrcPort: 4000, DstPort: 80, Payload: make([]byte, 128),
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.EncapAH(1, uint32(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.DecapAH(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuild measures packet synthesis (trace generation hot path).
+func BenchmarkBuild(b *testing.B) {
+	spec := Spec{
+		SrcIP: IP4(10, 0, 0, 1), DstIP: IP4(10, 0, 0, 2),
+		SrcPort: 4000, DstPort: 80, Payload: make([]byte, 128),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Spec describes a packet to synthesize. It is used by the trace
+// generator and throughout the tests.
+type Spec struct {
+	// SrcMAC and DstMAC default to locally administered addresses if
+	// zero.
+	SrcMAC [6]byte
+	DstMAC [6]byte
+	// SrcIP, DstIP, SrcPort, DstPort and Proto form the 5-tuple.
+	SrcIP   [4]byte
+	DstIP   [4]byte
+	SrcPort uint16
+	DstPort uint16
+	// Proto is ProtoTCP or ProtoUDP; defaults to ProtoTCP when zero.
+	Proto uint8
+	// TTL defaults to 64 when zero.
+	TTL uint8
+	// TCPFlags is the flag byte for TCP packets (e.g. TCPFlagSYN).
+	TCPFlags uint8
+	// Seq and Ack are the TCP sequence/acknowledgement numbers.
+	Seq uint32
+	Ack uint32
+	// Payload is the application payload.
+	Payload []byte
+}
+
+// Build synthesizes a parsed, checksum-correct packet from the spec.
+func Build(s Spec) (*Packet, error) {
+	proto := s.Proto
+	if proto == 0 {
+		proto = ProtoTCP
+	}
+	var l4Len int
+	switch proto {
+	case ProtoTCP:
+		l4Len = TCPHeaderLen
+	case ProtoUDP:
+		l4Len = UDPHeaderLen
+	default:
+		return nil, fmt.Errorf("%w: protocol %d", ErrUnsupported, proto)
+	}
+	ttl := s.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	srcMAC, dstMAC := s.SrcMAC, s.DstMAC
+	if srcMAC == ([6]byte{}) {
+		srcMAC = [6]byte{0x02, 0, 0, 0, 0, 0x01}
+	}
+	if dstMAC == ([6]byte{}) {
+		dstMAC = [6]byte{0x02, 0, 0, 0, 0, 0x02}
+	}
+
+	ipLen := IPv4HeaderLen + l4Len + len(s.Payload)
+	frame := make([]byte, EthHeaderLen+ipLen)
+
+	// Ethernet.
+	copy(frame[0:6], dstMAC[:])
+	copy(frame[6:12], srcMAC[:])
+	binary.BigEndian.PutUint16(frame[12:14], EtherTypeIPv4)
+
+	// IPv4.
+	ip := frame[EthHeaderLen:]
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipLen))
+	ip[8] = ttl
+	ip[9] = proto
+	copy(ip[12:16], s.SrcIP[:])
+	copy(ip[16:20], s.DstIP[:])
+
+	// Transport.
+	l4 := ip[IPv4HeaderLen:]
+	switch proto {
+	case ProtoTCP:
+		binary.BigEndian.PutUint16(l4[0:2], s.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], s.DstPort)
+		binary.BigEndian.PutUint32(l4[4:8], s.Seq)
+		binary.BigEndian.PutUint32(l4[8:12], s.Ack)
+		l4[12] = (TCPHeaderLen / 4) << 4 // data offset, no options
+		l4[13] = s.TCPFlags
+		binary.BigEndian.PutUint16(l4[14:16], 65535) // window
+		copy(l4[TCPHeaderLen:], s.Payload)
+	case ProtoUDP:
+		binary.BigEndian.PutUint16(l4[0:2], s.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], s.DstPort)
+		binary.BigEndian.PutUint16(l4[4:6], uint16(UDPHeaderLen+len(s.Payload)))
+		copy(l4[UDPHeaderLen:], s.Payload)
+	}
+
+	p := New(frame)
+	if err := p.Parse(); err != nil {
+		return nil, fmt.Errorf("packet: building spec: %w", err)
+	}
+	if err := p.FinalizeChecksums(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for tests and examples where the spec is known
+// valid; it panics on error.
+func MustBuild(s Spec) *Packet {
+	p, err := Build(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// IP4 is shorthand for constructing an address literal.
+func IP4(a, b, c, d byte) [4]byte { return [4]byte{a, b, c, d} }

@@ -1,0 +1,95 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickParseNeverPanics feeds arbitrary byte soup to the parser:
+// it must return an error or a consistent parse, never panic or read
+// out of bounds (the race/bounds checking of `go test` enforces the
+// latter).
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		p := New(data)
+		if err := p.Parse(); err != nil {
+			return true
+		}
+		// A successful parse must yield in-bounds offsets and a
+		// usable 5-tuple.
+		h, ok := p.Headers()
+		if !ok {
+			return false
+		}
+		if h.PayloadOff > len(data) || h.L4Off > h.PayloadOff || h.IPOff > h.L4Off {
+			return false
+		}
+		_, err := p.FiveTuple()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParseMutatedValidFrames takes valid frames and flips random
+// bytes: parsing must stay panic-free and any successful parse must
+// stay self-consistent.
+func TestQuickParseMutatedValidFrames(t *testing.T) {
+	base := MustBuild(Spec{
+		SrcIP: IP4(10, 0, 0, 1), DstIP: IP4(10, 0, 0, 2),
+		SrcPort: 1234, DstPort: 80, Proto: ProtoTCP,
+		Payload: []byte("payload for mutation"),
+	}).Data()
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, len(base))
+		copy(data, base)
+		for flips := rng.Intn(8); flips > 0; flips-- {
+			data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+		}
+		// Occasionally truncate too.
+		if rng.Intn(3) == 0 {
+			data = data[:rng.Intn(len(data)+1)]
+		}
+		p := New(data)
+		if err := p.Parse(); err != nil {
+			return true
+		}
+		h, _ := p.Headers()
+		return h.PayloadOff <= len(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFinalizeChecksumsAfterMutation: finalize must succeed on
+// any successfully parsed frame and leave it verifiable.
+func TestQuickFinalizeAlwaysVerifies(t *testing.T) {
+	f := func(payload []byte, dip [4]byte, dport uint16) bool {
+		if len(payload) > 1000 {
+			payload = payload[:1000]
+		}
+		p, err := Build(Spec{
+			SrcIP: IP4(1, 2, 3, 4), DstIP: dip,
+			SrcPort: 9999, DstPort: dport, Proto: ProtoUDP,
+			Payload: payload,
+		})
+		if err != nil {
+			return false
+		}
+		if err := p.Set(FieldDstIP, []byte{5, 6, 7, 8}); err != nil {
+			return false
+		}
+		if err := p.FinalizeChecksums(); err != nil {
+			return false
+		}
+		return p.VerifyChecksums()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

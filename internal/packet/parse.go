@@ -1,0 +1,167 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Parse walks the frame and records header offsets. It accepts
+// Ethernet (optionally 802.1Q-tagged, possibly stacked), IPv4 without
+// options, zero or more AH headers, and a TCP or UDP transport header.
+//
+// Parse is the functional counterpart of the parse step every NF in an
+// unconsolidated chain repeats (redundancy R1 in the paper, §II-A);
+// cycle accounting for it lives in the callers.
+func (p *Packet) Parse() error {
+	if p.dropped {
+		return ErrDropped
+	}
+	var h Headers
+	data := p.data
+	if len(data) < EthHeaderLen {
+		return fmt.Errorf("%w: %d bytes, need %d for ethernet", ErrTruncated, len(data), EthHeaderLen)
+	}
+
+	// L2: Ethernet plus any stack of 802.1Q tags.
+	off := 12 // EtherType position
+	etherType := binary.BigEndian.Uint16(data[off : off+2])
+	for etherType == EtherTypeVLAN {
+		if len(data) < off+2+VLANTagLen {
+			return fmt.Errorf("%w: truncated VLAN tag", ErrTruncated)
+		}
+		h.VLANs++
+		off += VLANTagLen
+		etherType = binary.BigEndian.Uint16(data[off : off+2])
+	}
+	if etherType != EtherTypeIPv4 {
+		return fmt.Errorf("%w: ethertype 0x%04x", ErrUnsupported, etherType)
+	}
+	h.L2Len = off + 2
+	h.IPOff = h.L2Len
+
+	// L3: IPv4, no options.
+	if len(data) < h.IPOff+IPv4HeaderLen {
+		return fmt.Errorf("%w: %d bytes, need %d for ipv4", ErrTruncated, len(data), h.IPOff+IPv4HeaderLen)
+	}
+	vihl := data[h.IPOff]
+	if vihl>>4 != 4 {
+		return fmt.Errorf("%w: ip version %d", ErrUnsupported, vihl>>4)
+	}
+	ihl := int(vihl&0x0f) * 4
+	if ihl != IPv4HeaderLen {
+		return fmt.Errorf("%w: ipv4 options (ihl=%d)", ErrUnsupported, ihl)
+	}
+	totLen := int(binary.BigEndian.Uint16(data[h.IPOff+2 : h.IPOff+4]))
+	if h.IPOff+totLen > len(data) || totLen < IPv4HeaderLen {
+		return fmt.Errorf("%w: ip total length %d exceeds frame", ErrTruncated, totLen)
+	}
+
+	// AH stack, then transport.
+	proto := data[h.IPOff+9]
+	off = h.IPOff + IPv4HeaderLen
+	for proto == ProtoAH {
+		if len(data) < off+AHHeaderLen {
+			return fmt.Errorf("%w: truncated AH header", ErrTruncated)
+		}
+		h.AHCount++
+		proto = data[off] // AH next-header field
+		off += AHHeaderLen
+	}
+	h.L4Off = off
+	h.L4Proto = proto
+	switch proto {
+	case ProtoTCP:
+		if len(data) < off+TCPHeaderLen {
+			return fmt.Errorf("%w: truncated TCP header", ErrTruncated)
+		}
+		dataOff := int(data[off+12]>>4) * 4
+		if dataOff < TCPHeaderLen || len(data) < off+dataOff {
+			return fmt.Errorf("%w: bad TCP data offset %d", ErrTruncated, dataOff)
+		}
+		h.PayloadOff = off + dataOff
+	case ProtoUDP:
+		if len(data) < off+UDPHeaderLen {
+			return fmt.Errorf("%w: truncated UDP header", ErrTruncated)
+		}
+		h.PayloadOff = off + UDPHeaderLen
+	default:
+		return fmt.Errorf("%w: ip protocol %d", ErrUnsupported, proto)
+	}
+
+	p.hdr = h
+	p.parsed = true
+	return nil
+}
+
+// FiveTuple is the canonical flow key: addresses, ports and protocol.
+type FiveTuple struct {
+	SrcIP   [4]byte
+	DstIP   [4]byte
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// String renders the tuple in src -> dst form.
+func (ft FiveTuple) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d->%d.%d.%d.%d:%d/%d",
+		ft.SrcIP[0], ft.SrcIP[1], ft.SrcIP[2], ft.SrcIP[3], ft.SrcPort,
+		ft.DstIP[0], ft.DstIP[1], ft.DstIP[2], ft.DstIP[3], ft.DstPort, ft.Proto)
+}
+
+// Reverse returns the tuple of the opposite direction of the same
+// connection.
+func (ft FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{
+		SrcIP: ft.DstIP, DstIP: ft.SrcIP,
+		SrcPort: ft.DstPort, DstPort: ft.SrcPort,
+		Proto: ft.Proto,
+	}
+}
+
+// FiveTuple extracts the flow key from a parsed packet.
+func (p *Packet) FiveTuple() (FiveTuple, error) {
+	if !p.parsed {
+		return FiveTuple{}, ErrNotParsed
+	}
+	var ft FiveTuple
+	ip := p.hdr.IPOff
+	copy(ft.SrcIP[:], p.data[ip+12:ip+16])
+	copy(ft.DstIP[:], p.data[ip+16:ip+20])
+	l4 := p.hdr.L4Off
+	ft.SrcPort = binary.BigEndian.Uint16(p.data[l4 : l4+2])
+	ft.DstPort = binary.BigEndian.Uint16(p.data[l4+2 : l4+4])
+	ft.Proto = p.hdr.L4Proto
+	return ft, nil
+}
+
+// TCP flag bits in the 13th byte of the TCP header.
+const (
+	TCPFlagFIN = 1 << 0
+	TCPFlagSYN = 1 << 1
+	TCPFlagRST = 1 << 2
+	TCPFlagPSH = 1 << 3
+	TCPFlagACK = 1 << 4
+)
+
+// TCPFlags returns the TCP flag byte. The boolean is false for non-TCP
+// or unparsed packets.
+func (p *Packet) TCPFlags() (uint8, bool) {
+	if !p.parsed || p.hdr.L4Proto != ProtoTCP {
+		return 0, false
+	}
+	return p.data[p.hdr.L4Off+13], true
+}
+
+// SetTCPFlags overwrites the TCP flag byte. It returns ErrNoHeader for
+// non-TCP packets.
+func (p *Packet) SetTCPFlags(flags uint8) error {
+	if !p.parsed {
+		return ErrNotParsed
+	}
+	if p.hdr.L4Proto != ProtoTCP {
+		return ErrNoHeader
+	}
+	p.data[p.hdr.L4Off+13] = flags
+	return nil
+}

@@ -1,0 +1,130 @@
+// Package platform defines the execution-platform abstraction shared
+// by the BESS and OpenNetVM models: per-packet measurements combining
+// the engine's work accounting with platform-specific latency and
+// throughput formulas, plus a trace runner that aggregates run-level
+// statistics (per-packet latency, per-flow processing time, rate).
+package platform
+
+import (
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/cost"
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// Measurement is one packet's platform-level account.
+type Measurement struct {
+	// Result is the engine's path/verdict/work decomposition.
+	Result *core.PacketResult
+	// WorkCycles is the paper's "CPU cycle per packet" metric,
+	// including any platform-specific work additions (e.g. ONVM's
+	// inter-core consolidation messages).
+	WorkCycles uint64
+	// LatencyCycles is the packet's end-to-end processing latency on
+	// the platform's topology.
+	LatencyCycles uint64
+	// BottleneckCycles is the per-packet cost of the platform's
+	// most-loaded core, which bounds throughput (rate = freq /
+	// mean bottleneck).
+	BottleneckCycles uint64
+}
+
+// Platform is an NFV execution platform hosting one service chain.
+type Platform interface {
+	// Name returns the platform name ("BESS" or "OpenNetVM"),
+	// suffixed with " w/ SBox" when SpeedyBox is enabled.
+	Name() string
+	// Process runs one packet through the chain.
+	Process(pkt *packet.Packet) (Measurement, error)
+	// Engine exposes the underlying SpeedyBox engine.
+	Engine() *core.Engine
+	// Model exposes the cost model.
+	Model() *cost.Model
+	// Close releases platform resources (pipeline goroutines).
+	Close() error
+}
+
+// DisplayName composes the conventional platform label.
+func DisplayName(base string, sbox bool) string {
+	if sbox {
+		return base + " w/ SBox"
+	}
+	return base
+}
+
+// RunResult aggregates a trace run.
+type RunResult struct {
+	Packets     int
+	Drops       int
+	WorkCycles  []uint64
+	Latencies   []uint64 // cycles
+	Bottlenecks []uint64
+	// FlowCycles sums each flow's per-packet latency — the paper's
+	// "flow processing time ... the aggregated time spent processing
+	// all packets in a flow" (§VII-B3).
+	FlowCycles map[flow.FID]uint64
+	Stats      core.Stats
+	model      *cost.Model
+}
+
+// MeanWorkCycles returns the average per-packet work.
+func (r *RunResult) MeanWorkCycles() float64 { return meanU64(r.WorkCycles) }
+
+// MeanLatencyMicros returns the average per-packet latency in µs.
+func (r *RunResult) MeanLatencyMicros() float64 {
+	return r.model.CyclesToMicros(1) * meanU64(r.Latencies)
+}
+
+// RateMpps returns the sustained processing rate implied by the mean
+// bottleneck-core occupancy.
+func (r *RunResult) RateMpps() float64 {
+	return r.model.RateMpps(meanU64(r.Bottlenecks))
+}
+
+// FlowTimesMicros returns every flow's processing time in µs.
+func (r *RunResult) FlowTimesMicros() []float64 {
+	out := make([]float64, 0, len(r.FlowCycles))
+	for _, c := range r.FlowCycles {
+		out = append(out, r.model.CyclesToMicros(c))
+	}
+	return out
+}
+
+func meanU64(xs []uint64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// Run feeds every packet of the trace through the platform in order
+// and aggregates the measurements. Packet buffers are consumed (the
+// platform mutates or drops them).
+func Run(p Platform, pkts []*packet.Packet) (*RunResult, error) {
+	res := &RunResult{
+		FlowCycles: make(map[flow.FID]uint64),
+		model:      p.Model(),
+	}
+	for i, pkt := range pkts {
+		m, err := p.Process(pkt)
+		if err != nil {
+			return nil, fmt.Errorf("platform %s: packet %d: %w", p.Name(), i, err)
+		}
+		res.Packets++
+		if m.Result.Verdict == core.VerdictDrop {
+			res.Drops++
+		}
+		res.WorkCycles = append(res.WorkCycles, m.WorkCycles)
+		res.Latencies = append(res.Latencies, m.LatencyCycles)
+		res.Bottlenecks = append(res.Bottlenecks, m.BottleneckCycles)
+		res.FlowCycles[m.Result.FID] += m.LatencyCycles
+	}
+	res.Stats = p.Engine().Stats()
+	return res, nil
+}

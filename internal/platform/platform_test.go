@@ -1,0 +1,131 @@
+package platform
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/classifier"
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/cost"
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// fakePlatform returns scripted measurements.
+type fakePlatform struct {
+	eng      *core.Engine
+	model    *cost.Model
+	measures []Measurement
+	next     int
+	err      error
+	closed   bool
+}
+
+func (f *fakePlatform) Name() string         { return "fake" }
+func (f *fakePlatform) Engine() *core.Engine { return f.eng }
+func (f *fakePlatform) Model() *cost.Model   { return f.model }
+func (f *fakePlatform) Close() error         { f.closed = true; return nil }
+
+func (f *fakePlatform) Process(pkt *packet.Packet) (Measurement, error) {
+	if f.err != nil {
+		return Measurement{}, f.err
+	}
+	m := f.measures[f.next%len(f.measures)]
+	f.next++
+	return m, nil
+}
+
+type noopNF struct{}
+
+func (noopNF) Name() string { return "noop" }
+func (noopNF) Process(ctx *core.Ctx, pkt *packet.Packet) (core.Verdict, error) {
+	return core.VerdictForward, nil
+}
+
+func newFake(t *testing.T, measures []Measurement) *fakePlatform {
+	t.Helper()
+	eng, err := core.NewEngine([]core.NF{noopNF{}}, core.BaselineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fakePlatform{eng: eng, model: cost.DefaultModel(), measures: measures}
+}
+
+func pkt(t *testing.T) *packet.Packet {
+	t.Helper()
+	return packet.MustBuild(packet.Spec{
+		SrcIP: packet.IP4(1, 1, 1, 1), DstIP: packet.IP4(2, 2, 2, 2),
+		SrcPort: 1, DstPort: 2,
+	})
+}
+
+func res(fid flow.FID, verdict core.Verdict) *core.PacketResult {
+	return &core.PacketResult{
+		FID: fid, Kind: classifier.KindSubsequent,
+		Path: core.PathFast, Verdict: verdict,
+	}
+}
+
+func TestRunAggregation(t *testing.T) {
+	measures := []Measurement{
+		{Result: res(1, core.VerdictForward), WorkCycles: 100, LatencyCycles: 2000, BottleneckCycles: 4000},
+		{Result: res(1, core.VerdictForward), WorkCycles: 200, LatencyCycles: 4000, BottleneckCycles: 4000},
+		{Result: res(2, core.VerdictDrop), WorkCycles: 300, LatencyCycles: 6000, BottleneckCycles: 4000},
+	}
+	p := newFake(t, measures)
+	out, err := Run(p, []*packet.Packet{pkt(t), pkt(t), pkt(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Packets != 3 || out.Drops != 1 {
+		t.Errorf("packets=%d drops=%d", out.Packets, out.Drops)
+	}
+	if got := out.MeanWorkCycles(); got != 200 {
+		t.Errorf("MeanWorkCycles = %g", got)
+	}
+	// 2 GHz: mean 4000 cycles = 2 µs.
+	if got := out.MeanLatencyMicros(); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("MeanLatencyMicros = %g", got)
+	}
+	// Bottleneck 4000 cycles at 2 GHz = 0.5 Mpps.
+	if got := out.RateMpps(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("RateMpps = %g", got)
+	}
+	// Flow 1 latency = 2000+4000 cycles = 3 µs; flow 2 = 3 µs.
+	times := out.FlowTimesMicros()
+	if len(times) != 2 {
+		t.Fatalf("flow times = %v", times)
+	}
+	if math.Abs(times[0]-3.0) > 1e-9 || math.Abs(times[1]-3.0) > 1e-9 {
+		t.Errorf("flow times = %v, want [3 3]", times)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	p := newFake(t, nil)
+	p.err = errors.New("boom")
+	if _, err := Run(p, []*packet.Packet{pkt(t)}); err == nil {
+		t.Error("Run swallowed the platform error")
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	p := newFake(t, []Measurement{{Result: res(1, core.VerdictForward)}})
+	out, err := Run(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Packets != 0 || out.MeanWorkCycles() != 0 || out.RateMpps() != 0 {
+		t.Errorf("empty run = %+v", out)
+	}
+}
+
+func TestDisplayName(t *testing.T) {
+	if DisplayName("BESS", false) != "BESS" {
+		t.Error("baseline name wrong")
+	}
+	if DisplayName("BESS", true) != "BESS w/ SBox" {
+		t.Error("sbox name wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package ring
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickSingleThreadedFIFO: for any interleaving of enqueues and
+// dequeues on one goroutine, the ring behaves exactly like a bounded
+// FIFO queue (compared against a reference slice model).
+func TestQuickSingleThreadedFIFO(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		r := New[int](capacity)
+		rng := rand.New(rand.NewSource(seed))
+		var model []int
+		next := 0
+		for op := 0; op < 200; op++ {
+			if rng.Intn(2) == 0 {
+				err := r.TryEnqueue(next)
+				if len(model) < capacity {
+					if err != nil {
+						return false
+					}
+					model = append(model, next)
+				} else if err != ErrFull {
+					return false
+				}
+				next++
+			} else {
+				v, err := r.TryDequeue()
+				if len(model) > 0 {
+					if err != nil || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				} else if err != ErrEmpty {
+					return false
+				}
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPerProducerOrder: with concurrent producers, each
+// producer's items are dequeued in that producer's send order (FIFO is
+// per-producer under concurrency).
+func TestQuickPerProducerOrder(t *testing.T) {
+	f := func(capRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		r := New[[2]int](capacity)
+		const producers, perProducer = 4, 50
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < perProducer; i++ {
+					if err := r.Enqueue([2]int{p, i}); err != nil {
+						return
+					}
+				}
+			}(p)
+		}
+		lastSeen := make([]int, producers)
+		for i := range lastSeen {
+			lastSeen[i] = -1
+		}
+		ok := true
+		var cg sync.WaitGroup
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for got := 0; got < producers*perProducer; got++ {
+				v, err := r.Dequeue()
+				if err != nil {
+					ok = false
+					return
+				}
+				if v[1] != lastSeen[v[0]]+1 {
+					ok = false
+					return
+				}
+				lastSeen[v[0]] = v[1]
+			}
+		}()
+		wg.Wait()
+		cg.Wait()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStatsConsistent: enqueued - dequeued always equals Len.
+func TestQuickStatsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := New[int](8)
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 100; op++ {
+			if rng.Intn(2) == 0 {
+				_ = r.TryEnqueue(op)
+			} else {
+				_, _ = r.TryDequeue()
+			}
+			enq, deq := r.Stats()
+			if int(enq-deq) != r.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package ring implements the bounded shared-memory ring buffers the
+// OpenNetVM platform model uses to pass packet descriptors between
+// cores (paper §VI-A: "OpenNetVM ... interconnects NFs leveraging
+// RX/TX queues that deliver shared memory packet descriptors" and
+// "inter-core message queues (implemented as ring buffers)").
+//
+// The implementation is a mutex-guarded circular buffer with condition
+// variables — the Go analogue of a DPDK rte_ring — supporting
+// blocking and non-blocking enqueue/dequeue and a close protocol that
+// drains remaining items before reporting closure.
+package ring
+
+import (
+	"errors"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	// ErrClosed reports an operation on a closed, drained ring.
+	ErrClosed = errors.New("ring: closed")
+	// ErrFull reports a failed TryEnqueue.
+	ErrFull = errors.New("ring: full")
+	// ErrEmpty reports a failed TryDequeue.
+	ErrEmpty = errors.New("ring: empty")
+)
+
+// Ring is a bounded FIFO queue safe for concurrent producers and
+// consumers.
+type Ring[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []T
+	head     int
+	count    int
+	closed   bool
+
+	enqueued uint64
+	dequeued uint64
+}
+
+// New returns a ring with the given capacity (minimum 1).
+func New[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := &Ring[T]{buf: make([]T, capacity)}
+	r.notFull = sync.NewCond(&r.mu)
+	r.notEmpty = sync.NewCond(&r.mu)
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the current occupancy.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Enqueue blocks until space is available or the ring closes. It
+// returns ErrClosed if the ring closed before the item was accepted.
+func (r *Ring[T]) Enqueue(item T) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.count == len(r.buf) && !r.closed {
+		r.notFull.Wait()
+	}
+	if r.closed {
+		return ErrClosed
+	}
+	r.put(item)
+	return nil
+}
+
+// TryEnqueue inserts without blocking, returning ErrFull or ErrClosed
+// on failure.
+func (r *Ring[T]) TryEnqueue(item T) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if r.count == len(r.buf) {
+		return ErrFull
+	}
+	r.put(item)
+	return nil
+}
+
+func (r *Ring[T]) put(item T) {
+	tail := (r.head + r.count) % len(r.buf)
+	r.buf[tail] = item
+	r.count++
+	r.enqueued++
+	r.notEmpty.Signal()
+}
+
+// Dequeue blocks until an item is available. After Close, remaining
+// items drain normally; once empty it returns ErrClosed.
+func (r *Ring[T]) Dequeue() (T, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.count == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	var zero T
+	if r.count == 0 {
+		return zero, ErrClosed
+	}
+	return r.take(), nil
+}
+
+// TryDequeue removes without blocking, returning ErrEmpty (or
+// ErrClosed once closed and drained) on failure.
+func (r *Ring[T]) TryDequeue() (T, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var zero T
+	if r.count == 0 {
+		if r.closed {
+			return zero, ErrClosed
+		}
+		return zero, ErrEmpty
+	}
+	return r.take(), nil
+}
+
+func (r *Ring[T]) take() T {
+	item := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // release reference for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	r.dequeued++
+	r.notFull.Signal()
+	return item
+}
+
+// Close marks the ring closed. Blocked producers fail with ErrClosed;
+// consumers drain the remaining items then receive ErrClosed. Close is
+// idempotent.
+func (r *Ring[T]) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.notFull.Broadcast()
+	r.notEmpty.Broadcast()
+}
+
+// Stats returns lifetime enqueue/dequeue counts.
+func (r *Ring[T]) Stats() (enqueued, dequeued uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.enqueued, r.dequeued
+}

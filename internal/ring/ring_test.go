@@ -1,0 +1,209 @@
+package ring
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	r := New[int](8)
+	for i := 0; i < 5; i++ {
+		if err := r.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, err := r.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i {
+			t.Fatalf("dequeued %d, want %d", v, i)
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := New[int](3)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if err := r.Enqueue(round*3 + i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, err := r.Dequeue()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != round*3+i {
+				t.Fatalf("round %d: got %d, want %d", round, v, round*3+i)
+			}
+		}
+	}
+}
+
+func TestTryOperations(t *testing.T) {
+	r := New[string](2)
+	if _, err := r.TryDequeue(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("TryDequeue on empty = %v", err)
+	}
+	if err := r.TryEnqueue("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.TryEnqueue("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.TryEnqueue("c"); !errors.Is(err, ErrFull) {
+		t.Errorf("TryEnqueue on full = %v", err)
+	}
+	if v, err := r.TryDequeue(); err != nil || v != "a" {
+		t.Errorf("TryDequeue = (%q, %v)", v, err)
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	r := New[int](4)
+	_ = r.Enqueue(1)
+	_ = r.Enqueue(2)
+	r.Close()
+	r.Close() // idempotent
+	if err := r.Enqueue(3); !errors.Is(err, ErrClosed) {
+		t.Errorf("Enqueue after Close = %v", err)
+	}
+	if v, err := r.Dequeue(); err != nil || v != 1 {
+		t.Errorf("drain 1 = (%d, %v)", v, err)
+	}
+	if v, err := r.Dequeue(); err != nil || v != 2 {
+		t.Errorf("drain 2 = (%d, %v)", v, err)
+	}
+	if _, err := r.Dequeue(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Dequeue after drain = %v", err)
+	}
+	if _, err := r.TryDequeue(); !errors.Is(err, ErrClosed) {
+		t.Errorf("TryDequeue after drain = %v", err)
+	}
+}
+
+func TestCloseUnblocksBlockedConsumer(t *testing.T) {
+	r := New[int](1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Dequeue() // blocks: ring is empty
+		done <- err
+	}()
+	r.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Errorf("blocked Dequeue unblocked with %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseUnblocksBlockedProducer(t *testing.T) {
+	r := New[int](1)
+	if err := r.Enqueue(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Enqueue(2) // blocks: ring is full
+	}()
+	r.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Errorf("blocked Enqueue unblocked with %v, want ErrClosed", err)
+	}
+}
+
+func TestBlockingHandoff(t *testing.T) {
+	r := New[int](1)
+	const n = 1000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := r.Enqueue(i); err != nil {
+				t.Errorf("Enqueue: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		v, err := r.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i {
+			t.Fatalf("got %d, want %d (capacity-1 ring must preserve order)", v, i)
+		}
+	}
+	wg.Wait()
+	enq, deq := r.Stats()
+	if enq != n || deq != n {
+		t.Errorf("stats = (%d, %d)", enq, deq)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	r := New[int](16)
+	const producers, perProducer = 4, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := r.Enqueue(p*perProducer + i); err != nil {
+					t.Errorf("Enqueue: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	seen := make(map[int]bool)
+	var mu sync.Mutex
+	var cg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v, err := r.Dequeue()
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate item %d", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	r.Close()
+	cg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Errorf("received %d items, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	r := New[int](0)
+	if r.Cap() != 1 {
+		t.Errorf("Cap = %d, want clamped to 1", r.Cap())
+	}
+}
+
+func TestLen(t *testing.T) {
+	r := New[int](4)
+	if r.Len() != 0 {
+		t.Error("fresh ring not empty")
+	}
+	_ = r.Enqueue(1)
+	_ = r.Enqueue(2)
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}

@@ -1,0 +1,184 @@
+package sfunc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// Schedule is an execution plan for a flow's state-function batches: a
+// sequence of stages, each holding the indices of batches that run
+// concurrently. Stages execute in order; batches inside a stage run in
+// parallel.
+type Schedule struct {
+	// Stages holds batch indices grouped by concurrent stage.
+	Stages [][]int
+}
+
+// Plan computes a schedule for the batches in chain order, greedily
+// packing consecutive batches into a parallel stage while every pair
+// in the stage satisfies Table I. Chain order is preserved across
+// stages, which keeps the NF logic equivalent: a batch never starts
+// before a non-parallelizable predecessor finishes.
+func Plan(batches []Batch) Schedule {
+	var s Schedule
+	var cur []int
+	classes := make([]PayloadClass, len(batches))
+	for i, b := range batches {
+		classes[i] = b.Class()
+	}
+	flush := func() {
+		if len(cur) > 0 {
+			s.Stages = append(s.Stages, cur)
+			cur = nil
+		}
+	}
+	for i, b := range batches {
+		if b.Empty() {
+			continue
+		}
+		compatible := true
+		for _, j := range cur {
+			if !Parallelizable(classes[j], classes[i]) {
+				compatible = false
+				break
+			}
+		}
+		if !compatible {
+			flush()
+		}
+		cur = append(cur, i)
+	}
+	flush()
+	return s
+}
+
+// ParallelStages returns how many stages contain more than one batch.
+func (s Schedule) ParallelStages() int {
+	n := 0
+	for _, st := range s.Stages {
+		if len(st) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the plan, e.g. "[0 1] [2]".
+func (s Schedule) String() string {
+	parts := make([]string, len(s.Stages))
+	for i, st := range s.Stages {
+		parts[i] = fmt.Sprint(st)
+	}
+	return strings.Join(parts, " ")
+}
+
+// StageResult reports one executed stage's cost decomposition.
+type StageResult struct {
+	// BatchCycles maps batch index to consumed cycles.
+	BatchCycles map[int]uint64
+	// CriticalCycles is the stage's latency contribution: the maximum
+	// batch cost (plus the caller's fork/join overhead for parallel
+	// stages).
+	CriticalCycles uint64
+	// TotalCycles is the stage's aggregate work.
+	TotalCycles uint64
+	// Parallel reports whether the stage ran more than one batch.
+	Parallel bool
+}
+
+// ExecResult aggregates an executed schedule.
+type ExecResult struct {
+	Stages []StageResult
+	// CriticalCycles is the latency-relevant sum over stages.
+	CriticalCycles uint64
+	// TotalCycles is the aggregate work over all batches.
+	TotalCycles uint64
+}
+
+// Execute runs the schedule on pkt. Batches within a stage genuinely
+// run on separate goroutines — the Table-I discipline guarantees a
+// writer is never co-scheduled with a reader or another writer, so
+// sharing the packet is safe. forkJoin is the per-parallel-stage
+// dispatch/join overhead added to the stage's critical path.
+//
+// Execution is fail-fast across stages: if any batch in a stage
+// errors, later stages do not run, mirroring an NF chain aborting on a
+// processing error. All batches within the already-running stage are
+// allowed to finish (their goroutines are always joined).
+func (s Schedule) Execute(batches []Batch, pkt *packet.Packet, forkJoin uint64) (ExecResult, error) {
+	var res ExecResult
+	for _, stage := range s.Stages {
+		sr := StageResult{BatchCycles: make(map[int]uint64, len(stage))}
+		var firstErr error
+		if len(stage) == 1 {
+			idx := stage[0]
+			c, err := batches[idx].RunSequential(pkt)
+			sr.BatchCycles[idx] = c
+			sr.CriticalCycles = c
+			sr.TotalCycles = c
+			firstErr = err
+		} else {
+			sr.Parallel = true
+			var (
+				mu sync.Mutex
+				wg sync.WaitGroup
+			)
+			for _, idx := range stage {
+				wg.Add(1)
+				go func(idx int) {
+					defer wg.Done()
+					c, err := batches[idx].RunSequential(pkt)
+					mu.Lock()
+					defer mu.Unlock()
+					sr.BatchCycles[idx] = c
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+				}(idx)
+			}
+			wg.Wait()
+			for _, c := range sr.BatchCycles {
+				sr.TotalCycles += c
+				if c > sr.CriticalCycles {
+					sr.CriticalCycles = c
+				}
+			}
+			sr.CriticalCycles += forkJoin
+			sr.TotalCycles += forkJoin
+		}
+		res.Stages = append(res.Stages, sr)
+		res.CriticalCycles += sr.CriticalCycles
+		res.TotalCycles += sr.TotalCycles
+		if firstErr != nil {
+			return res, firstErr
+		}
+	}
+	return res, nil
+}
+
+// ExecuteSequential runs every batch in chain order with no
+// parallelism, for the original-path and ablation (HA-only) modes.
+func ExecuteSequential(batches []Batch, pkt *packet.Packet) (ExecResult, error) {
+	var res ExecResult
+	for i, b := range batches {
+		if b.Empty() {
+			continue
+		}
+		c, err := b.RunSequential(pkt)
+		sr := StageResult{
+			BatchCycles:    map[int]uint64{i: c},
+			CriticalCycles: c,
+			TotalCycles:    c,
+		}
+		res.Stages = append(res.Stages, sr)
+		res.CriticalCycles += c
+		res.TotalCycles += c
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,159 @@
+// Package sfunc implements SpeedyBox's state-function abstraction
+// (paper §IV-A2) and the parallel batch executor (§V-C2).
+//
+// A state function is an NF-provided callback that updates NF internal
+// state and/or inspects the packet payload. All state functions an NF
+// records for one flow form a batch; batches execute in chain order,
+// and functions within a batch execute in recording order, preserving
+// the NF's code dependencies (§IV-B). Batches from different NFs may
+// execute in parallel when the payload-dependency analysis of Table I
+// allows it.
+package sfunc
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// PayloadClass describes how a state function interacts with the
+// packet payload (§IV-A2). The priority ordering Write > Read > Ignore
+// determines a batch's class (§V-C2).
+type PayloadClass int
+
+// Payload classes. Enum starts at one so the zero value is invalid.
+const (
+	// ClassIgnore functions neither read nor modify the payload
+	// (e.g. per-flow counters).
+	ClassIgnore PayloadClass = iota + 1
+	// ClassRead functions read the payload (e.g. Snort inspection).
+	ClassRead
+	// ClassWrite functions modify the payload.
+	ClassWrite
+)
+
+// String returns the class name used in Table I.
+func (c PayloadClass) String() string {
+	switch c {
+	case ClassIgnore:
+		return "ignore"
+	case ClassRead:
+		return "read"
+	case ClassWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("PayloadClass(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is a defined class.
+func (c PayloadClass) Valid() bool {
+	return c >= ClassIgnore && c <= ClassWrite
+}
+
+// priority implements Write > Read > Ignore.
+func (c PayloadClass) priority() int {
+	switch c {
+	case ClassWrite:
+		return 3
+	case ClassRead:
+		return 2
+	case ClassIgnore:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Handler is a state-function callback. Handlers receive the packet
+// and return the work cycles consumed, which the executor charges to
+// the owning NF's stage. Handlers must honour their declared
+// PayloadClass: a ClassRead handler must not modify the payload. The
+// parallel executor relies on that contract for memory safety.
+type Handler func(pkt *packet.Packet) (cycles uint64, err error)
+
+// Func is one recorded state function: the handler plus the metadata
+// the localmat_add_SF API collects (paper Figure 2).
+type Func struct {
+	// Name identifies the function for logs and tests.
+	Name string
+	// Class is the declared payload interaction.
+	Class PayloadClass
+	// Run is the callback handler.
+	Run Handler
+}
+
+// Validate reports whether the function is well-formed.
+func (f Func) Validate() error {
+	if f.Run == nil {
+		return fmt.Errorf("sfunc: %q has nil handler", f.Name)
+	}
+	if !f.Class.Valid() {
+		return fmt.Errorf("sfunc: %q has invalid payload class %d", f.Name, int(f.Class))
+	}
+	return nil
+}
+
+// Batch is the ordered list of state functions one NF recorded for a
+// flow ("we define all state functions of a rule as a state function
+// batch, and all state functions in a batch should be executed in
+// sequence", §V-C1).
+type Batch struct {
+	// NF names the owning network function (its ledger stage).
+	NF string
+	// Funcs execute in order.
+	Funcs []Func
+}
+
+// Class returns the batch's effective payload class: the class of the
+// highest-priority function it contains (§V-C2: "a batch with {read,
+// read, write} is determined as write"). An empty batch is
+// ClassIgnore.
+func (b Batch) Class() PayloadClass {
+	best := ClassIgnore
+	for _, f := range b.Funcs {
+		if f.Class.priority() > best.priority() {
+			best = f.Class
+		}
+	}
+	return best
+}
+
+// Empty reports whether the batch has no functions.
+func (b Batch) Empty() bool { return len(b.Funcs) == 0 }
+
+// ErrBatchFailed wraps state-function execution errors.
+var ErrBatchFailed = errors.New("sfunc: state function failed")
+
+// RunSequential executes the batch's functions in order on pkt,
+// returning the total cycles consumed. Execution stops at the first
+// error.
+func (b Batch) RunSequential(pkt *packet.Packet) (uint64, error) {
+	var total uint64
+	for _, f := range b.Funcs {
+		c, err := f.Run(pkt)
+		total += c
+		if err != nil {
+			return total, fmt.Errorf("%w: %s/%s: %w", ErrBatchFailed, b.NF, f.Name, err)
+		}
+	}
+	return total, nil
+}
+
+// Parallelizable implements Table I plus the accompanying text: two
+// adjacent batches can run concurrently unless one of them writes the
+// payload while the other touches it ("if batch1 writes the payload,
+// they cannot be parallelized unless batch2 ignores the payload").
+// Read/read and anything involving ignore are parallelizable. Header
+// dependencies need no analysis here because the Global MAT has
+// already consolidated all header actions of the flow (§V-C2).
+func Parallelizable(b1, b2 PayloadClass) bool {
+	if b1 == ClassWrite && b2 != ClassIgnore {
+		return false
+	}
+	if b2 == ClassWrite && b1 != ClassIgnore {
+		return false
+	}
+	return true
+}

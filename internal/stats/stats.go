@@ -1,0 +1,158 @@
+// Package stats provides the summary statistics the evaluation
+// reports: percentiles, CDFs and distribution summaries over latency
+// and flow-processing-time samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample distribution.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	P99    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary. An empty input yields a zero Summary.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := sortedCopy(samples)
+	var sum, sqsum float64
+	for _, x := range s {
+		sum += x
+		sqsum += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sqsum/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		Count:  len(s),
+		Mean:   mean,
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		P50:    percentileSorted(s, 50),
+		P90:    percentileSorted(s, 90),
+		P99:    percentileSorted(s, 99),
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// Percentile returns the p-th percentile (0-100) using linear
+// interpolation between closest ranks. It returns NaN on empty input
+// or out-of-range p.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	return percentileSorted(sortedCopy(samples), p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+func sortedCopy(samples []float64) []float64 {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return s
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF returns the empirical CDF of the samples, one point per sample
+// (deduplicated on equal values, keeping the highest fraction).
+func CDF(samples []float64) []CDFPoint {
+	if len(samples) == 0 {
+		return nil
+	}
+	s := sortedCopy(samples)
+	out := make([]CDFPoint, 0, len(s))
+	n := float64(len(s))
+	for i, v := range s {
+		frac := float64(i+1) / n
+		if len(out) > 0 && out[len(out)-1].Value == v {
+			out[len(out)-1].Fraction = frac
+			continue
+		}
+		out = append(out, CDFPoint{Value: v, Fraction: frac})
+	}
+	return out
+}
+
+// CDFAt returns the empirical CDF evaluated at x.
+func CDFAt(samples []float64, x float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	s := sortedCopy(samples)
+	idx := sort.SearchFloat64s(s, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(s))
+}
+
+// ReductionPercent returns how much smaller b is than a, in percent
+// (the paper's "reduces ... by X%" phrasing). Positive means b < a.
+func ReductionPercent(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (a - b) / a * 100
+}
+
+// Histogram bins samples into n equal-width buckets over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram with n bins.
+func NewHistogram(samples []float64, n int) (Histogram, error) {
+	if n <= 0 {
+		return Histogram{}, fmt.Errorf("stats: histogram needs positive bin count, got %d", n)
+	}
+	h := Histogram{Counts: make([]int, n)}
+	if len(samples) == 0 {
+		return h, nil
+	}
+	s := sortedCopy(samples)
+	h.Min, h.Max = s[0], s[len(s)-1]
+	width := (h.Max - h.Min) / float64(n)
+	for _, x := range s {
+		var bin int
+		if width > 0 {
+			bin = int((x - h.Min) / width)
+		}
+		if bin >= n {
+			bin = n - 1
+		}
+		h.Counts[bin]++
+	}
+	return h, nil
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// Classic libpcap file format (the format tcpdump reads): a 24-byte
+// global header followed by 16-byte-headed records. Timestamps here
+// are synthetic — microseconds of virtual arrival spacing — since the
+// trace is a workload, not a capture.
+const (
+	pcapMagic      = 0xa1b2c3d4
+	pcapVersionMaj = 2
+	pcapVersionMin = 4
+	pcapLinkEth    = 1
+	pcapSnapLen    = 65535
+)
+
+// ErrBadPcap reports a malformed pcap stream.
+var ErrBadPcap = errors.New("trace: malformed pcap")
+
+// WritePcap serializes the trace's packets as a libpcap capture,
+// one microsecond apart.
+func (t *Trace) WritePcap(w io.Writer) error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], pcapVersionMaj)
+	binary.LittleEndian.PutUint16(hdr[6:8], pcapVersionMin)
+	binary.LittleEndian.PutUint32(hdr[16:20], pcapSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], pcapLinkEth)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: writing pcap header: %w", err)
+	}
+	for i, p := range t.packets {
+		var rec [16]byte
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(i/1_000_000)) // seconds
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(i%1_000_000)) // micros
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(p.Len()))    // captured
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(p.Len()))   // original
+		if _, err := w.Write(rec[:]); err != nil {
+			return fmt.Errorf("trace: writing pcap record %d: %w", i, err)
+		}
+		if _, err := w.Write(p.Data()); err != nil {
+			return fmt.Errorf("trace: writing pcap record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadPcap parses a libpcap capture into packets. Records that fail
+// to parse as Ethernet/IPv4/TCP-UDP frames are rejected with an error
+// naming the record.
+func ReadPcap(r io.Reader) ([]*packet.Packet, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short global header: %w", ErrBadPcap, err)
+	}
+	magic := binary.LittleEndian.Uint32(hdr[0:4])
+	var order binary.ByteOrder = binary.LittleEndian
+	switch magic {
+	case pcapMagic:
+	case 0xd4c3b2a1:
+		order = binary.BigEndian
+	default:
+		return nil, fmt.Errorf("%w: magic %#08x", ErrBadPcap, magic)
+	}
+	if link := order.Uint32(hdr[20:24]); link != pcapLinkEth {
+		return nil, fmt.Errorf("%w: link type %d, want ethernet", ErrBadPcap, link)
+	}
+	var pkts []*packet.Packet
+	for i := 0; ; i++ {
+		var rec [16]byte
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return pkts, nil
+			}
+			return nil, fmt.Errorf("%w: record %d header: %w", ErrBadPcap, i, err)
+		}
+		capLen := order.Uint32(rec[8:12])
+		if capLen > pcapSnapLen {
+			return nil, fmt.Errorf("%w: record %d capture length %d", ErrBadPcap, i, capLen)
+		}
+		buf := make([]byte, capLen)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("%w: record %d body: %w", ErrBadPcap, i, err)
+		}
+		p := packet.New(buf)
+		if err := p.Parse(); err != nil {
+			return nil, fmt.Errorf("trace: pcap record %d: %w", i, err)
+		}
+		pkts = append(pkts, p)
+	}
+}

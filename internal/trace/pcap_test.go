@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestPcapRoundTrip(t *testing.T) {
+	tr, err := Generate(Config{Seed: 17, Flows: 15, Interleave: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := tr.Packets()
+	if len(pkts) != len(orig) {
+		t.Fatalf("read %d packets, wrote %d", len(pkts), len(orig))
+	}
+	for i := range pkts {
+		if !bytes.Equal(pkts[i].Data(), orig[i].Data()) {
+			t.Fatalf("packet %d corrupted by pcap round trip", i)
+		}
+		if !pkts[i].Parsed() {
+			t.Fatalf("packet %d not parsed on read", i)
+		}
+	}
+}
+
+func TestPcapHeaderFields(t *testing.T) {
+	tr, err := Generate(Config{Seed: 1, Flows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hdr := buf.Bytes()[:24]
+	if binary.LittleEndian.Uint32(hdr[0:4]) != 0xa1b2c3d4 {
+		t.Error("bad magic")
+	}
+	if binary.LittleEndian.Uint16(hdr[4:6]) != 2 || binary.LittleEndian.Uint16(hdr[6:8]) != 4 {
+		t.Error("bad version")
+	}
+	if binary.LittleEndian.Uint32(hdr[20:24]) != 1 {
+		t.Error("bad link type")
+	}
+}
+
+func TestReadPcapErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short header", make([]byte, 10)},
+		{"bad magic", make([]byte, 24)},
+		{"wrong link type", func() []byte {
+			b := make([]byte, 24)
+			binary.LittleEndian.PutUint32(b[0:4], 0xa1b2c3d4)
+			binary.LittleEndian.PutUint32(b[20:24], 101) // raw IP
+			return b
+		}()},
+		{"truncated record", func() []byte {
+			b := make([]byte, 24+8)
+			binary.LittleEndian.PutUint32(b[0:4], 0xa1b2c3d4)
+			binary.LittleEndian.PutUint32(b[20:24], 1)
+			return b
+		}()},
+		{"record body missing", func() []byte {
+			b := make([]byte, 24+16)
+			binary.LittleEndian.PutUint32(b[0:4], 0xa1b2c3d4)
+			binary.LittleEndian.PutUint32(b[20:24], 1)
+			binary.LittleEndian.PutUint32(b[24+8:24+12], 64) // claims 64B body
+			return b
+		}()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadPcap(bytes.NewReader(tt.data)); err == nil {
+				t.Error("malformed pcap accepted")
+			}
+		})
+	}
+}
+
+func TestReadPcapEmptyCapture(t *testing.T) {
+	b := make([]byte, 24)
+	binary.LittleEndian.PutUint32(b[0:4], 0xa1b2c3d4)
+	binary.LittleEndian.PutUint32(b[20:24], 1)
+	pkts, err := ReadPcap(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 0 {
+		t.Errorf("empty capture yielded %d packets", len(pkts))
+	}
+}
+
+func TestReadPcapBigEndian(t *testing.T) {
+	// A big-endian writer's capture must parse too.
+	tr, err := Generate(Config{Seed: 3, Flows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var le bytes.Buffer
+	if err := tr.WritePcap(&le); err != nil {
+		t.Fatal(err)
+	}
+	// Transcode header+records to big-endian.
+	data := le.Bytes()
+	be := make([]byte, len(data))
+	copy(be, data)
+	swap32 := func(off int) {
+		be[off], be[off+1], be[off+2], be[off+3] = data[off+3], data[off+2], data[off+1], data[off]
+	}
+	swap16 := func(off int) { be[off], be[off+1] = data[off+1], data[off] }
+	swap32(0)
+	swap16(4)
+	swap16(6)
+	swap32(16)
+	swap32(20)
+	off := 24
+	for off < len(data) {
+		for f := 0; f < 4; f++ {
+			swap32(off + 4*f)
+		}
+		capLen := int(binary.LittleEndian.Uint32(data[off+8 : off+12]))
+		off += 16 + capLen
+	}
+	pkts, err := ReadPcap(bytes.NewReader(be))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != tr.Len() {
+		t.Errorf("big-endian read %d packets, want %d", len(pkts), tr.Len())
+	}
+}

@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	cfg := Config{Seed: 42, Flows: 30, Interleave: true}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	pa, pb := a.Packets(), b.Packets()
+	for i := range pa {
+		if !bytes.Equal(pa[i].Data(), pb[i].Data()) {
+			t.Fatalf("packet %d differs between equal seeds", i)
+		}
+	}
+	c, err := Generate(Config{Seed: 43, Flows: 30, Interleave: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == a.Len() {
+		same := true
+		pc := c.Packets()
+		for i := range pa {
+			if !bytes.Equal(pa[i].Data(), pc[i].Data()) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestPacketsReturnsFreshCopies(t *testing.T) {
+	tr, err := Generate(Config{Seed: 1, Flows: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := tr.Packets()
+	p1[0].Data()[20] ^= 0xff
+	p2 := tr.Packets()
+	if bytes.Equal(p1[0].Data(), p2[0].Data()) {
+		t.Error("Packets() aliases the underlying trace")
+	}
+}
+
+func TestTCPLifecyclePerFlow(t *testing.T) {
+	tr, err := Generate(Config{Seed: 7, Flows: 20, UDPFraction: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type state struct{ syn, ack, data, fin int }
+	flows := make(map[packet.FiveTuple]*state)
+	for _, p := range tr.Packets() {
+		ft, err := p.FiveTuple()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft.Proto != packet.ProtoTCP {
+			continue
+		}
+		s := flows[ft]
+		if s == nil {
+			s = &state{}
+			flows[ft] = s
+		}
+		flags, _ := p.TCPFlags()
+		switch {
+		case flags&packet.TCPFlagSYN != 0:
+			s.syn++
+		case flags&packet.TCPFlagFIN != 0:
+			s.fin++
+		case len(p.Payload()) > 0:
+			s.data++
+		default:
+			s.ack++
+		}
+	}
+	for ft, s := range flows {
+		if s.syn != 1 || s.ack != 1 || s.fin != 1 || s.data < 1 {
+			t.Errorf("flow %v lifecycle = %+v", ft, s)
+		}
+	}
+}
+
+func TestPerFlowOrderingUnderInterleave(t *testing.T) {
+	tr, err := Generate(Config{Seed: 3, Flows: 40, Interleave: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := make(map[packet.FiveTuple]int)
+	for i, p := range tr.Packets() {
+		ft, err := p.FiveTuple()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := last[ft]; ok && p.Meta.SeqInFlow < prev {
+			t.Fatalf("packet %d of %v out of order", i, ft)
+		}
+		last[ft] = p.Meta.SeqInFlow
+	}
+	// Interleaving must actually mix flows: the first N packets
+	// should span more than one flow.
+	seen := make(map[packet.FiveTuple]bool)
+	for _, p := range tr.Packets()[:20] {
+		ft, _ := p.FiveTuple()
+		seen[ft] = true
+	}
+	if len(seen) < 2 {
+		t.Error("interleave produced sequential playback")
+	}
+}
+
+func TestKindFractions(t *testing.T) {
+	tr, err := Generate(Config{Seed: 11, Flows: 1000, AlertFraction: 0.2, LogFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alert, log, benign int
+	for _, f := range tr.Flows {
+		switch f.Kind {
+		case KindAlert:
+			alert++
+		case KindLog:
+			log++
+		default:
+			benign++
+		}
+	}
+	if alert < 120 || alert > 280 {
+		t.Errorf("alert flows = %d/1000, want ~200", alert)
+	}
+	if log < 220 || log > 380 {
+		t.Errorf("log flows = %d/1000, want ~300", log)
+	}
+	if benign == 0 {
+		t.Error("no benign flows")
+	}
+}
+
+func TestAlertFlowsCarrySignature(t *testing.T) {
+	tr, err := Generate(Config{Seed: 5, Flows: 200, AlertFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasSig := make(map[packet.FiveTuple]bool)
+	for _, p := range tr.Packets() {
+		if bytes.Contains(p.Payload(), []byte("ATTACK")) {
+			ft, _ := p.FiveTuple()
+			hasSig[ft] = true
+		}
+	}
+	for _, f := range tr.Flows {
+		if f.Kind == KindAlert && !hasSig[f.Tuple] {
+			t.Errorf("alert flow %v carries no signature", f.Tuple)
+		}
+		if f.Kind == KindBenign && hasSig[f.Tuple] {
+			t.Errorf("benign flow %v carries a signature", f.Tuple)
+		}
+	}
+}
+
+func TestFlowSizeDistributionHeavyTailed(t *testing.T) {
+	tr, err := Generate(Config{Seed: 13, Flows: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := 0, 0
+	for _, f := range tr.Flows {
+		if f.DataPackets <= 12 {
+			small++
+		}
+		if f.DataPackets >= 40 {
+			large++
+		}
+	}
+	// Log-normal(median 12): roughly half below the median, with a
+	// real tail.
+	if small < 700 || small > 1400 {
+		t.Errorf("flows <= median: %d/2000", small)
+	}
+	if large < 20 {
+		t.Errorf("tail flows (>=40 pkts): %d, want a heavy tail", large)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, Flows: 1, PayloadMin: 100, PayloadMax: 50}); err == nil {
+		t.Error("inverted payload bounds accepted")
+	}
+}
+
+func TestFlowInfoTotals(t *testing.T) {
+	tr, err := Generate(Config{Seed: 9, Flows: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, f := range tr.Flows {
+		sum += f.TotalPkts
+	}
+	if sum != tr.Len() {
+		t.Errorf("flow totals %d != trace length %d", sum, tr.Len())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindBenign.String() != "benign" || KindAlert.String() != "alert" || KindLog.String() != "log" {
+		t.Error("kind strings wrong")
+	}
+}

@@ -1,0 +1,203 @@
+package speedybox
+
+import (
+	"github.com/fastpathnfv/speedybox/internal/nf/dosdefender"
+	"github.com/fastpathnfv/speedybox/internal/nf/gateway"
+	"github.com/fastpathnfv/speedybox/internal/nf/ipfilter"
+	"github.com/fastpathnfv/speedybox/internal/nf/maglev"
+	"github.com/fastpathnfv/speedybox/internal/nf/mazunat"
+	"github.com/fastpathnfv/speedybox/internal/nf/monitor"
+	"github.com/fastpathnfv/speedybox/internal/nf/ratelimiter"
+	"github.com/fastpathnfv/speedybox/internal/nf/snort"
+	"github.com/fastpathnfv/speedybox/internal/nf/synthetic"
+	"github.com/fastpathnfv/speedybox/internal/nf/vpn"
+)
+
+// Stock network functions: the five the paper evaluates (§VI-C) plus
+// three extras. Each integrates with SpeedyBox through the Ctx
+// instrumentation APIs in a handful of lines, mirroring the small
+// added-LOC counts of the paper's Table II.
+
+// Snort IDS types.
+type (
+	// Snort is the IDS NF: per-flow rule assignment on the initial
+	// packet, content/regex payload inspection, Pass/Alert/Log rules.
+	Snort = snort.Snort
+	// SnortRule is one inspection rule.
+	SnortRule = snort.Rule
+	// SnortRuleType is the Pass/Alert/Log action.
+	SnortRuleType = snort.RuleType
+	// SnortLogEntry is one IDS log record.
+	SnortLogEntry = snort.LogEntry
+)
+
+// Snort rule types.
+const (
+	SnortPass  = snort.TypePass
+	SnortAlert = snort.TypeAlert
+	SnortLog   = snort.TypeLog
+)
+
+// NewSnort builds a Snort IDS over a rule list.
+func NewSnort(name string, rules []SnortRule) (*Snort, error) {
+	return snort.New(name, rules)
+}
+
+// DefaultSnortRules returns the representative rule set used by the
+// evaluation (all three rule types, content and regex matching).
+func DefaultSnortRules() []SnortRule { return snort.DefaultRules() }
+
+// ParseSnortRules parses a subset of the Snort rule language, e.g.
+//
+//	alert tcp any any -> any 80 (msg:"exploit"; content:"ATTACK"; sid:1001;)
+//
+// See the package documentation of internal/nf/snort for the supported
+// subset.
+func ParseSnortRules(text string) ([]SnortRule, error) { return snort.ParseRules(text) }
+
+// Maglev load balancer types.
+type (
+	// Maglev is the consistent-hashing load balancer (Maglev §3.4
+	// lookup tables, connection tracking, failover events).
+	Maglev = maglev.Maglev
+	// MaglevBackend is one load-balanced server.
+	MaglevBackend = maglev.Backend
+	// MaglevConfig configures the balancer.
+	MaglevConfig = maglev.Config
+)
+
+// NewMaglev builds a Maglev load balancer.
+func NewMaglev(cfg MaglevConfig) (*Maglev, error) { return maglev.New(cfg) }
+
+// IPFilter firewall types.
+type (
+	// IPFilter is the linear-scan ACL firewall.
+	IPFilter = ipfilter.Filter
+	// IPFilterConfig configures it.
+	IPFilterConfig = ipfilter.Config
+	// IPFilterRule is one ACL entry.
+	IPFilterRule = ipfilter.Rule
+	// IPPrefix matches an address prefix.
+	IPPrefix = ipfilter.Prefix
+	// PortRange matches a port interval.
+	PortRange = ipfilter.PortRange
+)
+
+// NewIPFilter builds an IPFilter firewall.
+func NewIPFilter(cfg IPFilterConfig) (*IPFilter, error) { return ipfilter.New(cfg) }
+
+// PadIPFilterRules appends never-matching rules to reach a target ACL
+// length, controlling the linear-scan cost in benchmarks.
+func PadIPFilterRules(rules []IPFilterRule, n int) []IPFilterRule {
+	return ipfilter.PadRules(rules, n)
+}
+
+// Monitor types.
+type (
+	// Monitor maintains per-flow packet/byte counters.
+	Monitor = monitor.Monitor
+	// MonitorCounters is one flow's statistics.
+	MonitorCounters = monitor.Counters
+)
+
+// NewMonitor builds a Monitor.
+func NewMonitor(name string) (*Monitor, error) { return monitor.New(name) }
+
+// MazuNAT types.
+type (
+	// MazuNAT translates IP and port for flows (Click mazu-nat
+	// equivalent).
+	MazuNAT = mazunat.NAT
+	// MazuNATConfig configures it.
+	MazuNATConfig = mazunat.Config
+	// NATMapping is one active translation.
+	NATMapping = mazunat.Mapping
+)
+
+// NewMazuNAT builds a MazuNAT.
+func NewMazuNAT(cfg MazuNATConfig) (*MazuNAT, error) { return mazunat.New(cfg) }
+
+// VPN gateway types (exercises Encap/Decap consolidation, §V-B).
+type (
+	// VPNGateway adds or removes AH headers.
+	VPNGateway = vpn.Gateway
+	// VPNConfig configures it.
+	VPNConfig = vpn.Config
+	// VPNMode selects encap or decap.
+	VPNMode = vpn.Mode
+)
+
+// VPN modes.
+const (
+	VPNEncap = vpn.ModeEncap
+	VPNDecap = vpn.ModeDecap
+)
+
+// NewVPNGateway builds a VPN gateway.
+func NewVPNGateway(cfg VPNConfig) (*VPNGateway, error) { return vpn.New(cfg) }
+
+// DoS defender types (the Event Table walkthrough of Figure 3).
+type (
+	// DoSDefender counts per-flow SYNs and blocks flows crossing a
+	// threshold via a runtime event.
+	DoSDefender = dosdefender.Defender
+	// DoSDefenderConfig configures it.
+	DoSDefenderConfig = dosdefender.Config
+)
+
+// NewDoSDefender builds a DoS defender.
+func NewDoSDefender(cfg DoSDefenderConfig) (*DoSDefender, error) {
+	return dosdefender.New(cfg)
+}
+
+// Media gateway types (the remaining §IV-A NF category: DSCP marking,
+// next-hop rewrite, TTL handling — a multi-field Modify consolidation).
+type (
+	// MediaGateway classifies flows into service classes and marks
+	// packets accordingly.
+	MediaGateway = gateway.Gateway
+	// MediaGatewayConfig configures it.
+	MediaGatewayConfig = gateway.Config
+	// ServiceClass is a gateway traffic class.
+	ServiceClass = gateway.Class
+)
+
+// Service classes.
+const (
+	ClassBestEffort = gateway.ClassBestEffort
+	ClassVoice      = gateway.ClassVoice
+	ClassVideo      = gateway.ClassVideo
+)
+
+// NewMediaGateway builds a media gateway.
+func NewMediaGateway(cfg MediaGatewayConfig) (*MediaGateway, error) {
+	return gateway.New(cfg)
+}
+
+// Rate limiter types (the §IV-A2 shared-state case: one quota counter
+// shared by every flow of a source, with shared-condition events).
+type (
+	// RateLimiter enforces per-source packet quotas.
+	RateLimiter = ratelimiter.Limiter
+	// RateLimiterConfig configures it.
+	RateLimiterConfig = ratelimiter.Config
+)
+
+// NewRateLimiter builds a rate limiter.
+func NewRateLimiter(cfg RateLimiterConfig) (*RateLimiter, error) {
+	return ratelimiter.New(cfg)
+}
+
+// Synthetic NF types (the §VII-A2 microbenchmark NF).
+type (
+	// SyntheticNF has no header action and one configurable state
+	// function.
+	SyntheticNF = synthetic.NF
+	// SyntheticConfig configures it.
+	SyntheticConfig = synthetic.Config
+)
+
+// NewSyntheticNF builds a synthetic NF.
+func NewSyntheticNF(cfg SyntheticConfig) (*SyntheticNF, error) {
+	return synthetic.New(cfg)
+}

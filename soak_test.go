@@ -1,0 +1,102 @@
+package speedybox_test
+
+import (
+	"testing"
+
+	speedybox "github.com/fastpathnfv/speedybox"
+	"github.com/fastpathnfv/speedybox/internal/stats"
+)
+
+// TestSoakChain1AtScale pushes a large trace (2000 flows, tens of
+// thousands of packets) through the paper's Chain 1 on both platforms
+// with SpeedyBox enabled: no errors, no state leaks after the TCP
+// flows complete, and the fast path dominates.
+func TestSoakChain1AtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	tr, err := speedybox.GenerateTrace(speedybox.TraceConfig{
+		Seed: 1234, Flows: 2000, Interleave: true,
+		UDPFraction: 0.0001, // all TCP: every flow tears down via FIN
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak trace: %d flows, %d packets", 2000, tr.Len())
+
+	for _, mk := range []struct {
+		name  string
+		build func([]speedybox.NF, speedybox.Options) (speedybox.Platform, error)
+	}{
+		{"BESS", speedybox.NewBESS},
+		{"ONVM", speedybox.NewONVM},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			p, err := mk.build(chain1(t), speedybox.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			res, err := speedybox.Run(p, tr.Packets())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Packets != tr.Len() {
+				t.Fatalf("processed %d of %d", res.Packets, tr.Len())
+			}
+			// Fast path must dominate on long flows.
+			if frac := float64(res.Stats.FastPath) / float64(res.Packets); frac < 0.5 {
+				t.Errorf("fast-path fraction = %.2f, want > 0.5", frac)
+			}
+			// All TCP flows FIN'd: every table must be empty again.
+			eng := p.Engine()
+			if n := eng.Global().Len(); n != 0 {
+				t.Errorf("Global MAT leaked %d rules after soak", n)
+			}
+			for i := 0; i < eng.ChainLen(); i++ {
+				if n := eng.Local(i).Len(); n != 0 {
+					t.Errorf("Local MAT %d leaked %d rules", i, n)
+				}
+			}
+			if n := eng.Events().Len(); n != 0 {
+				t.Errorf("Event Table leaked %d flows", n)
+			}
+			// Flow-time distribution stays sane at scale.
+			ft := res.FlowTimesMicros()
+			p50 := stats.Percentile(ft, 50)
+			if p50 < 5 || p50 > 500 {
+				t.Errorf("soak p50 flow time = %.1fµs, implausible", p50)
+			}
+		})
+	}
+}
+
+// TestSoakPipelinedFreeRunning pushes the same scale through the
+// free-running ONVM pipeline.
+func TestSoakPipelinedFreeRunning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	tr, err := speedybox.GenerateTrace(speedybox.TraceConfig{
+		Seed: 77, Flows: 1000, Interleave: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := speedybox.NewONVMPipeline(chain1(t), speedybox.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ms, err := p.RunPipelined(tr.Packets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != tr.Len() {
+		t.Fatalf("measured %d of %d", len(ms), tr.Len())
+	}
+	st := p.Engine().Stats()
+	if st.Packets != uint64(tr.Len()) {
+		t.Errorf("accounted %d of %d", st.Packets, tr.Len())
+	}
+}

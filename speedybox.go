@@ -1,0 +1,215 @@
+// Package speedybox is a Go reproduction of "SpeedyBox: Low-Latency
+// NFV Service Chains with Cross-NF Runtime Consolidation" (Jiang et
+// al., ICDCS 2019).
+//
+// SpeedyBox builds a fast data path for flows in NFV service chains:
+// as the initial packet of a flow traverses the chain, each network
+// function records its per-flow behaviour — standardized header
+// actions plus opaque state-function handlers — into a Local
+// Match-Action Table; a Global MAT consolidates the recorded actions
+// into a single rule that subsequent packets execute directly, and an
+// Event Table keeps the consolidated rule in sync with runtime state
+// changes (backend failures, threshold crossings).
+//
+// This package is the public facade over the implementation in
+// internal/: the NF integration API, the two execution-platform
+// models (BESS-style run-to-completion and OpenNetVM-style pipelined),
+// the synthetic datacenter trace generator, and the stock network
+// functions from the paper's evaluation (Snort, Maglev, IPFilter,
+// Monitor, MazuNAT) plus extras (VPN gateway, DoS defender, synthetic
+// NF).
+//
+// # Quickstart
+//
+//	chain := []speedybox.NF{nat, lb, mon, fw}
+//	p, err := speedybox.NewBESS(chain, speedybox.DefaultOptions())
+//	if err != nil { ... }
+//	defer p.Close()
+//	tr, err := speedybox.GenerateTrace(speedybox.TraceConfig{Seed: 1, Flows: 100})
+//	res, err := speedybox.Run(p, tr.Packets())
+//	fmt.Println(res.RateMpps(), res.MeanLatencyMicros())
+//
+// See examples/ for runnable programs and cmd/speedybench for the
+// harness that regenerates every table and figure of the paper's
+// evaluation.
+package speedybox
+
+import (
+	"github.com/fastpathnfv/speedybox/internal/bess"
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/cost"
+	"github.com/fastpathnfv/speedybox/internal/event"
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/onvm"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/platform"
+	"github.com/fastpathnfv/speedybox/internal/sfunc"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// Core NF-integration types. An NF implements Process and records its
+// behaviour through the Ctx instrumentation APIs (the paper's
+// localmat_add_HA, localmat_add_SF and register_event, Figure 2).
+type (
+	// NF is a network function integrated with SpeedyBox.
+	NF = core.NF
+	// Ctx is the per-packet instrumentation context passed to NFs.
+	Ctx = core.Ctx
+	// Verdict is an NF's forward/drop decision.
+	Verdict = core.Verdict
+	// Options selects baseline vs SpeedyBox and the two optimization
+	// ablations.
+	Options = core.Options
+	// Engine is the SpeedyBox core: classifier, MATs and Event Table.
+	Engine = core.Engine
+	// PacketResult is the engine's per-packet accounting.
+	PacketResult = core.PacketResult
+	// FlowCloser is the optional NF interface for releasing
+	// NF-internal per-flow state on flow teardown.
+	FlowCloser = core.FlowCloser
+	// Stats aggregates engine counters over a run.
+	Stats = core.Stats
+)
+
+// Verdicts.
+const (
+	VerdictForward = core.VerdictForward
+	VerdictDrop    = core.VerdictDrop
+)
+
+// Packet and flow types.
+type (
+	// Packet is a packet descriptor backed by a real frame buffer.
+	Packet = packet.Packet
+	// PacketSpec describes a packet to synthesize.
+	PacketSpec = packet.Spec
+	// FiveTuple is the flow key.
+	FiveTuple = packet.FiveTuple
+	// Field identifies a modifiable header field.
+	Field = packet.Field
+	// FID is the 20-bit flow identifier.
+	FID = flow.FID
+)
+
+// Header fields usable in Modify actions.
+const (
+	FieldSrcMAC  = packet.FieldSrcMAC
+	FieldDstMAC  = packet.FieldDstMAC
+	FieldSrcIP   = packet.FieldSrcIP
+	FieldDstIP   = packet.FieldDstIP
+	FieldTTL     = packet.FieldTTL
+	FieldDSCP    = packet.FieldDSCP
+	FieldSrcPort = packet.FieldSrcPort
+	FieldDstPort = packet.FieldDstPort
+)
+
+// MAT types: the recorded behaviours and consolidated rules.
+type (
+	// HeaderAction is one of the five standardized header actions.
+	HeaderAction = mat.HeaderAction
+	// StateFunc is a recorded state-function handler with its payload
+	// class.
+	StateFunc = sfunc.Func
+	// PayloadClass describes payload interaction (Table I).
+	PayloadClass = sfunc.PayloadClass
+	// Event is an Event Table (condition -> update) registration.
+	Event = event.Event
+	// GlobalRule is a consolidated fast-path rule.
+	GlobalRule = mat.GlobalRule
+)
+
+// Payload classes.
+const (
+	ClassIgnore = sfunc.ClassIgnore
+	ClassRead   = sfunc.ClassRead
+	ClassWrite  = sfunc.ClassWrite
+)
+
+// Header-action constructors.
+var (
+	// Forward passes the packet unmodified.
+	Forward = mat.Forward
+	// Drop discards the packet.
+	Drop = mat.Drop
+	// Modify rewrites one header field.
+	Modify = mat.Modify
+	// Encap pushes an extra header.
+	Encap = mat.Encap
+	// Decap pops an extra header.
+	Decap = mat.Decap
+)
+
+// Platform types.
+type (
+	// Platform is an execution platform hosting a chain.
+	Platform = platform.Platform
+	// Measurement is one packet's platform-level account.
+	Measurement = platform.Measurement
+	// RunResult aggregates a trace run.
+	RunResult = platform.RunResult
+	// CostModel holds the calibrated cycle constants.
+	CostModel = cost.Model
+)
+
+// Trace types.
+type (
+	// Trace is a generated packet trace.
+	Trace = trace.Trace
+	// TraceConfig controls trace synthesis.
+	TraceConfig = trace.Config
+)
+
+// DefaultOptions returns full SpeedyBox: recording, consolidation,
+// events and Table-I parallel state-function execution.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// BaselineOptions returns the unmodified original chain, the paper's
+// comparison baseline.
+func BaselineOptions() Options { return core.BaselineOptions() }
+
+// DefaultModel returns the calibrated cycle-cost model (2.0 GHz Xeon
+// E5-2660 v4 class, per the paper's testbed).
+func DefaultModel() *CostModel { return cost.DefaultModel() }
+
+// NewBESS builds a BESS-style run-to-completion platform: the whole
+// chain executes in one process on one core (paper §VI-A). There is no
+// chain-length limit.
+func NewBESS(chain []NF, opts Options) (Platform, error) {
+	return bess.New(bess.Config{Chain: chain, Options: opts})
+}
+
+// ONVM is the concrete OpenNetVM platform. Beyond the Platform
+// interface it offers RunPipelined, a free-running mode with multiple
+// packets genuinely in flight across the NF-core goroutines.
+type ONVM = onvm.Platform
+
+// NewONVM builds an OpenNetVM-style pipelined platform: one dedicated
+// core (goroutine) per NF connected by shared-memory rings, with the
+// Global MAT hosted at the NF manager. Chains are limited to 5 NFs by
+// the modeled 14-core budget (paper §VII-B2).
+func NewONVM(chain []NF, opts Options) (Platform, error) {
+	return onvm.New(onvm.Config{Chain: chain, Options: opts})
+}
+
+// NewONVMPipeline is NewONVM returning the concrete type, for callers
+// that want the free-running RunPipelined mode.
+func NewONVMPipeline(chain []NF, opts Options) (*ONVM, error) {
+	return onvm.New(onvm.Config{Chain: chain, Options: opts})
+}
+
+// Run feeds every packet of a trace through the platform and
+// aggregates measurements.
+func Run(p Platform, pkts []*Packet) (*RunResult, error) {
+	return platform.Run(p, pkts)
+}
+
+// GenerateTrace synthesizes a deterministic datacenter-style trace.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) {
+	return trace.Generate(cfg)
+}
+
+// BuildPacket synthesizes one checksum-correct packet.
+func BuildPacket(spec PacketSpec) (*Packet, error) {
+	return packet.Build(spec)
+}
