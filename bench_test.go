@@ -2,6 +2,7 @@ package speedybox_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	speedybox "github.com/fastpathnfv/speedybox"
@@ -260,6 +261,121 @@ func BenchmarkONVMPipelinePerPacket(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// mqChain is the multi-queue benchmark chain: three IPFilters with
+// forward-only ACLs, so fast-path packets touch no shared NF state and
+// the measurement isolates the engine's sharded data path.
+func mqChain(b *testing.B) []speedybox.NF {
+	b.Helper()
+	chain := make([]speedybox.NF, 3)
+	for i := range chain {
+		f, err := speedybox.NewIPFilter(speedybox.IPFilterConfig{
+			Name: fmt.Sprintf("fw%d", i+1), Rules: speedybox.PadIPFilterRules(nil, 100),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		chain[i] = f
+	}
+	return chain
+}
+
+// mqTrace builds a subsequent-packet-dominated UDP trace: 256 flows of
+// 64 data packets each (no handshakes, rules installed by the first
+// packet of each flow).
+func mqTrace(b *testing.B) []*speedybox.Packet {
+	b.Helper()
+	tr, err := speedybox.GenerateTrace(speedybox.TraceConfig{
+		Seed: 1, Flows: 256, MeanPackets: 64, SigmaPackets: 0.01,
+		UDPFraction: 1.0, Interleave: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr.Packets()
+}
+
+// BenchmarkMultiQueue measures the RSS-style multi-queue runner at
+// 1/2/4/8 workers over one engine's sharded state. "wall-Mpps" is real
+// wall-clock throughput (it only scales with workers when the host has
+// the cores); "model-Mpps" is the cost model's aggregate rate for the
+// queue partition, the simulator's prediction for a real RSS NIC.
+func BenchmarkMultiQueue(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p, err := speedybox.NewBESS(mqChain(b), speedybox.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			mq, err := speedybox.NewMultiQueue(p, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Prime: the first pass records and consolidates every
+			// flow; timed passes replay the same flows fast-path.
+			if _, err := mq.Run(mqTrace(b)); err != nil {
+				b.Fatal(err)
+			}
+			var (
+				pkts int
+				last *speedybox.RunResult
+			)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				trace := mqTrace(b)
+				b.StartTimer()
+				out, err := mq.Run(trace)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pkts += out.Packets
+				last = out
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(pkts)/b.Elapsed().Seconds()/1e6, "wall-Mpps")
+			b.ReportMetric(last.AggregateRateMpps(), "model-Mpps")
+		})
+	}
+}
+
+// BenchmarkEngineParallel drives one BESS platform's fast path from
+// GOMAXPROCS goroutines via RunParallel, each goroutine on its own
+// flow — the per-packet figure under concurrency, comparable with
+// BenchmarkFastPathPerPacket's serial figure.
+func BenchmarkEngineParallel(b *testing.B) {
+	p, err := speedybox.NewBESS(mqChain(b), speedybox.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	var nextPort atomic.Uint32
+	nextPort.Store(20000)
+	b.RunParallel(func(pb *testing.PB) {
+		port := uint16(nextPort.Add(1))
+		mk := func() *speedybox.Packet {
+			pkt, err := speedybox.BuildPacket(speedybox.PacketSpec{
+				SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{20, 0, 0, 1},
+				SrcPort: port, DstPort: 80, Proto: 17,
+				Payload: []byte("bench payload bytes"),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return pkt
+		}
+		// Install this goroutine's rule.
+		if _, err := p.Process(mk()); err != nil {
+			b.Fatal(err)
+		}
+		for pb.Next() {
+			if _, err := p.Process(mk()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTraceGeneration measures synthetic trace synthesis.

@@ -39,12 +39,16 @@ func run(args []string) error {
 	sbox := fs.Bool("sbox", true, "enable SpeedyBox (when -compare=false)")
 	seed := fs.Int64("seed", 1, "trace seed")
 	flows := fs.Int("flows", 200, "trace size in flows")
+	workers := fs.Int("workers", 1, "RSS worker queues: >1 hash-partitions flows across concurrent workers")
 	pcapPath := fs.String("pcap", "", "replay this pcap instead of generating a trace")
 	dumpRules := fs.Bool("dump-rules", false, "print the consolidated Global MAT rules after the SpeedyBox run")
 	snortRules := fs.String("snort-rules", "", "load Snort rules for snort NFs from this file (Snort rule syntax)")
 	configPath := fs.String("config", "", "build the chain from this JSON chain-spec file (overrides -chain and -platform)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1 (got %d)", *workers)
 	}
 
 	var spec *chainspec.Spec
@@ -114,7 +118,18 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := speedybox.Run(p, pktsFor())
+		var res *speedybox.RunResult
+		if *workers > 1 {
+			var mq *speedybox.MultiQueue
+			mq, err = speedybox.NewMultiQueue(p, *workers)
+			if err != nil {
+				_ = p.Close()
+				return err
+			}
+			res, err = mq.Run(pktsFor())
+		} else {
+			res, err = speedybox.Run(p, pktsFor())
+		}
 		if err == nil && enabled && *dumpRules {
 			fmt.Printf("\nGlobal MAT (%d rules):\n%s\n", p.Engine().Global().Len(), p.Engine().Global().Dump())
 		}
@@ -126,7 +141,7 @@ func run(args []string) error {
 			return cerr
 		}
 		results = append(results, res)
-		report(*platformName, enabled, res)
+		report(*platformName, enabled, *workers, res)
 	}
 	if len(results) == 2 {
 		fmt.Printf("\nSpeedyBox vs baseline: latency %+.1f%%  rate %+.1f%%  p50 flow time %+.1f%%\n",
@@ -238,7 +253,7 @@ func buildChain(names []string, snortRules []speedybox.SnortRule) ([]speedybox.N
 	return chain, nil
 }
 
-func report(platformName string, sbox bool, res *speedybox.RunResult) {
+func report(platformName string, sbox bool, workers int, res *speedybox.RunResult) {
 	label := platformName
 	if sbox {
 		label += " w/ SBox"
@@ -249,4 +264,7 @@ func report(platformName string, sbox bool, res *speedybox.RunResult) {
 	fmt.Printf("%-16s rate=%.3f Mpps  latency(mean)=%.3f µs  flow p50=%.1f µs  p90=%.1f µs\n",
 		"", res.RateMpps(), res.MeanLatencyMicros(),
 		stats.Percentile(ft, 50), stats.Percentile(ft, 90))
+	if workers > 1 {
+		fmt.Printf("%-16s aggregate(%d queues)=%.3f Mpps\n", "", workers, res.AggregateRateMpps())
+	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	speedybench [-exp all|fig4|table3|fig5|fig6|fig7|fig8|fig9a|fig9b|equiv|vpnx|crossover] [-seed N] [-flows N] [-json]
+//	speedybench [-exp all|fig4|table3|fig5|fig6|fig7|fig8|fig9a|fig9b|equiv|vpnx|crossover|mq] [-seed N] [-flows N] [-json]
 package main
 
 import (
@@ -47,12 +47,13 @@ func experiments(cfg harness.Config) []struct {
 		{"equiv", func() (formatter, error) { return harness.RunEquivalence(cfg) }},
 		{"vpnx", func() (formatter, error) { return harness.RunVPNX(cfg) }},
 		{"crossover", func() (formatter, error) { return harness.RunCrossover(cfg) }},
+		{"mq", func() (formatter, error) { return harness.RunMultiQueue(cfg) }},
 	}
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("speedybench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, fig4, table3, fig5, fig6, fig7, fig8, fig9a, fig9b, equiv, vpnx, crossover")
+	exp := fs.String("exp", "all", "experiment to run: all, fig4, table3, fig5, fig6, fig7, fig8, fig9a, fig9b, equiv, vpnx, crossover, mq")
 	seed := fs.Int64("seed", 1, "trace generation seed")
 	flows := fs.Int("flows", 0, "trace size in flows (0 = experiment default)")
 	asJSON := fs.Bool("json", false, "emit results as JSON instead of tables")

@@ -60,6 +60,14 @@ type Result struct {
 	Kind Kind
 	// NewFlow reports that this packet created the flow-table entry.
 	NewFlow bool
+	// Reused reports that this packet is a SYN restarting a tracked
+	// flow that was already past the handshake (5-tuple reuse without
+	// an observed FIN/RST). The previous connection's consolidated
+	// rule and events are stale and must be torn down before the new
+	// connection's packets are processed — otherwise its established
+	// packets would classify as subsequent and execute the *old*
+	// connection's recorded actions.
+	Reused bool
 }
 
 // Classifier assigns FIDs and tracks flow lifecycle. It is safe for
@@ -126,6 +134,13 @@ func (c *Classifier) Classify(pkt *packet.Packet, hasRule func(flow.FID) bool) (
 			// UDP flows are established by their first packet.
 			e.State = flow.StateEstablished
 		case flags&packet.TCPFlagSYN != 0:
+			// A SYN on a flow already past the handshake is 5-tuple
+			// reuse (the FIN/RST of the previous connection was never
+			// seen): the connection restarts, and the caller must tear
+			// down the previous connection's consolidated state.
+			if e.State != flow.StateHandshake {
+				res.Reused = true
+			}
 			e.State = flow.StateHandshake
 		case e.State == flow.StateHandshake && flags&packet.TCPFlagACK != 0 && len(pkt.Payload()) == 0:
 			// The bare ACK completing the 3-way handshake: the

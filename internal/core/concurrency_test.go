@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/classifier"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+func tcpPkt(t *testing.T, srcPort uint16, flags uint8, seq int, payload string) *packet.Packet {
+	t.Helper()
+	return packet.MustBuild(packet.Spec{
+		SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 0, 0, 2),
+		SrcPort: srcPort, DstPort: 80, Proto: packet.ProtoTCP,
+		TCPFlags: flags, Seq: uint32(seq),
+		Payload: []byte(payload),
+	})
+}
+
+// TestSYNReuseTearsDownStaleRule is the regression test for 5-tuple
+// reuse without an observed FIN/RST: a restarted connection (new SYN on
+// an already-tracked, established flow) must tear down the previous
+// connection's consolidated rule and events. On the unfixed engine the
+// stale Global MAT rule survives the restart, so the new connection's
+// established packets classify as subsequent and execute the *old*
+// connection's recorded actions.
+func TestSYNReuseTearsDownStaleRule(t *testing.T) {
+	mod := &fakeModifier{name: "nat", dip: [4]byte{99, 0, 0, 1}}
+	evt := &fakeEventNF{name: "lb"}
+	eng, err := NewEngine([]NF{mod, evt}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const port = 7001
+
+	// First connection: SYN, handshake ACK, then data that records and
+	// consolidates, then a fast-path packet.
+	for i, pkt := range []*packet.Packet{
+		tcpPkt(t, port, packet.TCPFlagSYN, 0, ""),
+		tcpPkt(t, port, packet.TCPFlagACK, 1, ""),
+	} {
+		if _, err := eng.ProcessPacket(pkt); err != nil {
+			t.Fatalf("handshake packet %d: %v", i, err)
+		}
+	}
+	r, err := eng.ProcessPacket(tcpPkt(t, port, packet.TCPFlagACK, 2, "first conn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != classifier.KindInitial {
+		t.Fatalf("first data packet classified %v, want initial", r.Kind)
+	}
+	fid := r.FID
+	if _, ok := eng.Global().Lookup(fid); !ok {
+		t.Fatal("no rule installed after initial packet")
+	}
+	r, err = eng.ProcessPacket(tcpPkt(t, port, packet.TCPFlagACK, 3, "first conn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Path != PathFast {
+		t.Fatalf("second data packet took %v, want fast path", r.Path)
+	}
+
+	// The connection restarts without a FIN/RST: a fresh SYN arrives on
+	// the same 5-tuple. The stale rule and events must be gone before
+	// any further packet is routed.
+	r, err = eng.ProcessPacket(tcpPkt(t, port, packet.TCPFlagSYN, 0, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != classifier.KindHandshake {
+		t.Fatalf("restart SYN classified %v, want handshake", r.Kind)
+	}
+	if _, ok := eng.Global().Lookup(fid); ok {
+		t.Error("stale Global MAT rule survived the connection restart")
+	}
+	if n := eng.Events().Pending(fid); n != 0 {
+		t.Errorf("%d stale events survived the connection restart", n)
+	}
+
+	// The new connection establishes; its first data packet must
+	// classify as initial (re-recording), never as subsequent against
+	// the old rule.
+	if _, err := eng.ProcessPacket(tcpPkt(t, port, packet.TCPFlagACK, 1, "")); err != nil {
+		t.Fatal(err)
+	}
+	r, err = eng.ProcessPacket(tcpPkt(t, port, packet.TCPFlagACK, 2, "second conn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != classifier.KindInitial {
+		t.Fatalf("restarted connection's data packet classified %v, want initial", r.Kind)
+	}
+}
+
+// TestConcurrentProcessPacket drives ProcessPacket from 8 goroutines
+// over overlapping flows — every pair of neighbouring workers shares a
+// flow, so recording claims, consolidation, fast-path lookups and
+// teardown all interleave — while a ninth goroutine polls Stats(). Run
+// under -race this exercises the sharded flow table, Global MAT, Event
+// Table, recording claims and atomic counters.
+func TestConcurrentProcessPacket(t *testing.T) {
+	const (
+		workers        = 8
+		packetsPerFlow = 50
+	)
+	mod := &fakeModifier{name: "nat", dip: [4]byte{99, 0, 0, 1}}
+	ctr := &fakeCounter{name: "monitor"}
+	eng, err := NewEngine([]NF{mod, ctr}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make(chan error, workers)
+	stop := make(chan struct{})
+	var statsWG sync.WaitGroup
+	statsWG.Add(1)
+	go func() {
+		defer statsWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = eng.Stats()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Worker w sends on its own flow and its neighbour's, so
+			// every flow is driven from two goroutines at once.
+			ports := []uint16{uint16(9000 + w), uint16(9000 + (w+1)%workers)}
+			for i := 0; i < packetsPerFlow; i++ {
+				for _, port := range ports {
+					pkt := packet.MustBuild(packet.Spec{
+						SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 0, 0, 2),
+						SrcPort: port, DstPort: 80, Proto: packet.ProtoUDP,
+						Payload: []byte("payload"),
+					})
+					if _, err := eng.ProcessPacket(pkt); err != nil {
+						errs <- fmt.Errorf("worker %d packet %d: %w", w, i, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	statsWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	want := uint64(workers * packetsPerFlow * 2)
+	st := eng.Stats()
+	if st.Packets != want {
+		t.Errorf("Stats().Packets = %d, want %d", st.Packets, want)
+	}
+	if st.FastPath+st.SlowPath != want {
+		t.Errorf("fast(%d)+slow(%d) != %d", st.FastPath, st.SlowPath, want)
+	}
+	if st.FastPath == 0 {
+		t.Error("no packet took the fast path")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/fastpathnfv/speedybox/internal/classifier"
 	"github.com/fastpathnfv/speedybox/internal/cost"
@@ -49,23 +50,58 @@ var (
 	ErrNFFailed = errors.New("core: NF processing failed")
 )
 
+// statsShardCount is the number of counter shards (power of two).
+// Counters for a packet land in the shard selected by its FID's low
+// bits, so workers of the multi-queue platform mostly hit distinct
+// cache lines; Stats() folds the shards into one snapshot.
+const statsShardCount = 32
+
+// statsShard is one padded block of engine counters, updated with
+// atomics — never a lock — on the per-packet accounting path.
+type statsShard struct {
+	packets, initial, subsequent, handshake, final atomic.Uint64
+	fastPath, slowPath, dropped                    atomic.Uint64
+	eventsFired, consolidations                    atomic.Uint64
+	_                                              [48]byte // pad to 128 bytes against false sharing
+}
+
+// recShardCount is the number of recording-slot shards (power of two).
+const recShardCount = 32
+
+// recShard is one independently locked slice of the recording-claims
+// set.
+type recShard struct {
+	mu   sync.Mutex
+	fids map[flow.FID]struct{}
+	_    [40]byte // pad to a 64-byte cache line (best effort)
+}
+
 // Engine wires a service chain to the SpeedyBox machinery. It is safe
-// for concurrent use so the pipelined ONVM platform can classify,
-// process and consolidate from different goroutines.
+// for concurrent use: the pipelined ONVM platform classifies,
+// processes and consolidates from different goroutines, and the
+// multi-queue platform calls ProcessPacket from one worker per RSS
+// queue. All per-flow state (flow table, Global MAT, Event Table,
+// recording claims, counters) is sharded by FID so workers handling
+// disjoint flows do not contend.
 type Engine struct {
 	model  *cost.Model
 	opts   Options
 	chain  []NF
 	locals []*mat.Local
-	global *mat.Global
-	events *event.Table
-	class  *classifier.Classifier
+	// localByName indexes locals by NF name for event firings; built
+	// once so the fast path never rebuilds a map per packet.
+	localByName map[string]*mat.Local
+	global      *mat.Global
+	events      *event.Table
+	class       *classifier.Classifier
+	// hasRule is the classifier's Global MAT probe, built once at
+	// construction (nil when SpeedyBox is disabled) so Classify does
+	// not allocate a closure per packet.
+	hasRule func(flow.FID) bool
 
-	mu    sync.Mutex
-	stats Stats
+	stats [statsShardCount]statsShard
 
-	recMu     sync.Mutex
-	recording map[flow.FID]bool
+	recording [recShardCount]recShard
 }
 
 // NewEngine builds an engine over the chain.
@@ -81,23 +117,40 @@ func NewEngine(chain []NF, opts Options) (*Engine, error) {
 	}
 	seen := make(map[string]bool, len(chain))
 	locals := make([]*mat.Local, len(chain))
+	byName := make(map[string]*mat.Local, len(chain))
 	for i, nf := range chain {
 		if seen[nf.Name()] {
 			return nil, fmt.Errorf("%w: %q", ErrDuplicateNF, nf.Name())
 		}
 		seen[nf.Name()] = true
 		locals[i] = mat.NewLocal(nf.Name())
+		byName[nf.Name()] = locals[i]
 	}
-	return &Engine{
-		model:     opts.Model,
-		opts:      opts,
-		chain:     chain,
-		locals:    locals,
-		global:    mat.NewGlobal(),
-		events:    event.NewTable(),
-		class:     classifier.New(flow.NewTable()),
-		recording: make(map[flow.FID]bool),
-	}, nil
+	e := &Engine{
+		model:       opts.Model,
+		opts:        opts,
+		chain:       chain,
+		locals:      locals,
+		localByName: byName,
+		global:      mat.NewGlobal(),
+		events:      event.NewTable(),
+		class:       classifier.New(flow.NewTable()),
+	}
+	for i := range e.recording {
+		e.recording[i].fids = make(map[flow.FID]struct{})
+	}
+	if opts.EnableSpeedyBox {
+		e.hasRule = func(fid flow.FID) bool {
+			_, ok := e.global.Lookup(fid)
+			return ok
+		}
+	}
+	return e, nil
+}
+
+// recShardFor returns the recording shard owning a FID.
+func (e *Engine) recShardFor(fid flow.FID) *recShard {
+	return &e.recording[uint32(fid)&(recShardCount-1)]
 }
 
 // TryBeginRecording claims the flow's recording slot. When several
@@ -107,20 +160,22 @@ func NewEngine(chain []NF, opts Options) (*Engine, error) {
 // losers traverse the chain without recording, which is always
 // correct. EndRecording releases the slot.
 func (e *Engine) TryBeginRecording(fid flow.FID) bool {
-	e.recMu.Lock()
-	defer e.recMu.Unlock()
-	if e.recording[fid] {
+	s := e.recShardFor(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.fids[fid]; ok {
 		return false
 	}
-	e.recording[fid] = true
+	s.fids[fid] = struct{}{}
 	return true
 }
 
 // EndRecording releases the flow's recording slot.
 func (e *Engine) EndRecording(fid flow.FID) {
-	e.recMu.Lock()
-	defer e.recMu.Unlock()
-	delete(e.recording, fid)
+	s := e.recShardFor(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.fids, fid)
 }
 
 // Model returns the engine's cost model.
@@ -141,25 +196,61 @@ func (e *Engine) Events() *event.Table { return e.events }
 // Local returns the Local MAT of the i-th NF.
 func (e *Engine) Local(i int) *mat.Local { return e.locals[i] }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters, folded across the
+// counter shards. Counters are updated with atomics, so a snapshot
+// taken while packets are in flight is internally consistent per
+// counter but not across counters (Packets may momentarily exceed the
+// sum of the kind counters, never the reverse by more than the number
+// of in-flight packets).
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	var s Stats
+	for i := range e.stats {
+		sh := &e.stats[i]
+		s.Packets += sh.packets.Load()
+		s.Initial += sh.initial.Load()
+		s.Subsequent += sh.subsequent.Load()
+		s.Handshake += sh.handshake.Load()
+		s.Final += sh.final.Load()
+		s.FastPath += sh.fastPath.Load()
+		s.SlowPath += sh.slowPath.Load()
+		s.Dropped += sh.dropped.Load()
+		s.EventsFired += sh.eventsFired.Load()
+		s.Consolidations += sh.consolidations.Load()
+	}
+	return s
 }
 
 // Classify runs the Packet Classifier on one packet, deciding which
 // path it takes. Exposed so pipelined platforms can run classification
-// on a dedicated RX core.
+// on a dedicated RX core. When the packet is a SYN restarting an
+// already-tracked flow (5-tuple reuse without FIN/RST), the previous
+// connection's consolidated rule, Local MAT entries, events and
+// NF-internal per-flow state are torn down here, before the new
+// connection's packets can be routed — otherwise its established
+// packets would classify as subsequent and execute the old
+// connection's recorded actions.
 func (e *Engine) Classify(pkt *packet.Packet) (classifier.Result, error) {
-	var hasRule func(flow.FID) bool
-	if e.opts.EnableSpeedyBox {
-		hasRule = func(fid flow.FID) bool {
-			_, ok := e.global.Lookup(fid)
-			return ok
+	res, err := e.class.Classify(pkt, e.hasRule)
+	if err == nil && res.Reused {
+		e.resetReusedFlow(res.FID)
+	}
+	return res, err
+}
+
+// resetReusedFlow tears down the consolidated state of the previous
+// connection on a reused 5-tuple. The flow-table entry itself stays
+// (the classifier has already reset it to the handshake state).
+func (e *Engine) resetReusedFlow(fid flow.FID) {
+	e.global.Remove(fid)
+	for _, l := range e.locals {
+		l.Delete(fid)
+	}
+	e.events.Remove(fid)
+	for _, nf := range e.chain {
+		if closer, ok := nf.(FlowCloser); ok {
+			closer.FlowClosed(fid)
 		}
 	}
-	return e.class.Classify(pkt, hasRule)
 }
 
 // ProcessNF runs the i-th NF on a slow-path packet, returning the
@@ -171,7 +262,8 @@ func (e *Engine) ProcessNF(i int, fid flow.FID, pkt *packet.Packet, recording bo
 		return 0, 0, fmt.Errorf("core: NF index %d out of range", i)
 	}
 	nf := e.chain[i]
-	ledger := cost.NewLedger()
+	ledger := getLedger()
+	defer putLedger(ledger)
 	ctx := &Ctx{
 		FID:       fid,
 		Initial:   recording,
@@ -187,6 +279,18 @@ func (e *Engine) ProcessNF(i int, fid flow.FID, pkt *packet.Packet, recording bo
 		return 0, ledger.Total(), fmt.Errorf("%w: %s: %w", ErrNFFailed, nf.Name(), err)
 	}
 	return v, ledger.Total(), nil
+}
+
+// ledgerPool recycles per-packet cycle ledgers so the slow path does
+// not allocate a map-backed ledger per packet (or per NF hop in the
+// pipelined platform).
+var ledgerPool = sync.Pool{New: func() any { return cost.NewLedger() }}
+
+func getLedger() *cost.Ledger { return ledgerPool.Get().(*cost.Ledger) }
+
+func putLedger(l *cost.Ledger) {
+	l.Reset()
+	ledgerPool.Put(l)
 }
 
 // PrepareRecording clears the flow's Local MAT entries and events so
@@ -218,32 +322,31 @@ func (e *Engine) TeardownFlow(fid flow.FID) { e.teardown(fid) }
 // ProcessPacket calls it automatically; platforms that assemble
 // results themselves call it once per packet.
 func (e *Engine) Account(res *PacketResult) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats.Packets++
+	s := &e.stats[uint32(res.FID)&(statsShardCount-1)]
+	s.packets.Add(1)
 	switch res.Kind {
 	case classifier.KindInitial:
-		e.stats.Initial++
+		s.initial.Add(1)
 	case classifier.KindSubsequent:
-		e.stats.Subsequent++
+		s.subsequent.Add(1)
 	case classifier.KindHandshake:
-		e.stats.Handshake++
+		s.handshake.Add(1)
 	case classifier.KindFinal:
-		e.stats.Final++
+		s.final.Add(1)
 	}
 	if res.Path == PathFast {
-		e.stats.FastPath++
+		s.fastPath.Add(1)
 	} else {
-		e.stats.SlowPath++
+		s.slowPath.Add(1)
 	}
 	if res.Verdict == VerdictDrop {
-		e.stats.Dropped++
+		s.dropped.Add(1)
 	}
 	if res.Fast != nil {
-		e.stats.EventsFired += uint64(res.Fast.EventsFired)
+		s.eventsFired.Add(uint64(res.Fast.EventsFired))
 	}
 	if res.Slow != nil && res.Slow.ConsolidateCycles > 0 {
-		e.stats.Consolidations++
+		s.consolidations.Add(1)
 	}
 }
 
@@ -297,7 +400,8 @@ func (e *Engine) ProcessPacket(pkt *packet.Packet) (*PacketResult, error) {
 // slowPath runs the packet through the original service chain,
 // recording behaviour when requested.
 func (e *Engine) slowPath(fid flow.FID, pkt *packet.Packet, recording bool) (*PacketResult, error) {
-	ledger := cost.NewLedger()
+	ledger := getLedger()
+	defer putLedger(ledger)
 	info := &SlowPathInfo{DropIndex: -1}
 	if e.opts.EnableSpeedyBox {
 		// The SpeedyBox classifier hashed the 5-tuple and attached
@@ -311,17 +415,19 @@ func (e *Engine) slowPath(fid flow.FID, pkt *packet.Packet, recording bool) (*Pa
 	}
 
 	verdict := VerdictForward
+	// One Ctx serves the whole traversal; only the per-NF fields are
+	// repointed between hops, so the slow path allocates no Ctx per NF.
+	ctx := &Ctx{
+		FID:       fid,
+		Initial:   recording,
+		Model:     e.model,
+		ledger:    ledger,
+		events:    e.events,
+		recording: recording,
+	}
 	for i, nf := range e.chain {
-		ctx := &Ctx{
-			FID:       fid,
-			Initial:   recording,
-			Model:     e.model,
-			nf:        nf.Name(),
-			ledger:    ledger,
-			local:     e.locals[i],
-			events:    e.events,
-			recording: recording,
-		}
+		ctx.nf = nf.Name()
+		ctx.local = e.locals[i]
 		v, err := nf.Process(ctx, pkt)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %s: %w", ErrNFFailed, nf.Name(), err)
@@ -492,12 +598,8 @@ func (e *Engine) fireEvents(fid flow.FID, info *FastPathInfo) (bool, error) {
 	if len(firings) == 0 {
 		return false, nil
 	}
-	byName := make(map[string]*mat.Local, len(e.locals))
-	for _, l := range e.locals {
-		byName[l.NF()] = l
-	}
 	for _, f := range firings {
-		local, ok := byName[f.Event.NF]
+		local, ok := e.localByName[f.Event.NF]
 		if !ok {
 			return false, fmt.Errorf("core: event from unknown NF %q", f.Event.NF)
 		}

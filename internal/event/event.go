@@ -14,6 +14,7 @@ package event
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/fastpathnfv/speedybox/internal/flow"
 	"github.com/fastpathnfv/speedybox/internal/mat"
@@ -66,17 +67,38 @@ type Firing struct {
 	Event *Event
 }
 
-// Table is the Event Table: per-FID registered events. It is safe for
-// concurrent use.
-type Table struct {
+// shardCount is the number of independently locked table shards,
+// indexed by the FID's low bits (power of two). The fast path probes
+// the Event Table twice per packet, so a single table lock would
+// serialize every worker of the multi-queue platform.
+const shardCount = 32
+
+const shardMask = shardCount - 1
+
+type tableShard struct {
 	mu    sync.Mutex
 	byFID map[flow.FID][]*Event
-	fired uint64
+	_     [48]byte // pad to a 64-byte cache line (best effort)
+}
+
+// Table is the Event Table: per-FID registered events. It is safe for
+// concurrent use and sharded by FID so disjoint flows never contend.
+type Table struct {
+	shards [shardCount]tableShard
+	fired  atomic.Uint64
 }
 
 // NewTable returns an empty Event Table.
 func NewTable() *Table {
-	return &Table{byFID: make(map[flow.FID][]*Event)}
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].byFID = make(map[flow.FID][]*Event)
+	}
+	return t
+}
+
+func (t *Table) shardFor(fid flow.FID) *tableShard {
+	return &t.shards[uint32(fid)&shardMask]
 }
 
 // Register adds an event for a flow (the register_event API, paper
@@ -85,21 +107,24 @@ func (t *Table) Register(fid flow.FID, e Event) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	s := t.shardFor(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ev := e
-	t.byFID[fid] = append(t.byFID[fid], &ev)
+	s.byFID[fid] = append(s.byFID[fid], &ev)
 	return nil
 }
 
 // Check probes all events registered for the flow and returns the ones
 // whose conditions hold, removing one-shot firings from the table. The
 // caller applies the updates and reconsolidates. Events fire in
-// registration order.
+// registration order. Conditions run under the flow's shard lock and
+// must not call back into the Event Table.
 func (t *Table) Check(fid flow.FID) []Firing {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	events := t.byFID[fid]
+	s := t.shardFor(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	events := s.byFID[fid]
 	if len(events) == 0 {
 		return nil
 	}
@@ -108,7 +133,7 @@ func (t *Table) Check(fid flow.FID) []Firing {
 	for _, e := range events {
 		if e.Condition(fid) {
 			fired = append(fired, Firing{FID: fid, Event: e})
-			t.fired++
+			t.fired.Add(1)
 			if e.OneShot {
 				continue // drop from table
 			}
@@ -116,38 +141,43 @@ func (t *Table) Check(fid flow.FID) []Firing {
 		remaining = append(remaining, e)
 	}
 	if len(remaining) == 0 {
-		delete(t.byFID, fid)
+		delete(s.byFID, fid)
 	} else {
-		t.byFID[fid] = remaining
+		s.byFID[fid] = remaining
 	}
 	return fired
 }
 
 // Pending returns how many events are registered for the flow.
 func (t *Table) Pending(fid flow.FID) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.byFID[fid])
+	s := t.shardFor(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byFID[fid])
 }
 
 // FiredTotal returns how many firings the table has produced, a
 // statistic the evaluation reports on.
 func (t *Table) FiredTotal() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.fired
+	return t.fired.Load()
 }
 
 // Remove drops all events for a flow (FIN/RST teardown).
 func (t *Table) Remove(fid flow.FID) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.byFID, fid)
+	s := t.shardFor(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.byFID, fid)
 }
 
 // Len returns the number of flows with registered events.
 func (t *Table) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.byFID)
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.byFID)
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -22,6 +22,15 @@ const FIDBits = 20
 // MaxFID is the largest representable FID.
 const MaxFID = 1<<FIDBits - 1
 
+// ShardCount is the number of independently locked table shards. It
+// must be a power of two so a FID's low bits select its shard; probing
+// advances in ShardCount strides, which keeps every candidate slot of
+// a tuple inside one shard and lets lookups, inserts and removals for
+// disjoint FIDs proceed on different cores without contention.
+const ShardCount = 32
+
+const shardMask = ShardCount - 1
+
 // FID is a flow identifier. It stays attached to the packet descriptor
 // as metadata, so it remains consistent along the chain even when NFs
 // rewrite the 5-tuple.
@@ -77,7 +86,9 @@ func (s State) String() string {
 	}
 }
 
-// Entry is the tracked state of one flow.
+// Entry is the tracked state of one flow. Lookup, LookupFID and Insert
+// return it by value: callers always see a consistent snapshot taken
+// under the shard lock, and no mutable table state escapes the lock.
 type Entry struct {
 	FID     FID
 	Tuple   packet.FiveTuple
@@ -94,90 +105,125 @@ type Entry struct {
 // ErrTableFull reports FID space exhaustion.
 var ErrTableFull = errors.New("flow: FID space exhausted")
 
-// Table tracks flows and allocates collision-free FIDs by linear
-// probing in FID space: a flow whose home slot is taken by a different
-// 5-tuple gets the next free slot. The table is safe for concurrent
-// use (the ONVM platform classifies from an RX goroutine while the
-// manager tears down flows).
-type Table struct {
+// tableShard is one independently locked slice of the FID space: every
+// FID congruent to the shard index modulo ShardCount lives here.
+type tableShard struct {
 	mu      sync.RWMutex
 	entries map[FID]*Entry
 	byTuple map[packet.FiveTuple]FID
+	_       [24]byte // pad to a 64-byte cache line (best effort)
+}
+
+// Table tracks flows and allocates collision-free FIDs by linear
+// probing in FID space: a flow whose home slot is taken by a different
+// 5-tuple gets the next free slot in its shard (probes advance by
+// ShardCount, preserving the shard index). The table is sharded by the
+// FID's low bits so concurrent classification, update and teardown of
+// disjoint flows touch disjoint locks — the multi-queue platform
+// drives it from one goroutine per RSS queue.
+type Table struct {
+	shards [ShardCount]tableShard
 }
 
 // NewTable returns an empty flow table.
 func NewTable() *Table {
-	return &Table{
-		entries: make(map[FID]*Entry),
-		byTuple: make(map[packet.FiveTuple]FID),
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].entries = make(map[FID]*Entry)
+		t.shards[i].byTuple = make(map[packet.FiveTuple]FID)
 	}
+	return t
 }
 
-// Lookup returns the entry for a tuple, if tracked.
-func (t *Table) Lookup(ft packet.FiveTuple) (*Entry, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	fid, ok := t.byTuple[ft]
+// shardFor returns the shard owning a FID (equivalently: the shard
+// owning every probe slot of the tuple hashing to that FID).
+func (t *Table) shardFor(fid FID) *tableShard {
+	return &t.shards[uint32(fid)&shardMask]
+}
+
+// Lookup returns a snapshot of the entry for a tuple, if tracked.
+func (t *Table) Lookup(ft packet.FiveTuple) (Entry, bool) {
+	s := t.shardFor(HashTuple(ft))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fid, ok := s.byTuple[ft]
 	if !ok {
-		return nil, false
+		return Entry{}, false
 	}
-	return t.entries[fid], true
+	return *s.entries[fid], true
 }
 
-// LookupFID returns the entry for a FID, if tracked.
-func (t *Table) LookupFID(fid FID) (*Entry, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	e, ok := t.entries[fid]
-	return e, ok
+// LookupFID returns a snapshot of the entry for a FID, if tracked.
+func (t *Table) LookupFID(fid FID) (Entry, bool) {
+	s := t.shardFor(fid)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[fid]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
 }
 
-// Insert tracks a new flow, allocating a collision-free FID. It
-// returns the existing entry if the tuple is already tracked.
-func (t *Table) Insert(ft packet.FiveTuple) (*Entry, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if fid, ok := t.byTuple[ft]; ok {
-		return t.entries[fid], nil
+// Insert tracks a new flow, allocating a collision-free FID, and
+// returns a snapshot of the entry. It returns the existing entry's
+// snapshot if the tuple is already tracked.
+func (t *Table) Insert(ft packet.FiveTuple) (Entry, error) {
+	home := HashTuple(ft)
+	s := t.shardFor(home)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fid, ok := s.byTuple[ft]; ok {
+		return *s.entries[fid], nil
 	}
-	fid := HashTuple(ft)
-	for probes := 0; probes <= MaxFID; probes++ {
-		if _, taken := t.entries[fid]; !taken {
+	fid := home
+	// Each shard owns (MaxFID+1)/ShardCount slots; probing in
+	// ShardCount strides visits exactly those.
+	for probes := 0; probes < (MaxFID+1)/ShardCount; probes++ {
+		if _, taken := s.entries[fid]; !taken {
 			e := &Entry{FID: fid, Tuple: ft, State: StateHandshake}
-			t.entries[fid] = e
-			t.byTuple[ft] = fid
-			return e, nil
+			s.entries[fid] = e
+			s.byTuple[ft] = fid
+			return *e, nil
 		}
-		fid = (fid + 1) & MaxFID
+		fid = (fid + ShardCount) & MaxFID
 	}
-	return nil, ErrTableFull
+	return Entry{}, ErrTableFull
 }
 
 // Remove deletes a flow by FID. It reports whether the flow existed.
 func (t *Table) Remove(fid FID) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e, ok := t.entries[fid]
+	s := t.shardFor(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[fid]
 	if !ok {
 		return false
 	}
-	delete(t.entries, fid)
-	delete(t.byTuple, e.Tuple)
+	delete(s.entries, fid)
+	delete(s.byTuple, e.Tuple)
 	return true
 }
 
 // Len returns the number of tracked flows.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.entries)
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
-// Update applies fn to the entry for fid under the table lock.
+// Update applies fn to the entry for fid under the shard lock. The
+// *Entry passed to fn must not be retained past the call.
 func (t *Table) Update(fid FID, fn func(*Entry)) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e, ok := t.entries[fid]
+	s := t.shardFor(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[fid]
 	if !ok {
 		return false
 	}
@@ -188,13 +234,16 @@ func (t *Table) Update(fid FID, fn func(*Entry)) bool {
 // IdleSince returns the FIDs of flows whose LastSeen is strictly
 // below the cutoff, for idle-rule garbage collection.
 func (t *Table) IdleSince(cutoff uint64) []FID {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var out []FID
-	for fid, e := range t.entries {
-		if e.LastSeen < cutoff {
-			out = append(out, fid)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for fid, e := range s.entries {
+			if e.LastSeen < cutoff {
+				out = append(out, fid)
+			}
 		}
+		s.mu.RUnlock()
 	}
 	return out
 }

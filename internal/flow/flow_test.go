@@ -112,9 +112,10 @@ func TestTableCollisionProbing(t *testing.T) {
 	// different tuple by pre-inserting an entry at that FID.
 	victim := tuple(2)
 	home := HashTuple(victim)
+	s := tbl.shardFor(home)
 	squatter := &Entry{FID: home, Tuple: tuple(999), State: StateEstablished}
-	tbl.entries[home] = squatter
-	tbl.byTuple[squatter.Tuple] = home
+	s.entries[home] = squatter
+	s.byTuple[squatter.Tuple] = home
 
 	e, err := tbl.Insert(victim)
 	if err != nil {
@@ -123,16 +124,86 @@ func TestTableCollisionProbing(t *testing.T) {
 	if e.FID == home {
 		t.Error("collision not probed to a new slot")
 	}
-	if e.FID != (home+1)&MaxFID {
-		t.Errorf("probe landed at %v, want next slot %v", e.FID, (home+1)&MaxFID)
+	// Probes advance in ShardCount strides so the slot stays in the
+	// home shard.
+	if e.FID != (home+ShardCount)&MaxFID {
+		t.Errorf("probe landed at %v, want next slot %v", e.FID, (home+ShardCount)&MaxFID)
+	}
+	if uint32(e.FID)&shardMask != uint32(home)&shardMask {
+		t.Errorf("probe left the home shard: %v vs %v", e.FID, home)
 	}
 	// Both flows remain independently addressable.
 	if got, _ := tbl.Lookup(victim); got.FID != e.FID {
 		t.Error("victim lookup broken after probing")
 	}
-	if got, _ := tbl.Lookup(tuple(999)); got.FID != home {
+	if got, _ := tbl.LookupFID(home); got.Tuple != tuple(999) {
 		t.Error("squatter lookup broken after probing")
 	}
+}
+
+// TestTableReturnsCopies: the entries returned by Lookup, LookupFID
+// and Insert are value snapshots — mutating them must not affect the
+// table, and later Updates must not be visible through an old
+// snapshot (regression for the escaped-*Entry data race).
+func TestTableReturnsCopies(t *testing.T) {
+	tbl := NewTable()
+	e, err := tbl.Insert(tuple(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Packets = 999
+	e.State = StateClosed
+	if got, _ := tbl.Lookup(tuple(1)); got.Packets != 0 || got.State != StateHandshake {
+		t.Errorf("mutating the Insert snapshot leaked into the table: %+v", got)
+	}
+	snap, _ := tbl.LookupFID(e.FID)
+	tbl.Update(e.FID, func(en *Entry) { en.Packets = 7 })
+	if snap.Packets != 0 {
+		t.Error("table Update mutated a previously returned snapshot")
+	}
+	if got, _ := tbl.LookupFID(e.FID); got.Packets != 7 {
+		t.Errorf("Update lost: %+v", got)
+	}
+}
+
+// TestTableSnapshotRace drives concurrent Lookup readers against
+// Update writers; under -race this fails on the seed code, where
+// lookups returned live pointers into the table.
+func TestTableSnapshotRace(t *testing.T) {
+	tbl := NewTable()
+	e, err := tbl.Insert(tuple(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sink uint64
+			for {
+				select {
+				case <-stop:
+					_ = sink
+					return
+				default:
+				}
+				if got, ok := tbl.LookupFID(e.FID); ok {
+					sink += got.Packets + got.Bytes + got.LastSeen
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5000; i++ {
+		tbl.Update(e.FID, func(en *Entry) {
+			en.Packets++
+			en.Bytes += 64
+			en.LastSeen = uint64(i)
+		})
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestTableUpdate(t *testing.T) {

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/platform"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// MultiQueuePoint is one worker count's measurement.
+type MultiQueuePoint struct {
+	Workers int
+	// WallMillis is the measured wall-clock time for the whole trace.
+	WallMillis float64
+	// RateMppsWall is the wall-clock processing rate: trace packets /
+	// measured seconds. It only scales with workers when the host has
+	// that many cores to give.
+	RateMppsWall float64
+	// RateMppsModel is the cost model's aggregate rate: per-core
+	// modeled rate times the effective parallelism of the queue
+	// partition. This is the simulator's throughput prediction for an
+	// RSS deployment, independent of the host's core count.
+	RateMppsModel float64
+	// Speedup is the modeled rate relative to the 1-worker run.
+	Speedup float64
+}
+
+// MultiQueueResult is an extension experiment: the paper's platforms
+// pin the chain to one core (BESS) or one core per NF (ONVM); the
+// multi-queue runner instead models an RSS NIC spreading flows across
+// cores that share the engine's FID-sharded tables. The sweep measures
+// how real wall-clock throughput of the simulator scales with workers
+// on a subsequent-packet-dominated trace — the regime where per-packet
+// work is small and shared-state contention, if any, dominates.
+type MultiQueueResult struct {
+	Packets int
+	Flows   int
+	Points  []MultiQueuePoint
+}
+
+// RunMultiQueue executes the worker sweep on a 3-IPFilter chain.
+func RunMultiQueue(cfg Config) (*MultiQueueResult, error) {
+	cfg = cfg.withDefaults(256)
+	res := &MultiQueueResult{Flows: cfg.Flows}
+	var baseRate float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		// Fresh trace per run: platforms consume the packet buffers.
+		tr, err := trace.Generate(trace.Config{
+			Seed: cfg.Seed, Flows: cfg.Flows,
+			MeanPackets: 64, UDPFraction: 1.0,
+			Interleave: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pkts := tr.Packets()
+		res.Packets = len(pkts)
+
+		p, err := buildPlatform(PlatformBESS, func() ([]core.NF, error) { return filterChain(3) }, core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		mq, err := platform.NewMultiQueue(p, workers)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		out, err := mq.Run(pkts)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		_ = p.Close()
+
+		modeled := out.AggregateRateMpps()
+		if workers == 1 {
+			baseRate = modeled
+		}
+		pt := MultiQueuePoint{
+			Workers:       workers,
+			WallMillis:    float64(elapsed.Microseconds()) / 1000,
+			RateMppsWall:  float64(len(pkts)) / elapsed.Seconds() / 1e6,
+			RateMppsModel: modeled,
+		}
+		if baseRate > 0 {
+			pt.Speedup = modeled / baseRate
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Format renders the sweep.
+func (r *MultiQueueResult) Format() string {
+	t := &tableWriter{}
+	t.title(fmt.Sprintf("Extension: multi-queue scaling — wall-clock rate, %d flows / %d packets (BESS w/ SBox, 3 IPFilters)", r.Flows, r.Packets))
+	t.row("workers", "wall ms", "wall Mpps", "model Mpps", "model speedup")
+	for _, p := range r.Points {
+		t.row(fmt.Sprintf("%d", p.Workers), f3(p.WallMillis), f3(p.RateMppsWall),
+			f3(p.RateMppsModel), fmt.Sprintf("%.2fx", p.Speedup))
+	}
+	return t.String()
+}

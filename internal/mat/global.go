@@ -120,82 +120,118 @@ func (r *GlobalRule) String() string {
 	return b.String()
 }
 
+// ShardCount is the number of independently locked Global MAT shards,
+// indexed by the FID's low bits. A power of two keeps the shard index
+// a mask away; sharding lets the multi-queue platform's workers look
+// up rules for disjoint flows without touching a shared lock.
+const ShardCount = 32
+
+const shardMask = ShardCount - 1
+
+// globalShard is one independently locked slice of the rule table.
+type globalShard struct {
+	mu    sync.RWMutex
+	rules map[flow.FID]*GlobalRule
+	_     [24]byte // pad to a 64-byte cache line (best effort)
+}
+
 // Global is the Global MAT: the table of consolidated fast-path rules
 // keyed by FID (implemented in BESS as a global array reachable from
 // all Local MATs, and in ONVM at the NF manager, §VI-A). It is safe
-// for concurrent use.
+// for concurrent use; rules returned by Lookup are immutable once
+// installed — replacement installs a fresh rule pointer.
 type Global struct {
-	mu    sync.RWMutex
-	rules map[flow.FID]*GlobalRule
+	shards [ShardCount]globalShard
 }
 
 // NewGlobal returns an empty Global MAT.
 func NewGlobal() *Global {
-	return &Global{rules: make(map[flow.FID]*GlobalRule)}
+	g := &Global{}
+	for i := range g.shards {
+		g.shards[i].rules = make(map[flow.FID]*GlobalRule)
+	}
+	return g
+}
+
+func (g *Global) shardFor(fid flow.FID) *globalShard {
+	return &g.shards[uint32(fid)&shardMask]
 }
 
 // Install inserts or replaces the rule for a flow. When replacing (an
 // event-driven reconsolidation), the version counter carries over and
-// increments.
+// increments — on a private copy of the rule, never by writing through
+// the caller's pointer: platforms may still hold (and read) previously
+// installed rules concurrently.
 func (g *Global) Install(r *GlobalRule) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if old, ok := g.rules[r.FID]; ok {
-		r.Version = old.Version + 1
+	s := g.shardFor(r.FID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.rules[r.FID]; ok {
+		versioned := *r
+		versioned.Version = old.Version + 1
+		s.rules[r.FID] = &versioned
+		return
 	}
-	g.rules[r.FID] = r
+	s.rules[r.FID] = r
 }
 
-// Lookup fetches the rule for a flow.
+// Lookup fetches the rule for a flow. The returned rule must be
+// treated as immutable.
 func (g *Global) Lookup(fid flow.FID) (*GlobalRule, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	r, ok := g.rules[fid]
+	s := g.shardFor(fid)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.rules[fid]
 	return r, ok
 }
 
 // Remove deletes a flow's rule (FIN/RST teardown, §VI-B). It reports
 // whether a rule existed.
 func (g *Global) Remove(fid flow.FID) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if _, ok := g.rules[fid]; !ok {
+	s := g.shardFor(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.rules[fid]; !ok {
 		return false
 	}
-	delete(g.rules, fid)
+	delete(s.rules, fid)
 	return true
 }
 
 // Len returns the number of installed rules.
 func (g *Global) Len() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.rules)
+	n := 0
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		n += len(s.rules)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
-// ForEach calls fn for every installed rule under the read lock; fn
-// must not mutate the rule or call back into the table.
+// ForEach calls fn for every installed rule under the shard read
+// locks; fn must not mutate the rule or call back into the table.
 func (g *Global) ForEach(fn func(*GlobalRule)) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	for _, r := range g.rules {
-		fn(r)
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		for _, r := range s.rules {
+			fn(r)
+		}
+		s.mu.RUnlock()
 	}
 }
 
 // Dump renders every installed rule, sorted by FID, for debugging and
 // the chainsim -dump-rules flag.
 func (g *Global) Dump() string {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	fids := make([]flow.FID, 0, len(g.rules))
-	for fid := range g.rules {
-		fids = append(fids, fid)
-	}
-	sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+	var rules []*GlobalRule
+	g.ForEach(func(r *GlobalRule) { rules = append(rules, r) })
+	sort.Slice(rules, func(i, j int) bool { return rules[i].FID < rules[j].FID })
 	var b strings.Builder
-	for _, fid := range fids {
-		b.WriteString(g.rules[fid].String())
+	for _, r := range rules {
+		b.WriteString(r.String())
 		b.WriteString("\n")
 	}
 	return b.String()

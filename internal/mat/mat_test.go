@@ -398,8 +398,13 @@ func TestGlobalMAT(t *testing.T) {
 	// Reinstall bumps version (event-driven reconsolidation).
 	r2 := &GlobalRule{FID: 1}
 	g.Install(r2)
-	if r2.Version != 1 {
-		t.Errorf("Version = %d, want 1 after reinstall", r2.Version)
+	if got, ok := g.Lookup(1); !ok || got.Version != 1 {
+		t.Errorf("installed Version = %d, want 1 after reinstall", got.Version)
+	}
+	// The version is computed on a private copy: the caller's rule
+	// pointer is never written through (it may be shared with readers).
+	if r2.Version != 0 {
+		t.Errorf("Install mutated the caller's rule: Version = %d", r2.Version)
 	}
 	if !g.Remove(1) {
 		t.Error("Remove failed")
@@ -446,5 +451,28 @@ func TestLocalRuleCloneNil(t *testing.T) {
 	var r *LocalRule
 	if r.Clone() != nil {
 		t.Error("Clone of nil rule must be nil")
+	}
+}
+
+// TestGlobalInstallDoesNotRaceSharedPointer reinstalls a rule pointer
+// that a concurrent reader keeps rendering; under -race the seed code
+// fails here because Install wrote Version through the shared pointer.
+func TestGlobalInstallDoesNotRaceSharedPointer(t *testing.T) {
+	g := NewGlobal()
+	shared := &GlobalRule{FID: 42, Modifies: []FieldValue{{Field: packet.FieldDstIP, Value: []byte{1, 2, 3, 4}}}}
+	g.Install(shared)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			_ = shared.String() // reader holding the original pointer
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		g.Install(shared) // reinstall must not write through `shared`
+	}
+	<-done
+	if got, ok := g.Lookup(42); !ok || got.Version == 0 {
+		t.Fatalf("reinstalls did not version the stored rule: %+v", got)
 	}
 }

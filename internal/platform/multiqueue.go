@@ -1,0 +1,127 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// MultiQueue models an RSS-style multi-queue NIC feeding one engine
+// from several cores: packets are hash-partitioned by 5-tuple across W
+// worker queues, and each worker drains its queue by calling the
+// platform's Process. Because the partition key is the flow hash, all
+// packets of a flow land on the same worker, which preserves per-flow
+// ordering — the same guarantee hardware RSS gives — while disjoint
+// flows proceed in parallel on the engine's FID-sharded state.
+type MultiQueue struct {
+	p       Platform
+	workers int
+}
+
+// NewMultiQueue wraps the platform with a workers-way RSS dispatcher.
+func NewMultiQueue(p Platform, workers int) (*MultiQueue, error) {
+	if p == nil {
+		return nil, fmt.Errorf("platform: multiqueue: nil platform")
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("platform: multiqueue: workers must be >= 1, got %d", workers)
+	}
+	return &MultiQueue{p: p, workers: workers}, nil
+}
+
+// Workers returns the configured queue count.
+func (m *MultiQueue) Workers() int { return m.workers }
+
+// Platform returns the wrapped platform.
+func (m *MultiQueue) Platform() Platform { return m.p }
+
+// mqPartial is one worker's private slice of the run aggregate; the
+// partials are merged after all workers join, so workers never share a
+// counter or map during the run.
+type mqPartial struct {
+	packets     int
+	drops       int
+	workCycles  []uint64
+	latencies   []uint64
+	bottlenecks []uint64
+	flowCycles  map[flow.FID]uint64
+	err         error
+}
+
+// Run partitions the trace across the workers and processes the queues
+// concurrently, aggregating the same measurements as the serial Run.
+// Packet buffers are consumed (the platform mutates or drops them).
+// Packets that cannot be partitioned (unparseable) are sent to queue 0,
+// where Process reports the parse error. The first worker error (by
+// worker index) is returned; statistics are a merge of all workers'
+// completed packets.
+func (m *MultiQueue) Run(pkts []*packet.Packet) (*RunResult, error) {
+	queues := make([][]*packet.Packet, m.workers)
+	for _, pkt := range pkts {
+		w := 0
+		if ft, err := pkt.FiveTuple(); err == nil {
+			w = int(uint32(flow.HashTuple(ft)) % uint32(m.workers))
+		}
+		queues[w] = append(queues[w], pkt)
+	}
+
+	partials := make([]mqPartial, m.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < m.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := &partials[w]
+			part.flowCycles = make(map[flow.FID]uint64)
+			for i, pkt := range queues[w] {
+				meas, err := m.p.Process(pkt)
+				if err != nil {
+					part.err = fmt.Errorf("platform %s: queue %d packet %d: %w",
+						m.p.Name(), w, i, err)
+					return
+				}
+				part.packets++
+				if meas.Result.Verdict == core.VerdictDrop {
+					part.drops++
+				}
+				part.workCycles = append(part.workCycles, meas.WorkCycles)
+				part.latencies = append(part.latencies, meas.LatencyCycles)
+				part.bottlenecks = append(part.bottlenecks, meas.BottleneckCycles)
+				part.flowCycles[meas.Result.FID] += meas.LatencyCycles
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &RunResult{
+		FlowCycles:  make(map[flow.FID]uint64),
+		QueueDepths: make([]int, m.workers),
+		model:       m.p.Model(),
+	}
+	for w, q := range queues {
+		res.QueueDepths[w] = len(q)
+	}
+	var firstErr error
+	for w := range partials {
+		part := &partials[w]
+		if part.err != nil && firstErr == nil {
+			firstErr = part.err
+		}
+		res.Packets += part.packets
+		res.Drops += part.drops
+		res.WorkCycles = append(res.WorkCycles, part.workCycles...)
+		res.Latencies = append(res.Latencies, part.latencies...)
+		res.Bottlenecks = append(res.Bottlenecks, part.bottlenecks...)
+		for fid, c := range part.flowCycles {
+			res.FlowCycles[fid] += c
+		}
+	}
+	res.Stats = m.p.Engine().Stats()
+	if firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}

@@ -1,0 +1,207 @@
+package platform
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/cost"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// engPlatform drives a real engine with a trivial latency formula, so
+// multi-queue runs exercise the full classify/record/consolidate path.
+type engPlatform struct {
+	eng *core.Engine
+}
+
+func (p *engPlatform) Name() string         { return "eng" }
+func (p *engPlatform) Engine() *core.Engine { return p.eng }
+func (p *engPlatform) Model() *cost.Model   { return p.eng.Model() }
+func (p *engPlatform) Close() error         { return nil }
+
+func (p *engPlatform) Process(pkt *packet.Packet) (Measurement, error) {
+	res, err := p.eng.ProcessPacket(pkt)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		Result:           res,
+		WorkCycles:       res.WorkCycles,
+		LatencyCycles:    res.WorkCycles + 100,
+		BottleneckCycles: res.WorkCycles + 100,
+	}, nil
+}
+
+// dropNF deterministically drops one quarter of the flows by FID, so
+// serial and multi-queue runs must agree on the drop count.
+type dropNF struct{}
+
+func (dropNF) Name() string { return "drop" }
+func (dropNF) Process(ctx *core.Ctx, pkt *packet.Packet) (core.Verdict, error) {
+	if ctx.FID%4 == 0 {
+		return core.VerdictDrop, nil
+	}
+	return core.VerdictForward, nil
+}
+
+// orderNF records the arrival order of packet buffers per 5-tuple.
+type orderNF struct {
+	mu   sync.Mutex
+	seen map[packet.FiveTuple][]*packet.Packet
+}
+
+func (o *orderNF) Name() string { return "order" }
+func (o *orderNF) Process(ctx *core.Ctx, pkt *packet.Packet) (core.Verdict, error) {
+	ft, err := pkt.FiveTuple()
+	if err != nil {
+		return 0, err
+	}
+	o.mu.Lock()
+	o.seen[ft] = append(o.seen[ft], pkt)
+	o.mu.Unlock()
+	return core.VerdictForward, nil
+}
+
+func testTrace(t *testing.T) []*packet.Packet {
+	t.Helper()
+	tr, err := trace.Generate(trace.Config{Seed: 7, Flows: 48, Interleave: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Packets()
+}
+
+func newEngPlatform(t *testing.T, chain []core.NF, opts core.Options) *engPlatform {
+	t.Helper()
+	eng, err := core.NewEngine(chain, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &engPlatform{eng: eng}
+}
+
+func TestNewMultiQueueValidation(t *testing.T) {
+	if _, err := NewMultiQueue(nil, 4); err == nil {
+		t.Error("nil platform accepted")
+	}
+	p := newEngPlatform(t, []core.NF{noopNF{}}, core.DefaultOptions())
+	if _, err := NewMultiQueue(p, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	mq, err := NewMultiQueue(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mq.Workers() != 4 || mq.Platform() != Platform(p) {
+		t.Errorf("Workers=%d Platform=%v", mq.Workers(), mq.Platform())
+	}
+}
+
+// TestMultiQueueMatchesSerial checks that a 4-worker run over the same
+// trace produces the same aggregate accounting as the serial runner:
+// identical packet/drop counts, identical engine statistics (flows are
+// independent, so per-flow path decisions cannot depend on the
+// cross-flow interleaving), and identical work-cycle totals.
+func TestMultiQueueMatchesSerial(t *testing.T) {
+	serialP := newEngPlatform(t, []core.NF{dropNF{}}, core.DefaultOptions())
+	serial, err := Run(serialP, testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mqP := newEngPlatform(t, []core.NF{dropNF{}}, core.DefaultOptions())
+	mq, err := NewMultiQueue(mqP, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := mq.Run(testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if par.Packets != serial.Packets || par.Drops != serial.Drops {
+		t.Errorf("multiqueue packets=%d drops=%d, serial packets=%d drops=%d",
+			par.Packets, par.Drops, serial.Packets, serial.Drops)
+	}
+	if par.Stats != serial.Stats {
+		t.Errorf("stats diverged:\nmq:     %+v\nserial: %+v", par.Stats, serial.Stats)
+	}
+	var mqWork, serWork uint64
+	for _, c := range par.WorkCycles {
+		mqWork += c
+	}
+	for _, c := range serial.WorkCycles {
+		serWork += c
+	}
+	if mqWork != serWork {
+		t.Errorf("work cycles: multiqueue %d, serial %d", mqWork, serWork)
+	}
+	if len(par.FlowCycles) != len(serial.FlowCycles) {
+		t.Fatalf("flow count: multiqueue %d, serial %d", len(par.FlowCycles), len(serial.FlowCycles))
+	}
+	for fid, c := range serial.FlowCycles {
+		if par.FlowCycles[fid] != c {
+			t.Errorf("flow %v cycles: multiqueue %d, serial %d", fid, par.FlowCycles[fid], c)
+		}
+	}
+	if math.IsNaN(par.MeanLatencyMicros()) || par.RateMpps() <= 0 {
+		t.Errorf("latency=%g rate=%g", par.MeanLatencyMicros(), par.RateMpps())
+	}
+}
+
+// TestMultiQueuePreservesFlowOrder checks the RSS guarantee: all
+// packets of one flow land on one worker, so each flow's packets reach
+// the chain in trace order even though flows run concurrently. The
+// engine runs in baseline mode so every packet traverses the recording
+// NF (with SpeedyBox on, subsequent packets bypass the chain).
+func TestMultiQueuePreservesFlowOrder(t *testing.T) {
+	pkts := testTrace(t)
+	want := make(map[packet.FiveTuple][]*packet.Packet)
+	for _, pkt := range pkts {
+		ft, err := pkt.FiveTuple()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[ft] = append(want[ft], pkt)
+	}
+
+	rec := &orderNF{seen: make(map[packet.FiveTuple][]*packet.Packet)}
+	mq, err := NewMultiQueue(newEngPlatform(t, []core.NF{rec}, core.BaselineOptions()), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mq.Run(pkts); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rec.seen) != len(want) {
+		t.Fatalf("saw %d flows, want %d", len(rec.seen), len(want))
+	}
+	for ft, wantOrder := range want {
+		gotOrder := rec.seen[ft]
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("flow %v: saw %d packets, want %d", ft, len(gotOrder), len(wantOrder))
+		}
+		for i := range wantOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("flow %v: packet %d out of order", ft, i)
+			}
+		}
+	}
+}
+
+func TestMultiQueuePropagatesError(t *testing.T) {
+	p := newFake(t, nil)
+	p.err = errors.New("boom")
+	mq, err := NewMultiQueue(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mq.Run([]*packet.Packet{pkt(t)}); err == nil {
+		t.Error("multiqueue swallowed the platform error")
+	}
+}

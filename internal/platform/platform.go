@@ -65,8 +65,11 @@ type RunResult struct {
 	// "flow processing time ... the aggregated time spent processing
 	// all packets in a flow" (§VII-B3).
 	FlowCycles map[flow.FID]uint64
-	Stats      core.Stats
-	model      *cost.Model
+	// QueueDepths is how many packets each multi-queue worker drained;
+	// empty for serial runs.
+	QueueDepths []int
+	Stats       core.Stats
+	model       *cost.Model
 }
 
 // MeanWorkCycles returns the average per-packet work.
@@ -81,6 +84,28 @@ func (r *RunResult) MeanLatencyMicros() float64 {
 // bottleneck-core occupancy.
 func (r *RunResult) RateMpps() float64 {
 	return r.model.RateMpps(meanU64(r.Bottlenecks))
+}
+
+// AggregateRateMpps returns the modeled multi-queue rate: the per-core
+// rate times the effective parallelism of the run's queue partition
+// (total packets over the deepest queue — with W balanced queues this
+// approaches W, and the deepest queue is the multi-core bottleneck).
+// For serial runs it equals RateMpps.
+func (r *RunResult) AggregateRateMpps() float64 {
+	if len(r.QueueDepths) == 0 {
+		return r.RateMpps()
+	}
+	total, deepest := 0, 0
+	for _, d := range r.QueueDepths {
+		total += d
+		if d > deepest {
+			deepest = d
+		}
+	}
+	if deepest == 0 {
+		return r.RateMpps()
+	}
+	return r.RateMpps() * float64(total) / float64(deepest)
 }
 
 // FlowTimesMicros returns every flow's processing time in µs.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/fastpathnfv/speedybox/internal/packet"
 )
@@ -75,10 +76,11 @@ func (s Schedule) String() string {
 	return strings.Join(parts, " ")
 }
 
-// StageResult reports one executed stage's cost decomposition.
+// StageResult reports one executed stage's cost decomposition. It
+// carries only the aggregates the platform formulas consume — per-batch
+// detail would cost a map allocation per stage on the per-packet fast
+// path.
 type StageResult struct {
-	// BatchCycles maps batch index to consumed cycles.
-	BatchCycles map[int]uint64
 	// CriticalCycles is the stage's latency contribution: the maximum
 	// batch cost (plus the caller's fork/join overhead for parallel
 	// stages).
@@ -98,6 +100,47 @@ type ExecResult struct {
 	TotalCycles uint64
 }
 
+// stageExec is one parallel stage's shared coordination state. It is
+// pooled: the fast path runs Execute per packet, and allocating the
+// mutex/waitgroup/accumulators fresh each time (as captured closure
+// variables) showed up as the top allocation site in profiles.
+type stageExec struct {
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	next    atomic.Int64
+	batches []Batch
+	stage   []int
+	pkt     *packet.Packet
+	// critical, total and err accumulate under mu.
+	critical uint64
+	total    uint64
+	err      error
+}
+
+var stageExecPool = sync.Pool{New: func() any { return new(stageExec) }}
+
+// run is one worker goroutine: it claims batch slots off the shared
+// counter until the stage is drained.
+func (se *stageExec) run() {
+	defer se.wg.Done()
+	for {
+		i := int(se.next.Add(1)) - 1
+		if i >= len(se.stage) {
+			return
+		}
+		c, err := se.batches[se.stage[i]].RunSequential(se.pkt)
+		se.mu.Lock()
+		se.total += c
+		if c > se.critical {
+			se.critical = c
+		}
+		if err != nil && se.err == nil {
+			se.err = err
+		}
+		se.mu.Unlock()
+	}
+}
+
 // Execute runs the schedule on pkt. Batches within a stage genuinely
 // run on separate goroutines — the Table-I discipline guarantees a
 // writer is never co-scheduled with a reader or another writer, so
@@ -110,44 +153,33 @@ type ExecResult struct {
 // allowed to finish (their goroutines are always joined).
 func (s Schedule) Execute(batches []Batch, pkt *packet.Packet, forkJoin uint64) (ExecResult, error) {
 	var res ExecResult
+	if len(s.Stages) > 0 {
+		res.Stages = make([]StageResult, 0, len(s.Stages))
+	}
 	for _, stage := range s.Stages {
-		sr := StageResult{BatchCycles: make(map[int]uint64, len(stage))}
+		var sr StageResult
 		var firstErr error
 		if len(stage) == 1 {
-			idx := stage[0]
-			c, err := batches[idx].RunSequential(pkt)
-			sr.BatchCycles[idx] = c
+			c, err := batches[stage[0]].RunSequential(pkt)
 			sr.CriticalCycles = c
 			sr.TotalCycles = c
 			firstErr = err
 		} else {
 			sr.Parallel = true
-			var (
-				mu sync.Mutex
-				wg sync.WaitGroup
-			)
-			for _, idx := range stage {
-				wg.Add(1)
-				go func(idx int) {
-					defer wg.Done()
-					c, err := batches[idx].RunSequential(pkt)
-					mu.Lock()
-					defer mu.Unlock()
-					sr.BatchCycles[idx] = c
-					if err != nil && firstErr == nil {
-						firstErr = err
-					}
-				}(idx)
+			se := stageExecPool.Get().(*stageExec)
+			se.batches, se.stage, se.pkt = batches, stage, pkt
+			se.critical, se.total, se.err = 0, 0, nil
+			se.next.Store(0)
+			se.wg.Add(len(stage))
+			for range stage {
+				go se.run()
 			}
-			wg.Wait()
-			for _, c := range sr.BatchCycles {
-				sr.TotalCycles += c
-				if c > sr.CriticalCycles {
-					sr.CriticalCycles = c
-				}
-			}
-			sr.CriticalCycles += forkJoin
-			sr.TotalCycles += forkJoin
+			se.wg.Wait()
+			sr.CriticalCycles = se.critical + forkJoin
+			sr.TotalCycles = se.total + forkJoin
+			firstErr = se.err
+			se.batches, se.stage, se.pkt, se.err = nil, nil, nil, nil
+			stageExecPool.Put(se)
 		}
 		res.Stages = append(res.Stages, sr)
 		res.CriticalCycles += sr.CriticalCycles
@@ -163,13 +195,15 @@ func (s Schedule) Execute(batches []Batch, pkt *packet.Packet, forkJoin uint64) 
 // parallelism, for the original-path and ablation (HA-only) modes.
 func ExecuteSequential(batches []Batch, pkt *packet.Packet) (ExecResult, error) {
 	var res ExecResult
-	for i, b := range batches {
+	if len(batches) > 0 {
+		res.Stages = make([]StageResult, 0, len(batches))
+	}
+	for _, b := range batches {
 		if b.Empty() {
 			continue
 		}
 		c, err := b.RunSequential(pkt)
 		sr := StageResult{
-			BatchCycles:    map[int]uint64{i: c},
 			CriticalCycles: c,
 			TotalCycles:    c,
 		}

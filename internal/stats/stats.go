@@ -27,17 +27,17 @@ func Summarize(samples []float64) Summary {
 		return Summary{}
 	}
 	s := sortedCopy(samples)
-	var sum, sqsum float64
-	for _, x := range s {
-		sum += x
-		sqsum += x * x
+	// Welford's online algorithm: the naive E[x²]−E[x]² form loses all
+	// significant digits to catastrophic cancellation when the mean is
+	// large relative to the spread (e.g. latency samples near 1e9
+	// cycles differing by a few units).
+	var mean, m2 float64
+	for i, x := range s {
+		d := x - mean
+		mean += d / float64(i+1)
+		m2 += d * (x - mean)
 	}
-	n := float64(len(s))
-	mean := sum / n
-	variance := sqsum/n - mean*mean
-	if variance < 0 {
-		variance = 0
-	}
+	variance := m2 / float64(len(s))
 	return Summary{
 		Count:  len(s),
 		Mean:   mean,

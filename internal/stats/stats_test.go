@@ -144,3 +144,20 @@ func TestHistogram(t *testing.T) {
 		t.Error("empty histogram mishandled")
 	}
 }
+
+// TestSummarizeLargeOffset is the regression test for catastrophic
+// cancellation: samples with a large common offset must keep their
+// spread. 1e9+{0..4} has the same standard deviation as {0..4},
+// √2 ≈ 1.414; the naive sqsum/n − mean² form collapses it to 0 (or
+// goes negative) in float64.
+func TestSummarizeLargeOffset(t *testing.T) {
+	samples := []float64{1e9, 1e9 + 1, 1e9 + 2, 1e9 + 3, 1e9 + 4}
+	s := Summarize(samples)
+	want := math.Sqrt(2)
+	if math.Abs(s.StdDev-want) > 1e-6 {
+		t.Errorf("StdDev = %v, want %v (catastrophic cancellation?)", s.StdDev, want)
+	}
+	if s.Mean != 1e9+2 {
+		t.Errorf("Mean = %v, want %v", s.Mean, 1e9+2)
+	}
+}

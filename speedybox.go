@@ -148,6 +148,9 @@ type (
 	Measurement = platform.Measurement
 	// RunResult aggregates a trace run.
 	RunResult = platform.RunResult
+	// MultiQueue is an RSS-style runner: flows are hash-partitioned
+	// across worker goroutines that drive the platform concurrently.
+	MultiQueue = platform.MultiQueue
 	// CostModel holds the calibrated cycle constants.
 	CostModel = cost.Model
 )
@@ -202,6 +205,14 @@ func NewONVMPipeline(chain []NF, opts Options) (*ONVM, error) {
 // aggregates measurements.
 func Run(p Platform, pkts []*Packet) (*RunResult, error) {
 	return platform.Run(p, pkts)
+}
+
+// NewMultiQueue wraps a platform with a workers-way RSS dispatcher:
+// MultiQueue.Run hash-partitions flows across the workers, preserving
+// per-flow packet order while disjoint flows are processed in parallel
+// on the engine's FID-sharded state.
+func NewMultiQueue(p Platform, workers int) (*MultiQueue, error) {
+	return platform.NewMultiQueue(p, workers)
 }
 
 // GenerateTrace synthesizes a deterministic datacenter-style trace.
