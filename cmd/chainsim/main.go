@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	speedybox "github.com/fastpathnfv/speedybox"
 	"github.com/fastpathnfv/speedybox/internal/chainspec"
@@ -44,6 +45,8 @@ func run(args []string) error {
 	dumpRules := fs.Bool("dump-rules", false, "print the consolidated Global MAT rules after the SpeedyBox run")
 	snortRules := fs.String("snort-rules", "", "load Snort rules for snort NFs from this file (Snort rule syntax)")
 	configPath := fs.String("config", "", "build the chain from this JSON chain-spec file (overrides -chain and -platform)")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. :8080)")
+	telemetryLinger := fs.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the run, for scraping")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +87,26 @@ func run(args []string) error {
 		return err
 	}
 
+	// One hub for the whole invocation, attached to the SpeedyBox
+	// variant (or the only variant when not comparing); the registry is
+	// idempotent, so repeated runs against one hub accumulate.
+	var hub *speedybox.Telemetry
+	if *telemetryAddr != "" {
+		hub = speedybox.NewTelemetry()
+		srv, err := speedybox.NewTelemetryServer(*telemetryAddr, hub)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("telemetry: %s/metrics  %s/statusz\n", srv.URL(), srv.URL())
+		if *telemetryLinger > 0 {
+			defer func() {
+				fmt.Printf("telemetry: lingering %v for scrapes (ctrl-C to stop)\n", *telemetryLinger)
+				time.Sleep(*telemetryLinger)
+			}()
+		}
+	}
+
 	variants := []bool{*sbox}
 	if *compare {
 		variants = []bool{false, true}
@@ -93,6 +116,9 @@ func run(args []string) error {
 		opts := speedybox.BaselineOptions()
 		if enabled {
 			opts = speedybox.DefaultOptions()
+		}
+		if enabled || !*compare {
+			opts.Telemetry = hub
 		}
 		var (
 			chain []speedybox.NF

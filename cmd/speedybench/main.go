@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"github.com/fastpathnfv/speedybox/internal/harness"
+	"github.com/fastpathnfv/speedybox/internal/telemetry"
 )
 
 func main() {
@@ -58,10 +60,27 @@ func run(args []string, out io.Writer) error {
 	flows := fs.Int("flows", 0, "trace size in flows (0 = experiment default)")
 	asJSON := fs.Bool("json", false, "emit results as JSON instead of tables")
 	cdf := fs.Bool("cdf", false, "for fig9a/fig9b: print the full CDF series (plot data) instead of summaries")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. :8080)")
+	telemetryLinger := fs.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the run, for scraping")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := harness.Config{Seed: *seed, Flows: *flows}
+	if *telemetryAddr != "" {
+		cfg.Telemetry = telemetry.NewHub()
+		srv, err := telemetry.NewServer(*telemetryAddr, cfg.Telemetry)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(out, "telemetry: %s/metrics  %s/statusz\n", srv.URL(), srv.URL())
+		if *telemetryLinger > 0 {
+			defer func() {
+				fmt.Fprintf(out, "telemetry: lingering %v for scrapes (ctrl-C to stop)\n", *telemetryLinger)
+				time.Sleep(*telemetryLinger)
+			}()
+		}
+	}
 
 	jsonOut := make(map[string]any)
 	ran := false

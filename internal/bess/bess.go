@@ -24,6 +24,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/cost"
 	"github.com/fastpathnfv/speedybox/internal/packet"
 	"github.com/fastpathnfv/speedybox/internal/platform"
+	"github.com/fastpathnfv/speedybox/internal/telemetry"
 )
 
 // Config configures a BESS platform instance.
@@ -38,6 +39,9 @@ type Config struct {
 type Platform struct {
 	eng  *core.Engine
 	name string
+	// lat is the end-to-end latency histogram (modeled cycles), nil
+	// when the engine has no telemetry hub.
+	lat *telemetry.Histogram
 }
 
 var _ platform.Platform = (*Platform)(nil)
@@ -49,10 +53,15 @@ func New(cfg Config) (*Platform, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bess: %w", err)
 	}
-	return &Platform{
+	p := &Platform{
 		eng:  eng,
 		name: platform.DisplayName("BESS", cfg.Options.EnableSpeedyBox),
-	}, nil
+	}
+	if hub := eng.Telemetry(); hub != nil {
+		p.lat = hub.Registry.Histogram(`speedybox_platform_latency_cycles{platform="bess"}`,
+			"Per-packet end-to-end latency (modeled cycles) on the platform topology")
+	}
+	return p, nil
 }
 
 // Name implements platform.Platform.
@@ -101,6 +110,9 @@ func (p *Platform) Process(pkt *packet.Packet) (platform.Measurement, error) {
 			m.LatencyCycles = mainCore + f.SF.TotalCycles
 			m.BottleneckCycles = m.LatencyCycles
 		}
+	}
+	if p.lat != nil {
+		p.lat.Record(m.LatencyCycles, uint32(res.FID))
 	}
 	return m, nil
 }

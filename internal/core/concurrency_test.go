@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
 	"github.com/fastpathnfv/speedybox/internal/classifier"
 	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/telemetry"
 )
 
 func tcpPkt(t *testing.T, srcPort uint16, flags uint8, seq int, payload string) *packet.Packet {
@@ -99,9 +101,11 @@ func TestSYNReuseTearsDownStaleRule(t *testing.T) {
 // TestConcurrentProcessPacket drives ProcessPacket from 8 goroutines
 // over overlapping flows — every pair of neighbouring workers shares a
 // flow, so recording claims, consolidation, fast-path lookups and
-// teardown all interleave — while a ninth goroutine polls Stats(). Run
-// under -race this exercises the sharded flow table, Global MAT, Event
-// Table, recording claims and atomic counters.
+// teardown all interleave — while a ninth goroutine polls Stats() and
+// scrapes the telemetry hub (Prometheus exposition + status snapshot),
+// exactly what a live /metrics endpoint does during a run. Run under
+// -race this exercises the sharded flow table, Global MAT, Event
+// Table, recording claims, atomic counters and the telemetry path.
 func TestConcurrentProcessPacket(t *testing.T) {
 	const (
 		workers        = 8
@@ -109,7 +113,10 @@ func TestConcurrentProcessPacket(t *testing.T) {
 	)
 	mod := &fakeModifier{name: "nat", dip: [4]byte{99, 0, 0, 1}}
 	ctr := &fakeCounter{name: "monitor"}
-	eng, err := NewEngine([]NF{mod, ctr}, DefaultOptions())
+	hub := telemetry.NewHub()
+	opts := DefaultOptions()
+	opts.Telemetry = hub
+	eng, err := NewEngine([]NF{mod, ctr}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,6 +133,11 @@ func TestConcurrentProcessPacket(t *testing.T) {
 				return
 			default:
 				_ = eng.Stats()
+				if err := hub.Registry.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = hub.Status(64)
 			}
 		}
 	}()
@@ -171,5 +183,21 @@ func TestConcurrentProcessPacket(t *testing.T) {
 	}
 	if st.FastPath == 0 {
 		t.Error("no packet took the fast path")
+	}
+
+	// The telemetry histograms must agree with the engine counters:
+	// each packet recorded exactly one per-path work sample.
+	fast := hub.Registry.Histogram(`speedybox_engine_path_work_cycles{path="fast"}`, "").Snapshot()
+	slow := hub.Registry.Histogram(`speedybox_engine_path_work_cycles{path="slow"}`, "").Snapshot()
+	hs := hub.Registry.Histogram(`speedybox_engine_path_work_cycles{path="handshake"}`, "").Snapshot()
+	if fast.Total != st.FastPath {
+		t.Errorf("fast-path histogram total %d != Stats().FastPath %d", fast.Total, st.FastPath)
+	}
+	if slow.Total+hs.Total != st.SlowPath {
+		t.Errorf("slow(%d)+handshake(%d) histogram totals != Stats().SlowPath %d",
+			slow.Total, hs.Total, st.SlowPath)
+	}
+	if hub.Recorder.Seq() == 0 {
+		t.Error("flight recorder journaled nothing despite installs/consolidations")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/mat"
 	"github.com/fastpathnfv/speedybox/internal/packet"
 	"github.com/fastpathnfv/speedybox/internal/sfunc"
+	"github.com/fastpathnfv/speedybox/internal/telemetry"
 )
 
 // Options configures an Engine.
@@ -30,6 +31,10 @@ type Options struct {
 	// ParallelSF enables Table-I parallel state-function execution.
 	// Disabling it gives the header-consolidation-only ablation.
 	ParallelSF bool
+	// Telemetry attaches the engine to a runtime-telemetry hub:
+	// per-path work histograms, MAT churn counters and flight-recorder
+	// journaling. Nil disables telemetry (zero per-packet overhead).
+	Telemetry *telemetry.Hub
 }
 
 // DefaultOptions returns full SpeedyBox: both optimizations on.
@@ -102,6 +107,11 @@ type Engine struct {
 	stats [statsShardCount]statsShard
 
 	recording [recShardCount]recShard
+
+	// tel is the pre-resolved telemetry metric set, nil when
+	// Options.Telemetry is unset. Hot paths guard every use with a
+	// single nil check.
+	tel *engineTelemetry
 }
 
 // NewEngine builds an engine over the chain.
@@ -144,6 +154,9 @@ func NewEngine(chain []NF, opts Options) (*Engine, error) {
 			_, ok := e.global.Lookup(fid)
 			return ok
 		}
+	}
+	if opts.Telemetry != nil {
+		e.tel = newEngineTelemetry(e, opts.Telemetry)
 	}
 	return e, nil
 }
@@ -196,6 +209,16 @@ func (e *Engine) Events() *event.Table { return e.events }
 // Local returns the Local MAT of the i-th NF.
 func (e *Engine) Local(i int) *mat.Local { return e.locals[i] }
 
+// Telemetry returns the hub this engine reports into, nil when
+// telemetry is disabled. Platform wrappers use it to register their
+// own metrics alongside the engine's.
+func (e *Engine) Telemetry() *telemetry.Hub {
+	if e.tel == nil {
+		return nil
+	}
+	return e.tel.hub
+}
+
 // Stats returns a snapshot of the engine counters, folded across the
 // counter shards. Counters are updated with atomics, so a snapshot
 // taken while packets are in flight is internally consistent per
@@ -241,7 +264,7 @@ func (e *Engine) Classify(pkt *packet.Packet) (classifier.Result, error) {
 // connection on a reused 5-tuple. The flow-table entry itself stays
 // (the classifier has already reset it to the handshake state).
 func (e *Engine) resetReusedFlow(fid flow.FID) {
-	e.global.Remove(fid)
+	removed := e.global.Remove(fid)
 	for _, l := range e.locals {
 		l.Delete(fid)
 	}
@@ -249,6 +272,13 @@ func (e *Engine) resetReusedFlow(fid flow.FID) {
 	for _, nf := range e.chain {
 		if closer, ok := nf.(FlowCloser); ok {
 			closer.FlowClosed(fid)
+		}
+	}
+	if e.tel != nil {
+		e.tel.flowResets.Inc()
+		e.tel.rec.Append(telemetry.EvFlowReset, uint32(fid), CauseSynReuse)
+		if removed {
+			e.tel.ruleRemoved(uint32(fid), CauseSynReuse)
 		}
 	}
 }
@@ -316,7 +346,7 @@ func (e *Engine) ConsolidateFlow(fid flow.FID) (uint64, error) {
 
 // TeardownFlow removes all state for a finished flow (FIN/RST
 // cleanup, §VI-B).
-func (e *Engine) TeardownFlow(fid flow.FID) { e.teardown(fid) }
+func (e *Engine) TeardownFlow(fid flow.FID) { e.teardown(fid, CauseFinTeardown) }
 
 // Account folds a finished packet's result into the engine counters.
 // ProcessPacket calls it automatically; platforms that assemble
@@ -348,6 +378,9 @@ func (e *Engine) Account(res *PacketResult) {
 	if res.Slow != nil && res.Slow.ConsolidateCycles > 0 {
 		s.consolidations.Add(1)
 	}
+	if e.tel != nil {
+		e.tel.accountPacket(res)
+	}
 }
 
 // ProcessPacket classifies and processes one packet, returning the
@@ -373,7 +406,7 @@ func (e *Engine) ProcessPacket(pkt *packet.Packet) (*PacketResult, error) {
 			res, err = e.slowPath(cls.FID, pkt, false)
 		}
 		if err == nil {
-			e.teardown(cls.FID)
+			e.teardown(cls.FID, CauseFinTeardown)
 			res.TornDown = true
 		}
 	case classifier.KindInitial:
@@ -477,9 +510,15 @@ func (e *Engine) consolidate(fid flow.FID, info *SlowPathInfo) error {
 	}
 	rule, err := mat.Consolidate(fid, contribs)
 	if err != nil {
+		if e.tel != nil && errors.Is(err, mat.ErrNotConsolidatable) {
+			e.tel.unconsolidatable.Inc()
+		}
 		return err
 	}
-	e.global.Install(rule)
+	replaced := e.global.Install(rule)
+	if e.tel != nil {
+		e.tel.ruleInstalled(uint32(fid), replaced)
+	}
 	info.ConsolidateCycles = e.model.ConsolidateBase + e.model.ConsolidatePerNF*uint64(contributed)
 	return nil
 }
@@ -605,6 +644,9 @@ func (e *Engine) fireEvents(fid flow.FID, info *FastPathInfo) (bool, error) {
 		}
 		local.Mutate(fid, func(r *mat.LocalRule) { f.Event.Update(fid, r) })
 		info.ReconsolidateCycles += e.model.EventFire
+		if e.tel != nil {
+			e.tel.rec.Append(telemetry.EvEventFire, uint32(fid), f.Event.NF)
+		}
 	}
 	cycles, err := e.reconsolidate(fid)
 	switch {
@@ -614,7 +656,9 @@ func (e *Engine) fireEvents(fid flow.FID, info *FastPathInfo) (bool, error) {
 		// The updated actions no longer fold into one rule: evict the
 		// stale rule so this and future packets take the (always
 		// correct) slow path instead of executing outdated actions.
-		e.global.Remove(fid)
+		if e.global.Remove(fid) && e.tel != nil {
+			e.tel.ruleRemoved(uint32(fid), CauseEventUnconsolidatable)
+		}
 	default:
 		return false, err
 	}
@@ -670,15 +714,19 @@ func (e *Engine) ExpireIdle(idleFor uint64) int {
 	}
 	stale := e.class.Flows().IdleSince(now - idleFor)
 	for _, fid := range stale {
-		e.teardown(fid)
+		e.teardown(fid, CauseIdleExpiry)
+		if e.tel != nil {
+			e.tel.rec.Append(telemetry.EvFlowEvict, uint32(fid), CauseIdleExpiry)
+		}
 	}
 	return len(stale)
 }
 
 // teardown removes all state for a finished flow (§VI-B), including
-// NF-internal per-flow state for NFs implementing FlowCloser.
-func (e *Engine) teardown(fid flow.FID) {
-	e.global.Remove(fid)
+// NF-internal per-flow state for NFs implementing FlowCloser. The
+// cause labels the removal in telemetry.
+func (e *Engine) teardown(fid flow.FID, cause string) {
+	removed := e.global.Remove(fid)
 	for _, l := range e.locals {
 		l.Delete(fid)
 	}
@@ -689,4 +737,7 @@ func (e *Engine) teardown(fid flow.FID) {
 		}
 	}
 	e.class.Teardown(fid)
+	if removed && e.tel != nil {
+		e.tel.ruleRemoved(uint32(fid), cause)
+	}
 }

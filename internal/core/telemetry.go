@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/classifier"
+	"github.com/fastpathnfv/speedybox/internal/telemetry"
+)
+
+// Removal / reset causes journaled to the flight recorder and used as
+// the reason label on speedybox_mat_removals_total.
+const (
+	// CauseFinTeardown is TCP FIN/RST cleanup (§VI-B).
+	CauseFinTeardown = "fin-teardown"
+	// CauseIdleExpiry is the idle-flow garbage collector.
+	CauseIdleExpiry = "idle-expiry"
+	// CauseSynReuse is a SYN restarting an already-tracked 5-tuple.
+	CauseSynReuse = "syn-reuse"
+	// CauseEventUnconsolidatable is an event update whose result no
+	// longer folds into one rule, evicting the stale rule.
+	CauseEventUnconsolidatable = "event-unconsolidatable"
+)
+
+// engineTelemetry is the engine's pre-resolved metric set: every
+// counter and histogram the hot paths touch is looked up once at
+// construction, so per-packet recording is pure atomic adds — no map
+// lookups, no locks, no allocations.
+type engineTelemetry struct {
+	hub *telemetry.Hub
+	rec *telemetry.Recorder
+
+	// Per-path work histograms (modeled cycles, the paper's
+	// "CPU cycle per packet" currency — deterministic and free of
+	// clock syscalls on the fast path).
+	fastLat      *telemetry.Histogram
+	slowLat      *telemetry.Histogram
+	handshakeLat *telemetry.Histogram
+
+	// Per-NF slow-path stage work, indexed by ledger stage name (both
+	// the NF's own name and the pipelined platform's positional
+	// "nf<i>" alias map to the same histogram).
+	nfStage map[string]*telemetry.Histogram
+
+	// Global MAT churn.
+	installs     *telemetry.Counter
+	replacements *telemetry.Counter
+	removeFin    *telemetry.Counter
+	removeIdle   *telemetry.Counter
+	removeReuse  *telemetry.Counter
+	removeEvent  *telemetry.Counter
+
+	// Flow lifecycle.
+	flowResets *telemetry.Counter
+
+	// Consolidation attempts that did not fold into one rule.
+	unconsolidatable *telemetry.Counter
+}
+
+// newEngineTelemetry resolves the engine's metrics against the hub and
+// registers the scrape-time views over the engine's existing counters
+// and table occupancies.
+func newEngineTelemetry(e *Engine, hub *telemetry.Hub) *engineTelemetry {
+	reg := hub.Registry
+	t := &engineTelemetry{
+		hub: hub,
+		rec: hub.Recorder,
+		fastLat: reg.Histogram(`speedybox_engine_path_work_cycles{path="fast"}`,
+			"Per-packet modeled work cycles by data path"),
+		slowLat: reg.Histogram(`speedybox_engine_path_work_cycles{path="slow"}`,
+			"Per-packet modeled work cycles by data path"),
+		handshakeLat: reg.Histogram(`speedybox_engine_path_work_cycles{path="handshake"}`,
+			"Per-packet modeled work cycles by data path"),
+		nfStage: make(map[string]*telemetry.Histogram, 2*len(e.chain)),
+		installs: reg.Counter("speedybox_mat_installs_total",
+			"Global MAT first-time rule installations"),
+		replacements: reg.Counter("speedybox_mat_replacements_total",
+			"Global MAT rule replacements (event-driven reconsolidations)"),
+		removeFin: reg.Counter(`speedybox_mat_removals_total{reason="fin-teardown"}`,
+			"Global MAT rule removals by reason"),
+		removeIdle: reg.Counter(`speedybox_mat_removals_total{reason="idle-expiry"}`,
+			"Global MAT rule removals by reason"),
+		removeReuse: reg.Counter(`speedybox_mat_removals_total{reason="syn-reuse"}`,
+			"Global MAT rule removals by reason"),
+		removeEvent: reg.Counter(`speedybox_mat_removals_total{reason="event-unconsolidatable"}`,
+			"Global MAT rule removals by reason"),
+		flowResets: reg.Counter("speedybox_flow_resets_total",
+			"Flows reset by a SYN reusing a tracked 5-tuple"),
+		unconsolidatable: reg.Counter("speedybox_consolidate_unconsolidatable_total",
+			"Consolidation attempts whose actions did not fold into one rule"),
+	}
+	for i, nf := range e.chain {
+		h := reg.Histogram(fmt.Sprintf("speedybox_nf_stage_cycles{nf=%q}", nf.Name()),
+			"Per-NF slow-path stage work cycles")
+		t.nfStage[nf.Name()] = h
+		t.nfStage[fmt.Sprintf("nf%d", i)] = h
+	}
+
+	// Scrape-time views over state the engine already maintains. The
+	// closures read sharded atomics / table sizes; they hold no engine
+	// locks and may run concurrently with the data path.
+	reg.CounterFunc("speedybox_engine_packets_total",
+		"Packets processed", func() uint64 { return e.Stats().Packets })
+	reg.CounterFunc(`speedybox_engine_path_packets_total{path="fast"}`,
+		"Packets by data path", func() uint64 { return e.Stats().FastPath })
+	reg.CounterFunc(`speedybox_engine_path_packets_total{path="slow"}`,
+		"Packets by data path", func() uint64 { return e.Stats().SlowPath })
+	reg.CounterFunc("speedybox_engine_dropped_total",
+		"Packets dropped by the chain", func() uint64 { return e.Stats().Dropped })
+	reg.CounterFunc("speedybox_engine_consolidations_total",
+		"Successful flow consolidations", func() uint64 { return e.Stats().Consolidations })
+	reg.CounterFunc("speedybox_engine_events_fired_total",
+		"Event Table firings observed on the fast path", func() uint64 { return e.Stats().EventsFired })
+	reg.GaugeFunc("speedybox_flow_table_flows",
+		"Tracked flows (flow table occupancy)", func() float64 { return float64(e.class.Flows().Len()) })
+	reg.GaugeFunc("speedybox_mat_global_rules",
+		"Installed Global MAT rules", func() float64 { return float64(e.global.Len()) })
+	reg.GaugeFunc("speedybox_event_flows",
+		"Flows with registered events", func() float64 { return float64(e.events.Len()) })
+	reg.CounterFunc("speedybox_event_registered_total",
+		"Event Table registrations", func() uint64 { return e.events.RegisteredTotal() })
+	reg.CounterFunc("speedybox_event_fired_total",
+		"Event Table firings", func() uint64 { return e.events.FiredTotal() })
+	return t
+}
+
+// accountPacket records the per-path work histogram and the per-NF
+// slow-path stage timings for one finished packet. Fast-path cost is
+// exactly one atomic add.
+func (t *engineTelemetry) accountPacket(res *PacketResult) {
+	hint := uint32(res.FID)
+	if res.Path == PathFast {
+		t.fastLat.Record(res.WorkCycles, hint)
+		return
+	}
+	if res.Kind == classifier.KindHandshake {
+		t.handshakeLat.Record(res.WorkCycles, hint)
+	} else {
+		t.slowLat.Record(res.WorkCycles, hint)
+	}
+	if res.Slow != nil {
+		for _, s := range res.Slow.PerNF {
+			if h, ok := t.nfStage[s.Name]; ok {
+				h.Record(s.Cycles, hint)
+			}
+		}
+	}
+}
+
+// ruleInstalled journals a Global MAT install or replacement.
+func (t *engineTelemetry) ruleInstalled(fid uint32, replaced bool) {
+	if replaced {
+		t.replacements.Inc()
+		t.rec.Append(telemetry.EvRuleReplace, fid, "")
+		return
+	}
+	t.installs.Inc()
+	t.rec.Append(telemetry.EvRuleInstall, fid, "")
+}
+
+// ruleRemoved journals a Global MAT removal with its cause.
+func (t *engineTelemetry) ruleRemoved(fid uint32, cause string) {
+	switch cause {
+	case CauseFinTeardown:
+		t.removeFin.Inc()
+	case CauseIdleExpiry:
+		t.removeIdle.Inc()
+	case CauseSynReuse:
+		t.removeReuse.Inc()
+	case CauseEventUnconsolidatable:
+		t.removeEvent.Inc()
+	}
+	t.rec.Append(telemetry.EvRuleRemove, fid, cause)
+}

@@ -84,8 +84,9 @@ type tableShard struct {
 // Table is the Event Table: per-FID registered events. It is safe for
 // concurrent use and sharded by FID so disjoint flows never contend.
 type Table struct {
-	shards [shardCount]tableShard
-	fired  atomic.Uint64
+	shards     [shardCount]tableShard
+	fired      atomic.Uint64
+	registered atomic.Uint64
 }
 
 // NewTable returns an empty Event Table.
@@ -112,6 +113,7 @@ func (t *Table) Register(fid flow.FID, e Event) error {
 	defer s.mu.Unlock()
 	ev := e
 	s.byFID[fid] = append(s.byFID[fid], &ev)
+	t.registered.Add(1)
 	return nil
 }
 
@@ -160,6 +162,12 @@ func (t *Table) Pending(fid flow.FID) int {
 // statistic the evaluation reports on.
 func (t *Table) FiredTotal() uint64 {
 	return t.fired.Load()
+}
+
+// RegisteredTotal returns how many events have ever been registered
+// (the telemetry registrations counter; removals do not decrement it).
+func (t *Table) RegisteredTotal() uint64 {
+	return t.registered.Load()
 }
 
 // Remove drops all events for a flow (FIN/RST teardown).

@@ -105,11 +105,11 @@ func equivSnortBranches(cfg Config) (EquivCheck, error) {
 		}
 		return ids.Logs(), nil
 	}
-	base, err := run(core.BaselineOptions())
+	base, err := run(cfg.options(core.BaselineOptions()))
 	if err != nil {
 		return EquivCheck{}, err
 	}
-	sbox, err := run(core.DefaultOptions())
+	sbox, err := run(cfg.options(core.DefaultOptions()))
 	if err != nil {
 		return EquivCheck{}, err
 	}
@@ -290,11 +290,11 @@ func equivRealWorldChain(cfg Config, chain int) (EquivCheck, error) {
 		}
 		return obs, nil
 	}
-	base, err := run(core.BaselineOptions())
+	base, err := run(cfg.options(core.BaselineOptions()))
 	if err != nil {
 		return EquivCheck{}, err
 	}
-	sbox, err := run(core.DefaultOptions())
+	sbox, err := run(cfg.options(core.DefaultOptions()))
 	if err != nil {
 		return EquivCheck{}, err
 	}

@@ -63,9 +63,9 @@ func RunFig5(cfg Config) (*Fig5Result, error) {
 				return chain, nil
 			}
 			for _, sbox := range []bool{false, true} {
-				opts := core.BaselineOptions()
+				opts := cfg.options(core.BaselineOptions())
 				if sbox {
-					opts = core.DefaultOptions()
+					opts = cfg.options(core.DefaultOptions())
 				}
 				part, err := runVariant(kind, mk, opts, tr.Packets())
 				if err != nil {

@@ -67,8 +67,8 @@ func RunFig7(cfg Config) (*Fig7Result, error) {
 		opts core.Options
 		set  func(*Fig7Row, float64)
 	}{
-		{core.BaselineOptions(), func(r *Fig7Row, v float64) { r.OriginalMicros = v }},
-		{core.DefaultOptions(), func(r *Fig7Row, v float64) { r.SBoxMicros = v }},
+		{cfg.options(core.BaselineOptions()), func(r *Fig7Row, v float64) { r.OriginalMicros = v }},
+		{cfg.options(core.DefaultOptions()), func(r *Fig7Row, v float64) { r.SBoxMicros = v }},
 		{core.Options{EnableSpeedyBox: true, ConsolidateHeaders: true, ParallelSF: false},
 			func(r *Fig7Row, v float64) { r.HAOnlyMicros = v }},
 		{core.Options{EnableSpeedyBox: true, ConsolidateHeaders: false, ParallelSF: true},

@@ -50,9 +50,9 @@ func RunFig8(cfg Config) (*Fig8Result, error) {
 			n := n
 			mk := func() ([]core.NF, error) { return filterChain(n) }
 			for _, sbox := range []bool{false, true} {
-				opts := core.BaselineOptions()
+				opts := cfg.options(core.BaselineOptions())
 				if sbox {
-					opts = core.DefaultOptions()
+					opts = cfg.options(core.DefaultOptions())
 				}
 				part, err := runVariant(kind, mk, opts, tr.Packets())
 				if err != nil {

@@ -22,6 +22,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/packet"
 	"github.com/fastpathnfv/speedybox/internal/platform"
 	"github.com/fastpathnfv/speedybox/internal/stats"
+	"github.com/fastpathnfv/speedybox/internal/telemetry"
 )
 
 // Config is the common experiment configuration.
@@ -32,6 +33,18 @@ type Config struct {
 	// Flows is the trace size in flows; experiments pick sane
 	// defaults when zero.
 	Flows int
+	// Telemetry, when non-nil, is attached to every engine the
+	// experiments build, so a single admin endpoint observes the whole
+	// sweep (the metric registry is idempotent across engines; scrape
+	// callbacks reflect the most recently built one).
+	Telemetry *telemetry.Hub
+}
+
+// options attaches the harness-wide telemetry hub (if any) to one
+// variant's engine options.
+func (c Config) options(base core.Options) core.Options {
+	base.Telemetry = c.Telemetry
+	return base
 }
 
 func (c Config) withDefaults(defaultFlows int) Config {

@@ -58,7 +58,7 @@ func RunMultiQueue(cfg Config) (*MultiQueueResult, error) {
 		pkts := tr.Packets()
 		res.Packets = len(pkts)
 
-		p, err := buildPlatform(PlatformBESS, func() ([]core.NF, error) { return filterChain(3) }, core.DefaultOptions())
+		p, err := buildPlatform(PlatformBESS, func() ([]core.NF, error) { return filterChain(3) }, cfg.options(core.DefaultOptions()))
 		if err != nil {
 			return nil, err
 		}

@@ -74,13 +74,13 @@ func RunVPNX(cfg Config) (*VPNXResult, error) {
 	}
 	res := &VPNXResult{}
 	for _, kind := range []PlatformKind{PlatformBESS, PlatformONVM} {
-		orig, err := runVariant(kind, vpnChain, core.BaselineOptions(), tr.Packets())
+		orig, err := runVariant(kind, vpnChain, cfg.options(core.BaselineOptions()), tr.Packets())
 		if err != nil {
 			return nil, err
 		}
 		// Inspect the consolidated rules on a dedicated platform so
 		// we can look at the Global MAT before teardown.
-		p, err := buildPlatform(kind, vpnChain, core.DefaultOptions())
+		p, err := buildPlatform(kind, vpnChain, cfg.options(core.DefaultOptions()))
 		if err != nil {
 			return nil, err
 		}

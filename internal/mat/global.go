@@ -157,12 +157,13 @@ func (g *Global) shardFor(fid flow.FID) *globalShard {
 	return &g.shards[uint32(fid)&shardMask]
 }
 
-// Install inserts or replaces the rule for a flow. When replacing (an
-// event-driven reconsolidation), the version counter carries over and
-// increments — on a private copy of the rule, never by writing through
-// the caller's pointer: platforms may still hold (and read) previously
-// installed rules concurrently.
-func (g *Global) Install(r *GlobalRule) {
+// Install inserts or replaces the rule for a flow, reporting whether
+// an existing rule was replaced (telemetry distinguishes first-time
+// installs from event-driven reconsolidations). When replacing, the
+// version counter carries over and increments — on a private copy of
+// the rule, never by writing through the caller's pointer: platforms
+// may still hold (and read) previously installed rules concurrently.
+func (g *Global) Install(r *GlobalRule) (replaced bool) {
 	s := g.shardFor(r.FID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -170,9 +171,10 @@ func (g *Global) Install(r *GlobalRule) {
 		versioned := *r
 		versioned.Version = old.Version + 1
 		s.rules[r.FID] = &versioned
-		return
+		return true
 	}
 	s.rules[r.FID] = r
+	return false
 }
 
 // Lookup fetches the rule for a flow. The returned rule must be

@@ -29,6 +29,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/packet"
 	"github.com/fastpathnfv/speedybox/internal/platform"
 	"github.com/fastpathnfv/speedybox/internal/ring"
+	"github.com/fastpathnfv/speedybox/internal/telemetry"
 )
 
 // ErrChainTooLong reports a chain exceeding the ONVM core budget: with
@@ -97,6 +98,10 @@ type Platform struct {
 	nfRings []*ring.Ring[*job] // nfRings[i] feeds NF i
 	mgrRing *ring.Ring[*job]   // fast-path + consolidation work
 
+	// lat is the end-to-end latency histogram (modeled cycles), nil
+	// when the engine has no telemetry hub.
+	lat *telemetry.Histogram
+
 	wg     sync.WaitGroup
 	closed bool
 	mu     sync.Mutex
@@ -129,6 +134,21 @@ func New(cfg Config) (*Platform, error) {
 		p.nfRings[i] = ring.New[*job](capacity)
 	}
 	p.mgrRing = ring.New[*job](capacity)
+
+	if hub := eng.Telemetry(); hub != nil {
+		p.lat = hub.Registry.Histogram(`speedybox_platform_latency_cycles{platform="onvm"}`,
+			"Per-packet end-to-end latency (modeled cycles) on the platform topology")
+		for i := range p.nfRings {
+			r := p.nfRings[i]
+			hub.Registry.GaugeFunc(fmt.Sprintf("speedybox_onvm_ring_depth{ring=%q}", fmt.Sprintf("nf%d", i)),
+				"Inter-core ring occupancy (packet descriptors)",
+				func() float64 { return float64(r.Len()) })
+		}
+		mgr := p.mgrRing
+		hub.Registry.GaugeFunc(`speedybox_onvm_ring_depth{ring="mgr"}`,
+			"Inter-core ring occupancy (packet descriptors)",
+			func() float64 { return float64(mgr.Len()) })
+	}
 
 	// One goroutine per NF core.
 	for i := range cfg.Chain {
@@ -458,6 +478,9 @@ func (p *Platform) measure(res *core.PacketResult) platform.Measurement {
 				uint64(f.BatchCount)*model.ONVMHop + f.SF.TotalCycles + model.ONVMTx
 			m.BottleneckCycles = model.ONVMStageFramework + mgrWork + f.SF.TotalCycles
 		}
+	}
+	if p.lat != nil {
+		p.lat.Record(m.LatencyCycles, uint32(res.FID))
 	}
 	return m
 }

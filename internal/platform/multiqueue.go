@@ -7,6 +7,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/core"
 	"github.com/fastpathnfv/speedybox/internal/flow"
 	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/telemetry"
 )
 
 // MultiQueue models an RSS-style multi-queue NIC feeding one engine
@@ -19,6 +20,12 @@ import (
 type MultiQueue struct {
 	p       Platform
 	workers int
+
+	// Per-worker telemetry, nil slices when the wrapped engine has no
+	// hub: queueDepth[w] is set at partition time, workerPkts[w] counts
+	// packets the worker completed.
+	queueDepth []*telemetry.Gauge
+	workerPkts []*telemetry.Counter
 }
 
 // NewMultiQueue wraps the platform with a workers-way RSS dispatcher.
@@ -29,7 +36,20 @@ func NewMultiQueue(p Platform, workers int) (*MultiQueue, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("platform: multiqueue: workers must be >= 1, got %d", workers)
 	}
-	return &MultiQueue{p: p, workers: workers}, nil
+	m := &MultiQueue{p: p, workers: workers}
+	if hub := p.Engine().Telemetry(); hub != nil {
+		m.queueDepth = make([]*telemetry.Gauge, workers)
+		m.workerPkts = make([]*telemetry.Counter, workers)
+		for w := 0; w < workers; w++ {
+			m.queueDepth[w] = hub.Registry.Gauge(
+				fmt.Sprintf(`speedybox_mq_queue_depth{worker="%d"}`, w),
+				"Packets partitioned to the worker's queue in the current run")
+			m.workerPkts[w] = hub.Registry.Counter(
+				fmt.Sprintf(`speedybox_mq_worker_packets_total{worker="%d"}`, w),
+				"Packets completed by the worker")
+		}
+	}
+	return m, nil
 }
 
 // Workers returns the configured queue count.
@@ -67,6 +87,11 @@ func (m *MultiQueue) Run(pkts []*packet.Packet) (*RunResult, error) {
 		}
 		queues[w] = append(queues[w], pkt)
 	}
+	if m.queueDepth != nil {
+		for w, q := range queues {
+			m.queueDepth[w].Set(int64(len(q)))
+		}
+	}
 
 	partials := make([]mqPartial, m.workers)
 	var wg sync.WaitGroup
@@ -84,6 +109,9 @@ func (m *MultiQueue) Run(pkts []*packet.Packet) (*RunResult, error) {
 					return
 				}
 				part.packets++
+				if m.workerPkts != nil {
+					m.workerPkts[w].Inc()
+				}
 				if meas.Result.Verdict == core.VerdictDrop {
 					part.drops++
 				}

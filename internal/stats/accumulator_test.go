@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func accSamples(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Exp(rng.Float64()*12) + rng.Float64()
+	}
+	return out
+}
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	samples := accSamples(50000, 3)
+	acc := NewAccumulator()
+	for _, x := range samples {
+		acc.Add(x)
+	}
+	exact := Summarize(samples)
+	got := acc.Summary()
+
+	if got.Count != exact.Count {
+		t.Fatalf("count %d != %d", got.Count, exact.Count)
+	}
+	// Moments are exact (same Welford recurrence).
+	for _, c := range []struct {
+		name     string
+		got, ref float64
+	}{
+		{"mean", got.Mean, exact.Mean},
+		{"min", got.Min, exact.Min},
+		{"max", got.Max, exact.Max},
+		{"stddev", got.StdDev, exact.StdDev},
+	} {
+		if math.Abs(c.got-c.ref) > 1e-9*math.Abs(c.ref) {
+			t.Errorf("%s = %g, want %g exactly", c.name, c.got, c.ref)
+		}
+	}
+	// Percentiles carry the histogram's ~3% relative error.
+	for _, c := range []struct {
+		name     string
+		got, ref float64
+	}{
+		{"p50", got.P50, exact.P50},
+		{"p90", got.P90, exact.P90},
+		{"p99", got.P99, exact.P99},
+		{"p999", got.P999, exact.P999},
+	} {
+		if rel := math.Abs(c.got-c.ref) / c.ref; rel > 0.04 {
+			t.Errorf("%s = %g, want %g within 4%% (got %.4f)", c.name, c.got, c.ref, rel)
+		}
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	samples := accSamples(20000, 9)
+	whole := NewAccumulator()
+	a, b := NewAccumulator(), NewAccumulator()
+	for i, x := range samples {
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	ws, as := whole.Summary(), a.Summary()
+	if as.Count != ws.Count || as.Min != ws.Min || as.Max != ws.Max {
+		t.Fatalf("merge count/min/max mismatch: %+v vs %+v", as, ws)
+	}
+	if math.Abs(as.Mean-ws.Mean) > 1e-9*ws.Mean {
+		t.Errorf("merged mean %g != %g", as.Mean, ws.Mean)
+	}
+	if math.Abs(as.StdDev-ws.StdDev) > 1e-6*ws.StdDev {
+		t.Errorf("merged stddev %g != %g", as.StdDev, ws.StdDev)
+	}
+	if as.P99 != ws.P99 {
+		t.Errorf("merged P99 %g != %g (bucket merges are exact)", as.P99, ws.P99)
+	}
+}
+
+func TestAccumulatorMergeIntoEmpty(t *testing.T) {
+	a, b := NewAccumulator(), NewAccumulator()
+	b.Add(5)
+	b.Add(15)
+	a.Merge(b)
+	if s := a.Summary(); s.Count != 2 || s.Min != 5 || s.Max != 15 {
+		t.Fatalf("merge into empty = %+v", s)
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != 2 {
+		t.Fatalf("nil merge changed count")
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	acc := NewAccumulator()
+	if s := acc.Summary(); s != (Summary{}) {
+		t.Fatalf("empty accumulator summary = %+v, want zero", s)
+	}
+}
+
+func TestAccumulatorSubUnitSamples(t *testing.T) {
+	// The fixed-point scaling keeps relative accuracy for values < 1
+	// (microsecond latencies expressed in milliseconds, say).
+	acc := NewAccumulator()
+	for i := 0; i < 1000; i++ {
+		acc.Add(0.001 * float64(i+1))
+	}
+	got := acc.Quantile(0.5)
+	if rel := math.Abs(got-0.5005) / 0.5005; rel > 0.04 {
+		t.Fatalf("sub-unit p50 = %g, want ~0.5 within 4%%", got)
+	}
+}
+
+func TestSummarizeP999(t *testing.T) {
+	samples := make([]float64, 10000)
+	for i := range samples {
+		samples[i] = float64(i + 1)
+	}
+	s := Summarize(samples)
+	if s.P999 < 9990 || s.P999 > 10000 {
+		t.Fatalf("P999 = %g, want ~9991", s.P999)
+	}
+}

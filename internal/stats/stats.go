@@ -18,6 +18,7 @@ type Summary struct {
 	P50    float64
 	P90    float64
 	P99    float64
+	P999   float64
 	StdDev float64
 }
 
@@ -46,6 +47,7 @@ func Summarize(samples []float64) Summary {
 		P50:    percentileSorted(s, 50),
 		P90:    percentileSorted(s, 90),
 		P99:    percentileSorted(s, 99),
+		P999:   percentileSorted(s, 99.9),
 		StdDev: math.Sqrt(variance),
 	}
 }

@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: log-linear, HDR-style. Values below
+// subCount land in exact unit buckets; above that, each power of two
+// is split into subCount linear sub-buckets, bounding the relative
+// error of any reconstructed value by 1/subCount (~3.1%). The layout
+// is fixed — every histogram shares it — so snapshots merge by adding
+// bucket counts, with no per-sample retention and no rebinning.
+const (
+	// subBits is log2 of the linear sub-buckets per octave.
+	subBits = 5
+	// subCount is the number of sub-buckets per power of two.
+	subCount = 1 << subBits
+	// NumBuckets is the total bucket count covering all of uint64.
+	// The largest index is reached at v = MaxUint64: shift =
+	// 64-subBits-1, sub = 2*subCount-1.
+	NumBuckets = (64-subBits-1)*subCount + 2*subCount
+)
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	shift := uint(bits.Len64(v)) - subBits - 1
+	return int(shift)<<subBits + int(v>>shift)
+}
+
+// bucketBounds returns the inclusive [lo, hi] value range of a bucket.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i < subCount {
+		return uint64(i), uint64(i)
+	}
+	shift := uint(i>>subBits) - 1
+	sub := uint64(i) - uint64(shift)<<subBits
+	lo = sub << shift
+	hi = lo + (1 << shift) - 1
+	return lo, hi
+}
+
+// bucketMid returns a bucket's representative value (its midpoint).
+func bucketMid(i int) float64 {
+	lo, hi := bucketBounds(i)
+	return float64(lo) + float64(hi-lo)/2
+}
+
+// histShards is the number of independently updated bucket arrays per
+// histogram (power of two). Callers pass a shard hint — the engine
+// uses the FID, matching the 32-way sharding of the rest of the data
+// path — so workers on disjoint flows mostly increment disjoint cache
+// lines.
+const histShards = 4
+
+const histShardMask = histShards - 1
+
+type histShard struct {
+	counts [NumBuckets]atomic.Uint64
+}
+
+// Histogram is a sharded, lock-free, log-linear histogram of uint64
+// samples (work cycles, queue depths, ...). Record is one atomic add;
+// Snapshot folds the shards into a mergeable HistSnapshot for
+// percentile queries. The zero value is NOT ready; histograms come
+// from Registry.Histogram (or NewHistogram).
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Record adds one sample. hint selects the shard (any
+// roughly-uniform per-worker or per-flow value; the engine passes the
+// FID). The cost is a single atomic add into a shard-local bucket.
+func (h *Histogram) Record(v uint64, hint uint32) {
+	h.shards[hint&histShardMask].counts[bucketIndex(v)].Add(1)
+}
+
+// Snapshot folds the shards into a point-in-time snapshot. Concurrent
+// Records may or may not be included; each is counted exactly once
+// across successive snapshots of a quiescent histogram.
+func (h *Histogram) Snapshot() *HistSnapshot {
+	s := NewHistSnapshot()
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := 0; b < NumBuckets; b++ {
+			if c := sh.counts[b].Load(); c != 0 {
+				s.Counts[b] += c
+				s.Total += c
+			}
+		}
+	}
+	return s
+}
+
+// HistSnapshot is a folded (single-array) histogram: the mergeable,
+// queryable form. It is not safe for concurrent mutation; Observe and
+// Merge are for single-threaded accumulation (e.g. the stats
+// package's streaming summarizer), queries are read-only.
+type HistSnapshot struct {
+	// Counts holds per-bucket sample counts in the shared layout.
+	Counts []uint64
+	// Total is the sample count (sum of Counts).
+	Total uint64
+}
+
+// NewHistSnapshot returns an empty snapshot.
+func NewHistSnapshot() *HistSnapshot {
+	return &HistSnapshot{Counts: make([]uint64, NumBuckets)}
+}
+
+// Observe adds one sample to the snapshot (single-threaded use).
+func (s *HistSnapshot) Observe(v uint64) {
+	s.Counts[bucketIndex(v)]++
+	s.Total++
+}
+
+// Merge adds another snapshot's counts into this one. Histograms all
+// share one bucket layout, so merging is exact.
+func (s *HistSnapshot) Merge(o *HistSnapshot) {
+	if o == nil {
+		return
+	}
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+	s.Total += o.Total
+}
+
+// Count returns the number of recorded samples.
+func (s *HistSnapshot) Count() uint64 { return s.Total }
+
+// Quantile returns the q-th quantile (q in [0,1]) as the
+// representative value of the bucket holding that rank, accurate to
+// the bucket's relative width (~3%). It returns NaN on an empty
+// snapshot or out-of-range q.
+func (s *HistSnapshot) Quantile(q float64) float64 {
+	if s.Total == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	rank := uint64(math.Ceil(q * float64(s.Total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(len(s.Counts) - 1) // unreachable when Total matches Counts
+}
+
+// Mean returns the mean of the bucket-representative values, weighted
+// by count (NaN when empty).
+func (s *HistSnapshot) Mean() float64 {
+	if s.Total == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for i, c := range s.Counts {
+		if c != 0 {
+			sum += float64(c) * bucketMid(i)
+		}
+	}
+	return sum / float64(s.Total)
+}
+
+// Sum returns the approximate sum of all samples (bucket midpoints
+// times counts).
+func (s *HistSnapshot) Sum() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	var sum float64
+	for i, c := range s.Counts {
+		if c != 0 {
+			sum += float64(c) * bucketMid(i)
+		}
+	}
+	return sum
+}
+
+// Min returns the lower bound of the lowest non-empty bucket (NaN
+// when empty).
+func (s *HistSnapshot) Min() float64 {
+	for i, c := range s.Counts {
+		if c != 0 {
+			lo, _ := bucketBounds(i)
+			return float64(lo)
+		}
+	}
+	return math.NaN()
+}
+
+// Max returns the upper bound of the highest non-empty bucket (NaN
+// when empty).
+func (s *HistSnapshot) Max() float64 {
+	for i := len(s.Counts) - 1; i >= 0; i-- {
+		if s.Counts[i] != 0 {
+			_, hi := bucketBounds(i)
+			return float64(hi)
+		}
+	}
+	return math.NaN()
+}
+
+// HistSummary is the compact percentile view /statusz reports.
+type HistSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+}
+
+// Summary computes the /statusz percentile view. An empty snapshot
+// yields a zero summary (JSON-friendly: no NaNs).
+func (s *HistSnapshot) Summary() HistSummary {
+	if s.Total == 0 {
+		return HistSummary{}
+	}
+	return HistSummary{
+		Count: s.Total,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+		P999:  s.Quantile(0.999),
+		Max:   s.Max(),
+	}
+}

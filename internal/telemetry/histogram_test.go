@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBucketIndexBoundsRoundtrip(t *testing.T) {
+	vals := []uint64{0, 1, 2, 31, 32, 33, 63, 64, 65, 100, 1000, 4095, 4096, 1 << 20, 1<<20 + 12345, 1 << 40, math.MaxUint64}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, rng.Uint64()>>uint(rng.Intn(64)))
+	}
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of [0,%d)", v, i, NumBuckets)
+		}
+		lo, hi := bucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d landed in bucket %d with bounds [%d,%d]", v, i, lo, hi)
+		}
+	}
+	if got := bucketIndex(math.MaxUint64); got != NumBuckets-1 {
+		t.Fatalf("bucketIndex(MaxUint64) = %d, want %d", got, NumBuckets-1)
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := bucketIndex(0)
+	for v := uint64(1); v < 1<<14; v++ {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestBucketRelativeError(t *testing.T) {
+	// Above the linear range every bucket spans < 1/subCount of its
+	// lower bound, bounding the reconstruction error.
+	for i := subCount; i < NumBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		width := float64(hi - lo + 1)
+		if width/float64(lo) > 1.0/subCount+1e-9 {
+			t.Fatalf("bucket %d [%d,%d] relative width %.4f exceeds 1/%d",
+				i, lo, hi, width/float64(lo), subCount)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(42))
+	n := 200000
+	samples := make([]uint64, n)
+	for i := range samples {
+		// Log-uniform over ~6 decades, the shape of latency data.
+		v := uint64(math.Exp(rng.Float64()*14)) + 1
+		samples[i] = v
+		h.Record(v, uint32(i))
+	}
+	s := h.Snapshot()
+	if s.Count() != uint64(n) {
+		t.Fatalf("count = %d, want %d", s.Count(), n)
+	}
+	// Compare against exact order statistics.
+	sorted := append([]uint64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(math.Ceil(q*float64(n))) - 1
+		exact := float64(sorted[rank])
+		got := s.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.035 {
+			t.Errorf("q%.3f = %.1f, exact %.1f, relative error %.4f > 3.5%%", q, got, exact, rel)
+		}
+	}
+	if min := s.Min(); min > float64(sorted[0]) {
+		t.Errorf("Min = %g above true min %d", min, sorted[0])
+	}
+	if max := s.Max(); max < float64(sorted[n-1]) {
+		t.Errorf("Max = %g below true max %d", max, sorted[n-1])
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := uint64(0); i < 1000; i++ {
+		a.Record(i, uint32(i))
+		b.Record(i*3, uint32(i))
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	if merged.Total != 2000 {
+		t.Fatalf("merged total = %d, want 2000", merged.Total)
+	}
+	// Merging must be exact: bucket-by-bucket sums.
+	as, bs := a.Snapshot(), b.Snapshot()
+	for i := range merged.Counts {
+		if merged.Counts[i] != as.Counts[i]+bs.Counts[i] {
+			t.Fatalf("bucket %d: merged %d != %d + %d", i, merged.Counts[i], as.Counts[i], bs.Counts[i])
+		}
+	}
+}
+
+func TestHistogramShardHintSpread(t *testing.T) {
+	h := NewHistogram()
+	for hint := uint32(0); hint < 4*histShards; hint++ {
+		h.Record(100, hint)
+	}
+	// All shards were hit, and the snapshot folds them all.
+	for i := range h.shards {
+		if h.shards[i].counts[bucketIndex(100)].Load() == 0 {
+			t.Fatalf("shard %d never hit", i)
+		}
+	}
+	if got := h.Snapshot().Total; got != uint64(4*histShards) {
+		t.Fatalf("snapshot total %d, want %d", got, 4*histShards)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	s := NewHistogram().Snapshot()
+	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Errorf("empty snapshot queries should be NaN")
+	}
+	if sum := s.Summary(); sum != (HistSummary{}) {
+		t.Errorf("empty Summary = %+v, want zero value", sum)
+	}
+	if s.Quantile(-0.1) == s.Quantile(-0.1) { // NaN != NaN
+		t.Errorf("out-of-range quantile should be NaN")
+	}
+}

@@ -1,0 +1,331 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+// registered is one named metric. A name may carry Prometheus labels
+// inline ("speedybox_engine_packets_total{path=\"fast\"}"); the base
+// name (up to the brace) groups samples into one metric family.
+type registered struct {
+	name string
+	base string
+	kind metricKind
+	help string
+
+	counter *Counter
+	gauge   *Gauge
+	cfn     func() uint64
+	gfn     func() float64
+	hist    *Histogram
+}
+
+// Registry is a named-metric table. Registration is idempotent:
+// requesting an existing name with the matching kind returns the
+// existing metric (so several engine instances attached to one hub
+// share counters and histograms), while CounterFunc/GaugeFunc replace
+// the callback (the most recently attached instance reports). A kind
+// mismatch panics — that is a programming error, not a runtime
+// condition.
+//
+// Callbacks run while the registry lock is held during scrapes; they
+// must not call back into the registry.
+type Registry struct {
+	mu     sync.RWMutex
+	order  []*registered
+	byName map[string]*registered
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*registered)}
+}
+
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (r *Registry) lookup(name string, kind metricKind) *registered {
+	m, ok := r.byName[name]
+	if !ok {
+		return nil
+	}
+	if m.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as a different kind", name))
+	}
+	return m
+}
+
+func (r *Registry) add(m *registered) {
+	r.order = append(r.order, m)
+	r.byName[m.name] = m
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, kindCounter); m != nil {
+		return m.counter
+	}
+	m := &registered{name: name, base: baseName(name), kind: kindCounter, help: help, counter: &Counter{}}
+	r.add(m)
+	return m.counter
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, kindGauge); m != nil {
+		return m.gauge
+	}
+	m := &registered{name: name, base: baseName(name), kind: kindGauge, help: help, gauge: &Gauge{}}
+	r.add(m)
+	return m.gauge
+}
+
+// CounterFunc registers (or replaces) a counter whose value is read
+// from fn at scrape time — used to expose counters a component already
+// maintains (engine stats shards, the Event Table's fired total).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, kindCounterFunc); m != nil {
+		m.cfn = fn
+		return
+	}
+	r.add(&registered{name: name, base: baseName(name), kind: kindCounterFunc, help: help, cfn: fn})
+}
+
+// GaugeFunc registers (or replaces) a gauge read from fn at scrape
+// time (table occupancies, queue depths).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, kindGaugeFunc); m != nil {
+		m.gfn = fn
+		return
+	}
+	r.add(&registered{name: name, base: baseName(name), kind: kindGaugeFunc, help: help, gfn: fn})
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, kindHistogram); m != nil {
+		return m.hist
+	}
+	m := &registered{name: name, base: baseName(name), kind: kindHistogram, help: help, hist: NewHistogram()}
+	r.add(m)
+	return m.hist
+}
+
+// labeled splices extra labels into a (possibly already labeled)
+// sample name: labeled(`x{a="1"}`, `le="2"`) -> `x{a="1",le="2"}`.
+func labeled(name, label string) string {
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4), grouping samples by metric family in
+// first-registration order. Histograms render cumulative non-empty
+// buckets with le=<bucket upper bound>, plus the +Inf bucket, _sum
+// and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	// Group by base name, preserving first-seen order: the exposition
+	// format requires all samples of a family to be contiguous.
+	baseOrder := make([]string, 0, len(r.order))
+	byBase := make(map[string][]*registered, len(r.order))
+	for _, m := range r.order {
+		if _, seen := byBase[m.base]; !seen {
+			baseOrder = append(baseOrder, m.base)
+		}
+		byBase[m.base] = append(byBase[m.base], m)
+	}
+
+	for _, base := range baseOrder {
+		family := byBase[base]
+		first := family[0]
+		if first.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, first.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, promType(first.kind)); err != nil {
+			return err
+		}
+		for _, m := range family {
+			if err := writeSample(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func promType(k metricKind) string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+func writeSample(w io.Writer, m *registered) error {
+	switch m.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		return err
+	case kindCounterFunc:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.name, m.cfn())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.name, m.gauge.Value())
+		return err
+	case kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s %g\n", m.name, m.gfn())
+		return err
+	case kindHistogram:
+		return writeHistogram(w, m)
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, m *registered) error {
+	s := m.hist.Snapshot()
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := bucketBounds(i)
+		if _, err := fmt.Fprintf(w, "%s %d\n",
+			labeled(m.base+"_bucket", fmt.Sprintf("le=%q", formatLe(hi))+histLabels(m.name, m.base)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n",
+		labeled(m.base+"_bucket", `le="+Inf"`+histLabels(m.name, m.base)), s.Total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %g\n", m.base+"_sum"+labelSuffix(m.name, m.base), s.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", m.base+"_count"+labelSuffix(m.name, m.base), s.Total)
+	return err
+}
+
+// labelSuffix extracts the "{...}" label block of a full sample name
+// ("" when unlabeled).
+func labelSuffix(name, base string) string { return name[len(base):] }
+
+// histLabels renders the metric's own labels as a ",k=v" suffix for
+// composition after the le label.
+func histLabels(name, base string) string {
+	suffix := labelSuffix(name, base)
+	if suffix == "" {
+		return ""
+	}
+	return "," + strings.TrimSuffix(strings.TrimPrefix(suffix, "{"), "}")
+}
+
+func formatLe(hi uint64) string { return fmt.Sprintf("%d", hi) }
+
+// Status is the /statusz JSON snapshot of every metric.
+type Status struct {
+	Counters   map[string]uint64      `json:"counters"`
+	Gauges     map[string]float64     `json:"gauges"`
+	Histograms map[string]HistSummary `json:"histograms"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Status {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st := Status{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistSummary),
+	}
+	for _, m := range r.order {
+		switch m.kind {
+		case kindCounter:
+			st.Counters[m.name] = m.counter.Value()
+		case kindCounterFunc:
+			st.Counters[m.name] = m.cfn()
+		case kindGauge:
+			st.Gauges[m.name] = float64(m.gauge.Value())
+		case kindGaugeFunc:
+			st.Gauges[m.name] = m.gfn()
+		case kindHistogram:
+			st.Histograms[m.name] = m.hist.Snapshot().Summary()
+		}
+	}
+	return st
+}
+
+// Names returns the registered metric names in registration order
+// (tests and debugging).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.order))
+	for i, m := range r.order {
+		out[i] = m.name
+	}
+	return out
+}

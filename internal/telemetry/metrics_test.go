@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help")
+	c2 := r.Counter("x_total", "help")
+	if c1 != c2 {
+		t.Fatalf("re-registering a counter returned a different instance")
+	}
+	h1 := r.Histogram(`h{a="1"}`, "")
+	h2 := r.Histogram(`h{a="1"}`, "")
+	if h1 != h2 {
+		t.Fatalf("re-registering a histogram returned a different instance")
+	}
+	if g1, g2 := r.Gauge("g", ""), r.Gauge("g", ""); g1 != g2 {
+		t.Fatalf("re-registering a gauge returned a different instance")
+	}
+	if n := len(r.Names()); n != 3 {
+		t.Fatalf("registry has %d entries, want 3", n)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestCounterFuncLastWins(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("f", "", func() uint64 { return 1 })
+	r.CounterFunc("f", "", func() uint64 { return 2 })
+	if got := r.Snapshot().Counters["f"]; got != 2 {
+		t.Fatalf("counter func = %d, want the replacement's 2", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`pkts_total{path="fast"}`, "packets by path").Add(7)
+	r.Counter(`pkts_total{path="slow"}`, "packets by path").Add(3)
+	r.Gauge("flows", "tracked flows").Set(12)
+	r.GaugeFunc("depth", "queue depth", func() float64 { return 2.5 })
+	h := r.Histogram(`lat{path="fast"}`, "latency")
+	h.Record(10, 0)
+	h.Record(10, 1)
+	h.Record(1000, 2)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP pkts_total packets by path\n",
+		"# TYPE pkts_total counter\n",
+		`pkts_total{path="fast"} 7` + "\n",
+		`pkts_total{path="slow"} 3` + "\n",
+		"# TYPE flows gauge\n",
+		"flows 12\n",
+		"depth 2.5\n",
+		"# TYPE lat histogram\n",
+		`lat_bucket{le="10",path="fast"} 2` + "\n",
+		`lat_bucket{le="+Inf",path="fast"} 3` + "\n",
+		`lat_count{path="fast"} 3` + "\n",
+		`lat_sum{path="fast"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// Family samples must be contiguous: both pkts_total samples appear
+	// before the next # TYPE line.
+	fastIdx := strings.Index(out, `pkts_total{path="fast"}`)
+	slowIdx := strings.Index(out, `pkts_total{path="slow"}`)
+	nextType := strings.Index(out[fastIdx:], "# TYPE")
+	if slowIdx > fastIdx+nextType {
+		t.Errorf("family samples not contiguous:\n%s", out)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "")
+	for v := uint64(1); v <= 100; v++ {
+		h.Record(v, uint32(v))
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	last := int64(-1)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(line, "h_bucket{") {
+			continue
+		}
+		n, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative: %d after %d in %q", n, last, line)
+		}
+		last = n
+	}
+	if last != 100 {
+		t.Fatalf("final cumulative bucket = %d, want 100", last)
+	}
+}
+
+func TestSnapshotStatus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Add(5)
+	r.Gauge("g", "").Set(-3)
+	h := r.Histogram("h", "")
+	h.Record(50, 0)
+	st := r.Snapshot()
+	if st.Counters["c"] != 5 {
+		t.Errorf("counter snapshot = %d", st.Counters["c"])
+	}
+	if st.Gauges["g"] != -3 {
+		t.Errorf("gauge snapshot = %g", st.Gauges["g"])
+	}
+	if hs := st.Histograms["h"]; hs.Count != 1 || hs.P50 != 50 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+}

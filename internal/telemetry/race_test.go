@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentHammer drives every mutable surface of the package from
+// many goroutines at once — histogram records, snapshot merges, flight
+// recorder appends, registry registrations and full Prometheus/status
+// scrapes — so `go test -race` exercises the documented concurrency
+// contract end to end.
+func TestConcurrentHammer(t *testing.T) {
+	hub := NewHub()
+	h := hub.Registry.Histogram("hammer_cycles", "")
+	c := hub.Registry.Counter("hammer_total", "")
+
+	const (
+		writers      = 8
+		perWriter    = 5000
+		scrapeRounds = 50
+	)
+	var wg sync.WaitGroup
+
+	// Writers: records, counter increments, journal appends.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Record(uint64(i%4096+1), uint32(w))
+				c.Inc()
+				if i%64 == 0 {
+					hub.Recorder.Append(EvEventFire, uint32(w), "hammer")
+				}
+			}
+		}(w)
+	}
+
+	// Re-registrations racing the writers (idempotent path).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < scrapeRounds; i++ {
+			if got := hub.Registry.Histogram("hammer_cycles", ""); got != h {
+				t.Error("idempotent registration returned a different histogram")
+				return
+			}
+			hub.Registry.CounterFunc("hammer_fn", "", func() uint64 { return 1 })
+		}
+	}()
+
+	// Scrapers: snapshot + merge + exposition + journal tails.
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			acc := NewHistSnapshot()
+			for i := 0; i < scrapeRounds; i++ {
+				acc.Merge(h.Snapshot())
+				if err := hub.Registry.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = hub.Registry.Snapshot()
+				_ = hub.Recorder.Tail(16)
+				_ = hub.Status(32)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Snapshot().Total; got != writers*perWriter {
+		t.Fatalf("histogram total = %d, want %d", got, writers*perWriter)
+	}
+	wantJournal := uint64(writers * ((perWriter + 63) / 64))
+	if got := hub.Recorder.Seq(); got != wantJournal {
+		t.Fatalf("journal seq = %d, want %d", got, wantJournal)
+	}
+}

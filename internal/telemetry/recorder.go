@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight-recorder event kinds: the control-plane transitions the
+// engine journals. String-typed so new components can journal their
+// own kinds without touching this package.
+const (
+	// EvRuleInstall is a first-time Global MAT rule installation.
+	EvRuleInstall = "rule-install"
+	// EvRuleReplace is an event-driven reconsolidation replacing an
+	// installed rule.
+	EvRuleReplace = "rule-replace"
+	// EvRuleRemove is a Global MAT rule removal (see the cause field
+	// for why: fin-teardown, idle-expiry, syn-reuse,
+	// event-unconsolidatable).
+	EvRuleRemove = "rule-remove"
+	// EvEventFire is one Event Table firing.
+	EvEventFire = "event-fire"
+	// EvConsolidate is a slow-path consolidation after an initial
+	// packet finished the chain.
+	EvConsolidate = "consolidate"
+	// EvFlowReset is a SYN reusing a tracked 5-tuple, tearing down the
+	// previous connection's state.
+	EvFlowReset = "flow-reset"
+	// EvFlowEvict is an idle-flow expiry.
+	EvFlowEvict = "flow-evict"
+)
+
+// Record is one journaled control-plane transition.
+type Record struct {
+	// Seq is the global append sequence number (1-based, never
+	// reused), so readers can detect gaps between tail snapshots.
+	Seq uint64 `json:"seq"`
+	// Time is the wall-clock append time.
+	Time time.Time `json:"time"`
+	// Kind is the transition kind (Ev* constants).
+	Kind string `json:"kind"`
+	// FID is the affected flow.
+	FID uint32 `json:"fid"`
+	// Cause qualifies the kind (removal reason, firing NF, ...).
+	Cause string `json:"cause,omitempty"`
+}
+
+// Recorder is a bounded ring buffer journaling recent control-plane
+// transitions. Appends are mutex-protected — transitions are per-flow
+// setup/teardown events, orders of magnitude rarer than packets — and
+// never allocate once the ring is full. A nil *Recorder is a valid
+// no-op sink, so call sites need no telemetry-enabled checks.
+type Recorder struct {
+	seq atomic.Uint64 // last assigned sequence number
+
+	mu   sync.Mutex
+	buf  []Record
+	next int // ring position of the next append
+	full bool
+}
+
+// NewRecorder returns a recorder keeping the last capacity records
+// (minimum 1).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]Record, capacity)}
+}
+
+// Append journals one transition. No-op on a nil recorder.
+func (r *Recorder) Append(kind string, fid uint32, cause string) {
+	if r == nil {
+		return
+	}
+	rec := Record{
+		Seq:   r.seq.Add(1),
+		Time:  time.Now(),
+		Kind:  kind,
+		FID:   fid,
+		Cause: cause,
+	}
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Seq returns the total number of appends ever made (0 on nil).
+func (r *Recorder) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Len returns how many records are currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Tail returns up to n of the most recent records, oldest first. A
+// non-positive n returns everything retained.
+func (r *Recorder) Tail(n int) []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.buf)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Record, 0, n)
+	// Oldest retained record sits at r.next when the ring has wrapped,
+	// else at 0. Start n records back from the append position.
+	start := r.next - n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}

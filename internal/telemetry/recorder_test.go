@@ -1,0 +1,63 @@
+package telemetry
+
+import "testing"
+
+func TestRecorderAppendTail(t *testing.T) {
+	r := NewRecorder(4)
+	r.Append(EvRuleInstall, 1, "")
+	r.Append(EvRuleRemove, 2, "fin-teardown")
+	tail := r.Tail(0)
+	if len(tail) != 2 {
+		t.Fatalf("tail length %d, want 2", len(tail))
+	}
+	if tail[0].Kind != EvRuleInstall || tail[0].FID != 1 || tail[0].Seq != 1 {
+		t.Errorf("first record = %+v", tail[0])
+	}
+	if tail[1].Kind != EvRuleRemove || tail[1].Cause != "fin-teardown" || tail[1].Seq != 2 {
+		t.Errorf("second record = %+v", tail[1])
+	}
+	if r.Len() != 2 || r.Seq() != 2 {
+		t.Errorf("Len=%d Seq=%d, want 2, 2", r.Len(), r.Seq())
+	}
+}
+
+func TestRecorderWrap(t *testing.T) {
+	r := NewRecorder(3)
+	for fid := uint32(1); fid <= 5; fid++ {
+		r.Append(EvEventFire, fid, "")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d after wrap, want 3", r.Len())
+	}
+	if r.Seq() != 5 {
+		t.Fatalf("Seq = %d, want 5", r.Seq())
+	}
+	tail := r.Tail(0)
+	for i, want := range []uint32{3, 4, 5} {
+		if tail[i].FID != want {
+			t.Errorf("tail[%d].FID = %d, want %d (oldest first)", i, tail[i].FID, want)
+		}
+	}
+	// A limited tail returns the most recent n.
+	if short := r.Tail(2); len(short) != 2 || short[0].FID != 4 || short[1].FID != 5 {
+		t.Errorf("Tail(2) = %+v", short)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Append(EvConsolidate, 9, "") // must not panic
+	if r.Seq() != 0 || r.Len() != 0 || r.Tail(0) != nil {
+		t.Errorf("nil recorder should be a zero-valued no-op sink")
+	}
+}
+
+func TestRecorderMinimumCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	r.Append(EvFlowReset, 1, "")
+	r.Append(EvFlowEvict, 2, "")
+	tail := r.Tail(0)
+	if len(tail) != 1 || tail[0].FID != 2 {
+		t.Errorf("capacity-clamped recorder tail = %+v, want just the newest", tail)
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// statusTailDefault is how many flight-recorder records /statusz
+// returns when the request does not say (?tail=N overrides).
+const statusTailDefault = 256
+
+// StatusSnapshot is the /statusz payload: every metric plus the
+// flight-recorder tail.
+type StatusSnapshot struct {
+	Time           time.Time `json:"time"`
+	Metrics        Status    `json:"metrics"`
+	FlightRecorder []Record  `json:"flight_recorder"`
+	// FlightRecorderTotal is the total number of transitions ever
+	// journaled (the tail may have wrapped past older ones).
+	FlightRecorderTotal uint64 `json:"flight_recorder_total"`
+}
+
+// Status assembles the /statusz payload with up to tail flight
+// records (non-positive = everything retained).
+func (h *Hub) Status(tail int) StatusSnapshot {
+	return StatusSnapshot{
+		Time:                time.Now(),
+		Metrics:             h.Registry.Snapshot(),
+		FlightRecorder:      h.Recorder.Tail(tail),
+		FlightRecorderTotal: h.Recorder.Seq(),
+	}
+}
+
+// Server is the admin HTTP endpoint: /metrics (Prometheus text
+// exposition), /statusz (JSON snapshot including the flight-recorder
+// tail) and /debug/pprof. It binds its own mux — never the default
+// one — so importing this package has no global side effects.
+type Server struct {
+	hub *Hub
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer binds addr (e.g. ":8080" or "127.0.0.1:0") and starts
+// serving in a background goroutine. Addr reports the bound address,
+// which makes ":0" usable in tests; Close shuts the listener down.
+func NewServer(addr string, hub *Hub) (*Server, error) {
+	if hub == nil {
+		return nil, fmt.Errorf("telemetry: nil hub")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{hub: hub, ln: ln}
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Handler returns the admin mux, for embedding the endpoints into an
+// existing server instead of running a standalone one.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.hub.Registry.WritePrometheus(w)
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, req *http.Request) {
+	tail := statusTailDefault
+	if v := req.URL.Query().Get("tail"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			tail = n
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.hub.Status(tail))
+}

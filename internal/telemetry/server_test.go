@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	hub := NewHub()
+	hub.Registry.Counter("demo_total", "demo").Add(11)
+	hub.Registry.Histogram("demo_cycles", "demo").Record(500, 0)
+	hub.Recorder.Append(EvRuleInstall, 42, "")
+
+	srv, err := NewServer("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	body := get(t, srv.URL()+"/metrics")
+	for _, want := range []string{"demo_total 11", "demo_cycles_count 1", "# TYPE demo_cycles histogram"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	var st StatusSnapshot
+	if err := json.Unmarshal([]byte(get(t, srv.URL()+"/statusz")), &st); err != nil {
+		t.Fatalf("/statusz not JSON: %v", err)
+	}
+	if st.Metrics.Counters["demo_total"] != 11 {
+		t.Errorf("statusz counter = %d", st.Metrics.Counters["demo_total"])
+	}
+	if len(st.FlightRecorder) != 1 || st.FlightRecorder[0].FID != 42 {
+		t.Errorf("statusz flight recorder = %+v", st.FlightRecorder)
+	}
+	if st.FlightRecorderTotal != 1 {
+		t.Errorf("flight recorder total = %d", st.FlightRecorderTotal)
+	}
+
+	// tail=N trims the journal view.
+	hub.Recorder.Append(EvRuleRemove, 43, "fin-teardown")
+	if err := json.Unmarshal([]byte(get(t, srv.URL()+"/statusz?tail=1")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.FlightRecorder) != 1 || st.FlightRecorder[0].FID != 43 {
+		t.Errorf("tail=1 = %+v, want only the newest record", st.FlightRecorder)
+	}
+
+	// pprof index is mounted.
+	if !strings.Contains(get(t, srv.URL()+"/debug/pprof/"), "pprof") {
+		t.Errorf("/debug/pprof/ not serving")
+	}
+}
+
+func TestServerNilHub(t *testing.T) {
+	if _, err := NewServer("127.0.0.1:0", nil); err == nil {
+		t.Fatalf("nil hub should be rejected")
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

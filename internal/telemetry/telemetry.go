@@ -1,0 +1,42 @@
+// Package telemetry is the runtime observability subsystem: lock-free
+// sharded metrics (atomic counters, gauges, log-linear latency
+// histograms), a bounded flight recorder journaling recent
+// control-plane transitions, and an admin HTTP server exposing
+// Prometheus text metrics, a JSON status snapshot and pprof.
+//
+// The design constraints come from the data path it instruments: a
+// histogram record on the fast path is one atomic add into a
+// shard-local bucket — no locks, no allocations, no time syscalls (the
+// recorded unit is the engine's modeled work cycles, the repo's
+// currency) — so per-packet overhead stays within measurement noise.
+// Control-plane transitions (rule installs, removals, event firings,
+// evictions) are rare relative to packets, so the flight recorder may
+// take a mutex.
+//
+// The package depends only on the standard library; the engine, MATs,
+// platforms and commands import it, never the reverse.
+package telemetry
+
+// Hub bundles the metric registry and flight recorder one engine (or
+// process) exposes through a Server. A nil *Hub disables telemetry
+// everywhere it is accepted.
+type Hub struct {
+	// Registry holds the named metrics.
+	Registry *Registry
+	// Recorder journals control-plane transitions.
+	Recorder *Recorder
+}
+
+// DefaultRecorderCapacity is the flight-recorder depth a NewHub gets:
+// enough to hold the recent history of a few thousand flows' worth of
+// installs/teardowns without unbounded growth.
+const DefaultRecorderCapacity = 4096
+
+// NewHub returns a Hub with an empty registry and a flight recorder of
+// the default capacity.
+func NewHub() *Hub {
+	return &Hub{
+		Registry: NewRegistry(),
+		Recorder: NewRecorder(DefaultRecorderCapacity),
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/packet"
 	"github.com/fastpathnfv/speedybox/internal/platform"
 	"github.com/fastpathnfv/speedybox/internal/sfunc"
+	"github.com/fastpathnfv/speedybox/internal/telemetry"
 	"github.com/fastpathnfv/speedybox/internal/trace"
 )
 
@@ -213,6 +214,32 @@ func Run(p Platform, pkts []*Packet) (*RunResult, error) {
 // on the engine's FID-sharded state.
 func NewMultiQueue(p Platform, workers int) (*MultiQueue, error) {
 	return platform.NewMultiQueue(p, workers)
+}
+
+// Telemetry types. A Telemetry hub collects sharded metrics, latency
+// histograms and a control-plane flight recorder; pass one via
+// Options.Telemetry to instrument an engine, and serve it with
+// NewTelemetryServer (endpoints: /metrics in Prometheus text format,
+// /statusz as JSON with the flight-recorder tail, /debug/pprof).
+type (
+	// Telemetry is a metrics registry plus flight recorder shared by an
+	// engine and its platform wrappers.
+	Telemetry = telemetry.Hub
+	// TelemetryServer is the admin HTTP endpoint over a hub.
+	TelemetryServer = telemetry.Server
+	// TelemetryStatus is the /statusz snapshot shape.
+	TelemetryStatus = telemetry.StatusSnapshot
+	// FlightRecord is one journaled control-plane transition.
+	FlightRecord = telemetry.Record
+)
+
+// NewTelemetry returns an empty telemetry hub.
+func NewTelemetry() *Telemetry { return telemetry.NewHub() }
+
+// NewTelemetryServer binds addr (e.g. ":8080", or "127.0.0.1:0" for an
+// ephemeral port) and serves the hub's admin endpoints until Close.
+func NewTelemetryServer(addr string, hub *Telemetry) (*TelemetryServer, error) {
+	return telemetry.NewServer(addr, hub)
 }
 
 // GenerateTrace synthesizes a deterministic datacenter-style trace.
