@@ -9,6 +9,7 @@
 //	chainsim -chain vpn-encap,monitor,vpn-decap -compare=false -sbox
 //	chainsim -chain snort,monitor -pcap trace.pcap
 //	chainsim -config testdata/chain.json
+//	chainsim -chain nat,monitor -fault-rate 0.1 -fault-seed 7
 package main
 
 import (
@@ -44,6 +45,8 @@ func run(args []string) error {
 	pcapPath := fs.String("pcap", "", "replay this pcap instead of generating a trace")
 	dumpRules := fs.Bool("dump-rules", false, "print the consolidated Global MAT rules after the SpeedyBox run")
 	snortRules := fs.String("snort-rules", "", "load Snort rules for snort NFs from this file (Snort rule syntax)")
+	faultRate := fs.Float64("fault-rate", 0, "inject control-plane faults into the SpeedyBox variant at this per-decision rate (0 disables; packets are never dropped, only degraded to the slow path)")
+	faultSeed := fs.Int64("fault-seed", 1, "fault-injection seed (with -fault-rate); equal seeds replay the identical fault schedule")
 	configPath := fs.String("config", "", "build the chain from this JSON chain-spec file (overrides -chain and -platform)")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. :8080)")
 	telemetryLinger := fs.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the run, for scraping")
@@ -120,6 +123,18 @@ func run(args []string) error {
 		if enabled || !*compare {
 			opts.Telemetry = hub
 		}
+		// Faults target the SpeedyBox control plane; the baseline
+		// variant has none to attack, so it runs clean as the
+		// comparison anchor. Backend flaps are pool changes both
+		// variants would see and are not simulated here (the
+		// equivalence oracle in speedybench covers them).
+		var inj *speedybox.FaultInjector
+		if enabled && *faultRate > 0 {
+			inj = speedybox.NewFaultInjector(speedybox.FaultConfig{
+				Seed: *faultSeed, Rates: speedybox.UniformFaultRates(*faultRate),
+			})
+			opts.Faults = inj
+		}
 		var (
 			chain []speedybox.NF
 			err   error
@@ -168,6 +183,11 @@ func run(args []string) error {
 		}
 		results = append(results, res)
 		report(*platformName, enabled, *workers, res)
+		if inj != nil {
+			fmt.Printf("%-16s %s\n", "", inj.Summary())
+			fmt.Printf("%-16s fallbacks=%d degraded=%d recoveries=%d\n", "",
+				res.Stats.SlowPathFallbacks, res.Stats.DegradedPackets, res.Stats.FaultRecoveries)
+		}
 	}
 	if len(results) == 2 {
 		fmt.Printf("\nSpeedyBox vs baseline: latency %+.1f%%  rate %+.1f%%  p50 flow time %+.1f%%\n",

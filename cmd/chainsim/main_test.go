@@ -128,3 +128,21 @@ func TestRunWithBadConfigFile(t *testing.T) {
 		t.Error("missing config accepted")
 	}
 }
+
+func TestRunWithFaultInjection(t *testing.T) {
+	if err := run([]string{
+		"-chain", "monitor,ipfilter", "-flows", "30",
+		"-fault-rate", "0.1", "-fault-seed", "7",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFaultInjectionSingleVariant(t *testing.T) {
+	if err := run([]string{
+		"-chain", "nat,monitor", "-flows", "20", "-compare=false",
+		"-fault-rate", "0.25",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

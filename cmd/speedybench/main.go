@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	speedybench [-exp all|fig4|table3|fig5|fig6|fig7|fig8|fig9a|fig9b|equiv|vpnx|crossover|mq] [-seed N] [-flows N] [-json]
+//	speedybench [-exp all|fig4|table3|fig5|fig6|fig7|fig8|fig9a|fig9b|equiv|vpnx|crossover|mq|oracle] [-seed N] [-flows N] [-json]
+//
+// The oracle experiment runs the differential fast/slow-path
+// equivalence oracle under randomized fault schedules
+// (-oracle-schedules, default 200) and exits nonzero on any
+// divergence, so CI can enforce it.
 package main
 
 import (
@@ -30,7 +35,7 @@ func main() {
 type formatter interface{ Format() string }
 
 // experiments enumerates the runnable experiments in paper order.
-func experiments(cfg harness.Config) []struct {
+func experiments(cfg harness.Config, oracleSchedules int) []struct {
 	name string
 	run  func() (formatter, error)
 } {
@@ -50,12 +55,25 @@ func experiments(cfg harness.Config) []struct {
 		{"vpnx", func() (formatter, error) { return harness.RunVPNX(cfg) }},
 		{"crossover", func() (formatter, error) { return harness.RunCrossover(cfg) }},
 		{"mq", func() (formatter, error) { return harness.RunMultiQueue(cfg) }},
+		{"oracle", func() (formatter, error) {
+			res, err := harness.RunOracle(harness.OracleConfig{
+				Seed: cfg.Seed, Schedules: oracleSchedules, Flows: cfg.Flows,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if !res.Passed() {
+				return nil, fmt.Errorf("equivalence oracle FAILED:\n%s", res.Format())
+			}
+			return res, nil
+		}},
 	}
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("speedybench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, fig4, table3, fig5, fig6, fig7, fig8, fig9a, fig9b, equiv, vpnx, crossover, mq")
+	exp := fs.String("exp", "all", "experiment to run: all, fig4, table3, fig5, fig6, fig7, fig8, fig9a, fig9b, equiv, vpnx, crossover, mq, oracle")
+	oracleSchedules := fs.Int("oracle-schedules", 200, "fault schedules for -exp oracle")
 	seed := fs.Int64("seed", 1, "trace generation seed")
 	flows := fs.Int("flows", 0, "trace size in flows (0 = experiment default)")
 	asJSON := fs.Bool("json", false, "emit results as JSON instead of tables")
@@ -84,7 +102,7 @@ func run(args []string, out io.Writer) error {
 
 	jsonOut := make(map[string]any)
 	ran := false
-	for _, e := range experiments(cfg) {
+	for _, e := range experiments(cfg, *oracleSchedules) {
 		if *exp != "all" && *exp != e.name {
 			continue
 		}

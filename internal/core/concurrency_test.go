@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/fastpathnfv/speedybox/internal/classifier"
+	"github.com/fastpathnfv/speedybox/internal/fault"
 	"github.com/fastpathnfv/speedybox/internal/packet"
 	"github.com/fastpathnfv/speedybox/internal/telemetry"
 )
@@ -199,5 +200,119 @@ func TestConcurrentProcessPacket(t *testing.T) {
 	}
 	if hub.Recorder.Seq() == 0 {
 		t.Error("flight recorder journaled nothing despite installs/consolidations")
+	}
+}
+
+// TestConcurrentFaultInjection is the fault-path race hammer: 8 workers
+// drive overlapping flows while the injector fires every fault kind at
+// a moderate rate, a scraper goroutine reads Stats(), the Prometheus
+// exposition (including the fault gauges, which walk the degradation
+// ladder and the stale set) and the status snapshot, and an eleventh
+// goroutine retunes injection rates mid-flight. Run under -race this
+// covers the degradation ladder's sharded locks, stale-marking against
+// concurrent installs, fault-evict against the fast path, and the
+// injector's atomics.
+func TestConcurrentFaultInjection(t *testing.T) {
+	const (
+		workers        = 8
+		packetsPerFlow = 50
+	)
+	mod := &fakeModifier{name: "nat", dip: [4]byte{99, 0, 0, 1}}
+	ctr := &fakeCounter{name: "monitor"}
+	hub := telemetry.NewHub()
+	inj := fault.New(fault.Config{Seed: 99, Rates: fault.UniformRates(0.08)})
+	opts := DefaultOptions()
+	opts.Telemetry = hub
+	opts.Faults = inj
+	eng, err := NewEngine([]NF{mod, ctr}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make(chan error, workers)
+	stop := make(chan struct{})
+	var auxWG sync.WaitGroup
+	auxWG.Add(2)
+	go func() {
+		defer auxWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = eng.Stats()
+				_ = eng.degradedLen()
+				_ = eng.Global().StaleLen()
+				if err := hub.Registry.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = hub.Status(64)
+			}
+		}
+	}()
+	go func() {
+		defer auxWG.Done()
+		r := 0.02
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, k := range fault.Kinds() {
+					inj.SetRate(k, r)
+				}
+				r += 0.01
+				if r > 0.15 {
+					r = 0.02
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ports := []uint16{uint16(9500 + w), uint16(9500 + (w+1)%workers)}
+			for i := 0; i < packetsPerFlow; i++ {
+				for _, port := range ports {
+					pkt := packet.MustBuild(packet.Spec{
+						SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 0, 0, 2),
+						SrcPort: port, DstPort: 80, Proto: packet.ProtoUDP,
+						Payload: []byte("payload"),
+					})
+					res, err := eng.ProcessPacket(pkt)
+					if err != nil {
+						errs <- fmt.Errorf("worker %d packet %d: %w", w, i, err)
+						return
+					}
+					if res.Verdict != VerdictForward {
+						errs <- fmt.Errorf("worker %d packet %d: verdict %v", w, i, res.Verdict)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	auxWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	want := uint64(workers * packetsPerFlow * 2)
+	st := eng.Stats()
+	if st.Packets != want {
+		t.Errorf("Stats().Packets = %d, want %d", st.Packets, want)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("Stats().Dropped = %d, want 0: faults must never drop packets", st.Dropped)
+	}
+	if st.FastPath+st.SlowPath != want {
+		t.Errorf("fast(%d)+slow(%d) != %d", st.FastPath, st.SlowPath, want)
 	}
 }

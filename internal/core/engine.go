@@ -9,6 +9,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/classifier"
 	"github.com/fastpathnfv/speedybox/internal/cost"
 	"github.com/fastpathnfv/speedybox/internal/event"
+	"github.com/fastpathnfv/speedybox/internal/fault"
 	"github.com/fastpathnfv/speedybox/internal/flow"
 	"github.com/fastpathnfv/speedybox/internal/mat"
 	"github.com/fastpathnfv/speedybox/internal/packet"
@@ -35,6 +36,12 @@ type Options struct {
 	// per-path work histograms, MAT churn counters and flight-recorder
 	// journaling. Nil disables telemetry (zero per-packet overhead).
 	Telemetry *telemetry.Hub
+	// Faults attaches a fault injector: the control plane consults it
+	// at rule installs, event recomputations, NF hops and per-packet
+	// table pressure, and degrades affected flows to the slow path
+	// (see internal/fault). Nil disables injection entirely, with zero
+	// data-path overhead.
+	Faults *fault.Injector
 }
 
 // DefaultOptions returns full SpeedyBox: both optimizations on.
@@ -64,10 +71,11 @@ const statsShardCount = 32
 // statsShard is one padded block of engine counters, updated with
 // atomics — never a lock — on the per-packet accounting path.
 type statsShard struct {
-	packets, initial, subsequent, handshake, final atomic.Uint64
-	fastPath, slowPath, dropped                    atomic.Uint64
-	eventsFired, consolidations                    atomic.Uint64
-	_                                              [48]byte // pad to 128 bytes against false sharing
+	packets, initial, subsequent, handshake, final  atomic.Uint64
+	fastPath, slowPath, dropped                     atomic.Uint64
+	eventsFired, consolidations                     atomic.Uint64
+	slowFallbacks, degradedPackets, faultRecoveries atomic.Uint64
+	_                                               [24]byte // pad to 128 bytes against false sharing
 }
 
 // recShardCount is the number of recording-slot shards (power of two).
@@ -107,6 +115,12 @@ type Engine struct {
 	stats [statsShardCount]statsShard
 
 	recording [recShardCount]recShard
+
+	// faults is the optional injector (Options.Faults); nil means no
+	// injection. All injection sites guard on the nil check.
+	faults *fault.Injector
+	// degraded is the graceful-degradation ladder (degrade.go).
+	degraded [degradeShardCount]degradeShard
 
 	// tel is the pre-resolved telemetry metric set, nil when
 	// Options.Telemetry is unset. Hot paths guard every use with a
@@ -149,9 +163,16 @@ func NewEngine(chain []NF, opts Options) (*Engine, error) {
 	for i := range e.recording {
 		e.recording[i].fids = make(map[flow.FID]struct{})
 	}
+	for i := range e.degraded {
+		e.degraded[i].flows = make(map[flow.FID]*degradeState)
+	}
+	e.faults = opts.Faults
 	if opts.EnableSpeedyBox {
+		// LookupLive, not Lookup: a stale-marked rule must classify the
+		// flow's packets as initial (re-record) rather than subsequent
+		// (serve the outdated rule).
 		e.hasRule = func(fid flow.FID) bool {
-			_, ok := e.global.Lookup(fid)
+			_, ok := e.global.LookupLive(fid)
 			return ok
 		}
 	}
@@ -239,9 +260,16 @@ func (e *Engine) Stats() Stats {
 		s.Dropped += sh.dropped.Load()
 		s.EventsFired += sh.eventsFired.Load()
 		s.Consolidations += sh.consolidations.Load()
+		s.SlowPathFallbacks += sh.slowFallbacks.Load()
+		s.DegradedPackets += sh.degradedPackets.Load()
+		s.FaultRecoveries += sh.faultRecoveries.Load()
 	}
 	return s
 }
+
+// Faults returns the engine's fault injector, nil when injection is
+// disabled (tests and CLI reporting).
+func (e *Engine) Faults() *fault.Injector { return e.faults }
 
 // Classify runs the Packet Classifier on one packet, deciding which
 // path it takes. Exposed so pipelined platforms can run classification
@@ -269,6 +297,8 @@ func (e *Engine) resetReusedFlow(fid flow.FID) {
 		l.Delete(fid)
 	}
 	e.events.Remove(fid)
+	// The new connection must not inherit the old one's fault backoff.
+	e.dropDegraded(fid)
 	for _, nf := range e.chain {
 		if closer, ok := nf.(FlowCloser); ok {
 			closer.FlowClosed(fid)
@@ -391,13 +421,22 @@ func (e *Engine) ProcessPacket(pkt *packet.Packet) (*PacketResult, error) {
 		return nil, err
 	}
 
+	// Fault: flow-table eviction pressure — the MAT "ran out of
+	// space" for this flow. Consolidated state is evicted (the next
+	// packet re-records); flow tracking and NF-internal state survive,
+	// exactly as a real table eviction leaves them.
+	if e.faults != nil && e.opts.EnableSpeedyBox &&
+		e.faults.Should(fault.KindEvictPressure, cls.FID) {
+		e.evictConsolidated(cls.FID)
+	}
+
 	var res *PacketResult
 	switch cls.Kind {
 	case classifier.KindSubsequent:
 		res, err = e.fastPath(cls.FID, pkt)
 	case classifier.KindFinal:
 		if e.opts.EnableSpeedyBox {
-			if _, ok := e.global.Lookup(cls.FID); ok {
+			if _, ok := e.global.LookupLive(cls.FID); ok {
 				res, err = e.fastPath(cls.FID, pkt)
 			} else {
 				res, err = e.slowPath(cls.FID, pkt, false)
@@ -412,10 +451,20 @@ func (e *Engine) ProcessPacket(pkt *packet.Packet) (*PacketResult, error) {
 	case classifier.KindInitial:
 		// Claim the flow's recording slot: if another packet of this
 		// flow is recording concurrently (callers that overlap
-		// ProcessPacket for one flow), traverse without recording.
-		recording := e.opts.EnableSpeedyBox && e.TryBeginRecording(cls.FID)
-		if recording {
-			defer e.EndRecording(cls.FID)
+		// ProcessPacket for one flow), traverse without recording. A
+		// degraded flow may only retry recording once its backoff
+		// deadline passes; until then its packets stay on the slow
+		// path without burning consolidation work.
+		recording := false
+		if e.opts.EnableSpeedyBox {
+			if e.recordingAllowed(cls.FID) {
+				recording = e.TryBeginRecording(cls.FID)
+				if recording {
+					defer e.EndRecording(cls.FID)
+				}
+			} else {
+				e.countDegradedPacket(cls.FID)
+			}
 		}
 		res, err = e.slowPath(cls.FID, pkt, recording)
 	default: // KindHandshake
@@ -458,9 +507,24 @@ func (e *Engine) slowPath(fid flow.FID, pkt *packet.Packet, recording bool) (*Pa
 		events:    e.events,
 		recording: recording,
 	}
+	abortRecording := false
 	for i, nf := range e.chain {
 		ctx.nf = nf.Name()
 		ctx.local = e.locals[i]
+		if e.faults != nil && e.faults.Should(fault.KindNFError, fid) {
+			// Fault: the NF "crashes" before touching the packet and
+			// restarts. The restarted NF reprocesses the hop
+			// identically (its per-flow state was never lost, only the
+			// in-flight attempt), but a recording in progress is
+			// abandoned: a restarted NF's Local MAT contribution is
+			// untrustworthy, so the flow is degraded and re-records
+			// after backoff.
+			info.FaultRestarts++
+			abortRecording = true
+			if e.tel != nil {
+				e.tel.rec.Append(telemetry.EvFaultInject, uint32(fid), fault.KindNFError.String())
+			}
+		}
 		v, err := nf.Process(ctx, pkt)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %s: %w", ErrNFFailed, nf.Name(), err)
@@ -480,6 +544,13 @@ func (e *Engine) slowPath(fid flow.FID, pkt *packet.Packet, recording bool) (*Pa
 		Path:    PathSlow,
 		Verdict: verdict,
 		Slow:    info,
+	}
+	if recording && abortRecording {
+		// Wipe the partial recording and park the flow on the ladder;
+		// a later initial packet re-records from scratch.
+		e.PrepareRecording(fid)
+		e.degradeFlow(fid, CauseNFError)
+		recording = false
 	}
 	if recording {
 		if err := e.consolidate(fid, info); err != nil {
@@ -515,12 +586,81 @@ func (e *Engine) consolidate(fid flow.FID, info *SlowPathInfo) error {
 		}
 		return err
 	}
+	// The merge work was done whether or not the install below lands.
+	info.ConsolidateCycles = e.model.ConsolidateBase + e.model.ConsolidatePerNF*uint64(contributed)
+	if e.faults != nil && e.faults.Should(fault.KindInstallFail, fid) {
+		// Fault: the consolidated rule never reaches the Global MAT.
+		// Any previously installed version now disagrees with the
+		// Local MATs and must stop being served; the flow degrades to
+		// the slow path and retries the install after backoff. The
+		// packet itself was processed by the full chain and is
+		// correct.
+		stale := e.global.MarkStale(fid)
+		e.degradeFlow(fid, CauseInstallFault)
+		if e.tel != nil {
+			e.tel.rec.Append(telemetry.EvFaultInject, uint32(fid), fault.KindInstallFail.String())
+			if stale {
+				e.tel.rec.Append(telemetry.EvRuleStale, uint32(fid), CauseInstallFault)
+			}
+		}
+		return nil
+	}
 	replaced := e.global.Install(rule)
 	if e.tel != nil {
 		e.tel.ruleInstalled(uint32(fid), replaced)
 	}
-	info.ConsolidateCycles = e.model.ConsolidateBase + e.model.ConsolidatePerNF*uint64(contributed)
+	e.clearDegraded(fid)
+	if !replaced {
+		e.maybeStorm(fid)
+	}
 	return nil
+}
+
+// maybeStorm is the event-storm fault: a burst of always-true no-op
+// events registered against a freshly consolidated flow, forcing a
+// reconsolidation on every fast-path packet until teardown. The no-op
+// updates keep the rule semantically unchanged (the oracle proves it),
+// but churn version counters, replacement metrics and the event
+// tables — exactly the load a misbehaving condition handler creates.
+func (e *Engine) maybeStorm(fid flow.FID) {
+	if e.faults == nil || !e.faults.Should(fault.KindEventStorm, fid) {
+		return
+	}
+	nf := e.chain[0].Name()
+	for i := 0; i < 3; i++ {
+		err := e.events.Register(fid, event.Event{
+			NF:        nf,
+			Condition: func(flow.FID) bool { return true },
+			Update:    func(flow.FID, *mat.LocalRule) {},
+		})
+		if err != nil {
+			break // the per-flow cap bounds the storm
+		}
+	}
+	if e.tel != nil {
+		e.tel.rec.Append(telemetry.EvFaultInject, uint32(fid), fault.KindEventStorm.String())
+	}
+}
+
+// evictConsolidated is the eviction-pressure fault: the flow's
+// consolidated state (Global rule, Local MAT entries, events) is
+// dropped as if the tables ran out of space. Flow tracking and
+// NF-internal per-flow state (NAT bindings, LB pins) survive — a real
+// eviction does not reach into NFs — so the next packet re-records
+// the same behaviour.
+func (e *Engine) evictConsolidated(fid flow.FID) {
+	removed := e.global.Remove(fid)
+	for _, l := range e.locals {
+		l.Delete(fid)
+	}
+	e.events.Remove(fid)
+	if e.tel != nil {
+		e.tel.rec.Append(telemetry.EvFaultInject, uint32(fid), fault.KindEvictPressure.String())
+		e.tel.rec.Append(telemetry.EvFlowEvict, uint32(fid), CauseFaultEvict)
+		if removed {
+			e.tel.ruleRemoved(uint32(fid), CauseFaultEvict)
+		}
+	}
 }
 
 // reconsolidate rebuilds the flow's rule after event updates.
@@ -554,10 +694,13 @@ func (e *Engine) fastPath(fid flow.FID, pkt *packet.Packet) (*PacketResult, erro
 		info.FixedCycles += m.GMATLookup
 	}
 
-	rule, ok := e.global.Lookup(fid)
+	rule, ok := e.global.LookupLive(fid)
 	if !ok {
-		// Defensive: rule vanished (e.g. torn down concurrently).
-		// Fall back to the original chain, which is always correct.
+		// The rule vanished (torn down or fault-evicted concurrently)
+		// or went stale (failed install, lost recomputation). Fall
+		// back to the original chain, which is always correct; the
+		// flow re-records via the degradation ladder.
+		e.countFallback(fid)
 		return e.slowPath(fid, pkt, false)
 	}
 	if !rule.Drop {
@@ -648,6 +791,37 @@ func (e *Engine) fireEvents(fid flow.FID, info *FastPathInfo) (bool, error) {
 			e.tel.rec.Append(telemetry.EvEventFire, uint32(fid), f.Event.NF)
 		}
 	}
+	// Faults: the event updates are applied to the Local MATs (NF
+	// state has already changed; the updates must not be lost), but
+	// the Global-rule recomputation is dropped or delayed. The rule is
+	// stale-marked so this packet's fresh lookup misses and falls back
+	// to the slow path, which runs the NFs' new logic directly.
+	if e.faults != nil {
+		if e.faults.Should(fault.KindRecomputeDrop, fid) {
+			stale := e.global.MarkStale(fid)
+			e.degradeFlow(fid, CauseRecomputeDrop)
+			if e.tel != nil {
+				e.tel.rec.Append(telemetry.EvFaultInject, uint32(fid), fault.KindRecomputeDrop.String())
+				if stale {
+					e.tel.rec.Append(telemetry.EvRuleStale, uint32(fid), CauseRecomputeDrop)
+				}
+			}
+			info.EventsFired += len(firings)
+			return true, nil
+		}
+		if e.faults.Should(fault.KindRecomputeDelay, fid) {
+			stale := e.global.MarkStale(fid)
+			e.deferRetry(fid, CauseRecomputeDelay)
+			if e.tel != nil {
+				e.tel.rec.Append(telemetry.EvFaultInject, uint32(fid), fault.KindRecomputeDelay.String())
+				if stale {
+					e.tel.rec.Append(telemetry.EvRuleStale, uint32(fid), CauseRecomputeDelay)
+				}
+			}
+			info.EventsFired += len(firings)
+			return true, nil
+		}
+	}
 	cycles, err := e.reconsolidate(fid)
 	switch {
 	case err == nil:
@@ -731,6 +905,9 @@ func (e *Engine) teardown(fid flow.FID, cause string) {
 		l.Delete(fid)
 	}
 	e.events.Remove(fid)
+	// Ladder state dies with the flow: a later reincarnation of the
+	// FID starts clean instead of inheriting this connection's backoff.
+	e.dropDegraded(fid)
 	for _, nf := range e.chain {
 		if closer, ok := nf.(FlowCloser); ok {
 			closer.FlowClosed(fid)

@@ -41,6 +41,9 @@ type SlowPathInfo struct {
 	ConsolidateCycles uint64
 	// DropIndex is the index of the NF that dropped the packet, or -1.
 	DropIndex int
+	// FaultRestarts counts injected transient NF crash-restarts
+	// during this traversal (zero without a fault injector).
+	FaultRestarts int
 }
 
 // FastPathInfo decomposes a fast-path execution.
@@ -110,4 +113,15 @@ type Stats struct {
 	Dropped        uint64
 	EventsFired    uint64
 	Consolidations uint64
+	// SlowPathFallbacks counts packets that would have been
+	// accelerated but transparently took the slow-path chain instead:
+	// fast-path lookups that missed a removed or stale-marked rule,
+	// plus initial packets held back by the degradation ladder.
+	SlowPathFallbacks uint64
+	// DegradedPackets counts initial packets whose recording attempt
+	// the degradation ladder blocked (backoff not yet expired).
+	DegradedPackets uint64
+	// FaultRecoveries counts degraded flows that returned to the fast
+	// path via a successful rule reinstall.
+	FaultRecoveries uint64
 }

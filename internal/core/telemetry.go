@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/fastpathnfv/speedybox/internal/classifier"
+	"github.com/fastpathnfv/speedybox/internal/fault"
 	"github.com/fastpathnfv/speedybox/internal/telemetry"
 )
 
@@ -19,6 +20,20 @@ const (
 	// CauseEventUnconsolidatable is an event update whose result no
 	// longer folds into one rule, evicting the stale rule.
 	CauseEventUnconsolidatable = "event-unconsolidatable"
+	// CauseInstallFault is an injected Global MAT install failure; any
+	// previous rule version is stale-marked.
+	CauseInstallFault = "install-fault"
+	// CauseRecomputeDrop is an injected lost rule recomputation; the
+	// flow enters the escalating backoff ladder.
+	CauseRecomputeDrop = "recompute-drop"
+	// CauseRecomputeDelay is an injected deferred rule recomputation;
+	// the flow's next packet may rebuild immediately.
+	CauseRecomputeDelay = "recompute-delay"
+	// CauseNFError is an injected transient NF crash-restart that
+	// aborted a recording in progress.
+	CauseNFError = "nf-error"
+	// CauseFaultEvict is injected flow-table eviction pressure.
+	CauseFaultEvict = "fault-evict"
 )
 
 // engineTelemetry is the engine's pre-resolved metric set: every
@@ -48,6 +63,7 @@ type engineTelemetry struct {
 	removeIdle   *telemetry.Counter
 	removeReuse  *telemetry.Counter
 	removeEvent  *telemetry.Counter
+	removeFault  *telemetry.Counter
 
 	// Flow lifecycle.
 	flowResets *telemetry.Counter
@@ -82,6 +98,8 @@ func newEngineTelemetry(e *Engine, hub *telemetry.Hub) *engineTelemetry {
 		removeReuse: reg.Counter(`speedybox_mat_removals_total{reason="syn-reuse"}`,
 			"Global MAT rule removals by reason"),
 		removeEvent: reg.Counter(`speedybox_mat_removals_total{reason="event-unconsolidatable"}`,
+			"Global MAT rule removals by reason"),
+		removeFault: reg.Counter(`speedybox_mat_removals_total{reason="fault-evict"}`,
 			"Global MAT rule removals by reason"),
 		flowResets: reg.Counter("speedybox_flow_resets_total",
 			"Flows reset by a SYN reusing a tracked 5-tuple"),
@@ -120,6 +138,33 @@ func newEngineTelemetry(e *Engine, hub *telemetry.Hub) *engineTelemetry {
 		"Event Table registrations", func() uint64 { return e.events.RegisteredTotal() })
 	reg.CounterFunc("speedybox_event_fired_total",
 		"Event Table firings", func() uint64 { return e.events.FiredTotal() })
+
+	// Fault-injection and graceful-degradation observability. The
+	// fallback/degradation counters are registered unconditionally —
+	// they also advance on organic rule loss (concurrent teardown) —
+	// while the per-kind injection counters need an injector.
+	reg.CounterFunc("speedybox_slowpath_fallbacks_total",
+		"Packets transparently redirected to the slow path by a missing or stale rule",
+		func() uint64 { return e.Stats().SlowPathFallbacks })
+	reg.CounterFunc("speedybox_fastpath_degraded_total",
+		"Initial packets held on the slow path by the degradation ladder",
+		func() uint64 { return e.Stats().DegradedPackets })
+	reg.CounterFunc("speedybox_fault_recoveries_total",
+		"Degraded flows recovered to the fast path by a successful reinstall",
+		func() uint64 { return e.Stats().FaultRecoveries })
+	reg.GaugeFunc("speedybox_fault_degraded_flows",
+		"Flows currently on the degradation ladder",
+		func() float64 { return float64(e.degradedLen()) })
+	reg.GaugeFunc("speedybox_mat_stale_rules",
+		"Stale-marked Global MAT rules awaiting reinstall",
+		func() float64 { return float64(e.global.StaleLen()) })
+	if inj := e.faults; inj != nil {
+		for _, k := range fault.Kinds() {
+			k := k
+			reg.CounterFunc(fmt.Sprintf("speedybox_faults_injected_total{kind=%q}", k),
+				"Injected faults by kind", func() uint64 { return inj.Injected(k) })
+		}
+	}
 	return t
 }
 
@@ -168,6 +213,8 @@ func (t *engineTelemetry) ruleRemoved(fid uint32, cause string) {
 		t.removeReuse.Inc()
 	case CauseEventUnconsolidatable:
 		t.removeEvent.Inc()
+	case CauseFaultEvict:
+		t.removeFault.Inc()
 	}
 	t.rec.Append(telemetry.EvRuleRemove, fid, cause)
 }

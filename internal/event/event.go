@@ -12,6 +12,7 @@
 package event
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -19,6 +20,15 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/flow"
 	"github.com/fastpathnfv/speedybox/internal/mat"
 )
+
+// MaxPerFlow caps how many events one flow may have registered at
+// once. A condition storm (buggy or fault-injected NF re-registering
+// on every packet) would otherwise grow the per-flow slice without
+// bound and make every fast-path event check linear in the storm size.
+const MaxPerFlow = 64
+
+// ErrTooManyEvents reports a registration rejected by the per-flow cap.
+var ErrTooManyEvents = errors.New("event: per-flow registration cap reached")
 
 // ConditionFunc reports whether the event's condition currently holds
 // for the flow. It corresponds to the paper's condition_handler: "a
@@ -111,6 +121,9 @@ func (t *Table) Register(fid flow.FID, e Event) error {
 	s := t.shardFor(fid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if len(s.byFID[fid]) >= MaxPerFlow {
+		return fmt.Errorf("%w: %v has %d", ErrTooManyEvents, fid, MaxPerFlow)
+	}
 	ev := e
 	s.byFID[fid] = append(s.byFID[fid], &ev)
 	t.registered.Add(1)

@@ -1,0 +1,301 @@
+// Package fault is the deterministic fault-injection subsystem: a
+// seedable injector the engine's control plane consults at well-defined
+// decision points (rule installs, event recomputations, NF hops, table
+// pressure). Equal seeds reproduce equal fault schedules, so every
+// injected scenario — and every bug it surfaces — replays exactly.
+//
+// The injector only *decides*; the effects live where the state lives:
+// core.Engine degrades flows to the always-correct slow path and
+// retries with bounded backoff, mat.Global carries the stale marks, and
+// the harness's differential oracle replays each schedule against a
+// pure slow-path reference engine to prove the degraded system stays
+// semantically equivalent (generalizing the paper's §VII-C spot
+// checks).
+//
+// The package depends only on flow (for FID) so the engine, MATs,
+// platforms and commands can all import it without cycles.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"github.com/fastpathnfv/speedybox/internal/flow"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// KindNFError is a transient NF processing failure on the slow
+	// path: the NF "crashes" before touching the packet and restarts;
+	// the engine reprocesses the hop but abandons the flow's recording,
+	// since a restarted NF's Local MAT contribution is untrustworthy.
+	KindNFError Kind = iota
+	// KindInstallFail is a Global MAT install/replace failure: the
+	// consolidated rule never reaches the table. Any previously
+	// installed version is now stale with respect to the Local MATs and
+	// is marked so the fast path stops serving it.
+	KindInstallFail
+	// KindEventStorm registers a burst of always-firing no-op events on
+	// a freshly consolidated flow, forcing reconsolidation churn on
+	// every fast-path packet (the Event Table condition storm).
+	KindEventStorm
+	// KindRecomputeDelay defers an event-driven rule recomputation: the
+	// Local MAT updates are applied but the Global rule is only marked
+	// stale; the flow's next packet rebuilds it.
+	KindRecomputeDelay
+	// KindRecomputeDrop loses an event-driven rule recomputation
+	// entirely: the rule is marked stale and the flow enters the
+	// escalating retry/backoff ladder.
+	KindRecomputeDrop
+	// KindBackendFlap fails and later restores a Maglev backend
+	// mid-trace. It is an environmental fault: scenario drivers apply
+	// the injector's FlapPlan identically to every engine under
+	// comparison.
+	KindBackendFlap
+	// KindEvictPressure evicts a flow's consolidated state (Global
+	// rule, Local MAT entries, events) as if the MAT ran out of table
+	// space. Flow tracking and NF-internal state survive; the next
+	// packet re-records.
+	KindEvictPressure
+
+	kindCount
+)
+
+// Kinds lists every fault kind, for iteration (telemetry labels,
+// uniform-rate configs, table-driven tests).
+func Kinds() []Kind {
+	out := make([]Kind, kindCount)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// String returns the kind's telemetry label.
+func (k Kind) String() string {
+	switch k {
+	case KindNFError:
+		return "nf-error"
+	case KindInstallFail:
+		return "install-fail"
+	case KindEventStorm:
+		return "event-storm"
+	case KindRecomputeDelay:
+		return "recompute-delay"
+	case KindRecomputeDrop:
+		return "recompute-drop"
+	case KindBackendFlap:
+		return "backend-flap"
+	case KindEvictPressure:
+		return "evict-pressure"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config configures an Injector.
+type Config struct {
+	// Seed drives every decision; equal seeds with equal consultation
+	// order reproduce the exact fault schedule.
+	Seed int64
+	// Rates maps each kind to its injection probability in [0, 1].
+	// Kinds absent from the map never fire.
+	Rates map[Kind]float64
+}
+
+// UniformRates gives every kind the same injection probability — the
+// chainsim -fault-rate setting and the oracle's default chaos level.
+func UniformRates(rate float64) map[Kind]float64 {
+	out := make(map[Kind]float64, kindCount)
+	for _, k := range Kinds() {
+		out[k] = rate
+	}
+	return out
+}
+
+// Injector is a deterministic, seedable fault source, safe for
+// concurrent use. Each decision point consumes one per-kind sequence
+// number and hashes (seed, kind, sequence, fid) into an injection
+// decision, so a single-threaded run replays bit-identically for a
+// given seed while concurrent runs still see stable per-kind rates.
+// All methods are nil-receiver safe: a nil *Injector never injects.
+type Injector struct {
+	seed uint64
+	// thresholds[k] is the per-kind injection probability scaled to the
+	// full uint64 space (0 = never). Stored atomically so tests and
+	// operators can adjust rates mid-run (SetRate).
+	thresholds [kindCount]atomic.Uint64
+	seqs       [kindCount]atomic.Uint64
+	injected   [kindCount]atomic.Uint64
+	decisions  [kindCount]atomic.Uint64
+}
+
+// New builds an injector from the config.
+func New(cfg Config) *Injector {
+	i := &Injector{seed: splitmix64(uint64(cfg.Seed) ^ 0x5bf03635)}
+	for k, r := range cfg.Rates {
+		i.SetRate(k, r)
+	}
+	return i
+}
+
+// SetRate replaces one kind's injection probability (clamped to
+// [0, 1]). Safe during a run; rate 0 disables the kind.
+func (i *Injector) SetRate(k Kind, rate float64) {
+	if i == nil || k >= kindCount {
+		return
+	}
+	switch {
+	case rate <= 0 || math.IsNaN(rate):
+		i.thresholds[k].Store(0)
+	case rate >= 1:
+		i.thresholds[k].Store(math.MaxUint64)
+	default:
+		i.thresholds[k].Store(uint64(rate * math.MaxUint64))
+	}
+}
+
+// Rate returns one kind's current injection probability.
+func (i *Injector) Rate(k Kind) float64 {
+	if i == nil || k >= kindCount {
+		return 0
+	}
+	t := i.thresholds[k].Load()
+	if t == math.MaxUint64 {
+		return 1
+	}
+	return float64(t) / math.MaxUint64
+}
+
+// Should consults the injector at one decision point for the flow,
+// reporting whether the fault fires. Every call consumes one per-kind
+// sequence number, so schedules are reproducible from the seed.
+func (i *Injector) Should(k Kind, fid flow.FID) bool {
+	if i == nil || k >= kindCount {
+		return false
+	}
+	t := i.thresholds[k].Load()
+	if t == 0 {
+		return false
+	}
+	n := i.seqs[k].Add(1)
+	i.decisions[k].Add(1)
+	h := splitmix64(i.seed ^ uint64(k)<<56 ^ n*0x9e3779b97f4a7c15 ^ uint64(fid)<<32)
+	if h <= t {
+		i.injected[k].Add(1)
+		return true
+	}
+	return false
+}
+
+// Injected returns how many faults of one kind have fired.
+func (i *Injector) Injected(k Kind) uint64 {
+	if i == nil || k >= kindCount {
+		return 0
+	}
+	return i.injected[k].Load()
+}
+
+// Decisions returns how many decision points of one kind were
+// consulted with a nonzero rate.
+func (i *Injector) Decisions(k Kind) uint64 {
+	if i == nil || k >= kindCount {
+		return 0
+	}
+	return i.decisions[k].Load()
+}
+
+// InjectedTotal returns the total faults fired across all kinds.
+func (i *Injector) InjectedTotal() uint64 {
+	if i == nil {
+		return 0
+	}
+	var sum uint64
+	for k := range i.injected {
+		sum += i.injected[k].Load()
+	}
+	return sum
+}
+
+// Summary renders per-kind injected/decision counts for CLI reports,
+// in kind order, skipping never-consulted kinds.
+func (i *Injector) Summary() string {
+	if i == nil {
+		return "faults: disabled"
+	}
+	out := "faults:"
+	any := false
+	for _, k := range Kinds() {
+		d := i.Decisions(k)
+		if d == 0 {
+			continue
+		}
+		any = true
+		out += fmt.Sprintf(" %s=%d/%d", k, i.Injected(k), d)
+	}
+	if !any {
+		return "faults: none consulted"
+	}
+	return out
+}
+
+// Flap is one planned Maglev backend transition.
+type Flap struct {
+	// At is the packet index before which the transition applies.
+	At int
+	// Backend indexes the affected backend.
+	Backend int
+	// Restore distinguishes recovery from failure.
+	Restore bool
+}
+
+// FlapPlan derives a deterministic backend flap schedule for a trace of
+// n packets over a pool of the given size: each planned fault is a
+// fail/restore pair, count scaled by the KindBackendFlap rate (at least
+// one pair when the rate is nonzero), sorted by packet index. Scenario
+// drivers apply the plan identically to every engine under comparison,
+// since a pool change legitimately changes packet semantics.
+func (i *Injector) FlapPlan(n, backends int) []Flap {
+	if i == nil || n < 4 || backends < 2 {
+		return nil
+	}
+	rate := i.Rate(KindBackendFlap)
+	if rate <= 0 {
+		return nil
+	}
+	pairs := int(rate*4) + 1
+	if pairs > backends {
+		pairs = backends
+	}
+	plan := make([]Flap, 0, 2*pairs)
+	for p := 0; p < pairs; p++ {
+		h := splitmix64(i.seed ^ 0xf1a9 ^ uint64(p)*0x9e3779b97f4a7c15)
+		b := int(h % uint64(backends))
+		failAt := 1 + int((h>>16)%uint64(n/2))
+		restoreAt := failAt + 1 + int((h>>40)%uint64(n-failAt))
+		if restoreAt > n {
+			restoreAt = n
+		}
+		plan = append(plan,
+			Flap{At: failAt, Backend: b},
+			Flap{At: restoreAt, Backend: b, Restore: true},
+		)
+	}
+	sort.SliceStable(plan, func(a, b int) bool { return plan[a].At < plan[b].At })
+	return plan
+}
+
+// splitmix64 is the SplitMix64 finalizer: a fast, well-distributed
+// 64-bit mixer (Steele et al.), the standard choice for turning
+// structured inputs (seed, kind, sequence) into decision bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,204 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/flow"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var i *Injector
+	if i.Should(KindInstallFail, 1) {
+		t.Error("nil injector injected")
+	}
+	i.SetRate(KindInstallFail, 1)
+	if i.Rate(KindInstallFail) != 0 {
+		t.Error("nil injector reported a rate")
+	}
+	if i.InjectedTotal() != 0 || i.Injected(KindNFError) != 0 || i.Decisions(KindNFError) != 0 {
+		t.Error("nil injector reported counts")
+	}
+	if i.FlapPlan(100, 3) != nil {
+		t.Error("nil injector planned flaps")
+	}
+	if i.Summary() != "faults: disabled" {
+		t.Errorf("nil Summary = %q", i.Summary())
+	}
+}
+
+func TestRateZeroNeverFiresAndConsumesNothing(t *testing.T) {
+	i := New(Config{Seed: 1})
+	for n := 0; n < 1000; n++ {
+		if i.Should(KindInstallFail, flow.FID(n)) {
+			t.Fatal("rate-0 kind fired")
+		}
+	}
+	if i.Decisions(KindInstallFail) != 0 {
+		t.Error("rate-0 decisions were counted")
+	}
+}
+
+func TestRateOneAlwaysFires(t *testing.T) {
+	i := New(Config{Seed: 7, Rates: map[Kind]float64{KindNFError: 1}})
+	for n := 0; n < 500; n++ {
+		if !i.Should(KindNFError, flow.FID(n)) {
+			t.Fatal("rate-1 kind did not fire")
+		}
+	}
+	if got := i.Injected(KindNFError); got != 500 {
+		t.Errorf("Injected = %d, want 500", got)
+	}
+	if got := i.Decisions(KindNFError); got != 500 {
+		t.Errorf("Decisions = %d, want 500", got)
+	}
+}
+
+func TestDeterministicScheduleAcrossInstances(t *testing.T) {
+	mk := func() *Injector {
+		return New(Config{Seed: 42, Rates: UniformRates(0.3)})
+	}
+	a, b := mk(), mk()
+	for n := 0; n < 2000; n++ {
+		for _, k := range Kinds() {
+			fid := flow.FID(n % 17)
+			if a.Should(k, fid) != b.Should(k, fid) {
+				t.Fatalf("decision %d for %v diverged between equal seeds", n, k)
+			}
+		}
+	}
+	if a.InjectedTotal() == 0 {
+		t.Error("no faults fired at rate 0.3")
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(Config{Seed: 1, Rates: UniformRates(0.5)})
+	b := New(Config{Seed: 2, Rates: UniformRates(0.5)})
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Should(KindInstallFail, flow.FID(i)) == b.Should(KindInstallFail, flow.FID(i)) {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+func TestEmpiricalRate(t *testing.T) {
+	i := New(Config{Seed: 3, Rates: map[Kind]float64{KindEvictPressure: 0.2}})
+	const n = 20000
+	fired := 0
+	for j := 0; j < n; j++ {
+		if i.Should(KindEvictPressure, flow.FID(j)) {
+			fired++
+		}
+	}
+	got := float64(fired) / n
+	if math.Abs(got-0.2) > 0.02 {
+		t.Errorf("empirical rate %.3f, want 0.2 ± 0.02", got)
+	}
+}
+
+func TestSetRateMidRun(t *testing.T) {
+	i := New(Config{Seed: 5, Rates: map[Kind]float64{KindInstallFail: 1}})
+	if !i.Should(KindInstallFail, 1) {
+		t.Fatal("rate 1 did not fire")
+	}
+	i.SetRate(KindInstallFail, 0)
+	if i.Should(KindInstallFail, 1) {
+		t.Fatal("rate 0 fired after SetRate")
+	}
+	if got := i.Rate(KindInstallFail); got != 0 {
+		t.Errorf("Rate = %v after SetRate(0)", got)
+	}
+	i.SetRate(KindInstallFail, 2) // clamps to 1
+	if got := i.Rate(KindInstallFail); got != 1 {
+		t.Errorf("Rate = %v after SetRate(2), want 1", got)
+	}
+	i.SetRate(KindInstallFail, math.NaN())
+	if got := i.Rate(KindInstallFail); got != 0 {
+		t.Errorf("Rate = %v after SetRate(NaN), want 0", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, k := range Kinds() {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("kind %d has no label", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind label %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Kind(250).String(); got != "Kind(250)" {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestFlapPlan(t *testing.T) {
+	i := New(Config{Seed: 9, Rates: map[Kind]float64{KindBackendFlap: 0.5}})
+	plan := i.FlapPlan(100, 3)
+	if len(plan) == 0 {
+		t.Fatal("nonzero flap rate produced no plan")
+	}
+	if len(plan)%2 != 0 {
+		t.Errorf("plan has %d entries, want fail/restore pairs", len(plan))
+	}
+	fails, restores := 0, 0
+	for j, f := range plan {
+		if f.At < 0 || f.At > 100 {
+			t.Errorf("flap %d at packet %d out of trace", j, f.At)
+		}
+		if f.Backend < 0 || f.Backend >= 3 {
+			t.Errorf("flap %d backend %d out of pool", j, f.Backend)
+		}
+		if j > 0 && plan[j-1].At > f.At {
+			t.Error("plan not sorted by packet index")
+		}
+		if f.Restore {
+			restores++
+		} else {
+			fails++
+		}
+	}
+	if fails != restores {
+		t.Errorf("%d fails vs %d restores, want paired", fails, restores)
+	}
+
+	// Deterministic: same seed, same plan.
+	again := New(Config{Seed: 9, Rates: map[Kind]float64{KindBackendFlap: 0.5}}).FlapPlan(100, 3)
+	if len(again) != len(plan) {
+		t.Fatalf("plan length diverged between equal seeds")
+	}
+	for j := range plan {
+		if plan[j] != again[j] {
+			t.Errorf("flap %d diverged between equal seeds", j)
+		}
+	}
+
+	// No flaps planned when disabled or the pool/trace is too small.
+	if New(Config{Seed: 9}).FlapPlan(100, 3) != nil {
+		t.Error("rate-0 injector planned flaps")
+	}
+	if i.FlapPlan(2, 3) != nil || i.FlapPlan(100, 1) != nil {
+		t.Error("degenerate trace/pool planned flaps")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	i := New(Config{Seed: 11, Rates: map[Kind]float64{KindInstallFail: 1}})
+	if got := i.Summary(); got != "faults: none consulted" {
+		t.Errorf("fresh Summary = %q", got)
+	}
+	i.Should(KindInstallFail, 1)
+	if got := i.Summary(); !strings.Contains(got, "install-fail=1/1") {
+		t.Errorf("Summary = %q, want install-fail=1/1", got)
+	}
+}

@@ -1,0 +1,297 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/fault"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/nf/maglev"
+	"github.com/fastpathnfv/speedybox/internal/nf/monitor"
+	"github.com/fastpathnfv/speedybox/internal/nf/snort"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// The differential equivalence oracle generalizes the paper's three
+// hand-written §VII-C case studies into a property checked under
+// thousands of randomized fault schedules: every trace runs twice —
+// through a pure slow-path reference engine (the unmodified chain,
+// which is correct by definition) and through full SpeedyBox with a
+// seeded fault injector attacking its control plane — and every packet
+// must leave both engines with the identical verdict, identical drop
+// state and identical rewritten bytes, with identical NF-observable
+// side effects (Monitor counters, Snort logs) at the end of the trace.
+// Backend flaps are environmental (the pool genuinely changed), so the
+// injector's deterministic FlapPlan is applied to both engines at the
+// same packet indices.
+
+// OracleConfig configures a differential-oracle run.
+type OracleConfig struct {
+	// Seed derives every schedule's trace and fault seeds; equal seeds
+	// reproduce every divergence exactly.
+	Seed int64
+	// Schedules is how many randomized fault schedules to run
+	// (default 200; CI runs 200, the acceptance bar is 1000).
+	Schedules int
+	// Flows is the per-schedule trace size (default 24).
+	Flows int
+	// Chain picks the service chain: 1 or 2 (§VII-B3); 0 alternates
+	// per schedule.
+	Chain int
+	// Rates overrides the per-kind injection rates; nil selects a
+	// uniform moderate-chaos default across every fault kind.
+	Rates map[fault.Kind]float64
+	// TamperRule, when set, corrupts the flow's consolidated rule
+	// after each fast-engine packet. Test-only: it exists to prove the
+	// oracle has teeth — a deliberately broken consolidation must be
+	// caught as a divergence.
+	TamperRule func(*mat.GlobalRule)
+}
+
+// OracleDivergence pinpoints one fast/slow-path disagreement.
+type OracleDivergence struct {
+	// Schedule and Seed identify the failing schedule (re-run with
+	// this seed to reproduce).
+	Schedule int
+	Seed     int64
+	// Packet is the trace index of the diverging packet, -1 for
+	// end-of-trace state divergences.
+	Packet int
+	// Detail describes what disagreed.
+	Detail string
+}
+
+// OracleResult aggregates a differential-oracle run.
+type OracleResult struct {
+	Schedules int
+	Packets   int
+	// Injected totals the faults fired across all schedules.
+	Injected uint64
+	// Fallbacks, Degraded and Recoveries total the fast engines'
+	// degradation counters, proving the graceful-degradation machinery
+	// actually engaged while equivalence held.
+	Fallbacks  uint64
+	Degraded   uint64
+	Recoveries uint64
+	// Divergences lists every disagreement (empty on a pass; capped —
+	// a broken engine would otherwise produce one per packet).
+	Divergences []OracleDivergence
+}
+
+// maxDivergences caps how many divergences a run collects before
+// aborting early.
+const maxDivergences = 16
+
+// Passed reports whether every packet of every schedule agreed.
+func (r *OracleResult) Passed() bool {
+	return r.Schedules > 0 && len(r.Divergences) == 0
+}
+
+// Format renders the oracle outcome.
+func (r *OracleResult) Format() string {
+	t := &tableWriter{}
+	t.title("Differential fast/slow-path equivalence oracle (randomized fault schedules)")
+	t.row("schedules", "packets", "faults injected", "fallbacks", "degraded pkts", "recoveries", "divergences", "result")
+	status := "PASS"
+	if !r.Passed() {
+		status = "FAIL"
+	}
+	t.row(fmt.Sprintf("%d", r.Schedules), fmt.Sprintf("%d", r.Packets),
+		fmt.Sprintf("%d", r.Injected), fmt.Sprintf("%d", r.Fallbacks),
+		fmt.Sprintf("%d", r.Degraded), fmt.Sprintf("%d", r.Recoveries),
+		fmt.Sprintf("%d", len(r.Divergences)), status)
+	out := t.String()
+	for _, d := range r.Divergences {
+		out += fmt.Sprintf("  divergence: schedule %d (seed %d) packet %d: %s\n",
+			d.Schedule, d.Seed, d.Packet, d.Detail)
+	}
+	return out
+}
+
+// RunOracle executes the differential equivalence oracle.
+func RunOracle(cfg OracleConfig) (*OracleResult, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Schedules == 0 {
+		cfg.Schedules = 200
+	}
+	if cfg.Flows == 0 {
+		cfg.Flows = 24
+	}
+	rates := cfg.Rates
+	if rates == nil {
+		rates = fault.UniformRates(0.08)
+	}
+	res := &OracleResult{}
+	for s := 0; s < cfg.Schedules; s++ {
+		seed := cfg.Seed + int64(s)*7919
+		chain := cfg.Chain
+		if chain == 0 {
+			chain = 1 + s%2
+		}
+		if err := runOracleSchedule(cfg, s, seed, chain, rates, res); err != nil {
+			return nil, fmt.Errorf("harness: oracle schedule %d (seed %d): %w", s, seed, err)
+		}
+		res.Schedules++
+		if len(res.Divergences) >= maxDivergences {
+			break
+		}
+	}
+	return res, nil
+}
+
+// oracleChain is one engine's chain with its observable NFs picked out.
+type oracleChain struct {
+	nfs []core.NF
+	lb  *maglev.Maglev
+	mon *monitor.Monitor
+	ids *snort.Snort
+}
+
+func buildOracleChain(chain int) (*oracleChain, error) {
+	var (
+		nfs []core.NF
+		err error
+	)
+	switch chain {
+	case 1:
+		nfs, err = Chain1()
+	default:
+		nfs, err = Chain2()
+	}
+	if err != nil {
+		return nil, err
+	}
+	oc := &oracleChain{nfs: nfs}
+	for _, nf := range nfs {
+		switch v := nf.(type) {
+		case *maglev.Maglev:
+			oc.lb = v
+		case *monitor.Monitor:
+			oc.mon = v
+		case *snort.Snort:
+			oc.ids = v
+		}
+	}
+	return oc, nil
+}
+
+// runOracleSchedule replays one fault schedule through both engines.
+func runOracleSchedule(cfg OracleConfig, sched int, seed int64, chain int, rates map[fault.Kind]float64, res *OracleResult) error {
+	tr, err := trace.Generate(trace.Config{
+		Seed: seed, Flows: cfg.Flows,
+		AlertFraction: 0.15, LogFraction: 0.15,
+		Interleave: true,
+	})
+	if err != nil {
+		return err
+	}
+	ref, err := buildOracleChain(chain)
+	if err != nil {
+		return err
+	}
+	fast, err := buildOracleChain(chain)
+	if err != nil {
+		return err
+	}
+	refEng, err := core.NewEngine(ref.nfs, core.BaselineOptions())
+	if err != nil {
+		return err
+	}
+	inj := fault.New(fault.Config{Seed: seed, Rates: rates})
+	fastOpts := core.DefaultOptions()
+	fastOpts.Faults = inj
+	fastEng, err := core.NewEngine(fast.nfs, fastOpts)
+	if err != nil {
+		return err
+	}
+
+	refPkts, fastPkts := tr.Packets(), tr.Packets()
+	diverge := func(pkt int, format string, args ...any) {
+		res.Divergences = append(res.Divergences, OracleDivergence{
+			Schedule: sched, Seed: seed, Packet: pkt,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Backend flaps are pool changes, not SpeedyBox faults: both
+	// engines' Maglev instances see the identical schedule, and the
+	// reference's assignment logic re-picks for unhealthy pins exactly
+	// as the fast engine's events reroute.
+	var plan []fault.Flap
+	if ref.lb != nil {
+		plan = inj.FlapPlan(len(refPkts), 3)
+	}
+	next := 0
+
+	for i := range refPkts {
+		for next < len(plan) && plan[next].At <= i {
+			f := plan[next]
+			next++
+			if f.Restore {
+				_ = ref.lb.RestoreBackend(f.Backend)
+				_ = fast.lb.RestoreBackend(f.Backend)
+			} else {
+				_ = ref.lb.FailBackend(f.Backend)
+				_ = fast.lb.FailBackend(f.Backend)
+			}
+		}
+		refRes, refErr := refEng.ProcessPacket(refPkts[i])
+		fastRes, fastErr := fastEng.ProcessPacket(fastPkts[i])
+		if refErr != nil || fastErr != nil {
+			return fmt.Errorf("packet %d: ref err %v, fast err %v", i, refErr, fastErr)
+		}
+		res.Packets++
+		if refRes.Verdict != fastRes.Verdict {
+			diverge(i, "verdict: ref %v, fast %v", refRes.Verdict, fastRes.Verdict)
+			break
+		}
+		if refPkts[i].Dropped() != fastPkts[i].Dropped() {
+			diverge(i, "dropped: ref %v, fast %v", refPkts[i].Dropped(), fastPkts[i].Dropped())
+			break
+		}
+		if !refPkts[i].Dropped() && !bytes.Equal(refPkts[i].Data(), fastPkts[i].Data()) {
+			diverge(i, "rewritten bytes differ (%d vs %d bytes)",
+				len(refPkts[i].Data()), len(fastPkts[i].Data()))
+			break
+		}
+		if cfg.TamperRule != nil {
+			if r, ok := fastEng.Global().Lookup(fastRes.FID); ok {
+				broken := *r
+				cfg.TamperRule(&broken)
+				fastEng.Global().Install(&broken)
+			}
+		}
+	}
+
+	// End-of-trace NF-observable state: the consolidated fast path
+	// must have driven every state function exactly as the chain did.
+	if ref.mon != nil {
+		if rc, fc := ref.mon.Totals(), fast.mon.Totals(); rc != fc {
+			diverge(-1, "monitor counters: ref %+v, fast %+v", rc, fc)
+		}
+	}
+	if ref.ids != nil {
+		rl, fl := ref.ids.Logs(), fast.ids.Logs()
+		if len(rl) != len(fl) {
+			diverge(-1, "snort logs: ref %d entries, fast %d", len(rl), len(fl))
+		} else {
+			for j := range rl {
+				if rl[j].RuleID != fl[j].RuleID || rl[j].Type != fl[j].Type {
+					diverge(-1, "snort log %d: ref (%d,%v), fast (%d,%v)",
+						j, rl[j].RuleID, rl[j].Type, fl[j].RuleID, fl[j].Type)
+					break
+				}
+			}
+		}
+	}
+
+	st := fastEng.Stats()
+	res.Injected += inj.InjectedTotal()
+	res.Fallbacks += st.SlowPathFallbacks
+	res.Degraded += st.DegradedPackets
+	res.Recoveries += st.FaultRecoveries
+	return nil
+}

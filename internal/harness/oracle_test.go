@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/fault"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+)
+
+// TestOracleEquivalenceUnderFaults is the CI-sized differential run:
+// dozens of randomized fault schedules across both real-world chains,
+// zero divergences allowed, and the degradation machinery must
+// demonstrably engage (a run that injects nothing proves nothing).
+func TestOracleEquivalenceUnderFaults(t *testing.T) {
+	schedules := 60
+	if testing.Short() {
+		schedules = 10
+	}
+	res, err := RunOracle(OracleConfig{Seed: 1, Schedules: schedules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("oracle failed:\n%s", res.Format())
+	}
+	if res.Injected == 0 {
+		t.Error("no faults injected; the run was vacuous")
+	}
+	if res.Fallbacks == 0 {
+		t.Error("no slow-path fallbacks; degradation never engaged")
+	}
+	if res.Recoveries == 0 {
+		t.Error("no recoveries; the retry ladder never reinstalled a rule")
+	}
+	if !strings.Contains(res.Format(), "PASS") {
+		t.Errorf("Format() missing PASS:\n%s", res.Format())
+	}
+}
+
+// TestOracleCatchesBrokenConsolidation proves the oracle has teeth: a
+// deliberately corrupted consolidated rule (verdict flipped to drop)
+// must be reported as a divergence.
+func TestOracleCatchesBrokenConsolidation(t *testing.T) {
+	res, err := RunOracle(OracleConfig{
+		Seed: 1, Schedules: 2, Chain: 1,
+		Rates:      fault.UniformRates(0), // isolate the tamper
+		TamperRule: func(r *mat.GlobalRule) { r.Drop = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("oracle passed a deliberately broken consolidation")
+	}
+	d := res.Divergences[0]
+	if d.Seed == 0 || d.Packet < 0 {
+		t.Errorf("divergence not pinpointed: %+v", d)
+	}
+	if !strings.Contains(res.Format(), "FAIL") {
+		t.Errorf("Format() missing FAIL:\n%s", res.Format())
+	}
+}
+
+// TestOracleCatchesCorruptedRewrite is a second tamper shape: silently
+// corrupting the merged header rewrites must surface as a byte-level
+// divergence, not as a drop mismatch.
+func TestOracleCatchesCorruptedRewrite(t *testing.T) {
+	res, err := RunOracle(OracleConfig{
+		Seed: 3, Schedules: 2, Chain: 1,
+		Rates: fault.UniformRates(0),
+		TamperRule: func(r *mat.GlobalRule) {
+			for i := range r.Modifies {
+				for j := range r.Modifies[i].Value {
+					r.Modifies[i].Value[j] ^= 0xff
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("oracle passed a corrupted header rewrite")
+	}
+}
+
+// TestOracleDeterministic re-runs the same seed and expects identical
+// aggregate behaviour — the whole point of seeded schedules.
+func TestOracleDeterministic(t *testing.T) {
+	run := func() *OracleResult {
+		res, err := RunOracle(OracleConfig{Seed: 7, Schedules: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Packets != b.Packets || a.Injected != b.Injected ||
+		a.Fallbacks != b.Fallbacks || a.Recoveries != b.Recoveries {
+		t.Errorf("equal seeds diverged: %+v vs %+v", a, b)
+	}
+}

@@ -132,7 +132,12 @@ const shardMask = ShardCount - 1
 type globalShard struct {
 	mu    sync.RWMutex
 	rules map[flow.FID]*GlobalRule
-	_     [24]byte // pad to a 64-byte cache line (best effort)
+	// stale marks rules known to disagree with the Local MATs (a
+	// failed install left the previous version behind, or a recompute
+	// was dropped). LookupLive refuses them so the fast path degrades
+	// to the slow path instead of serving outdated actions.
+	stale map[flow.FID]struct{}
+	_     [16]byte // pad to a 64-byte cache line (best effort)
 }
 
 // Global is the Global MAT: the table of consolidated fast-path rules
@@ -149,6 +154,7 @@ func NewGlobal() *Global {
 	g := &Global{}
 	for i := range g.shards {
 		g.shards[i].rules = make(map[flow.FID]*GlobalRule)
+		g.shards[i].stale = make(map[flow.FID]struct{})
 	}
 	return g
 }
@@ -167,6 +173,7 @@ func (g *Global) Install(r *GlobalRule) (replaced bool) {
 	s := g.shardFor(r.FID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	delete(s.stale, r.FID) // a fresh install supersedes any stale mark
 	if old, ok := s.rules[r.FID]; ok {
 		versioned := *r
 		versioned.Version = old.Version + 1
@@ -193,11 +200,66 @@ func (g *Global) Remove(fid flow.FID) bool {
 	s := g.shardFor(fid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	delete(s.stale, fid)
 	if _, ok := s.rules[fid]; !ok {
 		return false
 	}
 	delete(s.rules, fid)
 	return true
+}
+
+// MarkStale flags a flow's installed rule as disagreeing with the
+// Local MATs — a failed install or a lost recomputation left the old
+// version in the table. The rule stays installed (Lookup still returns
+// it, and debugging tools can inspect it) but LookupLive misses, so
+// the data path degrades the flow to the slow-path chain until a
+// successful Install clears the mark. It reports whether a rule was
+// present to mark.
+func (g *Global) MarkStale(fid flow.FID) bool {
+	s := g.shardFor(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.rules[fid]; !ok {
+		return false
+	}
+	s.stale[fid] = struct{}{}
+	return true
+}
+
+// IsStale reports whether the flow's rule is stale-marked.
+func (g *Global) IsStale(fid flow.FID) bool {
+	s := g.shardFor(fid)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.stale[fid]
+	return ok
+}
+
+// LookupLive fetches the rule for a flow only if it is current: a
+// stale-marked rule misses, sending the caller to the always-correct
+// slow path. This is the data path's (and classifier probe's) lookup;
+// plain Lookup keeps returning stale rules for inspection.
+func (g *Global) LookupLive(fid flow.FID) (*GlobalRule, bool) {
+	s := g.shardFor(fid)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, stale := s.stale[fid]; stale {
+		return nil, false
+	}
+	r, ok := s.rules[fid]
+	return r, ok
+}
+
+// StaleLen returns the number of stale-marked rules.
+func (g *Global) StaleLen() int {
+	n := 0
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		n += len(s.stale)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // Len returns the number of installed rules.
@@ -234,6 +296,9 @@ func (g *Global) Dump() string {
 	var b strings.Builder
 	for _, r := range rules {
 		b.WriteString(r.String())
+		if g.IsStale(r.FID) {
+			b.WriteString(" [stale]")
+		}
 		b.WriteString("\n")
 	}
 	return b.String()

@@ -393,7 +393,7 @@ func (p *Platform) RunPipelined(pkts []*packet.Packet) ([]platform.Measurement, 
 }
 
 func (p *Platform) hasRule(fid flow.FID) bool {
-	_, ok := p.eng.Global().Lookup(fid)
+	_, ok := p.eng.Global().LookupLive(fid)
 	return ok
 }
 

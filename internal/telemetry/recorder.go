@@ -29,6 +29,19 @@ const (
 	EvFlowReset = "flow-reset"
 	// EvFlowEvict is an idle-flow expiry.
 	EvFlowEvict = "flow-evict"
+	// EvFaultInject is an injected control-plane fault (the cause
+	// field carries the fault kind).
+	EvFaultInject = "fault-inject"
+	// EvRuleStale is a Global MAT rule stale-marked after a failed
+	// install or a lost recomputation; the fast path stops serving it.
+	EvRuleStale = "rule-stale"
+	// EvDegrade is a flow entering (or escalating within) the
+	// degradation ladder: packets take the slow path until a rule
+	// reinstall succeeds.
+	EvDegrade = "flow-degrade"
+	// EvRecover is a degraded flow recovering: a rule install
+	// succeeded and the flow returns to the fast path.
+	EvRecover = "flow-recover"
 )
 
 // Record is one journaled control-plane transition.

@@ -39,6 +39,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/core"
 	"github.com/fastpathnfv/speedybox/internal/cost"
 	"github.com/fastpathnfv/speedybox/internal/event"
+	"github.com/fastpathnfv/speedybox/internal/fault"
 	"github.com/fastpathnfv/speedybox/internal/flow"
 	"github.com/fastpathnfv/speedybox/internal/mat"
 	"github.com/fastpathnfv/speedybox/internal/onvm"
@@ -77,6 +78,41 @@ type (
 const (
 	VerdictForward = core.VerdictForward
 	VerdictDrop    = core.VerdictDrop
+)
+
+// Fault-injection types: deterministic, seedable control-plane chaos.
+// Attach an injector via Options.Faults; the engine degrades affected
+// flows to the always-correct slow path and recovers them with bounded
+// backoff (DESIGN.md §10).
+type (
+	// FaultInjector decides, deterministically per seed, which
+	// control-plane operations fail.
+	FaultInjector = fault.Injector
+	// FaultConfig seeds an injector and sets per-kind rates.
+	FaultConfig = fault.Config
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = fault.Kind
+)
+
+// Fault kinds.
+const (
+	FaultNFError        = fault.KindNFError
+	FaultInstallFail    = fault.KindInstallFail
+	FaultEventStorm     = fault.KindEventStorm
+	FaultRecomputeDelay = fault.KindRecomputeDelay
+	FaultRecomputeDrop  = fault.KindRecomputeDrop
+	FaultBackendFlap    = fault.KindBackendFlap
+	FaultEvictPressure  = fault.KindEvictPressure
+)
+
+// Fault-injection constructors.
+var (
+	// NewFaultInjector builds a seeded injector.
+	NewFaultInjector = fault.New
+	// UniformFaultRates rates every fault kind equally.
+	UniformFaultRates = fault.UniformRates
+	// FaultKinds lists every injectable kind.
+	FaultKinds = fault.Kinds
 )
 
 // Packet and flow types.
