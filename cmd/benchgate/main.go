@@ -1,0 +1,193 @@
+// Command benchgate parses `go test -bench` output, writes the parsed
+// results as JSON, and enforces allocation and speedup gates on the
+// batched fast path, so CI fails when a change regresses the zero-alloc
+// property or the batching win.
+//
+// Usage:
+//
+//	go test -bench 'FastPath' -benchmem . | benchgate \
+//	    -out BENCH_batch.json \
+//	    -gate BenchmarkFastPathBatch -max-allocs 1 \
+//	    -speedup-base BenchmarkFastPath -min-speedup 1.5
+//
+// The gates:
+//
+//   - -gate/-max-allocs: the named benchmark's allocs/op must not
+//     exceed the bound (the batch benchmarks count b.N in packets, so
+//     allocs/op reads as allocations per packet).
+//   - -speedup-base/-min-speedup: ns/op of the base benchmark divided
+//     by ns/op of the gated benchmark must reach the bound. Set
+//     -min-speedup 0 to disable (machine-dependent timing gates are
+//     advisory by default in CI).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name string `json:"name"`
+	// Iters is b.N; the batch benchmarks advance it per packet.
+	Iters int64 `json:"iters"`
+	// NsPerOp, BytesPerOp and AllocsPerOp mirror the standard
+	// -benchmem columns; custom b.ReportMetric units land in Metrics.
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the JSON document benchgate writes.
+type Report struct {
+	Results []Result `json:"results"`
+	// Speedup is base ns/op over gated ns/op when both benchmarks are
+	// present (0 otherwise).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	inPath := fs.String("in", "-", "bench output to parse (- = stdin)")
+	outPath := fs.String("out", "", "write parsed results as JSON to this file")
+	gate := fs.String("gate", "BenchmarkFastPathBatch", "benchmark whose allocs/op is gated")
+	maxAllocs := fs.Float64("max-allocs", 1, "fail if the gated benchmark exceeds this many allocs/op")
+	speedupBase := fs.String("speedup-base", "BenchmarkFastPath", "scalar baseline for the speedup ratio")
+	minSpeedup := fs.Float64("min-speedup", 0, "fail if base ns/op / gated ns/op falls below this (0 = report only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	rep := Report{Results: results}
+	gated := find(results, *gate)
+	base := find(results, *speedupBase)
+	if gated != nil && base != nil && gated.NsPerOp > 0 {
+		rep.Speedup = base.NsPerOp / gated.NsPerOp
+	}
+
+	if *outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	for _, r := range results {
+		fmt.Fprintf(out, "%s\t%.1f ns/op\t%.2f allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+	if rep.Speedup > 0 {
+		fmt.Fprintf(out, "speedup %s vs %s: %.2fx\n", *gate, *speedupBase, rep.Speedup)
+	}
+
+	if gated == nil {
+		return fmt.Errorf("gated benchmark %s not in input", *gate)
+	}
+	if gated.AllocsPerOp > *maxAllocs {
+		return fmt.Errorf("%s allocates %.2f/op, gate is %.2f", *gate, gated.AllocsPerOp, *maxAllocs)
+	}
+	if *minSpeedup > 0 {
+		if base == nil {
+			return fmt.Errorf("speedup base %s not in input", *speedupBase)
+		}
+		if rep.Speedup < *minSpeedup {
+			return fmt.Errorf("speedup %.2fx below gate %.2fx", rep.Speedup, *minSpeedup)
+		}
+	}
+	return nil
+}
+
+// find returns the result whose name matches base (ignoring the -N
+// GOMAXPROCS suffix `go test` appends), or nil.
+func find(results []Result, name string) *Result {
+	for i := range results {
+		if results[i].Name == name {
+			return &results[i]
+		}
+		if base, _, ok := strings.Cut(results[i].Name, "-"); ok && base == name {
+			return &results[i]
+		}
+	}
+	return nil
+}
+
+// parse extracts benchmark lines of the standard form
+//
+//	BenchmarkName-8   1000  123.4 ns/op  5 B/op  2 allocs/op  6.7 custom-unit
+//
+// from mixed `go test` output.
+func parse(in io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark...: some message"
+		}
+		r := Result{Name: fields[0], Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", r.Name, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BytesPerOp = val
+			case "allocs/op":
+				r.AllocsPerOp = val
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = val
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -42,6 +42,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "trace seed")
 	flows := fs.Int("flows", 200, "trace size in flows")
 	workers := fs.Int("workers", 1, "RSS worker queues: >1 hash-partitions flows across concurrent workers")
+	batch := fs.Int("batch", 0, "process packets in vectors of this size (0 = per-packet); composes with -workers")
 	pcapPath := fs.String("pcap", "", "replay this pcap instead of generating a trace")
 	dumpRules := fs.Bool("dump-rules", false, "print the consolidated Global MAT rules after the SpeedyBox run")
 	snortRules := fs.String("snort-rules", "", "load Snort rules for snort NFs from this file (Snort rule syntax)")
@@ -160,15 +161,19 @@ func run(args []string) error {
 			return err
 		}
 		var res *speedybox.RunResult
-		if *workers > 1 {
+		switch {
+		case *workers > 1:
 			var mq *speedybox.MultiQueue
 			mq, err = speedybox.NewMultiQueue(p, *workers)
 			if err != nil {
 				_ = p.Close()
 				return err
 			}
+			mq.SetBatchSize(*batch)
 			res, err = mq.Run(pktsFor())
-		} else {
+		case *batch > 1:
+			res, err = speedybox.RunBatch(p, pktsFor(), *batch, nil)
+		default:
 			res, err = speedybox.Run(p, pktsFor())
 		}
 		if err == nil && enabled && *dumpRules {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	speedybench [-exp all|fig4|table3|fig5|fig6|fig7|fig8|fig9a|fig9b|equiv|vpnx|crossover|mq|oracle] [-seed N] [-flows N] [-json]
+//	speedybench [-exp all|fig4|table3|fig5|fig6|fig7|fig8|fig9a|fig9b|equiv|vpnx|crossover|mq|oracle] [-seed N] [-flows N] [-batch N] [-json]
 //
 // The oracle experiment runs the differential fast/slow-path
 // equivalence oracle under randomized fault schedules
@@ -58,6 +58,7 @@ func experiments(cfg harness.Config, oracleSchedules int) []struct {
 		{"oracle", func() (formatter, error) {
 			res, err := harness.RunOracle(harness.OracleConfig{
 				Seed: cfg.Seed, Schedules: oracleSchedules, Flows: cfg.Flows,
+				Batch: cfg.Batch,
 			})
 			if err != nil {
 				return nil, err
@@ -76,6 +77,7 @@ func run(args []string, out io.Writer) error {
 	oracleSchedules := fs.Int("oracle-schedules", 200, "fault schedules for -exp oracle")
 	seed := fs.Int64("seed", 1, "trace generation seed")
 	flows := fs.Int("flows", 0, "trace size in flows (0 = experiment default)")
+	batch := fs.Int("batch", 0, "process packets in vectors of this size (0 = per-packet); for -exp oracle the fast engine runs batched against the scalar reference")
 	asJSON := fs.Bool("json", false, "emit results as JSON instead of tables")
 	cdf := fs.Bool("cdf", false, "for fig9a/fig9b: print the full CDF series (plot data) instead of summaries")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. :8080)")
@@ -83,7 +85,7 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := harness.Config{Seed: *seed, Flows: *flows}
+	cfg := harness.Config{Seed: *seed, Flows: *flows, Batch: *batch}
 	if *telemetryAddr != "" {
 		cfg.Telemetry = telemetry.NewHub()
 		srv, err := telemetry.NewServer(*telemetryAddr, cfg.Telemetry)

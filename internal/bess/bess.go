@@ -82,6 +82,36 @@ func (p *Platform) Process(pkt *packet.Packet) (platform.Measurement, error) {
 	if err != nil {
 		return platform.Measurement{}, err
 	}
+	m := p.measure(res)
+	if p.lat != nil {
+		p.lat.Record(m.LatencyCycles, uint32(res.FID))
+	}
+	return m, nil
+}
+
+// ProcessBatch implements platform.Platform: BESS run-to-completion
+// over a packet vector. The single core still traverses the whole
+// chain per packet, so the latency formulas are Process's unchanged;
+// what the vector amortizes is the engine-side dispatch (batched
+// classification, cached rule lookups, folded counters).
+func (p *Platform) ProcessBatch(pkts []*packet.Packet, b *platform.Batch) ([]platform.Measurement, error) {
+	results, err := p.eng.ProcessBatch(pkts, b.Core)
+	if err != nil {
+		return nil, err
+	}
+	ms := b.Measurements(len(results))
+	for i, res := range results {
+		ms[i] = p.measure(res)
+		if p.lat != nil {
+			p.lat.Record(ms[i].LatencyCycles, uint32(res.FID))
+		}
+	}
+	return ms, nil
+}
+
+// measure applies the BESS latency/throughput formulas to one engine
+// result (shared by Process and ProcessBatch).
+func (p *Platform) measure(res *core.PacketResult) platform.Measurement {
 	m := platform.Measurement{Result: res, WorkCycles: res.WorkCycles}
 	model := p.eng.Model()
 
@@ -111,10 +141,7 @@ func (p *Platform) Process(pkt *packet.Packet) (platform.Measurement, error) {
 			m.BottleneckCycles = m.LatencyCycles
 		}
 	}
-	if p.lat != nil {
-		p.lat.Record(m.LatencyCycles, uint32(res.FID))
-	}
-	return m, nil
+	return m
 }
 
 func maxStageCritical(res *core.PacketResult) uint64 {

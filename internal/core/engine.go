@@ -679,22 +679,33 @@ func (e *Engine) FastProcess(fid flow.FID, pkt *packet.Packet) (*PacketResult, e
 	return e.fastPath(fid, pkt)
 }
 
-// fastPath applies the consolidated rule.
+// fastPath applies the consolidated rule (scalar entry point: fresh
+// result storage, no rule cache).
 func (e *Engine) fastPath(fid flow.FID, pkt *packet.Packet) (*PacketResult, error) {
+	return e.fastPathInto(fid, pkt, &FastPathInfo{}, &PacketResult{}, nil)
+}
+
+// fastPathInto applies the consolidated rule, writing into the
+// caller-provided (zeroed) info and res storage — the batched path
+// reuses per-worker arrays so steady-state fast-path packets allocate
+// nothing. rc, when non-nil, is the worker's rule cache: generation-
+// validated hits skip the sharded Global MAT map and the Event Table
+// probes. On a rule miss the packet transparently falls back to the
+// slow path, whose (allocated) result is returned instead of res.
+func (e *Engine) fastPathInto(fid flow.FID, pkt *packet.Packet, info *FastPathInfo, res *PacketResult, rc *RuleCache) (*PacketResult, error) {
 	m := e.model
-	info := &FastPathInfo{}
 	info.FixedCycles = m.HashFID + m.FastPathBase + m.EventCheck + m.GMATLookup
 
 	// Event Table pre-check: a previously-satisfied condition updates
 	// the rule before this packet is processed (§III).
-	if fired, err := e.fireEvents(fid, info); err != nil {
+	if fired, err := e.fireEventsCached(fid, info, rc); err != nil {
 		return nil, err
 	} else if fired {
 		// The rule was rebuilt; the fresh lookup below sees it.
 		info.FixedCycles += m.GMATLookup
 	}
 
-	rule, ok := e.global.LookupLive(fid)
+	rule, ok := e.lookupRule(fid, rc)
 	if !ok {
 		// The rule vanished (torn down or fault-evicted concurrently)
 		// or went stale (failed install, lost recomputation). Fall
@@ -747,15 +758,13 @@ func (e *Engine) fastPath(fid flow.FID, pkt *packet.Packet) (*PacketResult, erro
 
 	// Post-execution event check: state updates from this packet may
 	// arm a condition that changes processing for the next packet.
-	if _, err := e.fireEvents(fid, info); err != nil {
+	if _, err := e.fireEventsCached(fid, info, rc); err != nil {
 		return nil, err
 	}
 
-	res := &PacketResult{
-		Path:    PathFast,
-		Verdict: verdict,
-		Fast:    info,
-	}
+	res.Path = PathFast
+	res.Verdict = verdict
+	res.Fast = info
 	// The "CPU cycle per packet" metric measures the primary
 	// processing core, as the paper's rdtsc instrumentation does:
 	// with parallel SF execution, worker-core cycles overlap the main
@@ -776,7 +785,31 @@ func (e *Engine) fastPath(fid flow.FID, pkt *packet.Packet) (*PacketResult, erro
 // to the owning Local MATs and reconsolidates. It returns whether
 // anything fired.
 func (e *Engine) fireEvents(fid flow.FID, info *FastPathInfo) (bool, error) {
-	firings := e.events.Check(fid)
+	return e.fireEventsCached(fid, info, nil)
+}
+
+// fireEventsCached is fireEvents with an optional per-worker cache: a
+// flow known to have no registered events (verdict validated against
+// the Event Table's registration generation) skips the locked probe
+// entirely. The verdict can only be invalidated by Register, which
+// advances the generation; firings and removals merely shrink the
+// event set, which the cache handles conservatively by keeping probing
+// flows it has no verdict for.
+func (e *Engine) fireEventsCached(fid flow.FID, info *FastPathInfo, rc *RuleCache) (bool, error) {
+	if rc != nil && rc.noEventsValid(e, fid) {
+		return false, nil
+	}
+	var evGen uint64
+	if rc != nil {
+		// Read the generation before probing: if a Register lands
+		// between the two, the cached verdict is stamped with the older
+		// generation and the next validity check conservatively misses.
+		evGen = e.events.RegisteredTotal()
+	}
+	firings, registered := e.events.Probe(fid)
+	if rc != nil && !registered {
+		rc.putNoEvents(fid, evGen)
+	}
 	if len(firings) == 0 {
 		return false, nil
 	}

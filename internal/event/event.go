@@ -136,14 +136,25 @@ func (t *Table) Register(fid flow.FID, e Event) error {
 // registration order. Conditions run under the flow's shard lock and
 // must not call back into the Event Table.
 func (t *Table) Check(fid flow.FID) []Firing {
+	fired, _ := t.Probe(fid)
+	return fired
+}
+
+// Probe is Check plus a report of whether the flow had any events
+// registered at all. The batched data path uses registered=false to
+// cache a "no events" verdict for the flow and skip both per-packet
+// probes: the verdict stays valid while RegisteredTotal is unchanged,
+// because a flow can only go from no-events to has-events through
+// Register (one-shot firings and Remove only shrink the set, which the
+// cache treats conservatively by keep probing).
+func (t *Table) Probe(fid flow.FID) (fired []Firing, registered bool) {
 	s := t.shardFor(fid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	events := s.byFID[fid]
 	if len(events) == 0 {
-		return nil
+		return nil, false
 	}
-	var fired []Firing
 	remaining := events[:0]
 	for _, e := range events {
 		if e.Condition(fid) {
@@ -160,7 +171,7 @@ func (t *Table) Check(fid flow.FID) []Firing {
 	} else {
 		s.byFID[fid] = remaining
 	}
-	return fired
+	return fired, true
 }
 
 // Pending returns how many events are registered for the flow.

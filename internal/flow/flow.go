@@ -7,8 +7,8 @@ package flow
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"github.com/fastpathnfv/speedybox/internal/packet"
 )
@@ -36,23 +36,47 @@ const shardMask = ShardCount - 1
 // rewrite the 5-tuple.
 type FID uint32
 
-// String renders the FID in hex.
-func (f FID) String() string { return fmt.Sprintf("fid:%05x", uint32(f)) }
+const hexDigits = "0123456789abcdef"
+
+// String renders the FID in hex. It is hot when the flight recorder
+// journals rule transitions, so the 5 nibbles are appended by hand:
+// one fixed-size stack buffer and a single string allocation instead
+// of fmt's reflection-driven formatting.
+func (f FID) String() string {
+	var b [9]byte
+	b[0], b[1], b[2], b[3] = 'f', 'i', 'd', ':'
+	v := uint32(f)
+	for i := 0; i < 5; i++ {
+		b[8-i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// FNV-1a 32-bit parameters.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
 
 // HashTuple maps a 5-tuple to its home FID slot. Collisions are
-// resolved by the Table, not here.
+// resolved by the Table, not here. The FNV-1a fold is inlined (same
+// digest as hash/fnv over the 13 key bytes) so classifying a packet
+// does not allocate a hasher.
 func HashTuple(ft packet.FiveTuple) FID {
-	h := fnv.New32a()
-	var buf [13]byte
-	copy(buf[0:4], ft.SrcIP[:])
-	copy(buf[4:8], ft.DstIP[:])
-	buf[8] = byte(ft.SrcPort >> 8)
-	buf[9] = byte(ft.SrcPort)
-	buf[10] = byte(ft.DstPort >> 8)
-	buf[11] = byte(ft.DstPort)
-	buf[12] = ft.Proto
-	_, _ = h.Write(buf[:]) // fnv Write cannot fail
-	return FID(h.Sum32() & MaxFID)
+	h := uint32(fnvOffset32)
+	for _, b := range ft.SrcIP {
+		h = (h ^ uint32(b)) * fnvPrime32
+	}
+	for _, b := range ft.DstIP {
+		h = (h ^ uint32(b)) * fnvPrime32
+	}
+	h = (h ^ uint32(ft.SrcPort>>8)) * fnvPrime32
+	h = (h ^ uint32(ft.SrcPort&0xff)) * fnvPrime32
+	h = (h ^ uint32(ft.DstPort>>8)) * fnvPrime32
+	h = (h ^ uint32(ft.DstPort&0xff)) * fnvPrime32
+	h = (h ^ uint32(ft.Proto)) * fnvPrime32
+	return FID(h & MaxFID)
 }
 
 // State is the lifecycle of a tracked flow.
@@ -106,11 +130,14 @@ type Entry struct {
 var ErrTableFull = errors.New("flow: FID space exhausted")
 
 // tableShard is one independently locked slice of the FID space: every
-// FID congruent to the shard index modulo ShardCount lives here.
+// FID congruent to the shard index modulo ShardCount lives here. Both
+// maps point at the same *Entry, so the tuple-keyed lookup on the hot
+// classifier path resolves in a single hash instead of tuple→FID→entry
+// chaining through two maps.
 type tableShard struct {
 	mu      sync.RWMutex
 	entries map[FID]*Entry
-	byTuple map[packet.FiveTuple]FID
+	byTuple map[packet.FiveTuple]*Entry
 	_       [24]byte // pad to a 64-byte cache line (best effort)
 }
 
@@ -130,7 +157,7 @@ func NewTable() *Table {
 	t := &Table{}
 	for i := range t.shards {
 		t.shards[i].entries = make(map[FID]*Entry)
-		t.shards[i].byTuple = make(map[packet.FiveTuple]FID)
+		t.shards[i].byTuple = make(map[packet.FiveTuple]*Entry)
 	}
 	return t
 }
@@ -146,11 +173,37 @@ func (t *Table) Lookup(ft packet.FiveTuple) (Entry, bool) {
 	s := t.shardFor(HashTuple(ft))
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	fid, ok := s.byTuple[ft]
+	e, ok := s.byTuple[ft]
 	if !ok {
 		return Entry{}, false
 	}
-	return *s.entries[fid], true
+	return *e, true
+}
+
+// TouchEstablished is the batched classifier's hot-path update: if the
+// tuple is tracked and the flow is established, it applies the
+// data-packet bookkeeping (packet and byte counts, LastSeen stamped
+// from a fresh tick of clock) and returns a snapshot — one lock
+// acquisition and one map hash for the lookup-then-update pair the
+// scalar path performs separately. Any other state (handshake, closed,
+// untracked) returns ok=false with the table and the clock untouched,
+// and the caller falls back to the full classifier state machine,
+// which ticks the clock itself — so every classified packet consumes
+// exactly one tick on either path.
+func (t *Table) TouchEstablished(ft packet.FiveTuple, bytes uint64, clock *atomic.Uint64) (Entry, bool) {
+	s := t.shardFor(HashTuple(ft))
+	s.mu.Lock()
+	e, ok := s.byTuple[ft]
+	if !ok || e.State != StateEstablished {
+		s.mu.Unlock()
+		return Entry{}, false
+	}
+	e.Packets++
+	e.Bytes += bytes
+	e.LastSeen = clock.Add(1)
+	snap := *e
+	s.mu.Unlock()
+	return snap, true
 }
 
 // LookupFID returns a snapshot of the entry for a FID, if tracked.
@@ -173,8 +226,8 @@ func (t *Table) Insert(ft packet.FiveTuple) (Entry, error) {
 	s := t.shardFor(home)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if fid, ok := s.byTuple[ft]; ok {
-		return *s.entries[fid], nil
+	if e, ok := s.byTuple[ft]; ok {
+		return *e, nil
 	}
 	fid := home
 	// Each shard owns (MaxFID+1)/ShardCount slots; probing in
@@ -183,7 +236,7 @@ func (t *Table) Insert(ft packet.FiveTuple) (Entry, error) {
 		if _, taken := s.entries[fid]; !taken {
 			e := &Entry{FID: fid, Tuple: ft, State: StateHandshake}
 			s.entries[fid] = e
-			s.byTuple[ft] = fid
+			s.byTuple[ft] = e
 			return *e, nil
 		}
 		fid = (fid + ShardCount) & MaxFID

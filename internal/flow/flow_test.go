@@ -115,7 +115,7 @@ func TestTableCollisionProbing(t *testing.T) {
 	s := tbl.shardFor(home)
 	squatter := &Entry{FID: home, Tuple: tuple(999), State: StateEstablished}
 	s.entries[home] = squatter
-	s.byTuple[squatter.Tuple] = home
+	s.byTuple[squatter.Tuple] = squatter
 
 	e, err := tbl.Insert(victim)
 	if err != nil {
@@ -277,3 +277,17 @@ func TestFIDString(t *testing.T) {
 		t.Errorf("FID.String() = %q", FID(0xabc).String())
 	}
 }
+
+func TestFIDStringAllocs(t *testing.T) {
+	// The hand-rolled hex formatter must cost at most the one
+	// unavoidable allocation: the returned string (stored to a sink so
+	// escape analysis cannot elide it; fmt.Sprintf would cost three).
+	fid := FID(0xdeadb)
+	if allocs := testing.AllocsPerRun(100, func() {
+		fidStringSink = fid.String()
+	}); allocs > 1 {
+		t.Errorf("FID.String() allocates %.1f objects/op, want at most 1", allocs)
+	}
+}
+
+var fidStringSink string

@@ -46,11 +46,11 @@ func RunCrossover(cfg Config) (*CrossoverResult, error) {
 	for n := 1; n <= 6; n++ {
 		n := n
 		mk := func() ([]core.NF, error) { return filterChain(n) }
-		orig, err := runVariant(PlatformBESS, mk, cfg.options(core.BaselineOptions()), tr.Packets())
+		orig, err := runVariant(PlatformBESS, mk, cfg.options(core.BaselineOptions()), tr.Packets(), cfg.Batch)
 		if err != nil {
 			return nil, err
 		}
-		sbox, err := runVariant(PlatformBESS, mk, cfg.options(core.DefaultOptions()), tr.Packets())
+		sbox, err := runVariant(PlatformBESS, mk, cfg.options(core.DefaultOptions()), tr.Packets(), cfg.Batch)
 		if err != nil {
 			return nil, err
 		}

@@ -100,7 +100,11 @@ func equivSnortBranches(cfg Config) (EquivCheck, error) {
 			return nil, err
 		}
 		defer func() { _ = p.Close() }()
-		if _, err := platform.Run(p, tr.Packets()); err != nil {
+		if cfg.Batch > 1 {
+			if _, err := platform.RunBatch(p, tr.Packets(), cfg.Batch, nil); err != nil {
+				return nil, err
+			}
+		} else if _, err := platform.Run(p, tr.Packets()); err != nil {
 			return nil, err
 		}
 		return ids.Logs(), nil

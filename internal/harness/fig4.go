@@ -55,11 +55,11 @@ func RunFig4(cfg Config) (*Fig4Result, error) {
 		for n := 1; n <= 3; n++ {
 			n := n
 			mk := func() ([]core.NF, error) { return filterChain(n) }
-			orig, err := runVariant(kind, mk, cfg.options(core.BaselineOptions()), tr.Packets())
+			orig, err := runVariant(kind, mk, cfg.options(core.BaselineOptions()), tr.Packets(), cfg.Batch)
 			if err != nil {
 				return nil, err
 			}
-			sbox, err := runVariant(kind, mk, cfg.options(core.DefaultOptions()), tr.Packets())
+			sbox, err := runVariant(kind, mk, cfg.options(core.DefaultOptions()), tr.Packets(), cfg.Batch)
 			if err != nil {
 				return nil, err
 			}

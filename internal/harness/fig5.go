@@ -67,7 +67,7 @@ func RunFig5(cfg Config) (*Fig5Result, error) {
 				if sbox {
 					opts = cfg.options(core.DefaultOptions())
 				}
-				part, err := runVariant(kind, mk, opts, tr.Packets())
+				part, err := runVariant(kind, mk, opts, tr.Packets(), cfg.Batch)
 				if err != nil {
 					return nil, err
 				}

@@ -69,11 +69,11 @@ func RunFig6(cfg Config) (*Fig6Result, error) {
 	}
 	res := &Fig6Result{}
 	for _, kind := range []PlatformKind{PlatformBESS, PlatformONVM} {
-		orig, err := runVariant(kind, snortMonitorChain, cfg.options(core.BaselineOptions()), tr.Packets())
+		orig, err := runVariant(kind, snortMonitorChain, cfg.options(core.BaselineOptions()), tr.Packets(), cfg.Batch)
 		if err != nil {
 			return nil, err
 		}
-		sbox, err := runVariant(kind, snortMonitorChain, cfg.options(core.DefaultOptions()), tr.Packets())
+		sbox, err := runVariant(kind, snortMonitorChain, cfg.options(core.DefaultOptions()), tr.Packets(), cfg.Batch)
 		if err != nil {
 			return nil, err
 		}

@@ -78,7 +78,7 @@ func RunFig7(cfg Config) (*Fig7Result, error) {
 	for _, kind := range []PlatformKind{PlatformBESS, PlatformONVM} {
 		row := Fig7Row{Platform: kind.String()}
 		for _, v := range variants {
-			part, err := runVariant(kind, snortMonitorChain, v.opts, tr.Packets())
+			part, err := runVariant(kind, snortMonitorChain, v.opts, tr.Packets(), cfg.Batch)
 			if err != nil {
 				return nil, err
 			}

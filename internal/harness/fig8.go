@@ -54,7 +54,7 @@ func RunFig8(cfg Config) (*Fig8Result, error) {
 				if sbox {
 					opts = cfg.options(core.DefaultOptions())
 				}
-				part, err := runVariant(kind, mk, opts, tr.Packets())
+				part, err := runVariant(kind, mk, opts, tr.Packets(), cfg.Batch)
 				if err != nil {
 					return nil, err
 				}

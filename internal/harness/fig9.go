@@ -129,11 +129,11 @@ func RunFig9(cfg Config, chain int) (*Fig9Result, error) {
 	res := &Fig9Result{}
 	for _, kind := range []PlatformKind{PlatformBESS, PlatformONVM} {
 		row := Fig9Row{Chain: name, Platform: kind.String()}
-		orig, err := runVariant(kind, mk, cfg.options(core.BaselineOptions()), tr.Packets())
+		orig, err := runVariant(kind, mk, cfg.options(core.BaselineOptions()), tr.Packets(), cfg.Batch)
 		if err != nil {
 			return nil, err
 		}
-		sbox, err := runVariant(kind, mk, cfg.options(core.DefaultOptions()), tr.Packets())
+		sbox, err := runVariant(kind, mk, cfg.options(core.DefaultOptions()), tr.Packets(), cfg.Batch)
 		if err != nil {
 			return nil, err
 		}

@@ -38,6 +38,10 @@ type Config struct {
 	// sweep (the metric registry is idempotent across engines; scrape
 	// callbacks reflect the most recently built one).
 	Telemetry *telemetry.Hub
+	// Batch > 1 drives every variant through the platform's
+	// ProcessBatch in vectors of that size instead of per-packet
+	// Process calls; 0 or 1 is scalar.
+	Batch int
 }
 
 // options attaches the harness-wide telemetry hub (if any) to one
@@ -78,22 +82,19 @@ type Partitioned struct {
 	model      *cost.Model
 }
 
-// runPartitioned feeds the packets through the platform and
-// partitions per-packet measurements. Handshake and FIN packets are
-// excluded from the init/sub buckets (the paper's microbenchmarks
-// measure data packets) but still contribute to flow processing time.
-func runPartitioned(p platform.Platform, pkts []*packet.Packet) (*Partitioned, error) {
+// runPartitioned feeds the packets through the platform — per packet,
+// or in batch-packet vectors when batch > 1 — and partitions per-packet
+// measurements. Handshake and FIN packets are excluded from the
+// init/sub buckets (the paper's microbenchmarks measure data packets)
+// but still contribute to flow processing time.
+func runPartitioned(p platform.Platform, pkts []*packet.Packet, batch int) (*Partitioned, error) {
 	out := &Partitioned{
 		PerNFSub:   make(map[string][]float64),
 		FlowCycles: make(map[flow.FID]uint64),
 		model:      p.Model(),
 	}
 	seen := make(map[flow.FID]bool)
-	for i, pkt := range pkts {
-		m, err := p.Process(pkt)
-		if err != nil {
-			return nil, fmt.Errorf("harness: packet %d on %s: %w", i, p.Name(), err)
-		}
+	fold := func(m *platform.Measurement) {
 		out.Packets++
 		res := m.Result
 		if res.Verdict == core.VerdictDrop {
@@ -103,13 +104,13 @@ func runPartitioned(p platform.Platform, pkts []*packet.Packet) (*Partitioned, e
 
 		switch res.Kind {
 		case classifier.KindHandshake, classifier.KindFinal:
-			continue
+			return
 		}
 		if !seen[res.FID] {
 			seen[res.FID] = true
 			out.InitWork = append(out.InitWork, float64(m.WorkCycles))
 			out.InitLat = append(out.InitLat, float64(m.LatencyCycles))
-			continue
+			return
 		}
 		out.SubWork = append(out.SubWork, float64(m.WorkCycles))
 		out.SubLat = append(out.SubLat, float64(m.LatencyCycles))
@@ -118,6 +119,30 @@ func runPartitioned(p platform.Platform, pkts []*packet.Packet) (*Partitioned, e
 			for _, s := range res.Slow.PerNF {
 				out.PerNFSub[s.Name] = append(out.PerNFSub[s.Name], float64(s.Cycles))
 			}
+		}
+	}
+	if batch > 1 {
+		b := platform.NewBatch(batch)
+		for off := 0; off < len(pkts); off += batch {
+			end := off + batch
+			if end > len(pkts) {
+				end = len(pkts)
+			}
+			ms, err := p.ProcessBatch(pkts[off:end], b)
+			if err != nil {
+				return nil, fmt.Errorf("harness: batch at packet %d on %s: %w", off, p.Name(), err)
+			}
+			for i := range ms {
+				fold(&ms[i])
+			}
+		}
+	} else {
+		for i, pkt := range pkts {
+			m, err := p.Process(pkt)
+			if err != nil {
+				return nil, fmt.Errorf("harness: packet %d on %s: %w", i, p.Name(), err)
+			}
+			fold(&m)
 		}
 	}
 	out.Stats = p.Engine().Stats()

@@ -66,6 +66,7 @@ func RunMultiQueue(cfg Config) (*MultiQueueResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		mq.SetBatchSize(cfg.Batch)
 		start := time.Now()
 		out, err := mq.Run(pkts)
 		if err != nil {

@@ -39,6 +39,13 @@ type OracleConfig struct {
 	// Chain picks the service chain: 1 or 2 (§VII-B3); 0 alternates
 	// per schedule.
 	Chain int
+	// Batch > 1 drives the fast engine through ProcessBatch in vectors
+	// of that size (the reference engine stays scalar — its correctness
+	// is definitional), proving the batched data path bit-identical to
+	// per-packet execution under the same fault schedules. Vectors are
+	// clipped at backend-flap indices so every packet of a batch
+	// observes the same pool state as its reference twin.
+	Batch int
 	// Rates overrides the per-kind injection rates; nil selects a
 	// uniform moderate-chaos default across every fault kind.
 	Rates map[fault.Kind]float64
@@ -226,7 +233,14 @@ func runOracleSchedule(cfg OracleConfig, sched int, seed int64, chain int, rates
 	}
 	next := 0
 
-	for i := range refPkts {
+	var cb *core.Batch
+	if cfg.Batch > 1 {
+		cb = core.NewBatch(cfg.Batch)
+	}
+
+	i := 0
+scan:
+	for i < len(refPkts) {
 		for next < len(plan) && plan[next].At <= i {
 			f := plan[next]
 			next++
@@ -238,32 +252,64 @@ func runOracleSchedule(cfg OracleConfig, sched int, seed int64, chain int, rates
 				_ = fast.lb.FailBackend(f.Backend)
 			}
 		}
-		refRes, refErr := refEng.ProcessPacket(refPkts[i])
-		fastRes, fastErr := fastEng.ProcessPacket(fastPkts[i])
-		if refErr != nil || fastErr != nil {
-			return fmt.Errorf("packet %d: ref err %v, fast err %v", i, refErr, fastErr)
-		}
-		res.Packets++
-		if refRes.Verdict != fastRes.Verdict {
-			diverge(i, "verdict: ref %v, fast %v", refRes.Verdict, fastRes.Verdict)
-			break
-		}
-		if refPkts[i].Dropped() != fastPkts[i].Dropped() {
-			diverge(i, "dropped: ref %v, fast %v", refPkts[i].Dropped(), fastPkts[i].Dropped())
-			break
-		}
-		if !refPkts[i].Dropped() && !bytes.Equal(refPkts[i].Data(), fastPkts[i].Data()) {
-			diverge(i, "rewritten bytes differ (%d vs %d bytes)",
-				len(refPkts[i].Data()), len(fastPkts[i].Data()))
-			break
-		}
-		if cfg.TamperRule != nil {
-			if r, ok := fastEng.Global().Lookup(fastRes.FID); ok {
-				broken := *r
-				cfg.TamperRule(&broken)
-				fastEng.Global().Install(&broken)
+		// One packet, or one vector clipped at the next flap index: the
+		// flap is environmental and must interleave with the packet
+		// stream identically in both engines.
+		end := i + 1
+		if cb != nil {
+			end = i + cfg.Batch
+			if end > len(refPkts) {
+				end = len(refPkts)
+			}
+			if next < len(plan) && plan[next].At < end {
+				end = plan[next].At
 			}
 		}
+		var fastResults []*core.PacketResult
+		if cb != nil {
+			var err error
+			fastResults, err = fastEng.ProcessBatch(fastPkts[i:end], cb)
+			if err != nil {
+				return fmt.Errorf("packet %d: fast batch err %v", i, err)
+			}
+		}
+		for k := i; k < end; k++ {
+			refRes, refErr := refEng.ProcessPacket(refPkts[k])
+			var fastRes *core.PacketResult
+			var fastErr error
+			if cb != nil {
+				fastRes = fastResults[k-i]
+			} else {
+				fastRes, fastErr = fastEng.ProcessPacket(fastPkts[k])
+			}
+			if refErr != nil || fastErr != nil {
+				return fmt.Errorf("packet %d: ref err %v, fast err %v", k, refErr, fastErr)
+			}
+			res.Packets++
+			if refRes.Verdict != fastRes.Verdict {
+				diverge(k, "verdict: ref %v, fast %v", refRes.Verdict, fastRes.Verdict)
+				break scan
+			}
+			if refPkts[k].Dropped() != fastPkts[k].Dropped() {
+				diverge(k, "dropped: ref %v, fast %v", refPkts[k].Dropped(), fastPkts[k].Dropped())
+				break scan
+			}
+			if !refPkts[k].Dropped() && !bytes.Equal(refPkts[k].Data(), fastPkts[k].Data()) {
+				diverge(k, "rewritten bytes differ (%d vs %d bytes)",
+					len(refPkts[k].Data()), len(fastPkts[k].Data()))
+				break scan
+			}
+			if cfg.TamperRule != nil {
+				// In batch mode the vector has already run; tampering
+				// still poisons every later vector of the flow.
+				if r, ok := fastEng.Global().Lookup(fastRes.FID); ok {
+					broken := *r
+					cfg.TamperRule(&broken)
+					fastEng.Global().Install(&broken)
+				}
+			}
+		}
+		i = end
 	}
 
 	// End-of-trace NF-observable state: the consolidated fast path

@@ -38,6 +38,54 @@ func TestOracleEquivalenceUnderFaults(t *testing.T) {
 	}
 }
 
+// TestOracleBatchEquivalence runs the oracle with the fast engine in
+// 32-packet vector mode: the batched data path must stay bit-identical
+// to the scalar reference under the same fault schedules, and the
+// seeded runs must also agree packet-for-packet with a scalar-fast-
+// engine oracle run (batching changes no observable outcome).
+func TestOracleBatchEquivalence(t *testing.T) {
+	schedules := 40
+	if testing.Short() {
+		schedules = 8
+	}
+	batched, err := RunOracle(OracleConfig{Seed: 1, Schedules: schedules, Batch: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !batched.Passed() {
+		t.Fatalf("batched oracle failed:\n%s", batched.Format())
+	}
+	if batched.Injected == 0 || batched.Fallbacks == 0 {
+		t.Error("vacuous batched run: no faults or no fallbacks")
+	}
+	scalar, err := RunOracle(OracleConfig{Seed: 1, Schedules: schedules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Packets != scalar.Packets || batched.Injected != scalar.Injected ||
+		batched.Fallbacks != scalar.Fallbacks || batched.Degraded != scalar.Degraded ||
+		batched.Recoveries != scalar.Recoveries {
+		t.Errorf("batched and scalar oracle runs disagree:\nbatched: %+v\nscalar:  %+v",
+			batched, scalar)
+	}
+}
+
+// TestOracleBatchCatchesTamper proves batch mode keeps the oracle's
+// teeth: the flipped-verdict tamper must still be reported.
+func TestOracleBatchCatchesTamper(t *testing.T) {
+	res, err := RunOracle(OracleConfig{
+		Seed: 1, Schedules: 2, Chain: 1, Batch: 32,
+		Rates:      fault.UniformRates(0),
+		TamperRule: func(r *mat.GlobalRule) { r.Drop = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("batched oracle passed a deliberately broken consolidation")
+	}
+}
+
 // TestOracleCatchesBrokenConsolidation proves the oracle has teeth: a
 // deliberately corrupted consolidated rule (verdict flipped to drop)
 // must be reported as a divergence.

@@ -68,11 +68,11 @@ func RunTable3(cfg Config) (*Table3Result, error) {
 
 	res := &Table3Result{}
 	for _, kind := range []PlatformKind{PlatformBESS, PlatformONVM} {
-		orig, err := runVariant(kind, mk, cfg.options(core.BaselineOptions()), tr.Packets())
+		orig, err := runVariant(kind, mk, cfg.options(core.BaselineOptions()), tr.Packets(), cfg.Batch)
 		if err != nil {
 			return nil, err
 		}
-		sbox, err := runVariant(kind, mk, cfg.options(core.DefaultOptions()), tr.Packets())
+		sbox, err := runVariant(kind, mk, cfg.options(core.DefaultOptions()), tr.Packets(), cfg.Batch)
 		if err != nil {
 			return nil, err
 		}

@@ -53,13 +53,14 @@ func buildPlatform(kind PlatformKind, mk chainFactory, opts core.Options) (platf
 	}
 }
 
-// runVariant builds a platform, runs the packets and partitions the
+// runVariant builds a platform, runs the packets (scalar, or in
+// batch-packet vectors when batch > 1) and partitions the
 // measurements, closing the platform afterwards.
-func runVariant(kind PlatformKind, mk chainFactory, opts core.Options, pkts []*packet.Packet) (*Partitioned, error) {
+func runVariant(kind PlatformKind, mk chainFactory, opts core.Options, pkts []*packet.Packet, batch int) (*Partitioned, error) {
 	p, err := buildPlatform(kind, mk, opts)
 	if err != nil {
 		return nil, err
 	}
 	defer func() { _ = p.Close() }()
-	return runPartitioned(p, pkts)
+	return runPartitioned(p, pkts, batch)
 }

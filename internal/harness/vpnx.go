@@ -74,7 +74,7 @@ func RunVPNX(cfg Config) (*VPNXResult, error) {
 	}
 	res := &VPNXResult{}
 	for _, kind := range []PlatformKind{PlatformBESS, PlatformONVM} {
-		orig, err := runVariant(kind, vpnChain, cfg.options(core.BaselineOptions()), tr.Packets())
+		orig, err := runVariant(kind, vpnChain, cfg.options(core.BaselineOptions()), tr.Packets(), cfg.Batch)
 		if err != nil {
 			return nil, err
 		}
@@ -84,7 +84,7 @@ func RunVPNX(cfg Config) (*VPNXResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		sbox, err := runPartitioned(p, tr.Packets())
+		sbox, err := runPartitioned(p, tr.Packets(), cfg.Batch)
 		if err != nil {
 			_ = p.Close()
 			return nil, err

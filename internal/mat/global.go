@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/fastpathnfv/speedybox/internal/flow"
 	"github.com/fastpathnfv/speedybox/internal/packet"
@@ -147,6 +148,16 @@ type globalShard struct {
 // installed — replacement installs a fresh rule pointer.
 type Global struct {
 	shards [ShardCount]globalShard
+	// gen counts table mutations that can change what LookupLive
+	// returns (Install, Remove, MarkStale — bumped under the owning
+	// shard's lock). Batch workers cache rule pointers keyed by this
+	// generation: a cached rule is served only while Gen() still equals
+	// the generation observed when it was looked up, so any install,
+	// teardown or stale-marking anywhere invalidates every cache at the
+	// cost of one relaxed atomic load per hit. Control-plane mutations
+	// are rare relative to data packets, so the cacheline stays
+	// read-mostly and shared across cores.
+	gen atomic.Uint64
 }
 
 // NewGlobal returns an empty Global MAT.
@@ -173,6 +184,7 @@ func (g *Global) Install(r *GlobalRule) (replaced bool) {
 	s := g.shardFor(r.FID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	g.gen.Add(1)
 	delete(s.stale, r.FID) // a fresh install supersedes any stale mark
 	if old, ok := s.rules[r.FID]; ok {
 		versioned := *r
@@ -183,6 +195,11 @@ func (g *Global) Install(r *GlobalRule) (replaced bool) {
 	s.rules[r.FID] = r
 	return false
 }
+
+// Gen returns the table's mutation generation. A rule obtained from
+// LookupLive stays servable from a cache for exactly as long as Gen()
+// returns the value read before that lookup.
+func (g *Global) Gen() uint64 { return g.gen.Load() }
 
 // Lookup fetches the rule for a flow. The returned rule must be
 // treated as immutable.
@@ -200,6 +217,7 @@ func (g *Global) Remove(fid flow.FID) bool {
 	s := g.shardFor(fid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	g.gen.Add(1)
 	delete(s.stale, fid)
 	if _, ok := s.rules[fid]; !ok {
 		return false
@@ -219,6 +237,7 @@ func (g *Global) MarkStale(fid flow.FID) bool {
 	s := g.shardFor(fid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	g.gen.Add(1)
 	if _, ok := s.rules[fid]; !ok {
 		return false
 	}

@@ -161,89 +161,112 @@ func New(cfg Config) (*Platform, error) {
 	return p, nil
 }
 
-// nfLoop is NF i's dedicated core.
+// nfLoop is NF i's dedicated core. It drains its RX ring in bursts of
+// up to core.DefaultBatchSize descriptors per wakeup (DequeueBatch
+// hands over whatever is immediately present, so a lone packet is a
+// batch of one — flush-on-idle), processes each job in ring order, and
+// forwards the batch with one EnqueueBatch per downstream ring.
 func (p *Platform) nfLoop(i int) {
 	defer p.wg.Done()
 	in := p.nfRings[i]
+	buf := make([]*job, core.DefaultBatchSize)
+	next := make([]*job, 0, core.DefaultBatchSize)
+	mgr := make([]*job, 0, core.DefaultBatchSize)
 	for {
-		j, err := in.Dequeue()
+		n, err := in.DequeueBatch(buf)
 		if err != nil {
-			return // ring closed: shutdown
+			return // ring closed and drained: shutdown
 		}
-		if j.err == nil && j.verdict != core.VerdictDrop {
-			v, cycles, err := p.eng.ProcessNF(i, j.cls.FID, j.pkt, j.recording)
-			j.perNF = append(j.perNF, cost.StageCost{Name: fmt.Sprintf("nf%d", i), Cycles: cycles})
-			switch {
-			case err != nil:
-				j.err = err
-			case v == core.VerdictDrop:
-				j.verdict = core.VerdictDrop
-				j.dropIndex = i
-				if !j.pkt.Dropped() {
-					j.pkt.Drop()
+		next, mgr = next[:0], mgr[:0]
+		for _, j := range buf[:n] {
+			if j.err == nil && j.verdict != core.VerdictDrop {
+				v, cycles, err := p.eng.ProcessNF(i, j.cls.FID, j.pkt, j.recording)
+				j.perNF = append(j.perNF, cost.StageCost{Name: fmt.Sprintf("nf%d", i), Cycles: cycles})
+				switch {
+				case err != nil:
+					j.err = err
+				case v == core.VerdictDrop:
+					j.verdict = core.VerdictDrop
+					j.dropIndex = i
+					if !j.pkt.Dropped() {
+						j.pkt.Drop()
+					}
 				}
 			}
+			// Route: to the next NF, to the manager for consolidation,
+			// or done.
+			switch {
+			case i != p.chain-1 && j.err == nil && j.verdict != core.VerdictDrop:
+				next = append(next, j)
+			case j.recording && j.err == nil:
+				// "As soon as the service chain finishes processing the
+				// packet, SpeedyBox notifies the Global MAT to
+				// consolidate the rules" — via the inter-core message
+				// queue.
+				mgr = append(mgr, j)
+			default:
+				j.finish()
+			}
 		}
-		p.forward(i, j)
+		if len(next) > 0 {
+			p.enqueueBatch(p.nfRings[i+1], next)
+		}
+		if len(mgr) > 0 {
+			p.enqueueBatch(p.mgrRing, mgr)
+		}
 	}
 }
 
-// forward routes a job leaving NF i: to the next NF, or to the manager
-// for consolidation, or completes it.
-func (p *Platform) forward(i int, j *job) {
-	atEnd := i == p.chain-1 || j.err != nil || j.verdict == core.VerdictDrop
-	if !atEnd {
-		if err := p.nfRings[i+1].Enqueue(j); err != nil {
+// enqueueBatch forwards a batch of jobs, failing (and finishing) the
+// ones a closing ring did not accept.
+func (p *Platform) enqueueBatch(r *ring.Ring[*job], jobs []*job) {
+	n, err := r.EnqueueBatch(jobs)
+	if err != nil {
+		for _, j := range jobs[n:] {
 			j.err = err
 			j.finish()
 		}
-		return
 	}
-	if j.recording && j.err == nil {
-		// "As soon as the service chain finishes processing the
-		// packet, SpeedyBox notifies the Global MAT to consolidate
-		// the rules" — via the inter-core message queue.
-		if err := p.mgrRing.Enqueue(j); err != nil {
-			j.err = err
-			j.finish()
-		}
-		return
-	}
-	j.finish()
 }
 
 // managerLoop is the NF manager core: it consolidates freshly recorded
-// flows and executes the Global MAT fast path.
+// flows and executes the Global MAT fast path. Like the NF cores it
+// drains its ring in bursts; per-job work stays scalar because each
+// job's result must outlive the burst (jobs complete asynchronously,
+// while batch storage is reused).
 func (p *Platform) managerLoop() {
 	defer p.wg.Done()
+	buf := make([]*job, core.DefaultBatchSize)
 	for {
-		j, err := p.mgrRing.Dequeue()
+		n, err := p.mgrRing.DequeueBatch(buf)
 		if err != nil {
 			return
 		}
-		if j.recording && j.fastRes == nil && j.err == nil && j.cls.Kind != classifier.KindSubsequent {
-			// Consolidation request from the last NF.
-			cycles, err := p.eng.ConsolidateFlow(j.cls.FID)
-			switch {
-			case err == nil:
-				j.consolidate = cycles
-			case errors.Is(err, mat.ErrNotConsolidatable):
-				// The flow stays on the (always correct) slow path;
-				// swallow, matching the engine's policy.
-			default:
+		for _, j := range buf[:n] {
+			if j.recording && j.fastRes == nil && j.err == nil && j.cls.Kind != classifier.KindSubsequent {
+				// Consolidation request from the last NF.
+				cycles, err := p.eng.ConsolidateFlow(j.cls.FID)
+				switch {
+				case err == nil:
+					j.consolidate = cycles
+				case errors.Is(err, mat.ErrNotConsolidatable):
+					// The flow stays on the (always correct) slow path;
+					// swallow, matching the engine's policy.
+				default:
+					j.err = err
+				}
+				j.finish()
+				continue
+			}
+			// Fast-path packet.
+			res, err := p.eng.FastProcess(j.cls.FID, j.pkt)
+			if err != nil {
 				j.err = err
+			} else {
+				j.fastRes = res
 			}
 			j.finish()
-			continue
 		}
-		// Fast-path packet.
-		res, err := p.eng.FastProcess(j.cls.FID, j.pkt)
-		if err != nil {
-			j.err = err
-		} else {
-			j.fastRes = res
-		}
-		j.finish()
 	}
 }
 
@@ -346,6 +369,42 @@ func (p *Platform) Process(pkt *packet.Packet) (platform.Measurement, error) {
 		return platform.Measurement{}, err
 	}
 	return p.collect(j)
+}
+
+// ProcessBatch implements platform.Platform: the RX thread injects the
+// whole vector back-to-back and then waits for every descriptor —
+// pipelined within the batch (packets of different flows genuinely
+// overlap across the NF cores, and the ring bursts amortize lock
+// traffic), lock-step across batches. As with RunPipelined, several
+// leading packets of a flow may traverse the slow path before its
+// first consolidation lands; each is safe.
+func (p *Platform) ProcessBatch(pkts []*packet.Packet, b *platform.Batch) ([]platform.Measurement, error) {
+	jobs := make([]*job, 0, len(pkts))
+	var injectErr error
+	for _, pkt := range pkts {
+		j, err := p.inject(pkt)
+		if err != nil {
+			injectErr = err
+			break
+		}
+		jobs = append(jobs, j)
+	}
+	ms := b.Measurements(len(jobs))[:0]
+	var collectErr error
+	for _, j := range jobs {
+		m, err := p.collect(j)
+		if err != nil {
+			if collectErr == nil {
+				collectErr = err
+			}
+			continue
+		}
+		ms = append(ms, m)
+	}
+	if injectErr != nil {
+		return ms, injectErr
+	}
+	return ms, collectErr
 }
 
 // RunPipelined pushes the whole packet sequence through the pipeline

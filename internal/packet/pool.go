@@ -1,0 +1,72 @@
+package packet
+
+import "sync"
+
+// Pool recycles packet descriptors and their frame buffers, mirroring
+// a DPDK mempool: trace replay and the batch runners draw descriptors
+// from the pool instead of allocating a fresh buffer per packet per
+// pass. Descriptors returned by Get keep whatever buffer capacity
+// their previous life grew, so steady-state replay of a trace whose
+// frames fit the recycled capacities performs zero heap allocations.
+//
+// A Pool is safe for concurrent use. Packets obtained from a Pool are
+// ordinary Packets in every respect; returning them with Put is an
+// optimization, never a requirement (an un-Put packet is simply
+// garbage collected).
+type Pool struct {
+	p sync.Pool
+}
+
+// NewPool returns an empty descriptor pool.
+func NewPool() *Pool {
+	return &Pool{p: sync.Pool{New: func() any { return new(Packet) }}}
+}
+
+// Get returns an empty, unparsed descriptor with recycled buffer
+// capacity (zero-length frame). Load a frame with CloneInto or
+// SetFrame before use.
+func (pl *Pool) Get() *Packet {
+	pkt := pl.p.Get().(*Packet)
+	pkt.reset()
+	return pkt
+}
+
+// Clone returns a pooled deep copy of src, equivalent to src.Clone()
+// but reusing a recycled descriptor and buffer.
+func (pl *Pool) Clone(src *Packet) *Packet {
+	pkt := pl.p.Get().(*Packet)
+	src.CloneInto(pkt)
+	return pkt
+}
+
+// Put returns a descriptor to the pool. The packet must not be used
+// after Put. Dropped packets may be Put too: Drop released their
+// buffer, so they recycle only the descriptor.
+func (pl *Pool) Put(pkt *Packet) {
+	if pkt == nil {
+		return
+	}
+	pkt.reset()
+	pl.p.Put(pkt)
+}
+
+// SetFrame loads a frame into the packet by copying, reusing the
+// packet's buffer capacity when it suffices, and clears metadata and
+// parse state. It is the pooled counterpart of New(frame) without
+// taking ownership of the caller's slice.
+func (p *Packet) SetFrame(frame []byte) {
+	p.Meta = Meta{}
+	p.data = append(p.data[:0], frame...)
+	p.hdr = Headers{}
+	p.parsed = false
+	p.dropped = false
+}
+
+// reset clears the descriptor for recycling, keeping buffer capacity.
+func (p *Packet) reset() {
+	p.Meta = Meta{}
+	p.data = p.data[:0]
+	p.hdr = Headers{}
+	p.parsed = false
+	p.dropped = false
+}

@@ -1,0 +1,78 @@
+package packet
+
+import "testing"
+
+func poolPkt(t *testing.T) *Packet {
+	t.Helper()
+	return MustBuild(Spec{
+		SrcIP: IP4(10, 0, 0, 1), DstIP: IP4(10, 0, 0, 2),
+		SrcPort: 6000, DstPort: 80, Proto: ProtoUDP,
+		Payload: []byte("pooled payload"),
+	})
+}
+
+func TestPoolCloneMatchesClone(t *testing.T) {
+	pool := NewPool()
+	src := poolPkt(t)
+	got := pool.Clone(src)
+	want := src.Clone()
+	if string(got.Data()) != string(want.Data()) {
+		t.Fatal("pooled clone's frame differs from a plain Clone")
+	}
+	if got.Meta != want.Meta {
+		t.Fatalf("pooled clone meta %+v, want %+v", got.Meta, want.Meta)
+	}
+}
+
+func TestPoolPutResetsState(t *testing.T) {
+	pool := NewPool()
+	pkt := pool.Clone(poolPkt(t))
+	pkt.Meta.Initial = true
+	pkt.Meta.SeqInFlow = 99
+	pool.Put(pkt)
+	pool.Put(nil) // nil-safe
+
+	recycled := pool.Get()
+	if len(recycled.Data()) != 0 {
+		t.Errorf("recycled packet kept %d frame bytes", len(recycled.Data()))
+	}
+	if recycled.Meta != (Meta{}) {
+		t.Errorf("recycled packet kept meta %+v", recycled.Meta)
+	}
+}
+
+func TestPoolCloneIsIndependent(t *testing.T) {
+	pool := NewPool()
+	src := poolPkt(t)
+	cp := pool.Clone(src)
+	// Mutating the clone must not touch the source.
+	cp.Data()[0] ^= 0xff
+	if src.Data()[0] == cp.Data()[0] {
+		t.Fatal("pooled clone shares frame storage with its source")
+	}
+}
+
+func TestSetFrameReusesCapacity(t *testing.T) {
+	pkt := poolPkt(t)
+	orig := cap(pkt.Data())
+	pkt.SetFrame(pkt.Data()[:8])
+	if cap(pkt.Data()) > orig {
+		t.Fatalf("SetFrame grew capacity %d -> %d", orig, cap(pkt.Data()))
+	}
+	if len(pkt.Data()) != 8 {
+		t.Fatalf("SetFrame length = %d, want 8", len(pkt.Data()))
+	}
+}
+
+func TestPoolSteadyStateZeroAllocs(t *testing.T) {
+	pool := NewPool()
+	src := poolPkt(t)
+	// Warm the pool so the descriptor and its frame buffer exist.
+	pool.Put(pool.Clone(src))
+	if allocs := testing.AllocsPerRun(200, func() {
+		pkt := pool.Clone(src)
+		pool.Put(pkt)
+	}); allocs > 0 {
+		t.Errorf("steady-state Clone/Put cycle allocates %.1f objects/op, want 0", allocs)
+	}
+}

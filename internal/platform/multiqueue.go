@@ -20,6 +20,7 @@ import (
 type MultiQueue struct {
 	p       Platform
 	workers int
+	batch   int
 
 	// Per-worker telemetry, nil slices when the wrapped engine has no
 	// hub: queueDepth[w] is set at partition time, workerPkts[w] counts
@@ -55,6 +56,16 @@ func NewMultiQueue(p Platform, workers int) (*MultiQueue, error) {
 // Workers returns the configured queue count.
 func (m *MultiQueue) Workers() int { return m.workers }
 
+// SetBatchSize switches the workers to batched draining: each worker
+// owns a Batch (rule cache, pooled results) and feeds its queue through
+// the platform's ProcessBatch in n-packet vectors. n <= 1 keeps the
+// scalar per-packet loop; 0 is scalar, matching NewMultiQueue's
+// default. Call before Run, not during one.
+func (m *MultiQueue) SetBatchSize(n int) { m.batch = n }
+
+// BatchSize returns the configured vector size (0 or 1 = scalar).
+func (m *MultiQueue) BatchSize() int { return m.batch }
+
 // Platform returns the wrapped platform.
 func (m *MultiQueue) Platform() Platform { return m.p }
 
@@ -69,6 +80,44 @@ type mqPartial struct {
 	bottlenecks []uint64
 	flowCycles  map[flow.FID]uint64
 	err         error
+}
+
+// add folds one measurement into the partial.
+func (part *mqPartial) add(meas *Measurement) {
+	part.packets++
+	if meas.Result.Verdict == core.VerdictDrop {
+		part.drops++
+	}
+	part.workCycles = append(part.workCycles, meas.WorkCycles)
+	part.latencies = append(part.latencies, meas.LatencyCycles)
+	part.bottlenecks = append(part.bottlenecks, meas.BottleneckCycles)
+	part.flowCycles[meas.Result.FID] += meas.LatencyCycles
+}
+
+// drainBatched feeds one worker's queue through the platform in
+// m.batch-packet vectors, reusing a worker-owned Batch (rule cache and
+// result storage persist across vectors of the same queue — by the RSS
+// partition, exactly the packets of the worker's own flows).
+func (m *MultiQueue) drainBatched(w int, q []*packet.Packet, part *mqPartial) {
+	b := NewBatch(m.batch)
+	for off := 0; off < len(q); off += m.batch {
+		end := off + m.batch
+		if end > len(q) {
+			end = len(q)
+		}
+		ms, err := m.p.ProcessBatch(q[off:end], b)
+		if err != nil {
+			part.err = fmt.Errorf("platform %s: queue %d batch at packet %d: %w",
+				m.p.Name(), w, off, err)
+			return
+		}
+		for i := range ms {
+			part.add(&ms[i])
+		}
+		if m.workerPkts != nil {
+			m.workerPkts[w].Add(uint64(len(ms)))
+		}
+	}
 }
 
 // Run partitions the trace across the workers and processes the queues
@@ -101,6 +150,10 @@ func (m *MultiQueue) Run(pkts []*packet.Packet) (*RunResult, error) {
 			defer wg.Done()
 			part := &partials[w]
 			part.flowCycles = make(map[flow.FID]uint64)
+			if m.batch > 1 {
+				m.drainBatched(w, queues[w], part)
+				return
+			}
 			for i, pkt := range queues[w] {
 				meas, err := m.p.Process(pkt)
 				if err != nil {
@@ -108,17 +161,10 @@ func (m *MultiQueue) Run(pkts []*packet.Packet) (*RunResult, error) {
 						m.p.Name(), w, i, err)
 					return
 				}
-				part.packets++
+				part.add(&meas)
 				if m.workerPkts != nil {
 					m.workerPkts[w].Inc()
 				}
-				if meas.Result.Verdict == core.VerdictDrop {
-					part.drops++
-				}
-				part.workCycles = append(part.workCycles, meas.WorkCycles)
-				part.latencies = append(part.latencies, meas.LatencyCycles)
-				part.bottlenecks = append(part.bottlenecks, meas.BottleneckCycles)
-				part.flowCycles[meas.Result.FID] += meas.LatencyCycles
 			}
 		}(w)
 	}

@@ -36,6 +36,23 @@ func (p *engPlatform) Process(pkt *packet.Packet) (Measurement, error) {
 	}, nil
 }
 
+func (p *engPlatform) ProcessBatch(pkts []*packet.Packet, b *Batch) ([]Measurement, error) {
+	results, err := p.eng.ProcessBatch(pkts, b.Core)
+	if err != nil {
+		return nil, err
+	}
+	ms := b.Measurements(len(results))
+	for i, res := range results {
+		ms[i] = Measurement{
+			Result:           res,
+			WorkCycles:       res.WorkCycles,
+			LatencyCycles:    res.WorkCycles + 100,
+			BottleneckCycles: res.WorkCycles + 100,
+		}
+	}
+	return ms, nil
+}
+
 // dropNF deterministically drops one quarter of the flows by FID, so
 // serial and multi-queue runs must agree on the drop count.
 type dropNF struct{}
@@ -203,5 +220,85 @@ func TestMultiQueuePropagatesError(t *testing.T) {
 	}
 	if _, err := mq.Run([]*packet.Packet{pkt(t)}); err == nil {
 		t.Error("multiqueue swallowed the platform error")
+	}
+}
+
+// TestMultiQueueBatchedMatchesSerial is TestMultiQueueMatchesSerial
+// with batched workers: SetBatchSize must change only how packets move
+// (vectors through ProcessBatch instead of scalar calls), never the
+// aggregate accounting.
+func TestMultiQueueBatchedMatchesSerial(t *testing.T) {
+	serialP := newEngPlatform(t, []core.NF{dropNF{}}, core.DefaultOptions())
+	serial, err := Run(serialP, testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, batch := range []int{1, 8, 32} {
+		mqP := newEngPlatform(t, []core.NF{dropNF{}}, core.DefaultOptions())
+		mq, err := NewMultiQueue(mqP, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mq.SetBatchSize(batch)
+		if got := mq.BatchSize(); got != batch {
+			t.Fatalf("BatchSize = %d, want %d", got, batch)
+		}
+		par, err := mq.Run(testTrace(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Packets != serial.Packets || par.Drops != serial.Drops {
+			t.Errorf("batch=%d: packets=%d drops=%d, serial packets=%d drops=%d",
+				batch, par.Packets, par.Drops, serial.Packets, serial.Drops)
+		}
+		if par.Stats != serial.Stats {
+			t.Errorf("batch=%d: stats diverged:\nmq:     %+v\nserial: %+v", batch, par.Stats, serial.Stats)
+		}
+		var mqWork, serWork uint64
+		for _, c := range par.WorkCycles {
+			mqWork += c
+		}
+		for _, c := range serial.WorkCycles {
+			serWork += c
+		}
+		if mqWork != serWork {
+			t.Errorf("batch=%d: work cycles %d, serial %d", batch, mqWork, serWork)
+		}
+	}
+}
+
+// TestRunBatchMatchesRun drives the chunked batch runner over the same
+// trace as the scalar runner and compares every aggregate, with and
+// without a descriptor pool.
+func TestRunBatchMatchesRun(t *testing.T) {
+	serialP := newEngPlatform(t, []core.NF{dropNF{}}, core.DefaultOptions())
+	serial, err := Run(serialP, testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, withPool := range []bool{false, true} {
+		batchP := newEngPlatform(t, []core.NF{dropNF{}}, core.DefaultOptions())
+		var pool *packet.Pool
+		pkts := testTrace(t)
+		if withPool {
+			pool = packet.NewPool()
+			pooled := make([]*packet.Packet, 0, len(pkts))
+			for _, p := range pkts {
+				pooled = append(pooled, pool.Clone(p))
+			}
+			pkts = pooled
+		}
+		got, err := RunBatch(batchP, pkts, 32, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Packets != serial.Packets || got.Drops != serial.Drops {
+			t.Errorf("pool=%v: packets=%d drops=%d, serial packets=%d drops=%d",
+				withPool, got.Packets, got.Drops, serial.Packets, serial.Drops)
+		}
+		if got.Stats != serial.Stats {
+			t.Errorf("pool=%v: stats diverged:\nbatch:  %+v\nserial: %+v", withPool, got.Stats, serial.Stats)
+		}
 	}
 }

@@ -38,12 +38,47 @@ type Platform interface {
 	Name() string
 	// Process runs one packet through the chain.
 	Process(pkt *packet.Packet) (Measurement, error)
+	// ProcessBatch runs a vector of packets through the chain in
+	// arrival order, using the caller-owned Batch scratch (one per
+	// worker goroutine). Returned measurements point into the Batch and
+	// are valid until its next use. Semantics match calling Process per
+	// packet; platforms amortize dispatch, lookups and allocations
+	// across the vector.
+	ProcessBatch(pkts []*packet.Packet, b *Batch) ([]Measurement, error)
 	// Engine exposes the underlying SpeedyBox engine.
 	Engine() *core.Engine
 	// Model exposes the cost model.
 	Model() *cost.Model
 	// Close releases platform resources (pipeline goroutines).
 	Close() error
+}
+
+// Batch is per-worker scratch for ProcessBatch: the engine-level batch
+// state (rule cache, pooled result storage) plus the platform's
+// measurement buffer. It must not be shared between goroutines.
+type Batch struct {
+	// Core is the engine-level batch scratch.
+	Core *core.Batch
+	meas []Measurement
+}
+
+// NewBatch returns batch scratch sized for n-packet vectors (0 picks
+// core.DefaultBatchSize).
+func NewBatch(n int) *Batch {
+	if n <= 0 {
+		n = core.DefaultBatchSize
+	}
+	return &Batch{Core: core.NewBatch(n), meas: make([]Measurement, n)}
+}
+
+// Measurements returns the reusable measurement buffer resized to n
+// (for platform implementations).
+func (b *Batch) Measurements(n int) []Measurement {
+	if cap(b.meas) < n {
+		b.meas = make([]Measurement, n)
+	}
+	b.meas = b.meas[:n]
+	return b.meas
 }
 
 // DisplayName composes the conventional platform label.
@@ -149,6 +184,50 @@ func Run(p Platform, pkts []*packet.Packet) (*RunResult, error) {
 		res.Latencies = append(res.Latencies, m.LatencyCycles)
 		res.Bottlenecks = append(res.Bottlenecks, m.BottleneckCycles)
 		res.FlowCycles[m.Result.FID] += m.LatencyCycles
+	}
+	res.Stats = p.Engine().Stats()
+	return res, nil
+}
+
+// RunBatch is Run over batchSize-packet vectors (0 picks
+// core.DefaultBatchSize): packets are fed through ProcessBatch in
+// arrival order and measurements aggregate exactly as Run's. When pool
+// is non-nil, every packet is returned to it after its measurement is
+// folded in, so pooled trace replay recycles descriptors.
+func RunBatch(p Platform, pkts []*packet.Packet, batchSize int, pool *packet.Pool) (*RunResult, error) {
+	if batchSize <= 0 {
+		batchSize = core.DefaultBatchSize
+	}
+	b := NewBatch(batchSize)
+	res := &RunResult{
+		FlowCycles: make(map[flow.FID]uint64),
+		model:      p.Model(),
+	}
+	for off := 0; off < len(pkts); off += batchSize {
+		end := off + batchSize
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		ms, err := p.ProcessBatch(pkts[off:end], b)
+		if err != nil {
+			return nil, fmt.Errorf("platform %s: batch at packet %d: %w", p.Name(), off, err)
+		}
+		for i := range ms {
+			m := &ms[i]
+			res.Packets++
+			if m.Result.Verdict == core.VerdictDrop {
+				res.Drops++
+			}
+			res.WorkCycles = append(res.WorkCycles, m.WorkCycles)
+			res.Latencies = append(res.Latencies, m.LatencyCycles)
+			res.Bottlenecks = append(res.Bottlenecks, m.BottleneckCycles)
+			res.FlowCycles[m.Result.FID] += m.LatencyCycles
+		}
+		if pool != nil {
+			for _, pkt := range pkts[off:end] {
+				pool.Put(pkt)
+			}
+		}
 	}
 	res.Stats = p.Engine().Stats()
 	return res, nil

@@ -36,6 +36,18 @@ func (f *fakePlatform) Process(pkt *packet.Packet) (Measurement, error) {
 	return m, nil
 }
 
+func (f *fakePlatform) ProcessBatch(pkts []*packet.Packet, b *Batch) ([]Measurement, error) {
+	ms := b.Measurements(len(pkts))[:0]
+	for _, pkt := range pkts {
+		m, err := f.Process(pkt)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	return ms, nil
+}
+
 type noopNF struct{}
 
 func (noopNF) Name() string { return "noop" }

@@ -91,6 +91,53 @@ func (r *Ring[T]) TryEnqueue(item T) error {
 	return nil
 }
 
+// EnqueueBatch inserts all items in order under a single lock
+// acquisition when capacity allows, blocking (per free slot) when the
+// ring fills mid-batch. It returns the number of items accepted, with
+// ErrClosed if the ring closes before every item is in; items already
+// enqueued stay enqueued, so callers can dispose of items[n:].
+func (r *Ring[T]) EnqueueBatch(items []T) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, item := range items {
+		for r.count == len(r.buf) && !r.closed {
+			r.notFull.Wait()
+		}
+		if r.closed {
+			return i, ErrClosed
+		}
+		r.put(item)
+	}
+	return len(items), nil
+}
+
+// DequeueBatch blocks until at least one item is available, then fills
+// dst with as many items as are immediately present, up to len(dst),
+// and returns the count. It never waits for a full batch — a lone item
+// is handed over as a batch of one — which is the flush-on-idle
+// property: batching amortizes lock traffic at load without adding
+// queueing latency when traffic is sparse. After Close, remaining
+// items drain normally; once empty it returns ErrClosed.
+func (r *Ring[T]) DequeueBatch(dst []T) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.count == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	if r.count == 0 {
+		return 0, ErrClosed
+	}
+	n := 0
+	for n < len(dst) && r.count > 0 {
+		dst[n] = r.take()
+		n++
+	}
+	return n, nil
+}
+
 func (r *Ring[T]) put(item T) {
 	tail := (r.head + r.count) % len(r.buf)
 	r.buf[tail] = item

@@ -2,6 +2,7 @@ package ring
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -205,5 +206,138 @@ func TestLen(t *testing.T) {
 	_ = r.Enqueue(2)
 	if r.Len() != 2 {
 		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestEnqueueBatchDequeueBatch(t *testing.T) {
+	r := New[int](8)
+	in := []int{1, 2, 3, 4, 5}
+	n, err := r.EnqueueBatch(in)
+	if err != nil || n != len(in) {
+		t.Fatalf("EnqueueBatch = (%d, %v), want (%d, nil)", n, err, len(in))
+	}
+	dst := make([]int, 8)
+	n, err = r.DequeueBatch(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(in) {
+		t.Fatalf("DequeueBatch drained %d, want %d", n, len(in))
+	}
+	for i, v := range dst[:n] {
+		if v != in[i] {
+			t.Fatalf("slot %d = %d, want %d (FIFO across batch ops)", i, v, in[i])
+		}
+	}
+}
+
+func TestEnqueueBatchBlocksWhenFullMidBatch(t *testing.T) {
+	r := New[int](2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// 4 items through a 2-slot ring: the producer must block
+		// mid-batch until the consumer makes room, losing nothing.
+		if n, err := r.EnqueueBatch([]int{10, 11, 12, 13}); err != nil || n != 4 {
+			t.Errorf("EnqueueBatch = (%d, %v)", n, err)
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		v, err := r.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 10+i {
+			t.Fatalf("got %d, want %d", v, 10+i)
+		}
+	}
+	<-done
+}
+
+func TestEnqueueBatchClosedMidBatch(t *testing.T) {
+	r := New[int](2)
+	started := make(chan struct{})
+	type result struct {
+		n   int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		close(started)
+		n, err := r.EnqueueBatch([]int{1, 2, 3, 4})
+		done <- result{n, err}
+	}()
+	<-started
+	// Let the producer fill the ring and block on the third item, then
+	// close under it: it must report how many items made it in so the
+	// caller can dispose of the rest.
+	for r.Len() < 2 {
+		runtime.Gosched()
+	}
+	r.Close()
+	res := <-done
+	if !errors.Is(res.err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", res.err)
+	}
+	if res.n != 2 {
+		t.Fatalf("accepted %d items before close, want 2", res.n)
+	}
+}
+
+func TestDequeueBatchFlushOnIdle(t *testing.T) {
+	r := New[int](8)
+	_ = r.Enqueue(42)
+	dst := make([]int, 8)
+	// One item present: DequeueBatch must return immediately with just
+	// it rather than waiting for a full vector (flush-on-idle).
+	n, err := r.DequeueBatch(dst)
+	if err != nil || n != 1 || dst[0] != 42 {
+		t.Fatalf("DequeueBatch = (%d, %v) dst[0]=%d, want (1, nil) 42", n, err, dst[0])
+	}
+}
+
+func TestDequeueBatchBlocksUntilItem(t *testing.T) {
+	r := New[int](4)
+	got := make(chan int, 1)
+	go func() {
+		dst := make([]int, 4)
+		n, err := r.DequeueBatch(dst) // blocks: ring is empty
+		if err != nil || n < 1 {
+			t.Errorf("DequeueBatch = (%d, %v)", n, err)
+			got <- -1
+			return
+		}
+		got <- dst[0]
+	}()
+	if err := r.Enqueue(7); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-got; v != 7 {
+		t.Fatalf("woke with %d, want 7", v)
+	}
+}
+
+func TestDequeueBatchClosedAfterDrain(t *testing.T) {
+	r := New[int](4)
+	_ = r.Enqueue(1)
+	_ = r.Enqueue(2)
+	r.Close()
+	dst := make([]int, 4)
+	n, err := r.DequeueBatch(dst)
+	if err != nil || n != 2 {
+		t.Fatalf("drain = (%d, %v), want (2, nil)", n, err)
+	}
+	if _, err := r.DequeueBatch(dst); !errors.Is(err, ErrClosed) {
+		t.Fatalf("after drain = %v, want ErrClosed", err)
+	}
+}
+
+func TestBatchOpsEmptyArgs(t *testing.T) {
+	r := New[int](4)
+	if n, err := r.EnqueueBatch(nil); err != nil || n != 0 {
+		t.Errorf("EnqueueBatch(nil) = (%d, %v)", n, err)
+	}
+	if n, err := r.DequeueBatch(nil); err != nil || n != 0 {
+		t.Errorf("DequeueBatch(nil) = (%d, %v)", n, err)
 	}
 }

@@ -82,6 +82,16 @@ func (h *Histogram) Record(v uint64, hint uint32) {
 	h.shards[hint&histShardMask].counts[bucketIndex(v)].Add(1)
 }
 
+// RecordN adds n samples of the same value in one atomic add. The
+// batched data path folds a run of packets with identical modeled work
+// into a single record.
+func (h *Histogram) RecordN(v, n uint64, hint uint32) {
+	if n == 0 {
+		return
+	}
+	h.shards[hint&histShardMask].counts[bucketIndex(v)].Add(n)
+}
+
 // Snapshot folds the shards into a point-in-time snapshot. Concurrent
 // Records may or may not be included; each is counted exactly once
 // across successive snapshots of a quiescent histogram.

@@ -134,3 +134,24 @@ func TestEmptySnapshot(t *testing.T) {
 		t.Errorf("out-of-range quantile should be NaN")
 	}
 }
+
+func TestRecordN(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 50; i++ {
+		a.Record(777, 3)
+	}
+	b.RecordN(777, 50, 3)
+	as, bs := a.Snapshot(), b.Snapshot()
+	if as.Total != bs.Total {
+		t.Fatalf("totals differ: %d loops vs %d batched", as.Total, bs.Total)
+	}
+	for i := range as.Counts {
+		if as.Counts[i] != bs.Counts[i] {
+			t.Fatalf("bucket %d: %d looped vs %d batched", i, as.Counts[i], bs.Counts[i])
+		}
+	}
+	b.RecordN(999, 0, 0) // no-op
+	if got := b.Snapshot().Total; got != 50 {
+		t.Fatalf("RecordN(_, 0) changed total to %d", got)
+	}
+}

@@ -152,6 +152,20 @@ func (t *Trace) Packets() []*packet.Packet {
 	return out
 }
 
+// PacketsPooled is Packets drawing every descriptor from the pool and
+// reusing dst's storage for the slice: each returned packet is a
+// recycled descriptor holding a fresh copy of the trace packet.
+// Returning the packets to the pool after processing (platform.RunBatch
+// does this when handed the pool) makes repeated replays of a trace
+// stop allocating descriptors in steady state.
+func (t *Trace) PacketsPooled(pool *packet.Pool, dst []*packet.Packet) []*packet.Packet {
+	dst = dst[:0]
+	for _, p := range t.packets {
+		dst = append(dst, pool.Clone(p))
+	}
+	return dst
+}
+
 type timedPacket struct {
 	at  float64
 	seq int

@@ -223,3 +223,38 @@ func TestKindString(t *testing.T) {
 		t.Error("kind strings wrong")
 	}
 }
+
+func TestPacketsPooledMatchesPackets(t *testing.T) {
+	tr, err := Generate(Config{Seed: 5, Flows: 8, Interleave: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := packet.NewPool()
+	plain := tr.Packets()
+	pooled := tr.PacketsPooled(pool, nil)
+	if len(pooled) != len(plain) {
+		t.Fatalf("pooled %d packets, plain %d", len(pooled), len(plain))
+	}
+	for i := range plain {
+		if string(pooled[i].Data()) != string(plain[i].Data()) {
+			t.Fatalf("packet %d: pooled frame differs", i)
+		}
+		if pooled[i].Meta != plain[i].Meta {
+			t.Fatalf("packet %d: pooled meta %+v, plain %+v", i, pooled[i].Meta, plain[i].Meta)
+		}
+	}
+	// Returning everything and replaying must reuse dst's storage and
+	// yield the same trace again.
+	for _, p := range pooled {
+		pool.Put(p)
+	}
+	again := tr.PacketsPooled(pool, pooled[:0])
+	if &again[0] != &pooled[0] {
+		t.Error("PacketsPooled reallocated dst despite sufficient capacity")
+	}
+	for i := range plain {
+		if string(again[i].Data()) != string(plain[i].Data()) {
+			t.Fatalf("replay packet %d: frame differs", i)
+		}
+	}
+}

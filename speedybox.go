@@ -188,6 +188,12 @@ type (
 	// MultiQueue is an RSS-style runner: flows are hash-partitioned
 	// across worker goroutines that drive the platform concurrently.
 	MultiQueue = platform.MultiQueue
+	// Batch is per-worker scratch for the batched data path (rule
+	// cache, pooled result and measurement storage).
+	Batch = platform.Batch
+	// PacketPool recycles packet descriptors so trace replay stops
+	// allocating.
+	PacketPool = packet.Pool
 	// CostModel holds the calibrated cycle constants.
 	CostModel = cost.Model
 )
@@ -243,6 +249,23 @@ func NewONVMPipeline(chain []NF, opts Options) (*ONVM, error) {
 func Run(p Platform, pkts []*Packet) (*RunResult, error) {
 	return platform.Run(p, pkts)
 }
+
+// RunBatch is Run in batchSize-packet vectors (0 picks the canonical
+// 32): the platform's ProcessBatch amortizes classification, rule
+// lookups, allocations and counter updates across each vector while
+// preserving arrival order. A non-nil pool receives every packet back
+// after measurement, so pooled trace replay recycles descriptors.
+func RunBatch(p Platform, pkts []*Packet, batchSize int, pool *PacketPool) (*RunResult, error) {
+	return platform.RunBatch(p, pkts, batchSize, pool)
+}
+
+// NewBatch returns per-worker batch scratch for Platform.ProcessBatch
+// (0 picks the canonical 32-packet vector size).
+func NewBatch(n int) *Batch { return platform.NewBatch(n) }
+
+// NewPacketPool returns an empty descriptor pool; Get/Clone draw
+// recycled packets and Put returns them.
+func NewPacketPool() *PacketPool { return packet.NewPool() }
 
 // NewMultiQueue wraps a platform with a workers-way RSS dispatcher:
 // MultiQueue.Run hash-partitions flows across the workers, preserving
