@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	speedybench [-exp all|fig4|table3|fig5|fig6|fig7|fig8|fig9a|fig9b|equiv|vpnx|crossover|mq|oracle] [-seed N] [-flows N] [-batch N] [-json]
+//	speedybench [-exp all|fig4|table3|fig5|fig6|fig7|fig8|fig9a|fig9b|equiv|vpnx|crossover|mq|oracle|reconfig] [-seed N] [-flows N] [-batch N] [-json]
 //
 // The oracle experiment runs the differential fast/slow-path
 // equivalence oracle under randomized fault schedules
 // (-oracle-schedules, default 200) and exits nonzero on any
-// divergence, so CI can enforce it.
+// divergence, so CI can enforce it; -oracle-reconfigs additionally
+// applies that many live chain reconfigurations per schedule, to both
+// engines at the same packet indices. The reconfig experiment inserts
+// a gateway NF mid-trace and exits nonzero unless the run drops
+// nothing and the fast-path hit rate recovers to >=90% of its
+// pre-change baseline.
 package main
 
 import (
@@ -35,7 +40,7 @@ func main() {
 type formatter interface{ Format() string }
 
 // experiments enumerates the runnable experiments in paper order.
-func experiments(cfg harness.Config, oracleSchedules int) []struct {
+func experiments(cfg harness.Config, oracleSchedules, oracleReconfigs int) []struct {
 	name string
 	run  func() (formatter, error)
 } {
@@ -58,7 +63,7 @@ func experiments(cfg harness.Config, oracleSchedules int) []struct {
 		{"oracle", func() (formatter, error) {
 			res, err := harness.RunOracle(harness.OracleConfig{
 				Seed: cfg.Seed, Schedules: oracleSchedules, Flows: cfg.Flows,
-				Batch: cfg.Batch,
+				Batch: cfg.Batch, Reconfigs: oracleReconfigs,
 			})
 			if err != nil {
 				return nil, err
@@ -68,13 +73,24 @@ func experiments(cfg harness.Config, oracleSchedules int) []struct {
 			}
 			return res, nil
 		}},
+		{"reconfig", func() (formatter, error) {
+			res, err := harness.RunReconfig(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if !res.Passed() {
+				return nil, fmt.Errorf("reconfiguration experiment FAILED:\n%s", res.Format())
+			}
+			return res, nil
+		}},
 	}
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("speedybench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, fig4, table3, fig5, fig6, fig7, fig8, fig9a, fig9b, equiv, vpnx, crossover, mq, oracle")
+	exp := fs.String("exp", "all", "experiment to run: all, fig4, table3, fig5, fig6, fig7, fig8, fig9a, fig9b, equiv, vpnx, crossover, mq, oracle, reconfig")
 	oracleSchedules := fs.Int("oracle-schedules", 200, "fault schedules for -exp oracle")
+	oracleReconfigs := fs.Int("oracle-reconfigs", 0, "live chain reconfigurations per oracle schedule (0 = none)")
 	seed := fs.Int64("seed", 1, "trace generation seed")
 	flows := fs.Int("flows", 0, "trace size in flows (0 = experiment default)")
 	batch := fs.Int("batch", 0, "process packets in vectors of this size (0 = per-packet); for -exp oracle the fast engine runs batched against the scalar reference")
@@ -104,7 +120,7 @@ func run(args []string, out io.Writer) error {
 
 	jsonOut := make(map[string]any)
 	ran := false
-	for _, e := range experiments(cfg, *oracleSchedules) {
+	for _, e := range experiments(cfg, *oracleSchedules, *oracleReconfigs) {
 		if *exp != "all" && *exp != e.name {
 			continue
 		}

@@ -44,7 +44,10 @@ type Platform struct {
 	lat *telemetry.Histogram
 }
 
-var _ platform.Platform = (*Platform)(nil)
+var (
+	_ platform.Platform     = (*Platform)(nil)
+	_ platform.Reconfigurer = (*Platform)(nil)
+)
 
 // New builds a BESS platform. BESS has no chain-length limit: all NFs
 // share one process (§VII-B2).
@@ -75,6 +78,13 @@ func (p *Platform) Model() *cost.Model { return p.eng.Model() }
 
 // Close implements platform.Platform; BESS holds no goroutines.
 func (p *Platform) Close() error { return nil }
+
+// Reconfigure implements platform.Reconfigurer. BESS runs the chain to
+// completion on one core, so the engine's snapshot swap is the whole
+// transition: the next packet's traversal loads the new run-to-completion
+// vector, and in-flight batch workers fall back to the slow path when
+// their rule caches miss on the bumped generation.
+func (p *Platform) Reconfigure(plan core.ChainPlan) error { return p.eng.Reconfigure(plan) }
 
 // Process implements platform.Platform.
 func (p *Platform) Process(pkt *packet.Packet) (platform.Measurement, error) {

@@ -1,0 +1,131 @@
+package chainspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+)
+
+// ChainPlan is a declarative, versioned description of one live chain
+// change, the configuration-file counterpart of core.ChainPlan:
+//
+//	{"version": 1, "op": "insert", "pos": 2,
+//	 "nf": {"type": "monitor", "name": "mon-b"}}
+//
+//	{"version": 1, "op": "remove", "name": "mon-b"}
+//
+// Compile validates the plan against the engine's current chain and
+// instantiates the new NF (if any), producing a core.ChainPlan for
+// Engine.Reconfigure. Validation errors reuse core's typed sentinels
+// so callers can errors.Is against them.
+type ChainPlan struct {
+	// Version is the plan schema version; 0 and 1 both mean v1.
+	Version int `json:"version,omitempty"`
+	// Op is one of "insert", "remove", "replace", "reorder".
+	Op string `json:"op"`
+	// Name identifies the affected NF for remove, replace and reorder.
+	Name string `json:"name,omitempty"`
+	// Pos is the target position for insert (0..len) and reorder
+	// (0..len-1).
+	Pos int `json:"pos,omitempty"`
+	// NF describes the new instance for insert and replace.
+	NF *NFSpec `json:"nf,omitempty"`
+}
+
+// ParsePlan decodes and structurally validates a JSON plan.
+func ParsePlan(data []byte) (*ChainPlan, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var p ChainPlan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("chainspec: %w", err)
+	}
+	if p.Version != 0 && p.Version != 1 {
+		return nil, fmt.Errorf("chainspec: unsupported plan version %d", p.Version)
+	}
+	if _, err := p.op(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// op maps the JSON operation name onto core's enum.
+func (p *ChainPlan) op() (core.ReconfigOp, error) {
+	switch p.Op {
+	case "insert":
+		return core.OpInsert, nil
+	case "remove":
+		return core.OpRemove, nil
+	case "replace":
+		return core.OpReplace, nil
+	case "reorder":
+		return core.OpReorder, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown op %q", core.ErrPlanInvalid, p.Op)
+	}
+}
+
+// Compile validates the plan against the current chain's NF names (in
+// order, e.g. core.Engine.ChainNames()) and instantiates the new NF
+// when the operation needs one. The same validations Engine.Reconfigure
+// performs run here first, against the caller-supplied view, so a bad
+// plan is rejected before an NF is built; the engine revalidates under
+// its own lock, since the chain may have changed in between.
+func (p *ChainPlan) Compile(current []string) (core.ChainPlan, error) {
+	op, err := p.op()
+	if err != nil {
+		return core.ChainPlan{}, err
+	}
+	names := make(map[string]int, len(current))
+	for i, n := range current {
+		names[n] = i
+	}
+	out := core.ChainPlan{Op: op, Name: p.Name, Pos: p.Pos}
+	switch op {
+	case core.OpInsert:
+		if p.NF == nil {
+			return core.ChainPlan{}, fmt.Errorf("%w: insert without an nf", core.ErrPlanInvalid)
+		}
+		if p.Pos < 0 || p.Pos > len(current) {
+			return core.ChainPlan{}, fmt.Errorf("%w: insert at %d in a chain of %d", core.ErrPlanOutOfRange, p.Pos, len(current))
+		}
+	case core.OpRemove:
+		if _, ok := names[p.Name]; !ok {
+			return core.ChainPlan{}, fmt.Errorf("%w: remove %q", core.ErrPlanUnknownNF, p.Name)
+		}
+		if len(current) == 1 {
+			return core.ChainPlan{}, fmt.Errorf("%w: removing %q", core.ErrPlanEmptyChain, p.Name)
+		}
+	case core.OpReplace:
+		if p.NF == nil {
+			return core.ChainPlan{}, fmt.Errorf("%w: replace without an nf", core.ErrPlanInvalid)
+		}
+		if _, ok := names[p.Name]; !ok {
+			return core.ChainPlan{}, fmt.Errorf("%w: replace %q", core.ErrPlanUnknownNF, p.Name)
+		}
+	case core.OpReorder:
+		if _, ok := names[p.Name]; !ok {
+			return core.ChainPlan{}, fmt.Errorf("%w: reorder %q", core.ErrPlanUnknownNF, p.Name)
+		}
+		if p.Pos < 0 || p.Pos >= len(current) {
+			return core.ChainPlan{}, fmt.Errorf("%w: reorder to %d in a chain of %d", core.ErrPlanOutOfRange, p.Pos, len(current))
+		}
+	}
+	if p.NF != nil && (op == core.OpInsert || op == core.OpReplace) {
+		name := p.NF.Name
+		if name == "" {
+			name = p.NF.Type
+		}
+		if i, dup := names[name]; dup && !(op == core.OpReplace && current[i] == p.Name) {
+			return core.ChainPlan{}, fmt.Errorf("%w: %q", core.ErrPlanDuplicateNF, name)
+		}
+		nf, err := p.NF.build(name)
+		if err != nil {
+			return core.ChainPlan{}, fmt.Errorf("chainspec: plan nf (%s): %w", p.NF.Type, err)
+		}
+		out.NF = nf
+	}
+	return out, nil
+}

@@ -97,16 +97,20 @@ type recShard struct {
 // recording claims, counters) is sharded by FID so workers handling
 // disjoint flows do not contend.
 type Engine struct {
-	model  *cost.Model
-	opts   Options
-	chain  []NF
-	locals []*mat.Local
-	// localByName indexes locals by NF name for event firings; built
-	// once so the fast path never rebuilds a map per packet.
-	localByName map[string]*mat.Local
-	global      *mat.Global
-	events      *event.Table
-	class       *classifier.Classifier
+	model *cost.Model
+	opts  Options
+	// cur is the live chain snapshot: the NF sequence, its Local MATs,
+	// the name index and the chain epoch, all immutable once published.
+	// Reconfigure swaps in a fresh snapshot atomically; data-path code
+	// loads the pointer once per packet (or per batch element) and works
+	// against that consistent view for the whole traversal.
+	cur atomic.Pointer[chainState]
+	// reconfigMu serializes Reconfigure: plan validation, epoch advance,
+	// snapshot publication and the stale sweep form one critical section.
+	reconfigMu sync.Mutex
+	global     *mat.Global
+	events     *event.Table
+	class      *classifier.Classifier
 	// hasRule is the classifier's Global MAT probe, built once at
 	// construction (nil when SpeedyBox is disabled) so Classify does
 	// not allocate a closure per packet.
@@ -140,26 +144,20 @@ func NewEngine(chain []NF, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	seen := make(map[string]bool, len(chain))
-	locals := make([]*mat.Local, len(chain))
-	byName := make(map[string]*mat.Local, len(chain))
-	for i, nf := range chain {
+	for _, nf := range chain {
 		if seen[nf.Name()] {
 			return nil, fmt.Errorf("%w: %q", ErrDuplicateNF, nf.Name())
 		}
 		seen[nf.Name()] = true
-		locals[i] = mat.NewLocal(nf.Name())
-		byName[nf.Name()] = locals[i]
 	}
 	e := &Engine{
-		model:       opts.Model,
-		opts:        opts,
-		chain:       chain,
-		locals:      locals,
-		localByName: byName,
-		global:      mat.NewGlobal(),
-		events:      event.NewTable(),
-		class:       classifier.New(flow.NewTable()),
+		model:  opts.Model,
+		opts:   opts,
+		global: mat.NewGlobal(),
+		events: event.NewTable(),
+		class:  classifier.New(flow.NewTable()),
 	}
+	e.cur.Store(newChainState(chain, nil, 0))
 	for i := range e.recording {
 		e.recording[i].fids = make(map[flow.FID]struct{})
 	}
@@ -218,8 +216,30 @@ func (e *Engine) Model() *cost.Model { return e.model }
 // Options returns the engine's configuration.
 func (e *Engine) Options() Options { return e.opts }
 
-// ChainLen returns the number of NFs.
-func (e *Engine) ChainLen() int { return len(e.chain) }
+// state returns the live chain snapshot. Callers traversing the chain
+// load it once and use the same snapshot throughout, so a concurrent
+// Reconfigure never shears a traversal.
+func (e *Engine) state() *chainState { return e.cur.Load() }
+
+// ChainLen returns the number of NFs in the live chain.
+func (e *Engine) ChainLen() int { return len(e.state().chain) }
+
+// ChainNames returns the live chain's NF names in order.
+func (e *Engine) ChainNames() []string {
+	cs := e.state()
+	out := make([]string, len(cs.chain))
+	for i, nf := range cs.chain {
+		out[i] = nf.Name()
+	}
+	return out
+}
+
+// Epoch returns the current chain epoch (bumped by Reconfigure).
+func (e *Engine) Epoch() uint64 { return e.global.Epoch() }
+
+// DegradedFlows returns how many flows currently sit on the
+// degradation ladder (slow-path only, awaiting rule reinstallation).
+func (e *Engine) DegradedFlows() int { return e.degradedLen() }
 
 // Global exposes the Global MAT (tests and platforms).
 func (e *Engine) Global() *mat.Global { return e.global }
@@ -227,8 +247,8 @@ func (e *Engine) Global() *mat.Global { return e.global }
 // Events exposes the Event Table.
 func (e *Engine) Events() *event.Table { return e.events }
 
-// Local returns the Local MAT of the i-th NF.
-func (e *Engine) Local(i int) *mat.Local { return e.locals[i] }
+// Local returns the Local MAT of the i-th NF in the live chain.
+func (e *Engine) Local(i int) *mat.Local { return e.state().locals[i] }
 
 // Telemetry returns the hub this engine reports into, nil when
 // telemetry is disabled. Platform wrappers use it to register their
@@ -292,14 +312,15 @@ func (e *Engine) Classify(pkt *packet.Packet) (classifier.Result, error) {
 // connection on a reused 5-tuple. The flow-table entry itself stays
 // (the classifier has already reset it to the handshake state).
 func (e *Engine) resetReusedFlow(fid flow.FID) {
+	cs := e.state()
 	removed := e.global.Remove(fid)
-	for _, l := range e.locals {
+	for _, l := range cs.locals {
 		l.Delete(fid)
 	}
 	e.events.Remove(fid)
 	// The new connection must not inherit the old one's fault backoff.
 	e.dropDegraded(fid)
-	for _, nf := range e.chain {
+	for _, nf := range cs.chain {
 		if closer, ok := nf.(FlowCloser); ok {
 			closer.FlowClosed(fid)
 		}
@@ -318,10 +339,11 @@ func (e *Engine) resetReusedFlow(fid flow.FID) {
 // it from per-NF goroutines; PrepareRecording must have run first for
 // recording packets.
 func (e *Engine) ProcessNF(i int, fid flow.FID, pkt *packet.Packet, recording bool) (Verdict, uint64, error) {
-	if i < 0 || i >= len(e.chain) {
+	cs := e.state()
+	if i < 0 || i >= len(cs.chain) {
 		return 0, 0, fmt.Errorf("core: NF index %d out of range", i)
 	}
-	nf := e.chain[i]
+	nf := cs.chain[i]
 	ledger := getLedger()
 	defer putLedger(ledger)
 	ctx := &Ctx{
@@ -330,9 +352,10 @@ func (e *Engine) ProcessNF(i int, fid flow.FID, pkt *packet.Packet, recording bo
 		Model:     e.model,
 		nf:        nf.Name(),
 		ledger:    ledger,
-		local:     e.locals[i],
+		local:     cs.locals[i],
 		events:    e.events,
 		recording: recording,
+		epoch:     cs.epoch,
 	}
 	v, err := nf.Process(ctx, pkt)
 	if err != nil {
@@ -356,7 +379,7 @@ func putLedger(l *cost.Ledger) {
 // PrepareRecording clears the flow's Local MAT entries and events so
 // an initial packet re-records from scratch.
 func (e *Engine) PrepareRecording(fid flow.FID) {
-	for _, l := range e.locals {
+	for _, l := range e.state().locals {
 		l.Delete(fid)
 	}
 	e.events.Remove(fid)
@@ -368,7 +391,7 @@ func (e *Engine) PrepareRecording(fid flow.FID) {
 // path; the caller decides whether that is fatal.
 func (e *Engine) ConsolidateFlow(fid flow.FID) (uint64, error) {
 	info := &SlowPathInfo{}
-	if err := e.consolidate(fid, info); err != nil {
+	if err := e.consolidate(fid, info, e.state()); err != nil {
 		return 0, err
 	}
 	return info.ConsolidateCycles, nil
@@ -482,6 +505,7 @@ func (e *Engine) ProcessPacket(pkt *packet.Packet) (*PacketResult, error) {
 // slowPath runs the packet through the original service chain,
 // recording behaviour when requested.
 func (e *Engine) slowPath(fid flow.FID, pkt *packet.Packet, recording bool) (*PacketResult, error) {
+	cs := e.state()
 	ledger := getLedger()
 	defer putLedger(ledger)
 	info := &SlowPathInfo{DropIndex: -1}
@@ -506,11 +530,12 @@ func (e *Engine) slowPath(fid flow.FID, pkt *packet.Packet, recording bool) (*Pa
 		ledger:    ledger,
 		events:    e.events,
 		recording: recording,
+		epoch:     cs.epoch,
 	}
 	abortRecording := false
-	for i, nf := range e.chain {
+	for i, nf := range cs.chain {
 		ctx.nf = nf.Name()
-		ctx.local = e.locals[i]
+		ctx.local = cs.locals[i]
 		if e.faults != nil && e.faults.Should(fault.KindNFError, fid) {
 			// Fault: the NF "crashes" before touching the packet and
 			// restarts. The restarted NF reprocesses the hop
@@ -553,7 +578,7 @@ func (e *Engine) slowPath(fid flow.FID, pkt *packet.Packet, recording bool) (*Pa
 		recording = false
 	}
 	if recording {
-		if err := e.consolidate(fid, info); err != nil {
+		if err := e.consolidate(fid, info, cs); err != nil {
 			if !errors.Is(err, mat.ErrNotConsolidatable) {
 				return nil, err
 			}
@@ -565,13 +590,16 @@ func (e *Engine) slowPath(fid flow.FID, pkt *packet.Packet, recording bool) (*Pa
 	return res, nil
 }
 
-// consolidate snapshots the Local MATs and installs the Global MAT
-// rule, charging the consolidation cost into info.
-func (e *Engine) consolidate(fid flow.FID, info *SlowPathInfo) error {
-	contribs := make([]mat.Contribution, 0, len(e.chain))
+// consolidate snapshots the Local MATs of the given chain snapshot and
+// installs the Global MAT rule, charging the consolidation cost into
+// info. The installed rule carries the snapshot's epoch: if a
+// reconfiguration raced this traversal, the rule is born under the
+// retired epoch and LookupLive never serves it.
+func (e *Engine) consolidate(fid flow.FID, info *SlowPathInfo, cs *chainState) error {
+	contribs := make([]mat.Contribution, 0, len(cs.chain))
 	contributed := 0
-	for i, nf := range e.chain {
-		rule, ok := e.locals[i].Get(fid)
+	for i, nf := range cs.chain {
+		rule, ok := cs.locals[i].Get(fid)
 		if !ok {
 			contribs = append(contribs, mat.Contribution{NF: nf.Name()})
 			continue
@@ -586,6 +614,7 @@ func (e *Engine) consolidate(fid flow.FID, info *SlowPathInfo) error {
 		}
 		return err
 	}
+	rule.Epoch = cs.epoch
 	// The merge work was done whether or not the install below lands.
 	info.ConsolidateCycles = e.model.ConsolidateBase + e.model.ConsolidatePerNF*uint64(contributed)
 	if e.faults != nil && e.faults.Should(fault.KindInstallFail, fid) {
@@ -611,7 +640,7 @@ func (e *Engine) consolidate(fid flow.FID, info *SlowPathInfo) error {
 	}
 	e.clearDegraded(fid)
 	if !replaced {
-		e.maybeStorm(fid)
+		e.maybeStorm(fid, cs)
 	}
 	return nil
 }
@@ -622,16 +651,17 @@ func (e *Engine) consolidate(fid flow.FID, info *SlowPathInfo) error {
 // updates keep the rule semantically unchanged (the oracle proves it),
 // but churn version counters, replacement metrics and the event
 // tables — exactly the load a misbehaving condition handler creates.
-func (e *Engine) maybeStorm(fid flow.FID) {
+func (e *Engine) maybeStorm(fid flow.FID, cs *chainState) {
 	if e.faults == nil || !e.faults.Should(fault.KindEventStorm, fid) {
 		return
 	}
-	nf := e.chain[0].Name()
+	nf := cs.chain[0].Name()
 	for i := 0; i < 3; i++ {
 		err := e.events.Register(fid, event.Event{
 			NF:        nf,
 			Condition: func(flow.FID) bool { return true },
 			Update:    func(flow.FID, *mat.LocalRule) {},
+			Epoch:     cs.epoch,
 		})
 		if err != nil {
 			break // the per-flow cap bounds the storm
@@ -650,7 +680,7 @@ func (e *Engine) maybeStorm(fid flow.FID) {
 // the same behaviour.
 func (e *Engine) evictConsolidated(fid flow.FID) {
 	removed := e.global.Remove(fid)
-	for _, l := range e.locals {
+	for _, l := range e.state().locals {
 		l.Delete(fid)
 	}
 	e.events.Remove(fid)
@@ -663,10 +693,11 @@ func (e *Engine) evictConsolidated(fid flow.FID) {
 	}
 }
 
-// reconsolidate rebuilds the flow's rule after event updates.
-func (e *Engine) reconsolidate(fid flow.FID) (uint64, error) {
+// reconsolidate rebuilds the flow's rule after event updates, against
+// the same chain snapshot the firings were validated under.
+func (e *Engine) reconsolidate(fid flow.FID, cs *chainState) (uint64, error) {
 	info := &SlowPathInfo{}
-	if err := e.consolidate(fid, info); err != nil {
+	if err := e.consolidate(fid, info, cs); err != nil {
 		return 0, err
 	}
 	return info.ConsolidateCycles, nil
@@ -813,8 +844,21 @@ func (e *Engine) fireEventsCached(fid flow.FID, info *FastPathInfo, rc *RuleCach
 	if len(firings) == 0 {
 		return false, nil
 	}
+	cs := e.state()
 	for _, f := range firings {
-		local, ok := e.localByName[f.Event.NF]
+		if f.Event.Epoch != cs.epoch {
+			// The firings were registered under a retired chain: the
+			// registering NF may no longer exist, and the flow's rule is
+			// from the same epoch, so the lookup below misses anyway.
+			// Drop the whole event set — a flow's events all share one
+			// epoch (PrepareRecording wipes them before re-recording) —
+			// and let the slow path re-record under the live chain.
+			e.events.Remove(fid)
+			return false, nil
+		}
+	}
+	for _, f := range firings {
+		local, ok := cs.localByName[f.Event.NF]
 		if !ok {
 			return false, fmt.Errorf("core: event from unknown NF %q", f.Event.NF)
 		}
@@ -855,7 +899,7 @@ func (e *Engine) fireEventsCached(fid flow.FID, info *FastPathInfo, rc *RuleCach
 			return true, nil
 		}
 	}
-	cycles, err := e.reconsolidate(fid)
+	cycles, err := e.reconsolidate(fid, cs)
 	switch {
 	case err == nil:
 		info.ReconsolidateCycles += cycles
@@ -933,15 +977,16 @@ func (e *Engine) ExpireIdle(idleFor uint64) int {
 // NF-internal per-flow state for NFs implementing FlowCloser. The
 // cause labels the removal in telemetry.
 func (e *Engine) teardown(fid flow.FID, cause string) {
+	cs := e.state()
 	removed := e.global.Remove(fid)
-	for _, l := range e.locals {
+	for _, l := range cs.locals {
 		l.Delete(fid)
 	}
 	e.events.Remove(fid)
 	// Ladder state dies with the flow: a later reincarnation of the
 	// FID starts clean instead of inheriting this connection's backoff.
 	e.dropDegraded(fid)
-	for _, nf := range e.chain {
+	for _, nf := range cs.chain {
 		if closer, ok := nf.(FlowCloser); ok {
 			closer.FlowClosed(fid)
 		}

@@ -75,6 +75,10 @@ type Ctx struct {
 	local     *mat.Local
 	events    *event.Table
 	recording bool
+	// epoch stamps registered events with the chain epoch the packet
+	// is traversing, so firings recorded under a retired chain are
+	// discarded instead of mutating post-reconfiguration rules.
+	epoch uint64
 }
 
 // FlowCloser is an optional NF interface: the engine calls FlowClosed
@@ -85,6 +89,15 @@ type Ctx struct {
 // Monitor's counters) simply do not implement it.
 type FlowCloser interface {
 	FlowClosed(fid flow.FID)
+}
+
+// Teardowner is an optional NF interface: the engine calls Teardown
+// once when the NF leaves a live chain (Engine.Reconfigure removes or
+// replaces it, or a prepared insertion rolls back), after FlowClosed
+// has run for every tracked flow. The NF releases whatever global
+// state it holds; it will never process another packet.
+type Teardowner interface {
+	Teardown()
 }
 
 // CtxConfig assembles a standalone instrumentation context, used by NF
@@ -173,6 +186,7 @@ func (c *Ctx) RegisterEvent(e event.Event) error {
 	}
 	c.Charge(c.Model.RecordEvent)
 	e.NF = c.nf
+	e.Epoch = c.epoch
 	if err := c.events.Register(c.FID, e); err != nil {
 		return fmt.Errorf("core: %s: %w", c.nf, err)
 	}

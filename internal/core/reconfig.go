@@ -1,0 +1,311 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/fastpathnfv/speedybox/internal/fault"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/telemetry"
+)
+
+// Live chain reconfiguration. The engine's chain is an immutable
+// snapshot (chainState) behind an atomic pointer; Reconfigure builds
+// the next snapshot, advances the Global MAT's chain epoch, publishes
+// the snapshot and stale-sweeps every rule consolidated under the old
+// epoch. Traversals racing the swap keep the snapshot they loaded: the
+// packet is processed correctly by the *old* chain, and any rule it
+// installs carries the old epoch, so LookupLive never serves it — the
+// flow simply re-records under the new chain on its next slow-path
+// packet. No packet is dropped and no surviving NF loses state.
+
+// chainState is one immutable chain snapshot: the NF sequence, the
+// per-NF Local MATs, the name index for event firings, and the chain
+// epoch the layout was published under.
+type chainState struct {
+	chain  []NF
+	locals []*mat.Local
+	// localByName indexes locals by NF name for event firings; built
+	// once per snapshot so the fast path never rebuilds a map per
+	// packet.
+	localByName map[string]*mat.Local
+	// epoch stamps every rule and event recorded against this snapshot.
+	epoch uint64
+}
+
+// newChainState assembles a snapshot, reusing the Local MATs of
+// surviving NF instances from reuse. The map is keyed by instance
+// identity, not name: a replacement NF sharing the old name still gets
+// a fresh table, since its recorded behaviour owes nothing to its
+// predecessor's.
+func newChainState(chain []NF, reuse map[NF]*mat.Local, epoch uint64) *chainState {
+	cs := &chainState{
+		chain:       chain,
+		locals:      make([]*mat.Local, len(chain)),
+		localByName: make(map[string]*mat.Local, len(chain)),
+		epoch:       epoch,
+	}
+	for i, nf := range chain {
+		if l, ok := reuse[nf]; ok {
+			cs.locals[i] = l
+		} else {
+			cs.locals[i] = mat.NewLocal(nf.Name())
+		}
+		cs.localByName[nf.Name()] = cs.locals[i]
+	}
+	return cs
+}
+
+// ReconfigOp enumerates chain-plan operations. Enum starts at one so a
+// zero Op is detectably unset.
+type ReconfigOp uint8
+
+// Chain-plan operations.
+const (
+	// OpInsert inserts plan.NF at position plan.Pos (0..len).
+	OpInsert ReconfigOp = iota + 1
+	// OpRemove removes the NF named plan.Name.
+	OpRemove
+	// OpReplace swaps the NF named plan.Name for plan.NF in place.
+	OpReplace
+	// OpReorder moves the NF named plan.Name to position plan.Pos
+	// (0..len-1) of the resulting chain.
+	OpReorder
+)
+
+// String returns the operation's telemetry label.
+func (op ReconfigOp) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpRemove:
+		return "remove"
+	case OpReplace:
+		return "replace"
+	case OpReorder:
+		return "reorder"
+	default:
+		return fmt.Sprintf("ReconfigOp(%d)", int(op))
+	}
+}
+
+// Reconfiguration sentinel errors. Every rejected plan leaves the
+// chain, the epoch and all installed rules untouched.
+var (
+	// ErrPlanInvalid reports a structurally malformed plan (unknown
+	// operation, insert/replace without an NF).
+	ErrPlanInvalid = errors.New("core: invalid chain plan")
+	// ErrPlanDuplicateNF reports a plan that would give two NFs the
+	// same name.
+	ErrPlanDuplicateNF = errors.New("core: plan would duplicate an NF name")
+	// ErrPlanEmptyChain reports a removal that would leave no NFs.
+	ErrPlanEmptyChain = errors.New("core: plan would empty the chain")
+	// ErrPlanOutOfRange reports an insert/reorder position outside the
+	// chain.
+	ErrPlanOutOfRange = errors.New("core: plan position out of range")
+	// ErrPlanUnknownNF reports a remove/replace/reorder naming an NF
+	// not in the chain.
+	ErrPlanUnknownNF = errors.New("core: plan names an unknown NF")
+	// ErrReconfigAborted reports an injected mid-transition failure;
+	// the rollback left the old chain and epoch in place.
+	ErrReconfigAborted = errors.New("core: reconfiguration aborted")
+)
+
+// ChainPlan is one live chain change: insert, remove, replace or
+// reorder a single NF. Plans are validated against the current chain
+// before anything mutates; a rejected plan is a typed error and a
+// no-op.
+type ChainPlan struct {
+	// Op selects the operation.
+	Op ReconfigOp
+	// Name identifies the affected NF for remove, replace and reorder.
+	Name string
+	// Pos is the target position for insert (0..len) and reorder
+	// (0..len-1).
+	Pos int
+	// NF is the new instance for insert and replace.
+	NF NF
+}
+
+// String renders the plan for logs and errors.
+func (p ChainPlan) String() string {
+	switch p.Op {
+	case OpInsert:
+		name := "?"
+		if p.NF != nil {
+			name = p.NF.Name()
+		}
+		return fmt.Sprintf("insert %q at %d", name, p.Pos)
+	case OpRemove:
+		return fmt.Sprintf("remove %q", p.Name)
+	case OpReplace:
+		name := "?"
+		if p.NF != nil {
+			name = p.NF.Name()
+		}
+		return fmt.Sprintf("replace %q with %q", p.Name, name)
+	case OpReorder:
+		return fmt.Sprintf("reorder %q to %d", p.Name, p.Pos)
+	default:
+		return p.Op.String()
+	}
+}
+
+// apply validates the plan against cur and returns the next chain
+// layout plus the inserted and removed instances (either may be nil;
+// replace reports both). cur is never mutated.
+func (p ChainPlan) apply(cur []NF) (next []NF, inserted, removed NF, err error) {
+	names := make(map[string]int, len(cur))
+	for i, nf := range cur {
+		names[nf.Name()] = i
+	}
+	switch p.Op {
+	case OpInsert:
+		if p.NF == nil {
+			return nil, nil, nil, fmt.Errorf("%w: insert without an NF", ErrPlanInvalid)
+		}
+		if p.Pos < 0 || p.Pos > len(cur) {
+			return nil, nil, nil, fmt.Errorf("%w: insert at %d in a chain of %d", ErrPlanOutOfRange, p.Pos, len(cur))
+		}
+		if _, dup := names[p.NF.Name()]; dup {
+			return nil, nil, nil, fmt.Errorf("%w: %q", ErrPlanDuplicateNF, p.NF.Name())
+		}
+		next = make([]NF, 0, len(cur)+1)
+		next = append(next, cur[:p.Pos]...)
+		next = append(next, p.NF)
+		next = append(next, cur[p.Pos:]...)
+		return next, p.NF, nil, nil
+	case OpRemove:
+		i, ok := names[p.Name]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("%w: remove %q", ErrPlanUnknownNF, p.Name)
+		}
+		if len(cur) == 1 {
+			return nil, nil, nil, fmt.Errorf("%w: removing %q", ErrPlanEmptyChain, p.Name)
+		}
+		next = make([]NF, 0, len(cur)-1)
+		next = append(next, cur[:i]...)
+		next = append(next, cur[i+1:]...)
+		return next, nil, cur[i], nil
+	case OpReplace:
+		if p.NF == nil {
+			return nil, nil, nil, fmt.Errorf("%w: replace without an NF", ErrPlanInvalid)
+		}
+		i, ok := names[p.Name]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("%w: replace %q", ErrPlanUnknownNF, p.Name)
+		}
+		if j, dup := names[p.NF.Name()]; dup && j != i {
+			return nil, nil, nil, fmt.Errorf("%w: %q", ErrPlanDuplicateNF, p.NF.Name())
+		}
+		next = make([]NF, len(cur))
+		copy(next, cur)
+		next[i] = p.NF
+		return next, p.NF, cur[i], nil
+	case OpReorder:
+		i, ok := names[p.Name]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("%w: reorder %q", ErrPlanUnknownNF, p.Name)
+		}
+		if p.Pos < 0 || p.Pos >= len(cur) {
+			return nil, nil, nil, fmt.Errorf("%w: reorder to %d in a chain of %d", ErrPlanOutOfRange, p.Pos, len(cur))
+		}
+		rest := make([]NF, 0, len(cur)-1)
+		rest = append(rest, cur[:i]...)
+		rest = append(rest, cur[i+1:]...)
+		next = make([]NF, 0, len(cur))
+		next = append(next, rest[:p.Pos]...)
+		next = append(next, cur[i])
+		next = append(next, rest[p.Pos:]...)
+		return next, nil, nil, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("%w: %s", ErrPlanInvalid, p.Op)
+	}
+}
+
+// Reconfigure applies one live chain change:
+//
+//  1. the plan is validated against the current chain (typed errors,
+//     epoch untouched on rejection);
+//  2. the chain epoch advances and the new snapshot is published —
+//     from this instant every old-epoch rule is dead to LookupLive and
+//     every batch-worker rule cache misses (AdvanceEpoch bumps the
+//     table generation);
+//  3. the old epoch's rules are stale-marked (the existing MarkStale
+//     representation), so in-flight batched workers fall back to the
+//     always-correct slow path and ordinary reclamation cleans up;
+//  4. a removed or replaced-out NF observes FlowClosed for every
+//     tracked flow, then Teardown; inserted NFs join recording on each
+//     flow's next slow-path packet, repopulating the fast path through
+//     the normal record-and-consolidate cycle.
+//
+// The KindReconfigAbort fault fails the transition after validation
+// but before publication; rollback is clean because nothing was
+// published.
+func (e *Engine) Reconfigure(plan ChainPlan) error {
+	e.reconfigMu.Lock()
+	defer e.reconfigMu.Unlock()
+
+	cs := e.state()
+	next, inserted, removed, err := plan.apply(cs.chain)
+	if err != nil {
+		return err
+	}
+
+	if e.faults != nil && e.faults.Should(fault.KindReconfigAbort, 0) {
+		// The prepared insertion never joins a chain; give it the same
+		// drain an evicted NF gets so it holds no orphaned state.
+		if td, ok := inserted.(Teardowner); ok {
+			td.Teardown()
+		}
+		if e.tel != nil {
+			e.tel.reconfigRollbacks.Inc()
+			e.tel.rec.Append(telemetry.EvReconfigAbort, 0, plan.Op.String())
+		}
+		return fmt.Errorf("%w: injected %s during %s", ErrReconfigAborted, fault.KindReconfigAbort, plan.Op)
+	}
+
+	// Surviving instances keep their Local MATs; the reuse map is keyed
+	// by instance identity, so a replacement sharing the old name still
+	// gets a fresh table.
+	reuse := make(map[NF]*mat.Local, len(cs.chain))
+	for i, nf := range cs.chain {
+		reuse[nf] = cs.locals[i]
+	}
+	if removed != nil {
+		delete(reuse, removed)
+	}
+
+	newEpoch := e.global.AdvanceEpoch()
+	e.cur.Store(newChainState(next, reuse, newEpoch))
+
+	start := time.Now()
+	swept := e.global.SweepEpoch(newEpoch)
+	sweepDur := time.Since(start)
+
+	if removed != nil {
+		// The leaving NF drains: every live flow's per-flow state is
+		// released, then the NF's global state. It never processes
+		// another packet — a traversal racing the swap still holds the
+		// old snapshot and completes against the old Local MATs, which
+		// is correct and whose rule install is born under the old epoch.
+		if closer, ok := removed.(FlowCloser); ok {
+			for _, fid := range e.class.Flows().FIDs() {
+				closer.FlowClosed(fid)
+			}
+		}
+		if td, ok := removed.(Teardowner); ok {
+			td.Teardown()
+		}
+	}
+
+	if e.tel != nil {
+		e.tel.rebuildStages(next)
+		e.tel.reconfigs[plan.Op-1].Inc()
+		e.tel.reconfigSweep.Record(uint64(sweepDur.Nanoseconds()), 0)
+		e.tel.rec.Append(telemetry.EvReconfig, 0,
+			fmt.Sprintf("%s epoch=%d swept=%d", plan.Op, newEpoch, swept))
+	}
+	return nil
+}

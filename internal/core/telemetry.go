@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/fastpathnfv/speedybox/internal/classifier"
 	"github.com/fastpathnfv/speedybox/internal/fault"
@@ -53,8 +54,10 @@ type engineTelemetry struct {
 
 	// Per-NF slow-path stage work, indexed by ledger stage name (both
 	// the NF's own name and the pipelined platform's positional
-	// "nf<i>" alias map to the same histogram).
-	nfStage map[string]*telemetry.Histogram
+	// "nf<i>" alias map to the same histogram). Held behind an atomic
+	// pointer and rebuilt copy-on-write by Reconfigure, so inserted NFs
+	// get histograms while concurrent workers keep reading the old map.
+	nfStage atomic.Pointer[map[string]*telemetry.Histogram]
 
 	// Global MAT churn.
 	installs     *telemetry.Counter
@@ -70,6 +73,13 @@ type engineTelemetry struct {
 
 	// Consolidation attempts that did not fold into one rule.
 	unconsolidatable *telemetry.Counter
+
+	// Chain reconfiguration: completed reconfigurations by plan kind
+	// (indexed by ReconfigOp-1), aborted-and-rolled-back attempts, and
+	// the wall-clock nanoseconds of the post-publication stale sweep.
+	reconfigs         [4]*telemetry.Counter
+	reconfigRollbacks *telemetry.Counter
+	reconfigSweep     *telemetry.Histogram
 }
 
 // newEngineTelemetry resolves the engine's metrics against the hub and
@@ -86,7 +96,6 @@ func newEngineTelemetry(e *Engine, hub *telemetry.Hub) *engineTelemetry {
 			"Per-packet modeled work cycles by data path"),
 		handshakeLat: reg.Histogram(`speedybox_engine_path_work_cycles{path="handshake"}`,
 			"Per-packet modeled work cycles by data path"),
-		nfStage: make(map[string]*telemetry.Histogram, 2*len(e.chain)),
 		installs: reg.Counter("speedybox_mat_installs_total",
 			"Global MAT first-time rule installations"),
 		replacements: reg.Counter("speedybox_mat_replacements_total",
@@ -105,13 +114,16 @@ func newEngineTelemetry(e *Engine, hub *telemetry.Hub) *engineTelemetry {
 			"Flows reset by a SYN reusing a tracked 5-tuple"),
 		unconsolidatable: reg.Counter("speedybox_consolidate_unconsolidatable_total",
 			"Consolidation attempts whose actions did not fold into one rule"),
+		reconfigRollbacks: reg.Counter("speedybox_reconfig_rollbacks_total",
+			"Chain reconfigurations aborted mid-transition and rolled back"),
+		reconfigSweep: reg.Histogram("speedybox_reconfig_sweep_nanos",
+			"Wall-clock nanoseconds stale-sweeping old-epoch rules after a reconfiguration"),
 	}
-	for i, nf := range e.chain {
-		h := reg.Histogram(fmt.Sprintf("speedybox_nf_stage_cycles{nf=%q}", nf.Name()),
-			"Per-NF slow-path stage work cycles")
-		t.nfStage[nf.Name()] = h
-		t.nfStage[fmt.Sprintf("nf%d", i)] = h
+	for _, op := range []ReconfigOp{OpInsert, OpRemove, OpReplace, OpReorder} {
+		t.reconfigs[op-1] = reg.Counter(fmt.Sprintf("speedybox_reconfigs_total{kind=%q}", op),
+			"Completed chain reconfigurations by plan kind")
 	}
+	t.rebuildStages(e.state().chain)
 
 	// Scrape-time views over state the engine already maintains. The
 	// closures read sharded atomics / table sizes; they hold no engine
@@ -158,6 +170,9 @@ func newEngineTelemetry(e *Engine, hub *telemetry.Hub) *engineTelemetry {
 	reg.GaugeFunc("speedybox_mat_stale_rules",
 		"Stale-marked Global MAT rules awaiting reinstall",
 		func() float64 { return float64(e.global.StaleLen()) })
+	reg.GaugeFunc("speedybox_chain_epoch",
+		"Current chain epoch (bumped by every completed reconfiguration)",
+		func() float64 { return float64(e.global.Epoch()) })
 	if inj := e.faults; inj != nil {
 		for _, k := range fault.Kinds() {
 			k := k
@@ -183,12 +198,29 @@ func (t *engineTelemetry) accountPacket(res *PacketResult) {
 		t.slowLat.Record(res.WorkCycles, hint)
 	}
 	if res.Slow != nil {
+		stages := *t.nfStage.Load()
 		for _, s := range res.Slow.PerNF {
-			if h, ok := t.nfStage[s.Name]; ok {
+			if h, ok := stages[s.Name]; ok {
 				h.Record(s.Cycles, hint)
 			}
 		}
 	}
+}
+
+// rebuildStages (re)resolves the per-NF stage histograms for a chain
+// layout. Registration is idempotent, so surviving NFs keep their
+// histograms; the map itself is replaced wholesale (copy-on-write) so
+// workers mid-accountPacket keep a consistent view.
+func (t *engineTelemetry) rebuildStages(chain []NF) {
+	reg := t.hub.Registry
+	m := make(map[string]*telemetry.Histogram, 2*len(chain))
+	for i, nf := range chain {
+		h := reg.Histogram(fmt.Sprintf("speedybox_nf_stage_cycles{nf=%q}", nf.Name()),
+			"Per-NF slow-path stage work cycles")
+		m[nf.Name()] = h
+		m[fmt.Sprintf("nf%d", i)] = h
+	}
+	t.nfStage.Store(&m)
 }
 
 // ruleInstalled journals a Global MAT install or replacement.

@@ -54,6 +54,12 @@ type Event struct {
 	// Maglev reroute to the new backend). Recurring events stay
 	// armed (e.g. a DoS counter that could cross further thresholds).
 	OneShot bool
+	// Epoch is the chain epoch under which the event was registered
+	// (stamped by core.Ctx.RegisterEvent). Firings whose epoch differs
+	// from the current chain's are discarded wholesale: the flow's rule
+	// is from the same retired epoch, so the packet re-records on the
+	// slow path and the replacement registrations carry the new epoch.
+	Epoch uint64
 }
 
 // Validate reports whether the event is well-formed.

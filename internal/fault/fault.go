@@ -62,6 +62,11 @@ const (
 	// space. Flow tracking and NF-internal state survive; the next
 	// packet re-records.
 	KindEvictPressure
+	// KindReconfigAbort fails a chain reconfiguration mid-transition,
+	// after the plan has validated but before the new chain is
+	// published: Engine.Reconfigure must roll back cleanly, leaving the
+	// old chain, epoch and every installed rule untouched.
+	KindReconfigAbort
 
 	kindCount
 )
@@ -93,6 +98,8 @@ func (k Kind) String() string {
 		return "backend-flap"
 	case KindEvictPressure:
 		return "evict-pressure"
+	case KindReconfigAbort:
+		return "reconfig-abort"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -270,6 +270,22 @@ func (t *Table) Len() int {
 	return n
 }
 
+// FIDs returns a snapshot of every tracked flow's FID, in no
+// particular order. Reconfiguration uses it to notify a removed NF of
+// each live flow before tearing the NF down.
+func (t *Table) FIDs() []FID {
+	out := make([]FID, 0, t.Len())
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for fid := range s.entries {
+			out = append(out, fid)
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
 // Update applies fn to the entry for fid under the shard lock. The
 // *Entry passed to fn must not be retained past the call.
 func (t *Table) Update(fid FID, fn func(*Entry)) bool {

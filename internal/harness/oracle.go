@@ -2,11 +2,16 @@ package harness
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"math/rand"
+	"sort"
 
 	"github.com/fastpathnfv/speedybox/internal/core"
 	"github.com/fastpathnfv/speedybox/internal/fault"
 	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/nf/gateway"
+	"github.com/fastpathnfv/speedybox/internal/nf/ipfilter"
 	"github.com/fastpathnfv/speedybox/internal/nf/maglev"
 	"github.com/fastpathnfv/speedybox/internal/nf/monitor"
 	"github.com/fastpathnfv/speedybox/internal/nf/snort"
@@ -54,6 +59,21 @@ type OracleConfig struct {
 	// oracle has teeth — a deliberately broken consolidation must be
 	// caught as a divergence.
 	TamperRule func(*mat.GlobalRule)
+	// Reconfigs is how many live chain reconfigurations to apply per
+	// schedule, at deterministic mid-trace offsets derived from the
+	// schedule seed. Each plan (insert a gateway — a semantically
+	// visible MAC rewrite —, insert a pass-all filter, remove a
+	// previous insertion, reorder) is applied to the fast engine and to
+	// the slow-path reference at the same packet index; a fault-aborted
+	// plan is skipped on both, which is exactly the rollback contract
+	// under test. 0 disables reconfiguration.
+	Reconfigs int
+	// TamperReconfig, when set, runs after each successful fast-engine
+	// reconfiguration with a copy of the rules installed before it.
+	// Test-only teeth: re-installing those pre-reconfiguration rules
+	// under the new epoch models a broken invalidation and must be
+	// caught as a divergence.
+	TamperReconfig func(eng *core.Engine, pre []*mat.GlobalRule)
 }
 
 // OracleDivergence pinpoints one fast/slow-path disagreement.
@@ -81,6 +101,10 @@ type OracleResult struct {
 	Fallbacks  uint64
 	Degraded   uint64
 	Recoveries uint64
+	// Reconfigs and ReconfigAborts total the live chain changes applied
+	// and the fault-aborted (cleanly rolled back) ones.
+	Reconfigs      uint64
+	ReconfigAborts uint64
 	// Divergences lists every disagreement (empty on a pass; capped —
 	// a broken engine would otherwise produce one per packet).
 	Divergences []OracleDivergence
@@ -99,7 +123,7 @@ func (r *OracleResult) Passed() bool {
 func (r *OracleResult) Format() string {
 	t := &tableWriter{}
 	t.title("Differential fast/slow-path equivalence oracle (randomized fault schedules)")
-	t.row("schedules", "packets", "faults injected", "fallbacks", "degraded pkts", "recoveries", "divergences", "result")
+	t.row("schedules", "packets", "faults injected", "fallbacks", "degraded pkts", "recoveries", "reconfigs", "aborted", "divergences", "result")
 	status := "PASS"
 	if !r.Passed() {
 		status = "FAIL"
@@ -107,6 +131,7 @@ func (r *OracleResult) Format() string {
 	t.row(fmt.Sprintf("%d", r.Schedules), fmt.Sprintf("%d", r.Packets),
 		fmt.Sprintf("%d", r.Injected), fmt.Sprintf("%d", r.Fallbacks),
 		fmt.Sprintf("%d", r.Degraded), fmt.Sprintf("%d", r.Recoveries),
+		fmt.Sprintf("%d", r.Reconfigs), fmt.Sprintf("%d", r.ReconfigAborts),
 		fmt.Sprintf("%d", len(r.Divergences)), status)
 	out := t.String()
 	for _, d := range r.Divergences {
@@ -185,6 +210,115 @@ func buildOracleChain(chain int) (*oracleChain, error) {
 	return oc, nil
 }
 
+// reconfigEvent is one scheduled live chain change. mk builds a fresh
+// plan on every call — a new NF instance each time — so the reference
+// and the fast engine never share an inserted NF's state.
+type reconfigEvent struct {
+	at int
+	mk func() (core.ChainPlan, error)
+}
+
+// buildReconfigEvents derives n deterministic chain changes from the
+// schedule seed, at sorted offsets inside the middle 80% of the trace.
+// Operations cycle through inserting a gateway (a semantically visible
+// MAC rewrite), inserting a pass-all filter, removing the oldest
+// surviving insertion (or inserting an extra monitor when none
+// remains), and reordering a random NF. Plan positions track the chain
+// as if every plan lands; when an earlier plan is fault-aborted a later
+// one may be rejected by validation — on both engines identically,
+// which the schedule runner treats as a shared no-op.
+func buildReconfigEvents(seed int64, n, pkts int, chain []string) []reconfigEvent {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	names := append([]string(nil), chain...)
+	var inserted []string
+	lo, hi := pkts/10, pkts*9/10
+	if hi <= lo {
+		hi = lo + 1
+	}
+	offsets := make([]int, n)
+	for k := range offsets {
+		offsets[k] = lo + rng.Intn(hi-lo)
+	}
+	sort.Ints(offsets)
+	events := make([]reconfigEvent, 0, n)
+	for k := 0; k < n; k++ {
+		at := offsets[k]
+		switch k % 4 {
+		case 0:
+			k, name := k, fmt.Sprintf("gw%d", k)
+			pos := rng.Intn(len(names) + 1)
+			events = append(events, reconfigEvent{at: at, mk: func() (core.ChainPlan, error) {
+				nf, err := gateway.New(gateway.Config{
+					Name:       name,
+					NextHopMAC: [6]byte{2, 0, 0, 0, 0, byte(k + 1)},
+				})
+				if err != nil {
+					return core.ChainPlan{}, err
+				}
+				return core.ChainPlan{Op: core.OpInsert, Pos: pos, NF: nf}, nil
+			}})
+			names = append(names[:pos], append([]string{name}, names[pos:]...)...)
+			inserted = append(inserted, name)
+		case 1:
+			name := fmt.Sprintf("flt%d", k)
+			pos := rng.Intn(len(names) + 1)
+			events = append(events, reconfigEvent{at: at, mk: func() (core.ChainPlan, error) {
+				nf, err := ipfilter.New(ipfilter.Config{
+					Name:  name,
+					Rules: ipfilter.PadRules(nil, 50),
+				})
+				if err != nil {
+					return core.ChainPlan{}, err
+				}
+				return core.ChainPlan{Op: core.OpInsert, Pos: pos, NF: nf}, nil
+			}})
+			names = append(names[:pos], append([]string{name}, names[pos:]...)...)
+			inserted = append(inserted, name)
+		case 2:
+			if len(inserted) > 0 {
+				name := inserted[0]
+				inserted = inserted[1:]
+				events = append(events, reconfigEvent{at: at, mk: func() (core.ChainPlan, error) {
+					return core.ChainPlan{Op: core.OpRemove, Name: name}, nil
+				}})
+				kept := names[:0:0]
+				for _, n := range names {
+					if n != name {
+						kept = append(kept, n)
+					}
+				}
+				names = kept
+			} else {
+				name := fmt.Sprintf("mon%d", k)
+				pos := rng.Intn(len(names) + 1)
+				events = append(events, reconfigEvent{at: at, mk: func() (core.ChainPlan, error) {
+					nf, err := monitor.New(name)
+					if err != nil {
+						return core.ChainPlan{}, err
+					}
+					return core.ChainPlan{Op: core.OpInsert, Pos: pos, NF: nf}, nil
+				}})
+				names = append(names[:pos], append([]string{name}, names[pos:]...)...)
+				inserted = append(inserted, name)
+			}
+		default:
+			name := names[rng.Intn(len(names))]
+			pos := rng.Intn(len(names))
+			events = append(events, reconfigEvent{at: at, mk: func() (core.ChainPlan, error) {
+				return core.ChainPlan{Op: core.OpReorder, Name: name, Pos: pos}, nil
+			}})
+			kept := names[:0:0]
+			for _, n := range names {
+				if n != name {
+					kept = append(kept, n)
+				}
+			}
+			names = append(kept[:pos], append([]string{name}, kept[pos:]...)...)
+		}
+	}
+	return events
+}
+
 // runOracleSchedule replays one fault schedule through both engines.
 func runOracleSchedule(cfg OracleConfig, sched int, seed int64, chain int, rates map[fault.Kind]float64, res *OracleResult) error {
 	tr, err := trace.Generate(trace.Config{
@@ -233,6 +367,51 @@ func runOracleSchedule(cfg OracleConfig, sched int, seed int64, chain int, rates
 	}
 	next := 0
 
+	var reEvents []reconfigEvent
+	if cfg.Reconfigs > 0 {
+		chainNames := make([]string, len(ref.nfs))
+		for i, nf := range ref.nfs {
+			chainNames[i] = nf.Name()
+		}
+		reEvents = buildReconfigEvents(seed, cfg.Reconfigs, len(refPkts), chainNames)
+	}
+	nextRe := 0
+	applyReconfig := func(ev reconfigEvent) error {
+		var pre []*mat.GlobalRule
+		if cfg.TamperReconfig != nil {
+			fastEng.Global().ForEach(func(r *mat.GlobalRule) {
+				cp := *r
+				pre = append(pre, &cp)
+			})
+		}
+		fastPlan, err := ev.mk()
+		if err != nil {
+			return err
+		}
+		if ferr := fastEng.Reconfigure(fastPlan); ferr != nil {
+			// An aborted (or, after an earlier abort, validation-rejected)
+			// plan left the fast chain untouched — that is the rollback
+			// contract — so the reference skips it too and the engines
+			// stay in lockstep.
+			if errors.Is(ferr, core.ErrReconfigAborted) {
+				res.ReconfigAborts++
+			}
+			return nil
+		}
+		refPlan, err := ev.mk()
+		if err != nil {
+			return err
+		}
+		if rerr := refEng.Reconfigure(refPlan); rerr != nil {
+			return fmt.Errorf("reference reconfigure (%s): %v", refPlan, rerr)
+		}
+		res.Reconfigs++
+		if cfg.TamperReconfig != nil {
+			cfg.TamperReconfig(fastEng, pre)
+		}
+		return nil
+	}
+
 	var cb *core.Batch
 	if cfg.Batch > 1 {
 		cb = core.NewBatch(cfg.Batch)
@@ -252,9 +431,17 @@ scan:
 				_ = fast.lb.FailBackend(f.Backend)
 			}
 		}
-		// One packet, or one vector clipped at the next flap index: the
-		// flap is environmental and must interleave with the packet
-		// stream identically in both engines.
+		for nextRe < len(reEvents) && reEvents[nextRe].at <= i {
+			ev := reEvents[nextRe]
+			nextRe++
+			if err := applyReconfig(ev); err != nil {
+				return err
+			}
+		}
+		// One packet, or one vector clipped at the next flap or
+		// reconfiguration index: both are environmental transitions and
+		// must interleave with the packet stream identically in both
+		// engines.
 		end := i + 1
 		if cb != nil {
 			end = i + cfg.Batch
@@ -263,6 +450,9 @@ scan:
 			}
 			if next < len(plan) && plan[next].At < end {
 				end = plan[next].At
+			}
+			if nextRe < len(reEvents) && reEvents[nextRe].at < end {
+				end = reEvents[nextRe].at
 			}
 		}
 		var fastResults []*core.PacketResult

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/fastpathnfv/speedybox/internal/core"
 	"github.com/fastpathnfv/speedybox/internal/fault"
 	"github.com/fastpathnfv/speedybox/internal/mat"
 )
@@ -130,6 +131,62 @@ func TestOracleCatchesCorruptedRewrite(t *testing.T) {
 	}
 	if res.Passed() {
 		t.Fatal("oracle passed a corrupted header rewrite")
+	}
+}
+
+// TestOracleReconfigEquivalence adds live chain reconfigurations to the
+// fault schedules: gateways, filters and monitors are inserted, removed
+// and reordered mid-trace on both engines at the same packet indices,
+// in scalar and in 32-packet vector mode, and every packet must still
+// agree. Fault-aborted plans are skipped on both engines — the rollback
+// contract — and at least some plans must actually land for the run to
+// count.
+func TestOracleReconfigEquivalence(t *testing.T) {
+	schedules := 30
+	if testing.Short() {
+		schedules = 6
+	}
+	for _, batch := range []int{0, 32} {
+		res, err := RunOracle(OracleConfig{Seed: 1, Schedules: schedules, Reconfigs: 3, Batch: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Passed() {
+			t.Fatalf("reconfig oracle (batch=%d) failed:\n%s", batch, res.Format())
+		}
+		if res.Reconfigs == 0 {
+			t.Errorf("batch=%d: no reconfigurations applied; the run was vacuous", batch)
+		}
+		if res.Injected == 0 || res.Fallbacks == 0 {
+			t.Errorf("batch=%d: vacuous run: no faults or no fallbacks", batch)
+		}
+	}
+}
+
+// TestOracleCatchesBrokenReconfig proves the reconfiguration oracle has
+// teeth: resurrecting the pre-reconfiguration rules under the new epoch
+// (a deliberately broken invalidation — exactly the bug the epoch
+// machinery exists to prevent) must surface as a divergence, since the
+// fast path then serves the retired chain's semantics while the
+// reference runs the new chain.
+func TestOracleCatchesBrokenReconfig(t *testing.T) {
+	res, err := RunOracle(OracleConfig{
+		Seed: 1, Schedules: 4, Chain: 1, Reconfigs: 2,
+		Rates: fault.UniformRates(0), // isolate the tamper
+		TamperReconfig: func(eng *core.Engine, pre []*mat.GlobalRule) {
+			cur := eng.Global().Epoch()
+			for _, r := range pre {
+				broken := *r
+				broken.Epoch = cur
+				eng.Global().Install(&broken)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("oracle passed a deliberately broken epoch invalidation")
 	}
 }
 

@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/bess"
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/nf/gateway"
+	"github.com/fastpathnfv/speedybox/internal/platform"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// The reconfig experiment measures what live reconfiguration costs the
+// data plane: a datacenter-style trace runs through Chain 1 with
+// SpeedyBox enabled, and halfway through a gateway NF is inserted live
+// (a semantically visible chain change — every later packet gets a MAC
+// rewrite). The per-window fast-path hit rate shows the epoch
+// invalidation's whole footprint: a dip right after the change while
+// every flow re-records under the new chain, then recovery as the
+// record-and-consolidate cycle repopulates the Global MAT. The
+// acceptance bar is zero drops and a final-window hit rate at or above
+// 90% of the pre-change baseline.
+
+// ReconfigWindow is one measurement window of the run.
+type ReconfigWindow struct {
+	// Start is the window's first packet index.
+	Start int
+	// Packets is the window size in packets.
+	Packets int
+	// Eligible counts the window's fast-path-eligible packets
+	// (subsequent + final); HitRate is FastPath/Eligible.
+	Eligible int
+	HitRate  float64
+	// AfterChange marks windows at or past the chain change.
+	AfterChange bool
+}
+
+// ReconfigResult aggregates the reconfiguration experiment.
+type ReconfigResult struct {
+	Platform string
+	Windows  []ReconfigWindow
+	// ChangeAt is the packet index where the gateway was inserted.
+	ChangeAt int
+	// Baseline is the mean hit rate of the pre-change windows
+	// (excluding the first, which warms the tables up).
+	Baseline float64
+	// Dip is the lowest post-change window hit rate.
+	Dip float64
+	// Recovered is the final window's hit rate; RecoveredFrac is its
+	// fraction of Baseline.
+	Recovered     float64
+	RecoveredFrac float64
+	// Drops counts dropped packets across the whole run (must be 0:
+	// reconfiguration loses no packet).
+	Drops int
+	// Epoch is the engine's chain epoch after the run (1 = exactly one
+	// reconfiguration applied).
+	Epoch uint64
+	// DegradedFlows is how many flows sat in the degradation ladder at
+	// the end of the run.
+	DegradedFlows int
+}
+
+// Passed reports whether the acceptance bar held: no packet dropped and
+// the fast-path hit rate recovered to at least 90% of the pre-change
+// baseline by the end of the trace.
+func (r *ReconfigResult) Passed() bool {
+	return r.Drops == 0 && r.Baseline > 0 && r.RecoveredFrac >= 0.9
+}
+
+// Format renders the experiment outcome.
+func (r *ReconfigResult) Format() string {
+	t := &tableWriter{}
+	t.title(fmt.Sprintf("Live reconfiguration: fast-path hit-rate recovery on %s (gateway inserted at packet %d)",
+		r.Platform, r.ChangeAt))
+	t.row("window start", "packets", "eligible", "hit rate", "phase")
+	for _, w := range r.Windows {
+		phase := "pre-change"
+		if w.AfterChange {
+			phase = "post-change"
+		}
+		t.row(fmt.Sprintf("%d", w.Start), fmt.Sprintf("%d", w.Packets),
+			fmt.Sprintf("%d", w.Eligible), f3(w.HitRate), phase)
+	}
+	status := "PASS"
+	if !r.Passed() {
+		status = "FAIL"
+	}
+	t.row("")
+	t.row("baseline", "dip", "recovered", "recovered/baseline", "drops", "epoch", "result")
+	t.row(f3(r.Baseline), f3(r.Dip), f3(r.Recovered),
+		f3(r.RecoveredFrac), fmt.Sprintf("%d", r.Drops), fmt.Sprintf("%d", r.Epoch), status)
+	return t.String()
+}
+
+// RunReconfig executes the live-reconfiguration experiment.
+func RunReconfig(cfg Config) (*ReconfigResult, error) {
+	cfg = cfg.withDefaults(400)
+	batch := cfg.Batch
+	if batch <= 1 {
+		batch = 32
+	}
+	chain, err := Chain1()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.Generate(trace.Config{
+		Seed: cfg.Seed, Flows: cfg.Flows,
+		MeanPackets: 24,
+		UDPFraction: 0.0001, // all-TCP: every flow consolidates and tears down
+		Interleave:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p, err := bess.New(bess.Config{Chain: chain, Options: cfg.options(core.DefaultOptions())})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	rec, ok := platform.Platform(p).(platform.Reconfigurer)
+	if !ok {
+		return nil, fmt.Errorf("harness: platform %s cannot reconfigure", p.Name())
+	}
+
+	pkts := tr.Packets()
+	const window = 512
+	// The change lands on the window boundary nearest mid-trace.
+	changeAt := (len(pkts) / 2 / window) * window
+	if changeAt == 0 {
+		changeAt = window
+	}
+
+	res := &ReconfigResult{Platform: p.Name(), ChangeAt: changeAt}
+	eng := p.Engine()
+	b := platform.NewBatch(batch)
+	prev := eng.Stats()
+	changed := false
+
+	for off := 0; off < len(pkts); off += window {
+		if off == changeAt {
+			gw, err := gateway.New(gateway.Config{
+				Name:       "gw-live",
+				NextHopMAC: [6]byte{2, 0, 0, 0, 0, 1},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := rec.Reconfigure(core.ChainPlan{Op: core.OpInsert, Pos: eng.ChainLen(), NF: gw}); err != nil {
+				return nil, fmt.Errorf("harness: reconfigure: %w", err)
+			}
+			changed = true
+		}
+		end := off + window
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		for i := off; i < end; i += batch {
+			j := i + batch
+			if j > end {
+				j = end
+			}
+			ms, err := p.ProcessBatch(pkts[i:j], b)
+			if err != nil {
+				return nil, fmt.Errorf("harness: batch at packet %d: %w", i, err)
+			}
+			for k := range ms {
+				if ms[k].Result.Verdict == core.VerdictDrop {
+					res.Drops++
+				}
+			}
+		}
+		st := eng.Stats()
+		eligible := (st.Subsequent - prev.Subsequent) + (st.Final - prev.Final)
+		w := ReconfigWindow{
+			Start: off, Packets: end - off,
+			Eligible: int(eligible), AfterChange: changed,
+		}
+		if eligible > 0 {
+			w.HitRate = float64(st.FastPath-prev.FastPath) / float64(eligible)
+		}
+		res.Windows = append(res.Windows, w)
+		prev = st
+	}
+
+	var preSum float64
+	preN := 0
+	for i, w := range res.Windows {
+		if w.AfterChange {
+			continue
+		}
+		if i == 0 {
+			continue // warmup: tables start empty
+		}
+		preSum += w.HitRate
+		preN++
+	}
+	if preN > 0 {
+		res.Baseline = preSum / float64(preN)
+	}
+	res.Dip = 1
+	for _, w := range res.Windows {
+		if w.AfterChange && w.HitRate < res.Dip {
+			res.Dip = w.HitRate
+		}
+	}
+	if n := len(res.Windows); n > 0 {
+		res.Recovered = res.Windows[n-1].HitRate
+	}
+	if res.Baseline > 0 {
+		res.RecoveredFrac = res.Recovered / res.Baseline
+	}
+	res.Epoch = eng.Epoch()
+	res.DegradedFlows = eng.DegradedFlows()
+	return res, nil
+}

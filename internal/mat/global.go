@@ -42,6 +42,11 @@ type GlobalRule struct {
 	Sources []SourceSummary
 	// Version counts reconsolidations triggered by events.
 	Version uint64
+	// Epoch is the chain epoch the rule was consolidated under. A rule
+	// whose epoch differs from the table's current epoch encodes a
+	// retired chain layout: LookupLive refuses it even before the
+	// post-reconfiguration sweep reaches its shard.
+	Epoch uint64
 }
 
 // ApplyHeader performs the consolidated header work on a packet:
@@ -158,6 +163,11 @@ type Global struct {
 	// are rare relative to data packets, so the cacheline stays
 	// read-mostly and shared across cores.
 	gen atomic.Uint64
+	// epoch is the current chain epoch. Engine.Reconfigure advances it
+	// when the NF chain changes shape; every rule consolidated under an
+	// earlier epoch is then dead (LookupLive misses) and is stale-marked
+	// by the sweep so teardown/expiry paths reclaim it.
+	epoch atomic.Uint64
 }
 
 // NewGlobal returns an empty Global MAT.
@@ -200,6 +210,52 @@ func (g *Global) Install(r *GlobalRule) (replaced bool) {
 // LookupLive stays servable from a cache for exactly as long as Gen()
 // returns the value read before that lookup.
 func (g *Global) Gen() uint64 { return g.gen.Load() }
+
+// Epoch returns the current chain epoch. Rules consolidated under an
+// earlier epoch are never served by LookupLive.
+func (g *Global) Epoch() uint64 { return g.epoch.Load() }
+
+// AdvanceEpoch moves the table to the next chain epoch and returns it.
+// The generation is bumped too, so every batch-worker rule cache
+// invalidates immediately — a cached pre-reconfiguration rule cannot be
+// served even before SweepEpoch visits its shard.
+func (g *Global) AdvanceEpoch() uint64 {
+	e := g.epoch.Add(1)
+	g.gen.Add(1)
+	return e
+}
+
+// SweepEpoch stale-marks every installed rule whose epoch differs from
+// cur, returning how many rules were newly marked. It reuses the
+// MarkStale representation so the ordinary reclamation paths (a fresh
+// install, FIN teardown, idle expiry) clean the carcasses up; the rules
+// were already dead to LookupLive the moment AdvanceEpoch published the
+// new epoch, so the sweep only makes the staleness visible to StaleLen
+// and Dump and lets IsStale-driven tooling see it.
+func (g *Global) SweepEpoch(cur uint64) int {
+	n := 0
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		marked := false
+		for fid, r := range s.rules {
+			if r.Epoch == cur {
+				continue
+			}
+			if _, already := s.stale[fid]; already {
+				continue
+			}
+			s.stale[fid] = struct{}{}
+			marked = true
+			n++
+		}
+		if marked {
+			g.gen.Add(1)
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
 
 // Lookup fetches the rule for a flow. The returned rule must be
 // treated as immutable.
@@ -266,6 +322,11 @@ func (g *Global) LookupLive(fid flow.FID) (*GlobalRule, bool) {
 		return nil, false
 	}
 	r, ok := s.rules[fid]
+	if ok && r.Epoch != g.epoch.Load() {
+		// Consolidated under a retired chain layout; dead even if the
+		// epoch sweep has not stale-marked it yet.
+		return nil, false
+	}
 	return r, ok
 }
 

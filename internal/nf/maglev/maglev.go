@@ -107,6 +107,16 @@ func (lb *Maglev) FlowClosed(fid flow.FID) {
 	delete(lb.conns, fid)
 }
 
+var _ core.Teardowner = (*Maglev)(nil)
+
+// Teardown implements core.Teardowner: the balancer has left the
+// chain, so every connection-tracking pin is released at once.
+func (lb *Maglev) Teardown() {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.conns = make(map[flow.FID]int)
+}
+
 func isPrime(n int) bool {
 	if n < 2 {
 		return false

@@ -107,6 +107,18 @@ func (n *NAT) FlowClosed(fid flow.FID) {
 	}
 }
 
+var _ core.Teardowner = (*NAT)(nil)
+
+// Teardown implements core.Teardowner: the NAT has left the chain, so
+// every remaining translation is released at once.
+func (n *NAT) Teardown() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.byTuple = make(map[packet.FiveTuple]Mapping)
+	n.byPort = make(map[uint16]Mapping)
+	n.byFID = make(map[flow.FID]packet.FiveTuple)
+}
+
 // Mappings returns the number of active translations.
 func (n *NAT) Mappings() int {
 	n.mu.Lock()

@@ -19,7 +19,9 @@ package onvm
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/fastpathnfv/speedybox/internal/classifier"
 	"github.com/fastpathnfv/speedybox/internal/core"
@@ -78,6 +80,9 @@ type job struct {
 
 	done   chan struct{}
 	engine *core.Engine
+	// inflight is the platform's in-pipeline descriptor count; finish
+	// decrements it so Reconfigure can drain to quiescence.
+	inflight *atomic.Int64
 }
 
 // finish completes the job exactly once: it releases the flow's
@@ -86,28 +91,51 @@ func (j *job) finish() {
 	if j.recording && j.engine != nil {
 		j.engine.EndRecording(j.cls.FID)
 	}
+	if j.inflight != nil {
+		j.inflight.Add(-1)
+	}
 	close(j.done)
 }
 
 // Platform is the OpenNetVM model.
 type Platform struct {
-	eng   *core.Engine
-	name  string
-	chain int
+	eng      *core.Engine
+	name     string
+	capacity int
 
-	nfRings []*ring.Ring[*job] // nfRings[i] feeds NF i
-	mgrRing *ring.Ring[*job]   // fast-path + consolidation work
+	// nfRings[i] feeds NF i of the current chain generation. Guarded by
+	// ringMu for readers outside the injection path (telemetry gauges);
+	// writers additionally hold injectMu, which orders the swap against
+	// every injection.
+	nfRings []*ring.Ring[*job]
+	ringMu  sync.RWMutex
+	mgrRing *ring.Ring[*job] // fast-path + consolidation work; never spliced
+
+	// injectMu admits injections shared; Reconfigure and Close take it
+	// exclusively to pause the RX thread while the pipeline drains.
+	injectMu sync.RWMutex
+	// inflight counts descriptors inside the pipeline (injected, not
+	// yet finished); Reconfigure spins it to zero before splicing.
+	inflight atomic.Int64
 
 	// lat is the end-to-end latency histogram (modeled cycles), nil
 	// when the engine has no telemetry hub.
 	lat *telemetry.Histogram
 
-	wg     sync.WaitGroup
+	// gauges is the highest NF-ring index with a registered depth
+	// gauge; a reconfiguration growing the chain registers the rest.
+	gauges int
+
+	nfWg   sync.WaitGroup // current generation's NF loops
+	wg     sync.WaitGroup // manager loop
 	closed bool
 	mu     sync.Mutex
 }
 
-var _ platform.Platform = (*Platform)(nil)
+var (
+	_ platform.Platform     = (*Platform)(nil)
+	_ platform.Reconfigurer = (*Platform)(nil)
+)
 
 // New builds the platform and starts its NF and manager goroutines.
 func New(cfg Config) (*Platform, error) {
@@ -125,9 +153,9 @@ func New(cfg Config) (*Platform, error) {
 		capacity = 64
 	}
 	p := &Platform{
-		eng:   eng,
-		name:  platform.DisplayName("OpenNetVM", cfg.Options.EnableSpeedyBox),
-		chain: len(cfg.Chain),
+		eng:      eng,
+		name:     platform.DisplayName("OpenNetVM", cfg.Options.EnableSpeedyBox),
+		capacity: capacity,
 	}
 	p.nfRings = make([]*ring.Ring[*job], len(cfg.Chain))
 	for i := range p.nfRings {
@@ -138,12 +166,7 @@ func New(cfg Config) (*Platform, error) {
 	if hub := eng.Telemetry(); hub != nil {
 		p.lat = hub.Registry.Histogram(`speedybox_platform_latency_cycles{platform="onvm"}`,
 			"Per-packet end-to-end latency (modeled cycles) on the platform topology")
-		for i := range p.nfRings {
-			r := p.nfRings[i]
-			hub.Registry.GaugeFunc(fmt.Sprintf("speedybox_onvm_ring_depth{ring=%q}", fmt.Sprintf("nf%d", i)),
-				"Inter-core ring occupancy (packet descriptors)",
-				func() float64 { return float64(r.Len()) })
-		}
+		p.registerRingGauges(len(p.nfRings))
 		mgr := p.mgrRing
 		hub.Registry.GaugeFunc(`speedybox_onvm_ring_depth{ring="mgr"}`,
 			"Inter-core ring occupancy (packet descriptors)",
@@ -151,9 +174,10 @@ func New(cfg Config) (*Platform, error) {
 	}
 
 	// One goroutine per NF core.
+	rings := p.nfRings
 	for i := range cfg.Chain {
-		p.wg.Add(1)
-		go p.nfLoop(i)
+		p.nfWg.Add(1)
+		go p.nfLoop(i, rings)
 	}
 	// The manager core: Global MAT executor + consolidation handler.
 	p.wg.Add(1)
@@ -161,14 +185,49 @@ func New(cfg Config) (*Platform, error) {
 	return p, nil
 }
 
+// ringDepth reads the current generation's ring i occupancy; after a
+// shrinking reconfiguration a gauge for a no-longer-existing stage
+// reads zero.
+func (p *Platform) ringDepth(i int) float64 {
+	p.ringMu.RLock()
+	defer p.ringMu.RUnlock()
+	if i >= len(p.nfRings) {
+		return 0
+	}
+	return float64(p.nfRings[i].Len())
+}
+
+// registerRingGauges registers depth gauges for NF-ring indices up to
+// n. Gauges read through ringDepth rather than capturing ring pointers,
+// so they follow the rings across chain splices; registration is
+// idempotent, so only indices beyond the previous maximum are new.
+func (p *Platform) registerRingGauges(n int) {
+	hub := p.eng.Telemetry()
+	if hub == nil {
+		return
+	}
+	for i := p.gauges; i < n; i++ {
+		i := i
+		hub.Registry.GaugeFunc(fmt.Sprintf("speedybox_onvm_ring_depth{ring=%q}", fmt.Sprintf("nf%d", i)),
+			"Inter-core ring occupancy (packet descriptors)",
+			func() float64 { return p.ringDepth(i) })
+	}
+	if n > p.gauges {
+		p.gauges = n
+	}
+}
+
 // nfLoop is NF i's dedicated core. It drains its RX ring in bursts of
 // up to core.DefaultBatchSize descriptors per wakeup (DequeueBatch
 // hands over whatever is immediately present, so a lone packet is a
 // batch of one — flush-on-idle), processes each job in ring order, and
-// forwards the batch with one EnqueueBatch per downstream ring.
-func (p *Platform) nfLoop(i int) {
-	defer p.wg.Done()
-	in := p.nfRings[i]
+// forwards the batch with one EnqueueBatch per downstream ring. The
+// loop owns its generation's ring slice — a chain splice closes these
+// rings and starts fresh loops over the new slice, so a retiring loop
+// never observes the swap.
+func (p *Platform) nfLoop(i int, rings []*ring.Ring[*job]) {
+	defer p.nfWg.Done()
+	in := rings[i]
 	buf := make([]*job, core.DefaultBatchSize)
 	next := make([]*job, 0, core.DefaultBatchSize)
 	mgr := make([]*job, 0, core.DefaultBatchSize)
@@ -196,7 +255,7 @@ func (p *Platform) nfLoop(i int) {
 			// Route: to the next NF, to the manager for consolidation,
 			// or done.
 			switch {
-			case i != p.chain-1 && j.err == nil && j.verdict != core.VerdictDrop:
+			case i != len(rings)-1 && j.err == nil && j.verdict != core.VerdictDrop:
 				next = append(next, j)
 			case j.recording && j.err == nil:
 				// "As soon as the service chain finishes processing the
@@ -209,7 +268,7 @@ func (p *Platform) nfLoop(i int) {
 			}
 		}
 		if len(next) > 0 {
-			p.enqueueBatch(p.nfRings[i+1], next)
+			p.enqueueBatch(rings[i+1], next)
 		}
 		if len(mgr) > 0 {
 			p.enqueueBatch(p.mgrRing, mgr)
@@ -288,17 +347,85 @@ func (p *Platform) Close() error {
 	}
 	p.closed = true
 	p.mu.Unlock()
+	// Exclude injections and chain splices while tearing down.
+	p.injectMu.Lock()
+	defer p.injectMu.Unlock()
 	for _, r := range p.nfRings {
 		r.Close()
 	}
+	p.nfWg.Wait()
 	p.mgrRing.Close()
 	p.wg.Wait()
 	return nil
 }
 
+// Reconfigure applies a live chain change (platform.Reconfigurer):
+// injection pauses, the in-flight descriptors drain to quiescence, the
+// engine publishes the new chain and epoch, and the ring stages are
+// spliced to the new layout. The retiring stages' rings are closed
+// empty — ring close reports the accepted count, so nothing is silently
+// lost — which wakes their idle NF loops for exit; fresh loops start
+// over the new rings. The manager ring is never touched, so fast-path
+// and consolidation work resumes seamlessly.
+func (p *Platform) Reconfigure(plan core.ChainPlan) error {
+	p.injectMu.Lock()
+	defer p.injectMu.Unlock()
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return errors.New("onvm: platform closed")
+	}
+
+	// Quiesce: with injectMu held no descriptor enters the pipeline,
+	// and the NF and manager loops run the in-flight ones to completion
+	// on their own.
+	for p.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+
+	// The core budget gates growth before the engine commits anything.
+	if plan.Op == core.OpInsert {
+		model := p.eng.Model()
+		if next, max := p.eng.ChainLen()+1, MaxChainLen(model.ONVMCoreBudget); next > max {
+			return fmt.Errorf("%w: %d NFs, budget %d cores allows %d",
+				ErrChainTooLong, next, model.ONVMCoreBudget, max)
+		}
+	}
+	if err := p.eng.Reconfigure(plan); err != nil {
+		return err
+	}
+
+	// Retire the old generation: the rings are empty (drained above),
+	// so Close just wakes the idle loops.
+	for _, r := range p.nfRings {
+		r.Close()
+	}
+	p.nfWg.Wait()
+
+	// Splice the new generation.
+	rings := make([]*ring.Ring[*job], p.eng.ChainLen())
+	for i := range rings {
+		rings[i] = ring.New[*job](p.capacity)
+	}
+	p.ringMu.Lock()
+	p.nfRings = rings
+	p.ringMu.Unlock()
+	p.registerRingGauges(len(rings))
+	for i := range rings {
+		p.nfWg.Add(1)
+		go p.nfLoop(i, rings)
+	}
+	return nil
+}
+
 // inject classifies a packet and routes its job into the pipeline
-// without waiting for completion.
+// without waiting for completion. It holds injectMu shared for its
+// duration, so a concurrent Reconfigure observes either none or all of
+// the injection — never a descriptor halfway into a retiring ring.
 func (p *Platform) inject(pkt *packet.Packet) (*job, error) {
+	p.injectMu.RLock()
+	defer p.injectMu.RUnlock()
 	cls, err := p.eng.Classify(pkt)
 	if err != nil {
 		return nil, err
@@ -310,7 +437,9 @@ func (p *Platform) inject(pkt *packet.Packet) (*job, error) {
 		dropIndex: -1,
 		done:      make(chan struct{}),
 		engine:    p.eng,
+		inflight:  &p.inflight,
 	}
+	p.inflight.Add(1)
 	opts := p.eng.Options()
 
 	fastEligible := opts.EnableSpeedyBox &&
@@ -318,6 +447,7 @@ func (p *Platform) inject(pkt *packet.Packet) (*job, error) {
 			(cls.Kind == classifier.KindFinal && p.hasRule(cls.FID)))
 	if fastEligible {
 		if err := p.mgrRing.Enqueue(j); err != nil {
+			p.inflight.Add(-1)
 			return nil, err
 		}
 		return j, nil
@@ -335,6 +465,7 @@ func (p *Platform) inject(pkt *packet.Packet) (*job, error) {
 		if j.recording {
 			p.eng.EndRecording(cls.FID)
 		}
+		p.inflight.Add(-1)
 		return nil, err
 	}
 	return j, nil

@@ -53,6 +53,20 @@ type Platform interface {
 	Close() error
 }
 
+// Reconfigurer is the optional live-reconfiguration capability: a
+// platform implementing it applies a chain plan without stopping the
+// pipeline (no packet dropped, surviving NF state preserved). Callers
+// type-assert:
+//
+//	if r, ok := p.(platform.Reconfigurer); ok { err = r.Reconfigure(plan) }
+//
+// Both the BESS and the ONVM model implement it; the interface stays
+// separate from Platform so third-party platforms without a live path
+// remain valid.
+type Reconfigurer interface {
+	Reconfigure(plan core.ChainPlan) error
+}
+
 // Batch is per-worker scratch for ProcessBatch: the engine-level batch
 // state (rule cache, pooled result storage) plus the platform's
 // measurement buffer. It must not be shared between goroutines.

@@ -42,6 +42,12 @@ const (
 	// EvRecover is a degraded flow recovering: a rule install
 	// succeeded and the flow returns to the fast path.
 	EvRecover = "flow-recover"
+	// EvReconfig is a completed chain reconfiguration (the cause field
+	// carries the plan kind, new epoch and swept-rule count).
+	EvReconfig = "reconfig"
+	// EvReconfigAbort is a reconfiguration that failed mid-transition
+	// and rolled back, leaving the old chain and epoch in place.
+	EvReconfigAbort = "reconfig-abort"
 )
 
 // Record is one journaled control-plane transition.

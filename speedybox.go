@@ -70,8 +70,43 @@ type (
 	// FlowCloser is the optional NF interface for releasing
 	// NF-internal per-flow state on flow teardown.
 	FlowCloser = core.FlowCloser
+	// Teardowner is the optional NF interface for releasing all
+	// NF-internal state when the NF leaves a live chain.
+	Teardowner = core.Teardowner
 	// Stats aggregates engine counters over a run.
 	Stats = core.Stats
+)
+
+// Live chain reconfiguration (DESIGN.md §12): a ChainPlan describes one
+// insert/remove/replace/reorder, Engine.Reconfigure applies it with
+// epoch-based rule invalidation, and platforms implementing
+// Reconfigurer apply it without stopping the pipeline.
+type (
+	// ChainPlan is one live chain change.
+	ChainPlan = core.ChainPlan
+	// ReconfigOp selects the plan operation.
+	ReconfigOp = core.ReconfigOp
+	// Reconfigurer is the optional platform capability for live chain
+	// changes; both NewBESS and NewONVM platforms implement it.
+	Reconfigurer = platform.Reconfigurer
+)
+
+// Chain-plan operations.
+const (
+	OpInsert  = core.OpInsert
+	OpRemove  = core.OpRemove
+	OpReplace = core.OpReplace
+	OpReorder = core.OpReorder
+)
+
+// Reconfiguration errors (match with errors.Is).
+var (
+	ErrPlanInvalid     = core.ErrPlanInvalid
+	ErrPlanDuplicateNF = core.ErrPlanDuplicateNF
+	ErrPlanEmptyChain  = core.ErrPlanEmptyChain
+	ErrPlanOutOfRange  = core.ErrPlanOutOfRange
+	ErrPlanUnknownNF   = core.ErrPlanUnknownNF
+	ErrReconfigAborted = core.ErrReconfigAborted
 )
 
 // Verdicts.
@@ -103,6 +138,7 @@ const (
 	FaultRecomputeDrop  = fault.KindRecomputeDrop
 	FaultBackendFlap    = fault.KindBackendFlap
 	FaultEvictPressure  = fault.KindEvictPressure
+	FaultReconfigAbort  = fault.KindReconfigAbort
 )
 
 // Fault-injection constructors.
@@ -127,6 +163,12 @@ type (
 	Field = packet.Field
 	// FID is the 20-bit flow identifier.
 	FID = flow.FID
+)
+
+// Transport protocol numbers for PacketSpec.Proto.
+const (
+	ProtoTCP = packet.ProtoTCP
+	ProtoUDP = packet.ProtoUDP
 )
 
 // Header fields usable in Modify actions.
