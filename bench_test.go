@@ -455,6 +455,45 @@ func BenchmarkFastPathBatch(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "pkts-Mpps")
 }
 
+// BenchmarkFastPathBatchWAL is BenchmarkFastPathBatch with a WAL
+// attached before warmup: every install journals, then the steady-state
+// batched fast path runs with durability on. The journal only sees
+// control-plane mutations, so per-packet cost and allocations must stay
+// at the non-WAL level (the benchgate asserts <=1 alloc/packet).
+func BenchmarkFastPathBatchWAL(b *testing.B) {
+	p, err := speedybox.NewBESS(mqChain(b), speedybox.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	p.Engine().AttachWAL(speedybox.NewWAL(speedybox.WALOptions{}))
+	pkts := fastTrace(b)
+	if _, err := speedybox.Run(p, pkts); err != nil {
+		b.Fatal(err)
+	}
+	if p.Engine().WAL().Seq() == 0 {
+		b.Fatal("warmup journaled nothing")
+	}
+	const vec = 32
+	vecs := make([][]*speedybox.Packet, 0, len(pkts)/vec)
+	for off := 0; off+vec <= len(pkts); off += vec {
+		vecs = append(vecs, pkts[off:off+vec])
+	}
+	bat := speedybox.NewBatch(vec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	i := 0
+	for n := 0; n < b.N; {
+		v := vecs[i%len(vecs)]
+		i++
+		if _, err := p.ProcessBatch(v, bat); err != nil {
+			b.Fatal(err)
+		}
+		n += len(v)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "pkts-Mpps")
+}
+
 // BenchmarkPooledReplay measures a whole-trace replay cycle with pooled
 // descriptors: draw the trace from the pool, run it batched, return
 // every descriptor via RunBatch. Steady state allocates no packet

@@ -4,17 +4,21 @@
 //
 // Usage:
 //
-//	speedybench [-exp all|fig4|table3|fig5|fig6|fig7|fig8|fig9a|fig9b|equiv|vpnx|crossover|mq|oracle|reconfig] [-seed N] [-flows N] [-batch N] [-json]
+//	speedybench [-exp all|fig4|table3|fig5|fig6|fig7|fig8|fig9a|fig9b|equiv|vpnx|crossover|mq|oracle|reconfig|restart] [-seed N] [-flows N] [-batch N] [-json]
 //
 // The oracle experiment runs the differential fast/slow-path
 // equivalence oracle under randomized fault schedules
 // (-oracle-schedules, default 200) and exits nonzero on any
 // divergence, so CI can enforce it; -oracle-reconfigs additionally
 // applies that many live chain reconfigurations per schedule, to both
-// engines at the same packet indices. The reconfig experiment inserts
-// a gateway NF mid-trace and exits nonzero unless the run drops
-// nothing and the fast-path hit rate recovers to >=90% of its
-// pre-change baseline.
+// engines at the same packet indices, and -oracle-crashes kills and
+// restores the fast engine from checkpoint+WAL at that many seeded
+// packet indices per schedule. The reconfig experiment inserts a
+// gateway NF mid-trace and exits nonzero unless the run drops nothing
+// and the fast-path hit rate recovers to >=90% of its pre-change
+// baseline; the restart experiment kills the whole engine mid-trace
+// and holds the restored replacement to the same 90% bar against a
+// cold-start control.
 package main
 
 import (
@@ -40,7 +44,7 @@ func main() {
 type formatter interface{ Format() string }
 
 // experiments enumerates the runnable experiments in paper order.
-func experiments(cfg harness.Config, oracleSchedules, oracleReconfigs int) []struct {
+func experiments(cfg harness.Config, oracleSchedules, oracleReconfigs, oracleCrashes int) []struct {
 	name string
 	run  func() (formatter, error)
 } {
@@ -63,7 +67,7 @@ func experiments(cfg harness.Config, oracleSchedules, oracleReconfigs int) []str
 		{"oracle", func() (formatter, error) {
 			res, err := harness.RunOracle(harness.OracleConfig{
 				Seed: cfg.Seed, Schedules: oracleSchedules, Flows: cfg.Flows,
-				Batch: cfg.Batch, Reconfigs: oracleReconfigs,
+				Batch: cfg.Batch, Reconfigs: oracleReconfigs, Crashes: oracleCrashes,
 			})
 			if err != nil {
 				return nil, err
@@ -83,14 +87,25 @@ func experiments(cfg harness.Config, oracleSchedules, oracleReconfigs int) []str
 			}
 			return res, nil
 		}},
+		{"restart", func() (formatter, error) {
+			res, err := harness.RunRestart(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if !res.Passed() {
+				return nil, fmt.Errorf("restart experiment FAILED:\n%s", res.Format())
+			}
+			return res, nil
+		}},
 	}
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("speedybench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, fig4, table3, fig5, fig6, fig7, fig8, fig9a, fig9b, equiv, vpnx, crossover, mq, oracle, reconfig")
+	exp := fs.String("exp", "all", "experiment to run: all, fig4, table3, fig5, fig6, fig7, fig8, fig9a, fig9b, equiv, vpnx, crossover, mq, oracle, reconfig, restart")
 	oracleSchedules := fs.Int("oracle-schedules", 200, "fault schedules for -exp oracle")
 	oracleReconfigs := fs.Int("oracle-reconfigs", 0, "live chain reconfigurations per oracle schedule (0 = none)")
+	oracleCrashes := fs.Int("oracle-crashes", 0, "engine kill/restore cycles per oracle schedule (0 = none, capped at 4)")
 	seed := fs.Int64("seed", 1, "trace generation seed")
 	flows := fs.Int("flows", 0, "trace size in flows (0 = experiment default)")
 	batch := fs.Int("batch", 0, "process packets in vectors of this size (0 = per-packet); for -exp oracle the fast engine runs batched against the scalar reference")
@@ -120,7 +135,7 @@ func run(args []string, out io.Writer) error {
 
 	jsonOut := make(map[string]any)
 	ran := false
-	for _, e := range experiments(cfg, *oracleSchedules, *oracleReconfigs) {
+	for _, e := range experiments(cfg, *oracleSchedules, *oracleReconfigs, *oracleCrashes) {
 		if *exp != "all" && *exp != e.name {
 			continue
 		}

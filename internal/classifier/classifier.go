@@ -220,3 +220,17 @@ func (c *Classifier) Teardown(fid flow.FID) bool {
 // Now returns the logical clock: the number of packets classified so
 // far.
 func (c *Classifier) Now() uint64 { return c.seq.Load() }
+
+// RestoreClock forces the logical clock forward to at least v. A
+// restored engine resumes the checkpointed clock so LastSeen stamps in
+// restored flow entries stay comparable to post-restore ticks — a
+// clock restarting at zero would make every restored flow look
+// maximally idle and ExpireIdle would reap it instantly.
+func (c *Classifier) RestoreClock(v uint64) {
+	for {
+		cur := c.seq.Load()
+		if cur >= v || c.seq.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

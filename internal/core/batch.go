@@ -79,7 +79,7 @@ func (rc *RuleCache) slot(fid flow.FID) *ruleCacheEntry {
 // verdict.
 func (rc *RuleCache) noEventsValid(e *Engine, fid flow.FID) bool {
 	en := rc.find(fid)
-	return en != nil && en.noEvents && en.evGen == e.events.RegisteredTotal()
+	return en != nil && en.noEvents && en.evGen == e.events.RegGen()
 }
 
 // putNoEvents caches the no-events verdict observed at registration

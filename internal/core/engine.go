@@ -15,6 +15,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/packet"
 	"github.com/fastpathnfv/speedybox/internal/sfunc"
 	"github.com/fastpathnfv/speedybox/internal/telemetry"
+	"github.com/fastpathnfv/speedybox/internal/wal"
 )
 
 // Options configures an Engine.
@@ -130,6 +131,12 @@ type Engine struct {
 	// Options.Telemetry is unset. Hot paths guard every use with a
 	// single nil check.
 	tel *engineTelemetry
+
+	// wal is the attached write-ahead log (persist.go), nil when
+	// durability is off. Journaling happens inside the Global MAT and
+	// Event Table via their journal hooks, never on the per-packet
+	// data path.
+	wal *wal.Writer
 }
 
 // NewEngine builds an engine over the chain.
@@ -835,7 +842,7 @@ func (e *Engine) fireEventsCached(fid flow.FID, info *FastPathInfo, rc *RuleCach
 		// Read the generation before probing: if a Register lands
 		// between the two, the cached verdict is stamped with the older
 		// generation and the next validity check conservatively misses.
-		evGen = e.events.RegisteredTotal()
+		evGen = e.events.RegGen()
 	}
 	firings, registered := e.events.Probe(fid)
 	if rc != nil && !registered {

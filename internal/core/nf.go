@@ -100,6 +100,23 @@ type Teardowner interface {
 	Teardown()
 }
 
+// Snapshotter is an optional NF interface for crash-safe state:
+// Engine.Checkpoint calls SnapshotState on every chain NF implementing
+// it and stores the blob by NF name; Engine.Restore hands the blob
+// back via RestoreState on the freshly constructed replacement NF. The
+// encoding is the NF's own business (the bundled NFs use encoding/gob)
+// — the engine only moves opaque bytes. NFs whose state is entirely
+// reconstructible from re-recording simply do not implement it.
+type Snapshotter interface {
+	// SnapshotState serializes the NF's internal state. It must not
+	// run concurrently with Process (checkpointing happens at packet
+	// boundaries, like reconfiguration).
+	SnapshotState() ([]byte, error)
+	// RestoreState replaces the NF's internal state with a blob a
+	// previous SnapshotState produced.
+	RestoreState(data []byte) error
+}
+
 // CtxConfig assembles a standalone instrumentation context, used by NF
 // unit tests and by tools that drive a single NF outside an Engine.
 type CtxConfig struct {

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/fastpathnfv/speedybox/internal/flow"
+	"github.com/fastpathnfv/speedybox/internal/mat"
+	"github.com/fastpathnfv/speedybox/internal/wal"
+)
+
+// Crash-safe state: the engine journals every Global MAT mutation and
+// Event Table registration into an attached wal.Writer, snapshots its
+// restorable state into wal.Checkpoints, and Restore rebuilds a fresh
+// engine from a checkpoint plus the journal suffix.
+//
+// The transactional commit point is mat.Global.Install: replay applies
+// a record's rule with one Install under the shard lock (bumping the
+// table generation exactly like a live install), so a concurrent batch
+// worker sees either the whole rule or no rule — never a partially
+// applied one. A torn or corrupt journal tail is discarded whole by
+// wal.Decode before any of it can touch the table.
+//
+// Only declarative rules restore executable. State-function batches
+// and event closures reference live NF state and cannot be serialized;
+// their flows come back as established flow-table entries without a
+// rule, so the classifier marks their next packet Initial and one
+// slow-path traversal re-records the closures against the restored NF
+// state — the same always-correct degradation path every other rule
+// loss uses.
+
+// ErrNilCheckpoint reports Restore called without a checkpoint.
+var ErrNilCheckpoint = errors.New("core: restore requires a checkpoint")
+
+// walJournal adapts the engine's tables to the WAL writer. Its
+// callbacks run under the owning table shard's lock, so records land
+// in the log in exactly the order mutations committed.
+type walJournal struct {
+	e *Engine
+	w *wal.Writer
+}
+
+func (j *walJournal) RuleInstalled(r *mat.GlobalRule, replaced bool) {
+	rec := wal.Record{Type: wal.RecRuleInstall, FID: r.FID, Epoch: r.Epoch}
+	if replaced {
+		rec.Aux |= wal.AuxReplaced
+	}
+	// Restorable = declarative header work only AND no event
+	// registrations for the flow. Events register during the slow-path
+	// traversal, before consolidation installs the rule, so the check
+	// here is complete; a storm registering *after* the install emits
+	// RecEventRegister records that demote the flow during replay.
+	if im, ok := wal.ImageOf(r); ok && j.e.events.Pending(r.FID) == 0 {
+		rec.Aux |= wal.AuxRestorable
+		rec.Rule = im
+	}
+	j.w.Append(rec)
+}
+
+func (j *walJournal) RuleRemoved(fid flow.FID) {
+	j.w.Append(wal.Record{Type: wal.RecRuleRemove, FID: fid, Epoch: j.e.global.Epoch()})
+}
+
+func (j *walJournal) RuleStaled(fid flow.FID) {
+	j.w.Append(wal.Record{Type: wal.RecRuleStale, FID: fid, Epoch: j.e.global.Epoch()})
+}
+
+func (j *walJournal) EpochAdvanced(epoch uint64) {
+	j.w.Append(wal.Record{Type: wal.RecEpochAdvance, Epoch: epoch})
+}
+
+// AttachWAL journals all future Global MAT mutations and Event Table
+// registrations into w (nil detaches). Attach before traffic flows:
+// the journal captures mutations from attachment onward, and a
+// checkpoint anchors the prefix it never saw.
+func (e *Engine) AttachWAL(w *wal.Writer) {
+	e.wal = w
+	if w == nil {
+		e.global.SetJournal(nil)
+		e.events.SetJournal(nil)
+		return
+	}
+	e.global.SetJournal(&walJournal{e: e, w: w})
+	e.events.SetJournal(func(fid flow.FID) {
+		w.Append(wal.Record{Type: wal.RecEventRegister, FID: fid, Epoch: e.global.Epoch()})
+	})
+	if e.tel != nil {
+		e.tel.hookWAL(w)
+	}
+}
+
+// WAL returns the attached write-ahead log, nil when durability is off.
+func (e *Engine) WAL() *wal.Writer { return e.wal }
+
+// Checkpoint snapshots the engine's restorable state: chain epoch,
+// classifier clock, flow-table occupancy, declarative Global MAT rules
+// and the state blob of every chain NF implementing Snapshotter. The
+// attached WAL (if any) is synced first so the recorded log position
+// is durable alongside everything it anchors. Call at a packet
+// boundary — checkpointing must not race Process, like Reconfigure.
+func (e *Engine) Checkpoint() (*wal.Checkpoint, error) {
+	e.reconfigMu.Lock()
+	defer e.reconfigMu.Unlock()
+	start := time.Now()
+
+	e.wal.Sync()
+	cp := &wal.Checkpoint{
+		Epoch:  e.global.Epoch(),
+		WALSeq: e.wal.Seq(),
+		Clock:  e.class.Now(),
+	}
+	for _, fe := range e.class.Flows().Snapshot() {
+		cp.Flows = append(cp.Flows, wal.FlowEntry{
+			FID: fe.FID, Tuple: fe.Tuple, State: uint8(fe.State),
+			Packets: fe.Packets, Bytes: fe.Bytes, LastSeen: fe.LastSeen,
+		})
+	}
+
+	var rules []*mat.GlobalRule
+	e.global.ForEach(func(r *mat.GlobalRule) { rules = append(rules, r) })
+	sort.Slice(rules, func(i, j int) bool { return rules[i].FID < rules[j].FID })
+	for _, r := range rules {
+		if r.Epoch != cp.Epoch || e.global.IsStale(r.FID) {
+			continue // dead or distrusted; the flow re-records anyway
+		}
+		im, ok := wal.ImageOf(r)
+		if !ok || e.events.Pending(r.FID) > 0 {
+			continue // closure-bearing: restorable only by re-recording
+		}
+		cp.Rules = append(cp.Rules, *im)
+	}
+
+	cs := e.state()
+	for _, nf := range cs.chain {
+		snap, ok := nf.(Snapshotter)
+		if !ok {
+			continue
+		}
+		blob, err := snap.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint %s: %w", nf.Name(), err)
+		}
+		if cp.NFState == nil {
+			cp.NFState = make(map[string][]byte)
+		}
+		cp.NFState[nf.Name()] = blob
+	}
+
+	if e.tel != nil {
+		e.tel.checkpoints.Inc()
+		e.tel.checkpointNanos.Record(uint64(time.Since(start).Nanoseconds()), 0)
+	}
+	return cp, nil
+}
+
+// Restore rebuilds the engine's state from a checkpoint plus the
+// journal bytes written after it (walData may be nil for a
+// checkpoint-only restore). Call it on a freshly constructed engine
+// over the same chain layout, before traffic flows.
+//
+// Replay is transactional per record: each surviving journal record is
+// applied with one Install/Remove/MarkStale under the owning shard
+// lock — the same commit point live mutations use — so a concurrent
+// reader observes whole rules only. wal.Decode has already discarded
+// any torn tail whole. Non-restorable installs and event registrations
+// demote their flow to re-recording: the restored flow entry is
+// established with no rule, so the classifier marks the next packet
+// Initial and the slow path reconstructs the closures. Degradation
+// ladder backoff deliberately does not survive a restore: the faults
+// that parked a flow died with the old process, so restored flows
+// retry recording immediately.
+func (e *Engine) Restore(cp *wal.Checkpoint, walData []byte) error {
+	if cp == nil {
+		return ErrNilCheckpoint
+	}
+	e.reconfigMu.Lock()
+	defer e.reconfigMu.Unlock()
+	start := time.Now()
+
+	// Clock first: restored LastSeen stamps must compare against a
+	// clock at least as far along as when they were taken.
+	e.class.RestoreClock(cp.Clock)
+	for _, f := range cp.Flows {
+		e.class.Flows().RestoreEntry(flow.Entry{
+			FID: f.FID, Tuple: f.Tuple, State: flow.State(f.State),
+			Packets: f.Packets, Bytes: f.Bytes, LastSeen: f.LastSeen,
+		})
+	}
+
+	cs := e.state()
+	for _, nf := range cs.chain {
+		blob, ok := cp.NFState[nf.Name()]
+		if !ok {
+			continue
+		}
+		snap, ok := nf.(Snapshotter)
+		if !ok {
+			continue // chain shape changed; the NF re-learns organically
+		}
+		if err := snap.RestoreState(blob); err != nil {
+			return fmt.Errorf("core: restore %s: %w", nf.Name(), err)
+		}
+	}
+
+	e.global.RestoreEpoch(cp.Epoch)
+	if e.opts.EnableSpeedyBox {
+		for i := range cp.Rules {
+			e.global.Install(cp.Rules[i].Rule())
+		}
+	}
+
+	recs, _ := wal.Decode(walData)
+	replayed := 0
+	for _, rec := range recs {
+		if rec.Seq <= cp.WALSeq {
+			continue // already reflected in the checkpoint
+		}
+		replayed++
+		switch rec.Type {
+		case wal.RecRuleInstall:
+			if rec.Rule != nil && e.opts.EnableSpeedyBox {
+				e.global.Install(rec.Rule.Rule())
+			} else {
+				// The live install carried closures this log cannot
+				// reconstruct; whatever older rule is installed for the
+				// flow is superseded, so drop it and let the flow
+				// re-record.
+				e.global.Remove(rec.FID)
+			}
+		case wal.RecRuleRemove:
+			e.global.Remove(rec.FID)
+		case wal.RecRuleStale:
+			e.global.MarkStale(rec.FID)
+		case wal.RecEpochAdvance:
+			e.global.RestoreEpoch(rec.Epoch)
+		case wal.RecEventRegister:
+			// The flow gained an event closure after its rule was
+			// journaled; serving the rule without the event would skip
+			// the update, so demote the flow to re-recording.
+			e.global.Remove(rec.FID)
+		}
+	}
+
+	// Replayed epoch advances kill every rule consolidated under an
+	// older epoch — the restore-time equivalent of SweepEpoch, which is
+	// deliberately not journaled. Orphan rules — replayed for a flow
+	// whose table entry was born after the checkpoint and so died with
+	// the crash — are swept too: FIDs are allocated by tuple hashing
+	// with probing, and a probe over the restored (smaller) occupancy
+	// could hand the orphan's FID to a *different* tuple, which must
+	// not inherit the dead flow's actions. A rule survives restore only
+	// alongside its own flow entry.
+	finalEpoch := e.global.Epoch()
+	var dead []flow.FID
+	e.global.ForEach(func(r *mat.GlobalRule) {
+		if r.Epoch != finalEpoch {
+			dead = append(dead, r.FID)
+			return
+		}
+		if _, ok := e.class.Flows().LookupFID(r.FID); !ok {
+			dead = append(dead, r.FID)
+		}
+	})
+	for _, fid := range dead {
+		e.global.Remove(fid)
+	}
+
+	// Republish the chain snapshot under the restored epoch; otherwise
+	// post-restore consolidations would stamp rules with the stale
+	// construction-time epoch and LookupLive would never serve them.
+	if cs.epoch != finalEpoch {
+		reuse := make(map[NF]*mat.Local, len(cs.chain))
+		for i, nf := range cs.chain {
+			reuse[nf] = cs.locals[i]
+		}
+		e.cur.Store(newChainState(cs.chain, reuse, finalEpoch))
+	}
+
+	if e.tel != nil {
+		e.tel.restores.Inc()
+		e.tel.walReplayed.Add(uint64(replayed))
+		e.tel.restoreNanos.Record(uint64(time.Since(start).Nanoseconds()), 0)
+	}
+	return nil
+}

@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"github.com/fastpathnfv/speedybox/internal/classifier"
 	"github.com/fastpathnfv/speedybox/internal/fault"
 	"github.com/fastpathnfv/speedybox/internal/telemetry"
+	"github.com/fastpathnfv/speedybox/internal/wal"
 )
 
 // Removal / reset causes journaled to the flight recorder and used as
@@ -80,6 +82,16 @@ type engineTelemetry struct {
 	reconfigs         [4]*telemetry.Counter
 	reconfigRollbacks *telemetry.Counter
 	reconfigSweep     *telemetry.Histogram
+
+	// Durability (persist.go): checkpoint/restore counters and the
+	// wall-clock cost of checkpointing, restore replay and WAL group
+	// commits.
+	checkpoints     *telemetry.Counter
+	restores        *telemetry.Counter
+	walReplayed     *telemetry.Counter
+	checkpointNanos *telemetry.Histogram
+	restoreNanos    *telemetry.Histogram
+	walFsync        *telemetry.Histogram
 }
 
 // newEngineTelemetry resolves the engine's metrics against the hub and
@@ -118,6 +130,18 @@ func newEngineTelemetry(e *Engine, hub *telemetry.Hub) *engineTelemetry {
 			"Chain reconfigurations aborted mid-transition and rolled back"),
 		reconfigSweep: reg.Histogram("speedybox_reconfig_sweep_nanos",
 			"Wall-clock nanoseconds stale-sweeping old-epoch rules after a reconfiguration"),
+		checkpoints: reg.Counter("speedybox_checkpoints_total",
+			"Engine state checkpoints taken"),
+		restores: reg.Counter("speedybox_restores_total",
+			"Engine restores from checkpoint plus WAL replay"),
+		walReplayed: reg.Counter("speedybox_wal_replayed_records_total",
+			"WAL records replayed past the checkpoint during restores"),
+		checkpointNanos: reg.Histogram("speedybox_checkpoint_nanos",
+			"Wall-clock nanoseconds per checkpoint"),
+		restoreNanos: reg.Histogram("speedybox_wal_replay_nanos",
+			"Wall-clock nanoseconds per restore (checkpoint load plus journal replay)"),
+		walFsync: reg.Histogram("speedybox_wal_fsync_nanos",
+			"Wall-clock nanoseconds per WAL group commit"),
 	}
 	for _, op := range []ReconfigOp{OpInsert, OpRemove, OpReplace, OpReorder} {
 		t.reconfigs[op-1] = reg.Counter(fmt.Sprintf("speedybox_reconfigs_total{kind=%q}", op),
@@ -181,6 +205,14 @@ func newEngineTelemetry(e *Engine, hub *telemetry.Hub) *engineTelemetry {
 		}
 	}
 	return t
+}
+
+// hookWAL points the attached writer's sync observer at the fsync
+// histogram.
+func (t *engineTelemetry) hookWAL(w *wal.Writer) {
+	w.SetOnSync(func(_ int, d time.Duration) {
+		t.walFsync.Record(uint64(d.Nanoseconds()), 0)
+	})
 }
 
 // accountPacket records the per-path work histogram and the per-NF

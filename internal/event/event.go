@@ -103,11 +103,39 @@ type Table struct {
 	shards     [shardCount]tableShard
 	fired      atomic.Uint64
 	registered atomic.Uint64
+	// regGen is the registration generation the batched data path
+	// validates its "no events for this flow" cache against. Unlike
+	// registered (a plain telemetry count), it starts in a per-instance
+	// 2^32-wide band so values never coincide across Tables — a cache
+	// carried across an engine rebuild must not validate against a dead
+	// table's generation.
+	regGen atomic.Uint64
+	// journal, when set, observes successful registrations for
+	// write-ahead logging: event closures cannot be serialized, so the
+	// journal record marks the flow's rule non-restorable after a
+	// crash (the flow re-records instead).
+	journal atomic.Pointer[func(flow.FID)]
 }
+
+// SetJournal attaches (or, with nil, detaches) a callback invoked
+// after every successful Register with the flow's FID. It runs under
+// the flow's shard lock, so it observes registrations in table order
+// and must not call back into the table.
+func (t *Table) SetJournal(fn func(flow.FID)) {
+	if fn == nil {
+		t.journal.Store(nil)
+		return
+	}
+	t.journal.Store(&fn)
+}
+
+// instanceGen hands each Table its own registration-generation band.
+var instanceGen atomic.Uint64
 
 // NewTable returns an empty Event Table.
 func NewTable() *Table {
 	t := &Table{}
+	t.regGen.Store(instanceGen.Add(1) << 32)
 	for i := range t.shards {
 		t.shards[i].byFID = make(map[flow.FID][]*Event)
 	}
@@ -133,6 +161,10 @@ func (t *Table) Register(fid flow.FID, e Event) error {
 	ev := e
 	s.byFID[fid] = append(s.byFID[fid], &ev)
 	t.registered.Add(1)
+	t.regGen.Add(1)
+	if j := t.journal.Load(); j != nil {
+		(*j)(fid)
+	}
 	return nil
 }
 
@@ -198,6 +230,14 @@ func (t *Table) FiredTotal() uint64 {
 // (the telemetry registrations counter; removals do not decrement it).
 func (t *Table) RegisteredTotal() uint64 {
 	return t.registered.Load()
+}
+
+// RegGen returns the registration generation: bumped on every Register
+// and unique across Table instances, so a cached "no events" verdict
+// stamped with one table's generation can never validate against
+// another's.
+func (t *Table) RegGen() uint64 {
+	return t.regGen.Load()
 }
 
 // Remove drops all events for a flow (FIN/RST teardown).

@@ -67,6 +67,13 @@ const (
 	// published: Engine.Reconfigure must roll back cleanly, leaving the
 	// old chain, epoch and every installed rule untouched.
 	KindReconfigAbort
+	// KindCrashRestore kills the engine at a planned packet index and
+	// restores a fresh one from the last checkpoint plus the durable WAL
+	// prefix. Like KindBackendFlap it is an environmental fault driven
+	// from a plan (CrashPlan), not a per-packet Should consultation: the
+	// scenario driver decides where the crash lands so the reference
+	// engine can run uninterrupted for comparison.
+	KindCrashRestore
 
 	kindCount
 )
@@ -100,6 +107,8 @@ func (k Kind) String() string {
 		return "evict-pressure"
 	case KindReconfigAbort:
 		return "reconfig-abort"
+	case KindCrashRestore:
+		return "crash-restore"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -294,6 +303,54 @@ func (i *Injector) FlapPlan(n, backends int) []Flap {
 		)
 	}
 	sort.SliceStable(plan, func(a, b int) bool { return plan[a].At < plan[b].At })
+	return plan
+}
+
+// Crash is one planned engine kill/restore point.
+type Crash struct {
+	// At is the packet index before which the engine is killed and
+	// restored from its last checkpoint plus the durable WAL prefix.
+	At int
+}
+
+// CrashPlan derives a deterministic crash/restore schedule for a trace
+// of n packets: the count scales with the KindCrashRestore rate (at
+// least one crash when the rate is nonzero, capped at four), and every
+// crash lands in the middle 80% of the trace so both the pre-crash
+// warmup and the post-restore recovery window are observable. Indices
+// are sorted and deduplicated.
+func (i *Injector) CrashPlan(n int) []Crash {
+	if i == nil || n < 8 {
+		return nil
+	}
+	rate := i.Rate(KindCrashRestore)
+	if rate <= 0 {
+		return nil
+	}
+	count := int(rate*4) + 1
+	if count > 4 {
+		count = 4
+	}
+	lo, span := n/10, (8*n)/10
+	if span < 1 {
+		span = 1
+	}
+	plan := make([]Crash, 0, count)
+	for p := 0; p < count; p++ {
+		h := splitmix64(i.seed ^ 0xc4a5 ^ uint64(p)*0x9e3779b97f4a7c15)
+		at := lo + int(h%uint64(span))
+		dup := false
+		for _, c := range plan {
+			if c.At == at {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			plan = append(plan, Crash{At: at})
+		}
+	}
+	sort.Slice(plan, func(a, b int) bool { return plan[a].At < plan[b].At })
 	return plan
 }
 

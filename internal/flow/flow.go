@@ -7,6 +7,7 @@ package flow
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -298,6 +299,41 @@ func (t *Table) Update(fid FID, fn func(*Entry)) bool {
 	}
 	fn(e)
 	return true
+}
+
+// Snapshot returns a copy of every tracked entry, sorted by FID so
+// checkpoint encodings are deterministic.
+func (t *Table) Snapshot() []Entry {
+	out := make([]Entry, 0, t.Len())
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for _, e := range s.entries {
+			out = append(out, *e)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FID < out[j].FID })
+	return out
+}
+
+// RestoreEntry places a checkpointed entry back at its recorded FID,
+// bypassing Insert's probing (the FID was already allocated when the
+// snapshot was taken, so probe order must not re-run). An existing
+// entry at the FID or tuple is replaced.
+func (t *Table) RestoreEntry(e Entry) {
+	s := t.shardFor(e.FID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[e.FID]; ok {
+		delete(s.byTuple, old.Tuple)
+	}
+	if old, ok := s.byTuple[e.Tuple]; ok {
+		delete(s.entries, old.FID)
+	}
+	stored := e
+	s.entries[e.FID] = &stored
+	s.byTuple[e.Tuple] = &stored
 }
 
 // IdleSince returns the FIDs of flows whose LastSeen is strictly

@@ -338,3 +338,51 @@ func TestCrossoverShape(t *testing.T) {
 		t.Errorf("SBox cost growth %f too steep vs original %f", growth, last.OriginalSub-first.OriginalSub)
 	}
 }
+
+// TestRestartRecovery runs the crash-restart experiment: the engine
+// restored from checkpoint+WAL must come back at ≥90% of the pre-crash
+// hit rate, strictly beating the cold replacement, with real rules
+// rehydrated from a real journal and zero drops.
+func TestRestartRecovery(t *testing.T) {
+	res, err := RunRestart(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("restart experiment failed:\n%s", res.Format())
+	}
+	if res.RestoredFrac <= res.ColdFrac {
+		t.Errorf("restore (%.3f) did not beat cold start (%.3f):\n%s",
+			res.RestoredFrac, res.ColdFrac, res.Format())
+	}
+	if res.RestoredRules == 0 || res.WALBytes == 0 || res.Checkpoints == 0 {
+		t.Errorf("vacuous run: rules=%d walBytes=%d ckpts=%d",
+			res.RestoredRules, res.WALBytes, res.Checkpoints)
+	}
+}
+
+// TestMultiQueueDeterministic re-runs the worker sweep and expects
+// bit-identical points: the experiment reports modeled tick counts, so
+// nothing in it may read the wall clock.
+func TestMultiQueueDeterministic(t *testing.T) {
+	run := func() *MultiQueueResult {
+		res, err := RunMultiQueue(Config{Seed: 3, Flows: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Errorf("point %d diverged across identical seeds: %+v vs %+v",
+				i, a.Points[i], b.Points[i])
+		}
+	}
+	if a.Format() != b.Format() {
+		t.Error("formatted sweeps differ across identical seeds")
+	}
+}

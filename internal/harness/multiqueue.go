@@ -2,22 +2,26 @@ package harness
 
 import (
 	"fmt"
-	"time"
 
 	"github.com/fastpathnfv/speedybox/internal/core"
 	"github.com/fastpathnfv/speedybox/internal/platform"
 	"github.com/fastpathnfv/speedybox/internal/trace"
 )
 
-// MultiQueuePoint is one worker count's measurement.
+// MultiQueuePoint is one worker count's measurement. All columns are
+// modeled tick counts or rates derived from them — never wall-clock
+// time — so a given seed reproduces the table bit-identically on any
+// host, loaded or idle.
 type MultiQueuePoint struct {
 	Workers int
-	// WallMillis is the measured wall-clock time for the whole trace.
-	WallMillis float64
-	// RateMppsWall is the wall-clock processing rate: trace packets /
-	// measured seconds. It only scales with workers when the host has
-	// that many cores to give.
-	RateMppsWall float64
+	// TotalCycles is the modeled single-core occupancy of the whole
+	// trace: the sum of per-packet bottleneck cycles.
+	TotalCycles uint64
+	// CriticalCycles is the modeled multi-core critical path: the
+	// occupancy of the deepest queue, which every other worker waits
+	// out. With perfectly balanced queues it approaches
+	// TotalCycles/Workers.
+	CriticalCycles uint64
 	// RateMppsModel is the cost model's aggregate rate: per-core
 	// modeled rate times the effective parallelism of the queue
 	// partition. This is the simulator's throughput prediction for an
@@ -30,10 +34,10 @@ type MultiQueuePoint struct {
 // MultiQueueResult is an extension experiment: the paper's platforms
 // pin the chain to one core (BESS) or one core per NF (ONVM); the
 // multi-queue runner instead models an RSS NIC spreading flows across
-// cores that share the engine's FID-sharded tables. The sweep measures
-// how real wall-clock throughput of the simulator scales with workers
-// on a subsequent-packet-dominated trace — the regime where per-packet
-// work is small and shared-state contention, if any, dominates.
+// cores that share the engine's FID-sharded tables. The sweep reports
+// how modeled throughput scales with workers on a subsequent-packet-
+// dominated trace — the regime where per-packet work is small and
+// shared-state contention, if any, dominates.
 type MultiQueueResult struct {
 	Packets int
 	Flows   int
@@ -67,23 +71,41 @@ func RunMultiQueue(cfg Config) (*MultiQueueResult, error) {
 			return nil, err
 		}
 		mq.SetBatchSize(cfg.Batch)
-		start := time.Now()
 		out, err := mq.Run(pkts)
 		if err != nil {
 			return nil, err
 		}
-		elapsed := time.Since(start)
 		_ = p.Close()
+
+		var total uint64
+		for _, c := range out.Bottlenecks {
+			total += c
+		}
+		// The deepest queue bounds the multi-core run; scale the total
+		// occupancy by its share of the partition to get the modeled
+		// critical path (the same parallelism model AggregateRateMpps
+		// uses).
+		sum, deepest := 0, 0
+		for _, d := range out.QueueDepths {
+			sum += d
+			if d > deepest {
+				deepest = d
+			}
+		}
+		critical := total
+		if sum > 0 {
+			critical = total * uint64(deepest) / uint64(sum)
+		}
 
 		modeled := out.AggregateRateMpps()
 		if workers == 1 {
 			baseRate = modeled
 		}
 		pt := MultiQueuePoint{
-			Workers:       workers,
-			WallMillis:    float64(elapsed.Microseconds()) / 1000,
-			RateMppsWall:  float64(len(pkts)) / elapsed.Seconds() / 1e6,
-			RateMppsModel: modeled,
+			Workers:        workers,
+			TotalCycles:    total,
+			CriticalCycles: critical,
+			RateMppsModel:  modeled,
 		}
 		if baseRate > 0 {
 			pt.Speedup = modeled / baseRate
@@ -96,10 +118,11 @@ func RunMultiQueue(cfg Config) (*MultiQueueResult, error) {
 // Format renders the sweep.
 func (r *MultiQueueResult) Format() string {
 	t := &tableWriter{}
-	t.title(fmt.Sprintf("Extension: multi-queue scaling — wall-clock rate, %d flows / %d packets (BESS w/ SBox, 3 IPFilters)", r.Flows, r.Packets))
-	t.row("workers", "wall ms", "wall Mpps", "model Mpps", "model speedup")
+	t.title(fmt.Sprintf("Extension: multi-queue scaling — modeled ticks, %d flows / %d packets (BESS w/ SBox, 3 IPFilters)", r.Flows, r.Packets))
+	t.row("workers", "total Mcycles", "critical Mcycles", "model Mpps", "model speedup")
 	for _, p := range r.Points {
-		t.row(fmt.Sprintf("%d", p.Workers), f3(p.WallMillis), f3(p.RateMppsWall),
+		t.row(fmt.Sprintf("%d", p.Workers),
+			f3(float64(p.TotalCycles)/1e6), f3(float64(p.CriticalCycles)/1e6),
 			f3(p.RateMppsModel), fmt.Sprintf("%.2fx", p.Speedup))
 	}
 	return t.String()

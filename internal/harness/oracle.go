@@ -16,6 +16,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/nf/monitor"
 	"github.com/fastpathnfv/speedybox/internal/nf/snort"
 	"github.com/fastpathnfv/speedybox/internal/trace"
+	"github.com/fastpathnfv/speedybox/internal/wal"
 )
 
 // The differential equivalence oracle generalizes the paper's three
@@ -74,6 +75,16 @@ type OracleConfig struct {
 	// under the new epoch models a broken invalidation and must be
 	// caught as a divergence.
 	TamperReconfig func(eng *core.Engine, pre []*mat.GlobalRule)
+	// Crashes > 0 kills and restores the fast engine at up to that many
+	// (capped at 4) seeded packet indices per schedule: a
+	// crash-consistent checkpoint is taken at the kill point, the engine
+	// and every NF instance are discarded, a fresh chain is rebuilt
+	// (replaying any surviving reconfigurations), and Engine.Restore
+	// rehydrates it from the encoded checkpoint plus the durable WAL
+	// prefix — exactly what a process restart would find on disk. The
+	// reference engine runs uninterrupted, so any state the restore
+	// loses or invents shows up as a divergence.
+	Crashes int
 }
 
 // OracleDivergence pinpoints one fast/slow-path disagreement.
@@ -105,6 +116,8 @@ type OracleResult struct {
 	// and the fault-aborted (cleanly rolled back) ones.
 	Reconfigs      uint64
 	ReconfigAborts uint64
+	// CrashRestores totals the fast-engine kill/restore cycles survived.
+	CrashRestores uint64
 	// Divergences lists every disagreement (empty on a pass; capped —
 	// a broken engine would otherwise produce one per packet).
 	Divergences []OracleDivergence
@@ -123,7 +136,7 @@ func (r *OracleResult) Passed() bool {
 func (r *OracleResult) Format() string {
 	t := &tableWriter{}
 	t.title("Differential fast/slow-path equivalence oracle (randomized fault schedules)")
-	t.row("schedules", "packets", "faults injected", "fallbacks", "degraded pkts", "recoveries", "reconfigs", "aborted", "divergences", "result")
+	t.row("schedules", "packets", "faults injected", "fallbacks", "degraded pkts", "recoveries", "reconfigs", "aborted", "crashes", "divergences", "result")
 	status := "PASS"
 	if !r.Passed() {
 		status = "FAIL"
@@ -132,6 +145,7 @@ func (r *OracleResult) Format() string {
 		fmt.Sprintf("%d", r.Injected), fmt.Sprintf("%d", r.Fallbacks),
 		fmt.Sprintf("%d", r.Degraded), fmt.Sprintf("%d", r.Recoveries),
 		fmt.Sprintf("%d", r.Reconfigs), fmt.Sprintf("%d", r.ReconfigAborts),
+		fmt.Sprintf("%d", r.CrashRestores),
 		fmt.Sprintf("%d", len(r.Divergences)), status)
 	out := t.String()
 	for _, d := range r.Divergences {
@@ -367,6 +381,17 @@ func runOracleSchedule(cfg OracleConfig, sched int, seed int64, chain int, rates
 	}
 	next := 0
 
+	var crashes []fault.Crash
+	if cfg.Crashes > 0 {
+		// CrashPlan scales its count with the KindCrashRestore rate
+		// (count = int(rate*4)+1, capped at 4), so (c-1)/4 plus a nudge
+		// yields exactly min(c, 4) planned crashes.
+		inj.SetRate(fault.KindCrashRestore, float64(cfg.Crashes-1)/4+0.05)
+		crashes = inj.CrashPlan(len(refPkts))
+		fastEng.AttachWAL(wal.NewWriter(wal.Options{}))
+	}
+	nextCrash := 0
+
 	var reEvents []reconfigEvent
 	if cfg.Reconfigs > 0 {
 		chainNames := make([]string, len(ref.nfs))
@@ -376,6 +401,7 @@ func runOracleSchedule(cfg OracleConfig, sched int, seed int64, chain int, rates
 		reEvents = buildReconfigEvents(seed, cfg.Reconfigs, len(refPkts), chainNames)
 	}
 	nextRe := 0
+	var appliedRe []reconfigEvent
 	applyReconfig := func(ev reconfigEvent) error {
 		var pre []*mat.GlobalRule
 		if cfg.TamperReconfig != nil {
@@ -406,9 +432,66 @@ func runOracleSchedule(cfg OracleConfig, sched int, seed int64, chain int, rates
 			return fmt.Errorf("reference reconfigure (%s): %v", refPlan, rerr)
 		}
 		res.Reconfigs++
+		appliedRe = append(appliedRe, ev)
 		if cfg.TamperReconfig != nil {
 			cfg.TamperReconfig(fastEng, pre)
 		}
+		return nil
+	}
+
+	// crashRestore kills the fast engine and rehydrates a fresh one from
+	// exactly what a process restart would find on disk: the encoded
+	// crash-consistent checkpoint plus the durable (synced) WAL prefix.
+	// The reference engine runs on uninterrupted, so any state the
+	// restore loses or invents surfaces as a divergence downstream.
+	crashRestore := func() error {
+		cp, err := fastEng.Checkpoint()
+		if err != nil {
+			return fmt.Errorf("crash checkpoint: %w", err)
+		}
+		blob := cp.Encode()
+		durable := append([]byte(nil), fastEng.WAL().DurableBytes()...)
+
+		// The old engine's degradation counters die with it; bank them.
+		st := fastEng.Stats()
+		res.Fallbacks += st.SlowPathFallbacks
+		res.Degraded += st.DegradedPackets
+		res.Recoveries += st.FaultRecoveries
+
+		nfast, err := buildOracleChain(chain)
+		if err != nil {
+			return err
+		}
+		neweng, err := core.NewEngine(nfast.nfs, fastOpts)
+		if err != nil {
+			return err
+		}
+		// Rebuild the chain composition the checkpoint was taken under:
+		// replay every reconfiguration that survived, with abort
+		// injection off — these plans already committed before the crash.
+		abortRate := inj.Rate(fault.KindReconfigAbort)
+		inj.SetRate(fault.KindReconfigAbort, 0)
+		for _, ev := range appliedRe {
+			plan, err := ev.mk()
+			if err != nil {
+				return err
+			}
+			if rerr := neweng.Reconfigure(plan); rerr != nil {
+				return fmt.Errorf("crash rebuild reconfigure (%s): %v", plan, rerr)
+			}
+		}
+		inj.SetRate(fault.KindReconfigAbort, abortRate)
+
+		rcp, err := wal.DecodeCheckpoint(blob)
+		if err != nil {
+			return fmt.Errorf("crash checkpoint decode: %w", err)
+		}
+		if err := neweng.Restore(rcp, durable); err != nil {
+			return fmt.Errorf("crash restore: %w", err)
+		}
+		neweng.AttachWAL(wal.NewWriter(wal.Options{}))
+		fast, fastEng = nfast, neweng
+		res.CrashRestores++
 		return nil
 	}
 
@@ -420,6 +503,12 @@ func runOracleSchedule(cfg OracleConfig, sched int, seed int64, chain int, rates
 	i := 0
 scan:
 	for i < len(refPkts) {
+		for nextCrash < len(crashes) && crashes[nextCrash].At <= i {
+			nextCrash++
+			if err := crashRestore(); err != nil {
+				return fmt.Errorf("packet %d: %w", i, err)
+			}
+		}
 		for next < len(plan) && plan[next].At <= i {
 			f := plan[next]
 			next++
@@ -453,6 +542,9 @@ scan:
 			}
 			if nextRe < len(reEvents) && reEvents[nextRe].at < end {
 				end = reEvents[nextRe].at
+			}
+			if nextCrash < len(crashes) && crashes[nextCrash].At < end {
+				end = crashes[nextCrash].At
 			}
 		}
 		var fastResults []*core.PacketResult

@@ -190,6 +190,56 @@ func TestOracleCatchesBrokenReconfig(t *testing.T) {
 	}
 }
 
+// TestOracleCrashRestoreEquivalence kills and restores the fast engine
+// mid-trace — checkpoint at the kill point, fresh chain, Restore from
+// the encoded checkpoint plus the durable WAL prefix — under the usual
+// fault chaos, in scalar and vector mode, and demands zero divergence
+// from the uninterrupted reference. Closure-bearing rules cannot
+// survive a restore, so their flows must transparently re-record.
+func TestOracleCrashRestoreEquivalence(t *testing.T) {
+	schedules := 30
+	if testing.Short() {
+		schedules = 6
+	}
+	for _, batch := range []int{0, 32} {
+		res, err := RunOracle(OracleConfig{Seed: 1, Schedules: schedules, Crashes: 2, Batch: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Passed() {
+			t.Fatalf("crash oracle (batch=%d) failed:\n%s", batch, res.Format())
+		}
+		if res.CrashRestores == 0 {
+			t.Errorf("batch=%d: no crash/restore cycles; the run was vacuous", batch)
+		}
+		if res.Injected == 0 || res.Fallbacks == 0 {
+			t.Errorf("batch=%d: vacuous run: no faults or no fallbacks", batch)
+		}
+	}
+}
+
+// TestOracleCrashWithReconfigs composes the two hardest schedules:
+// live chain changes AND engine crashes in the same trace. A restore
+// must rebuild the reconfigured chain composition (replaying surviving
+// plans) and come back under the correct epoch, or rules consolidated
+// before a reconfiguration would serve after it.
+func TestOracleCrashWithReconfigs(t *testing.T) {
+	schedules := 20
+	if testing.Short() {
+		schedules = 4
+	}
+	res, err := RunOracle(OracleConfig{Seed: 5, Schedules: schedules, Crashes: 2, Reconfigs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("crash+reconfig oracle failed:\n%s", res.Format())
+	}
+	if res.CrashRestores == 0 || res.Reconfigs == 0 {
+		t.Errorf("vacuous run: crashes=%d reconfigs=%d", res.CrashRestores, res.Reconfigs)
+	}
+}
+
 // TestOracleDeterministic re-runs the same seed and expects identical
 // aggregate behaviour — the whole point of seeded schedules.
 func TestOracleDeterministic(t *testing.T) {

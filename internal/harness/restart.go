@@ -1,0 +1,273 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+	"github.com/fastpathnfv/speedybox/internal/wal"
+)
+
+// The restart experiment measures what durability buys the data plane:
+// a subsequent-packet-dominated trace runs through a 3-IPFilter chain
+// (declarative consolidations only, so every rule is restorable) with
+// the WAL attached and periodic checkpoints; mid-trace the engine is
+// killed and a fresh one continues — once restored from the last
+// checkpoint plus the durable WAL prefix, and once cold. The per-window
+// fast-path hit rate shows the difference: a restored engine resumes
+// consolidated forwarding almost immediately (only the group-commit
+// tail and post-checkpoint churn re-record), while a cold engine pays
+// one slow-path traversal per live flow all over again.
+
+// RestartWindow is one measurement window of the restored run.
+type RestartWindow struct {
+	// Start is the window's first packet index.
+	Start int
+	// Packets is the window size in packets.
+	Packets int
+	// Eligible counts the window's fast-path-eligible packets
+	// (subsequent + final). HitRate is FastPath/Packets — over the
+	// whole window, not just eligible packets, because a cold restart
+	// reclassifies every live flow's next packet as initial: those
+	// slow-path traversals are exactly the recovery cost being
+	// measured, so they must stay in the denominator.
+	Eligible int
+	HitRate  float64
+	// AfterCrash marks windows at or past the kill/restore point.
+	AfterCrash bool
+}
+
+// RestartResult aggregates the crash-restart recovery experiment.
+type RestartResult struct {
+	Windows []RestartWindow
+	// CrashAt is the packet index where the engine was killed.
+	CrashAt int
+	// Checkpoints is how many periodic checkpoints were taken before
+	// the crash; WALBytes is the durable journal size at the kill point.
+	Checkpoints int
+	WALBytes    int
+	// RestoredRules is the Global MAT occupancy right after Restore.
+	RestoredRules int
+	// Baseline is the mean pre-crash window hit rate (excluding the
+	// first window, which warms the tables up).
+	Baseline float64
+	// Restored is the first full post-crash window's hit rate with
+	// checkpoint+WAL restore; RestoredFrac is its fraction of Baseline.
+	Restored     float64
+	RestoredFrac float64
+	// Cold is the same window's hit rate when the replacement engine
+	// starts empty; ColdFrac is its fraction of Baseline.
+	Cold     float64
+	ColdFrac float64
+	// Drops counts dropped packets across the restored run (must be 0).
+	Drops int
+}
+
+// Passed reports whether the acceptance bar held: no packet dropped and
+// the restored engine's first post-crash window at or above 90% of the
+// pre-crash baseline.
+func (r *RestartResult) Passed() bool {
+	return r.Drops == 0 && r.Baseline > 0 && r.RestoredFrac >= 0.9
+}
+
+// Format renders the experiment outcome.
+func (r *RestartResult) Format() string {
+	t := &tableWriter{}
+	t.title(fmt.Sprintf("Crash restart: hit-rate recovery, checkpoint+WAL restore vs cold start (killed at packet %d)", r.CrashAt))
+	t.row("window start", "packets", "eligible", "hit rate", "phase")
+	for _, w := range r.Windows {
+		phase := "pre-crash"
+		if w.AfterCrash {
+			phase = "post-restore"
+		}
+		t.row(fmt.Sprintf("%d", w.Start), fmt.Sprintf("%d", w.Packets),
+			fmt.Sprintf("%d", w.Eligible), f3(w.HitRate), phase)
+	}
+	status := "PASS"
+	if !r.Passed() {
+		status = "FAIL"
+	}
+	t.row("")
+	t.row("baseline", "restored", "restored/baseline", "cold", "cold/baseline", "ckpts", "wal bytes", "rules back", "drops", "result")
+	t.row(f3(r.Baseline), f3(r.Restored), f3(r.RestoredFrac),
+		f3(r.Cold), f3(r.ColdFrac),
+		fmt.Sprintf("%d", r.Checkpoints), fmt.Sprintf("%d", r.WALBytes),
+		fmt.Sprintf("%d", r.RestoredRules),
+		fmt.Sprintf("%d", r.Drops), status)
+	return t.String()
+}
+
+// restartRun is one trace replay with a mid-trace engine replacement.
+type restartRun struct {
+	windows       []RestartWindow
+	crashAt       int
+	checkpoints   int
+	walBytes      int
+	restoredRules int
+	drops         int
+}
+
+// runRestartTrace replays the seeded trace through the chain, killing
+// the engine at the mid-trace window boundary and continuing on a
+// fresh one — restored from the last periodic checkpoint plus the
+// durable WAL prefix when restore is set, cold otherwise.
+func runRestartTrace(cfg Config, batch, window, ckptEvery int, restore bool) (*restartRun, error) {
+	tr, err := trace.Generate(trace.Config{
+		Seed: cfg.Seed, Flows: cfg.Flows,
+		MeanPackets: 64, UDPFraction: 1.0,
+		Interleave: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pkts := tr.Packets()
+
+	mk := func() (*core.Engine, error) {
+		chain, err := filterChain(3)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewEngine(chain, cfg.options(core.DefaultOptions()))
+	}
+	eng, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	eng.AttachWAL(wal.NewWriter(wal.Options{}))
+
+	crashAt := (len(pkts) / 2 / window) * window
+	if crashAt == 0 {
+		crashAt = window
+	}
+	out := &restartRun{crashAt: crashAt}
+
+	var lastCkpt []byte
+	cb := core.NewBatch(batch)
+	prev := eng.Stats()
+	crashed := false
+
+	for off := 0; off < len(pkts); off += window {
+		if !crashed && off > 0 && off < crashAt && off%ckptEvery == 0 {
+			cp, err := eng.Checkpoint()
+			if err != nil {
+				return nil, fmt.Errorf("harness: checkpoint at packet %d: %w", off, err)
+			}
+			lastCkpt = cp.Encode()
+			out.checkpoints++
+		}
+		if off == crashAt {
+			// The crash: only what reached the disk survives — the last
+			// checkpoint image and the group-committed journal prefix.
+			durable := append([]byte(nil), eng.WAL().DurableBytes()...)
+			out.walBytes = len(durable)
+			eng, err = mk()
+			if err != nil {
+				return nil, err
+			}
+			if restore && lastCkpt != nil {
+				cp, err := wal.DecodeCheckpoint(lastCkpt)
+				if err != nil {
+					return nil, fmt.Errorf("harness: decode checkpoint: %w", err)
+				}
+				if err := eng.Restore(cp, durable); err != nil {
+					return nil, fmt.Errorf("harness: restore: %w", err)
+				}
+			}
+			out.restoredRules = eng.Global().Len()
+			eng.AttachWAL(wal.NewWriter(wal.Options{}))
+			cb = core.NewBatch(batch)
+			prev = eng.Stats()
+			crashed = true
+		}
+		end := off + window
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		for i := off; i < end; i += batch {
+			j := i + batch
+			if j > end {
+				j = end
+			}
+			rs, err := eng.ProcessBatch(pkts[i:j], cb)
+			if err != nil {
+				return nil, fmt.Errorf("harness: batch at packet %d: %w", i, err)
+			}
+			for k := range rs {
+				if rs[k].Verdict == core.VerdictDrop {
+					out.drops++
+				}
+			}
+		}
+		st := eng.Stats()
+		eligible := (st.Subsequent - prev.Subsequent) + (st.Final - prev.Final)
+		w := RestartWindow{
+			Start: off, Packets: end - off,
+			Eligible: int(eligible), AfterCrash: crashed,
+		}
+		if end > off {
+			w.HitRate = float64(st.FastPath-prev.FastPath) / float64(end-off)
+		}
+		out.windows = append(out.windows, w)
+		prev = st
+	}
+	return out, nil
+}
+
+// RunRestart executes the crash-restart recovery experiment.
+func RunRestart(cfg Config) (*RestartResult, error) {
+	cfg = cfg.withDefaults(256)
+	batch := cfg.Batch
+	if batch <= 1 {
+		batch = 32
+	}
+	const window = 512
+	ckptEvery := 4 * window
+
+	restored, err := runRestartTrace(cfg, batch, window, ckptEvery, true)
+	if err != nil {
+		return nil, err
+	}
+	cold, err := runRestartTrace(cfg, batch, window, ckptEvery, false)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RestartResult{
+		Windows:       restored.windows,
+		CrashAt:       restored.crashAt,
+		Checkpoints:   restored.checkpoints,
+		WALBytes:      restored.walBytes,
+		RestoredRules: restored.restoredRules,
+		Drops:         restored.drops,
+	}
+	var preSum float64
+	preN := 0
+	firstAfter := -1
+	for i, w := range restored.windows {
+		if w.AfterCrash {
+			if firstAfter < 0 {
+				firstAfter = i
+			}
+			continue
+		}
+		if i == 0 {
+			continue // warmup: tables start empty
+		}
+		preSum += w.HitRate
+		preN++
+	}
+	if preN > 0 {
+		res.Baseline = preSum / float64(preN)
+	}
+	if firstAfter >= 0 {
+		res.Restored = restored.windows[firstAfter].HitRate
+		if firstAfter < len(cold.windows) {
+			res.Cold = cold.windows[firstAfter].HitRate
+		}
+	}
+	if res.Baseline > 0 {
+		res.RestoredFrac = res.Restored / res.Baseline
+		res.ColdFrac = res.Cold / res.Baseline
+	}
+	return res, nil
+}

@@ -168,11 +168,61 @@ type Global struct {
 	// earlier epoch is then dead (LookupLive misses) and is stale-marked
 	// by the sweep so teardown/expiry paths reclaim it.
 	epoch atomic.Uint64
+	// journal, when set, observes every mutation for write-ahead
+	// logging (stored as a pointer-to-interface for atomic swap).
+	journal atomic.Pointer[Journal]
 }
+
+// Journal observes Global MAT mutations for write-ahead logging. The
+// callbacks run under the owning shard's write lock (EpochAdvanced
+// under the engine's reconfigure serialization instead), so the
+// journal sees mutations in exactly the order the table applied them;
+// implementations must not call back into the table. mat defines the
+// interface and core adapts it to the WAL writer, keeping this package
+// free of a wal dependency.
+type Journal interface {
+	// RuleInstalled reports an Install: r is the stored rule (the
+	// version-carried copy when replacing).
+	RuleInstalled(r *GlobalRule, replaced bool)
+	// RuleRemoved reports a Remove that deleted an installed rule.
+	RuleRemoved(fid flow.FID)
+	// RuleStaled reports a MarkStale that marked an installed rule.
+	RuleStaled(fid flow.FID)
+	// EpochAdvanced reports an AdvanceEpoch with the new epoch.
+	// SweepEpoch is deliberately not journaled: replaying the epoch
+	// advance already invalidates every older-epoch rule.
+	EpochAdvanced(epoch uint64)
+}
+
+// SetJournal attaches (or, with nil, detaches) the mutation journal.
+func (g *Global) SetJournal(j Journal) {
+	if j == nil {
+		g.journal.Store(nil)
+		return
+	}
+	g.journal.Store(&j)
+}
+
+func (g *Global) journalOf() Journal {
+	if p := g.journal.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// tableGen hands each Global instance its own 2^32-wide generation
+// band. Per-worker rule caches validate cached rule pointers by
+// generation value alone, so generations must never coincide across
+// table instances: a long-lived Batch carried across an engine rebuild
+// (crash-restore, tests constructing engine pairs) could otherwise
+// validate a dead table's cached rule — and the closures it holds over
+// dead NF instances.
+var tableGen atomic.Uint64
 
 // NewGlobal returns an empty Global MAT.
 func NewGlobal() *Global {
 	g := &Global{}
+	g.gen.Store(tableGen.Add(1) << 32)
 	for i := range g.shards {
 		g.shards[i].rules = make(map[flow.FID]*GlobalRule)
 		g.shards[i].stale = make(map[flow.FID]struct{})
@@ -200,9 +250,15 @@ func (g *Global) Install(r *GlobalRule) (replaced bool) {
 		versioned := *r
 		versioned.Version = old.Version + 1
 		s.rules[r.FID] = &versioned
+		if j := g.journalOf(); j != nil {
+			j.RuleInstalled(&versioned, true)
+		}
 		return true
 	}
 	s.rules[r.FID] = r
+	if j := g.journalOf(); j != nil {
+		j.RuleInstalled(r, false)
+	}
 	return false
 }
 
@@ -222,7 +278,27 @@ func (g *Global) Epoch() uint64 { return g.epoch.Load() }
 func (g *Global) AdvanceEpoch() uint64 {
 	e := g.epoch.Add(1)
 	g.gen.Add(1)
+	if j := g.journalOf(); j != nil {
+		j.EpochAdvanced(e)
+	}
 	return e
+}
+
+// RestoreEpoch forces the table's epoch to e (never backwards) without
+// journaling — it exists for Engine.Restore, which replays a journal
+// that already contains the epoch history. The generation is bumped so
+// batch-worker rule caches invalidate.
+func (g *Global) RestoreEpoch(e uint64) {
+	for {
+		cur := g.epoch.Load()
+		if cur >= e {
+			break
+		}
+		if g.epoch.CompareAndSwap(cur, e) {
+			break
+		}
+	}
+	g.gen.Add(1)
 }
 
 // SweepEpoch stale-marks every installed rule whose epoch differs from
@@ -279,6 +355,9 @@ func (g *Global) Remove(fid flow.FID) bool {
 		return false
 	}
 	delete(s.rules, fid)
+	if j := g.journalOf(); j != nil {
+		j.RuleRemoved(fid)
+	}
 	return true
 }
 
@@ -298,6 +377,9 @@ func (g *Global) MarkStale(fid flow.FID) bool {
 		return false
 	}
 	s.stale[fid] = struct{}{}
+	if j := g.journalOf(); j != nil {
+		j.RuleStaled(fid)
+	}
 	return true
 }
 

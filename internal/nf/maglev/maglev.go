@@ -12,6 +12,8 @@
 package maglev
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -213,6 +215,61 @@ func (lb *Maglev) RestoreBackend(i int) error {
 		return nil
 	}
 	lb.healthy[i] = true
+	lb.populateLocked()
+	return nil
+}
+
+// maglevState is the gob image of the balancer's mutable state. The
+// lookup table is deterministic given the healthy set (populateLocked
+// reruns the Section 3.4 algorithm over the construction-time backend
+// names), so only health, pins and the reroute counter are saved.
+type maglevState struct {
+	Healthy  []bool
+	Conns    map[flow.FID]int
+	Rerouted uint64
+}
+
+var _ core.Snapshotter = (*Maglev)(nil)
+
+// SnapshotState implements core.Snapshotter.
+func (lb *Maglev) SnapshotState() ([]byte, error) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	st := maglevState{
+		Healthy:  append([]bool(nil), lb.healthy...),
+		Conns:    make(map[flow.FID]int, len(lb.conns)),
+		Rerouted: lb.rerouted,
+	}
+	for fid, i := range lb.conns {
+		st.Conns[fid] = i
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("maglev: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements core.Snapshotter, replacing backend health,
+// connection pins and the reroute counter, then rebuilding the lookup
+// table from the restored healthy set.
+func (lb *Maglev) RestoreState(data []byte) error {
+	var st maglevState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("maglev: restore: %w", err)
+	}
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	if len(st.Healthy) != len(lb.backends) {
+		return fmt.Errorf("maglev: restore: %d backends in snapshot, %d configured",
+			len(st.Healthy), len(lb.backends))
+	}
+	lb.healthy = st.Healthy
+	lb.conns = st.Conns
+	if lb.conns == nil {
+		lb.conns = make(map[flow.FID]int)
+	}
+	lb.rerouted = st.Rerouted
 	lb.populateLocked()
 	return nil
 }

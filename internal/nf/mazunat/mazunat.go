@@ -7,6 +7,8 @@
 package mazunat
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"sync"
@@ -117,6 +119,66 @@ func (n *NAT) Teardown() {
 	n.byTuple = make(map[packet.FiveTuple]Mapping)
 	n.byPort = make(map[uint16]Mapping)
 	n.byFID = make(map[flow.FID]packet.FiveTuple)
+}
+
+// natState is the gob image of the NAT's mutable state.
+type natState struct {
+	NextPort uint32
+	ByTuple  map[packet.FiveTuple]Mapping
+	ByFID    map[flow.FID]packet.FiveTuple
+}
+
+var _ core.Snapshotter = (*NAT)(nil)
+
+// SnapshotState implements core.Snapshotter: the translation tables
+// and the port allocation cursor. byPort is derivable from byTuple and
+// is rebuilt on restore.
+func (n *NAT) SnapshotState() ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := natState{
+		NextPort: n.nextPort,
+		ByTuple:  make(map[packet.FiveTuple]Mapping, len(n.byTuple)),
+		ByFID:    make(map[flow.FID]packet.FiveTuple, len(n.byFID)),
+	}
+	for ft, m := range n.byTuple {
+		st.ByTuple[ft] = m
+	}
+	for fid, ft := range n.byFID {
+		st.ByFID[fid] = ft
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("mazunat: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements core.Snapshotter, replacing all translations.
+func (n *NAT) RestoreState(data []byte) error {
+	var st natState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("mazunat: restore: %w", err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextPort = st.NextPort
+	if n.nextPort < uint32(n.portBase) || n.nextPort > 65535 {
+		n.nextPort = uint32(n.portBase)
+	}
+	n.byTuple = st.ByTuple
+	if n.byTuple == nil {
+		n.byTuple = make(map[packet.FiveTuple]Mapping)
+	}
+	n.byFID = st.ByFID
+	if n.byFID == nil {
+		n.byFID = make(map[flow.FID]packet.FiveTuple)
+	}
+	n.byPort = make(map[uint16]Mapping, len(n.byTuple))
+	for _, m := range n.byTuple {
+		n.byPort[m.OutsidePort] = m
+	}
+	return nil
 }
 
 // Mappings returns the number of active translations.

@@ -6,6 +6,8 @@
 package monitor
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sync"
 
@@ -73,6 +75,40 @@ func (m *Monitor) Totals() Counters {
 		t.Bytes += c.Bytes
 	}
 	return t
+}
+
+var _ core.Snapshotter = (*Monitor)(nil)
+
+// SnapshotState implements core.Snapshotter: the per-flow counters,
+// gob-encoded by value.
+func (m *Monitor) SnapshotState() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	flat := make(map[flow.FID]Counters, len(m.counters))
+	for fid, c := range m.counters {
+		flat[fid] = *c
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(flat); err != nil {
+		return nil, fmt.Errorf("monitor: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements core.Snapshotter, replacing all counters.
+func (m *Monitor) RestoreState(data []byte) error {
+	var flat map[flow.FID]Counters
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&flat); err != nil {
+		return fmt.Errorf("monitor: restore: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counters = make(map[flow.FID]*Counters, len(flat))
+	for fid, c := range flat {
+		cc := c
+		m.counters[fid] = &cc
+	}
+	return nil
 }
 
 func (m *Monitor) count(fid flow.FID, nbytes int) {

@@ -11,6 +11,7 @@ package snort
 
 import (
 	"bytes"
+	"encoding/gob"
 	"fmt"
 	"regexp"
 	"sync"
@@ -159,6 +160,62 @@ func (s *Snort) Flagged(fid flow.FID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.flagged[fid]
+}
+
+// snortState is the gob image of Snort's mutable state. Rule indices
+// stay valid across a restore because the rule list is construction
+// config, not runtime state: the restored instance is built over the
+// same list.
+type snortState struct {
+	FlowRules map[flow.FID][]int
+	Logs      []LogEntry
+	Flagged   map[flow.FID]bool
+}
+
+var _ core.Snapshotter = (*Snort)(nil)
+
+// SnapshotState implements core.Snapshotter: per-flow rule
+// assignments, the IDS log and the malicious-flow flags.
+func (s *Snort) SnapshotState() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := snortState{
+		FlowRules: make(map[flow.FID][]int, len(s.flowRules)),
+		Logs:      append([]LogEntry(nil), s.logs...),
+		Flagged:   make(map[flow.FID]bool, len(s.flagged)),
+	}
+	for fid, idxs := range s.flowRules {
+		st.FlowRules[fid] = append([]int(nil), idxs...)
+	}
+	for fid, v := range s.flagged {
+		st.Flagged[fid] = v
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("snort: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements core.Snapshotter, replacing all mutable
+// state.
+func (s *Snort) RestoreState(data []byte) error {
+	var st snortState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("snort: restore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flowRules = st.FlowRules
+	if s.flowRules == nil {
+		s.flowRules = make(map[flow.FID][]int)
+	}
+	s.logs = st.Logs
+	s.flagged = st.Flagged
+	if s.flagged == nil {
+		s.flagged = make(map[flow.FID]bool)
+	}
+	return nil
 }
 
 // assign selects the rule subset whose headers match the flow,

@@ -41,6 +41,12 @@ import (
 // of 5, limited by the number of cores on our testbed").
 var ErrChainTooLong = errors.New("onvm: chain exceeds core budget")
 
+// ErrPlatformClosed reports an operation attempted after Close. It is
+// a sentinel (test with errors.Is) so callers driving live
+// reconfiguration can tell an orderly shutdown race from a real
+// reconfiguration failure.
+var ErrPlatformClosed = errors.New("onvm: platform closed")
+
 // Config configures an OpenNetVM platform instance.
 type Config struct {
 	// Chain is the service chain in order.
@@ -367,6 +373,12 @@ func (p *Platform) Close() error {
 // lost — which wakes their idle NF loops for exit; fresh loops start
 // over the new rings. The manager ring is never touched, so fast-path
 // and consolidation work resumes seamlessly.
+//
+// Reconfigure is safe against a concurrent Engine.Checkpoint or
+// Engine.Restore: all three serialize on the engine's reconfiguration
+// lock, so a checkpoint observes the chain either wholly before or
+// wholly after the splice, never mid-epoch. (Restore additionally
+// requires a quiet data plane, which injectMu provides here.)
 func (p *Platform) Reconfigure(plan core.ChainPlan) error {
 	p.injectMu.Lock()
 	defer p.injectMu.Unlock()
@@ -374,7 +386,7 @@ func (p *Platform) Reconfigure(plan core.ChainPlan) error {
 	closed := p.closed
 	p.mu.Unlock()
 	if closed {
-		return errors.New("onvm: platform closed")
+		return ErrPlatformClosed
 	}
 
 	// Quiesce: with injectMu held no descriptor enters the pipeline,

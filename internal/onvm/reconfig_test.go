@@ -1,0 +1,124 @@
+package onvm
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/nf/ipfilter"
+	"github.com/fastpathnfv/speedybox/internal/platform"
+	"github.com/fastpathnfv/speedybox/internal/telemetry"
+)
+
+func TestReconfigureAfterCloseTypedError(t *testing.T) {
+	p, err := New(Config{Chain: filterChain(t, 2), Options: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = p.Reconfigure(core.ChainPlan{Op: core.OpRemove, Name: "fw1"})
+	if !errors.Is(err, ErrPlatformClosed) {
+		t.Errorf("Reconfigure after Close: err = %v, want ErrPlatformClosed", err)
+	}
+}
+
+// TestRingGaugeSurvivesShrink scrapes the per-ring depth gauges after a
+// shrinking reconfiguration: the gauge for the retired stage must read
+// zero, never index past the spliced (shorter) ring slice.
+func TestRingGaugeSurvivesShrink(t *testing.T) {
+	hub := telemetry.NewHub()
+	opts := core.DefaultOptions()
+	opts.Telemetry = hub
+	p, err := New(Config{Chain: filterChain(t, 3), Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	tr := smallTrace(t)
+	if _, err := platform.Run(p, tr.Packets()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reconfigure(core.ChainPlan{Op: core.OpRemove, Name: "fw2"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ringDepth(2); got != 0 {
+		t.Errorf("ringDepth(2) after shrink = %v, want 0", got)
+	}
+	var buf bytes.Buffer
+	if err := hub.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatalf("scrape after shrink: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`speedybox_onvm_ring_depth{ring="nf2"}`)) {
+		t.Error("nf2 depth gauge missing from scrape after shrink")
+	}
+
+	// Growing back must not double-register the surviving gauges.
+	nf, err := ipfilter.New(ipfilter.Config{Name: "fw2b", Rules: ipfilter.PadRules(nil, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reconfigure(core.ChainPlan{Op: core.OpInsert, Pos: 2, NF: nf}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := hub.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatalf("scrape after regrow: %v", err)
+	}
+}
+
+// TestReconfigureCheckpointConcurrent drives Reconfigure and
+// Engine.Checkpoint from separate goroutines: both serialize on the
+// engine's reconfiguration lock, so every checkpoint must observe a
+// whole chain generation (and the race detector must stay quiet).
+func TestReconfigureCheckpointConcurrent(t *testing.T) {
+	p, err := New(Config{Chain: filterChain(t, 3), Options: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tr := smallTrace(t)
+	if _, err := platform.Run(p, tr.Packets()); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if err := p.Reconfigure(core.ChainPlan{Op: core.OpRemove, Name: "fw2"}); err != nil {
+				t.Errorf("remove: %v", err)
+				return
+			}
+			nf, err := ipfilter.New(ipfilter.Config{Name: "fw2", Rules: ipfilter.PadRules(nil, 100)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := p.Reconfigure(core.ChainPlan{Op: core.OpInsert, Pos: 2, NF: nf}); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			cp, err := p.Engine().Checkpoint()
+			if err != nil {
+				t.Errorf("checkpoint: %v", err)
+				return
+			}
+			if n := len(cp.NFState); n != 0 && n != 2 && n != 3 {
+				t.Errorf("checkpoint saw %d NF states, want a whole generation", n)
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -1,7 +1,7 @@
 package telemetry
 
 import (
-	"sync"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -65,18 +65,19 @@ type Record struct {
 	Cause string `json:"cause,omitempty"`
 }
 
-// Recorder is a bounded ring buffer journaling recent control-plane
-// transitions. Appends are mutex-protected — transitions are per-flow
-// setup/teardown events, orders of magnitude rarer than packets — and
-// never allocate once the ring is full. A nil *Recorder is a valid
-// no-op sink, so call sites need no telemetry-enabled checks.
+// Recorder is a bounded, lock-free ring buffer journaling recent
+// control-plane transitions. Each append publishes an immutable Record
+// through one atomic per-slot pointer store, so readers can never
+// observe a torn record: a slot yields either the old record whole or
+// the new record whole. Readers (/statusz's Tail) take no lock and
+// validate what they read against the global append sequence — a slot
+// whose record has fallen out of the retention window (overwritten, or
+// the losing side of a same-slot append race) is simply dropped. A nil
+// *Recorder is a valid no-op sink, so call sites need no
+// telemetry-enabled checks.
 type Recorder struct {
-	seq atomic.Uint64 // last assigned sequence number
-
-	mu   sync.Mutex
-	buf  []Record
-	next int // ring position of the next append
-	full bool
+	seq   atomic.Uint64 // last assigned sequence number
+	slots []atomic.Pointer[Record]
 }
 
 // NewRecorder returns a recorder keeping the last capacity records
@@ -85,29 +86,27 @@ func NewRecorder(capacity int) *Recorder {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Recorder{buf: make([]Record, capacity)}
+	return &Recorder{slots: make([]atomic.Pointer[Record], capacity)}
 }
 
-// Append journals one transition. No-op on a nil recorder.
+// Append journals one transition. No-op on a nil recorder. Safe for
+// concurrent use: the sequence number claims the slot, and the pointer
+// store publishes the whole record at once. If two appends a ring-lap
+// apart race on one slot and the older one lands last, readers discard
+// it by its out-of-window sequence — stale data is dropped, torn data
+// is impossible.
 func (r *Recorder) Append(kind string, fid uint32, cause string) {
 	if r == nil {
 		return
 	}
-	rec := Record{
+	rec := &Record{
 		Seq:   r.seq.Add(1),
 		Time:  time.Now(),
 		Kind:  kind,
 		FID:   fid,
 		Cause: cause,
 	}
-	r.mu.Lock()
-	r.buf[r.next] = rec
-	r.next++
-	if r.next == len(r.buf) {
-		r.next = 0
-		r.full = true
-	}
-	r.mu.Unlock()
+	r.slots[(rec.Seq-1)%uint64(len(r.slots))].Store(rec)
 }
 
 // Seq returns the total number of appends ever made (0 on nil).
@@ -118,43 +117,51 @@ func (r *Recorder) Seq() uint64 {
 	return r.seq.Load()
 }
 
+// snapshot collects every retained record, oldest first. Slots whose
+// record predates the retention window of the newest observed sequence
+// are dropped (they lost a same-slot publication race).
+func (r *Recorder) snapshot() []Record {
+	out := make([]Record, 0, len(r.slots))
+	var top uint64
+	for i := range r.slots {
+		rec := r.slots[i].Load()
+		if rec == nil {
+			continue
+		}
+		out = append(out, *rec)
+		if rec.Seq > top {
+			top = rec.Seq
+		}
+	}
+	kept := out[:0]
+	for _, rec := range out {
+		if rec.Seq+uint64(len(r.slots)) > top {
+			kept = append(kept, rec)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Seq < kept[j].Seq })
+	return kept
+}
+
 // Len returns how many records are currently retained.
 func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.full {
-		return len(r.buf)
-	}
-	return r.next
+	return len(r.snapshot())
 }
 
 // Tail returns up to n of the most recent records, oldest first. A
-// non-positive n returns everything retained.
+// non-positive n returns everything retained. Lock-free: concurrent
+// appends may or may not appear, but every returned record is whole
+// and the sequence numbers are strictly increasing.
 func (r *Recorder) Tail(n int) []Record {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	size := r.next
-	if r.full {
-		size = len(r.buf)
+	recs := r.snapshot()
+	if n > 0 && n < len(recs) {
+		recs = recs[len(recs)-n:]
 	}
-	if n <= 0 || n > size {
-		n = size
-	}
-	out := make([]Record, 0, n)
-	// Oldest retained record sits at r.next when the ring has wrapped,
-	// else at 0. Start n records back from the append position.
-	start := r.next - n
-	if start < 0 {
-		start += len(r.buf)
-	}
-	for i := 0; i < n; i++ {
-		out = append(out, r.buf[(start+i)%len(r.buf)])
-	}
-	return out
+	return recs
 }

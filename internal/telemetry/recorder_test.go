@@ -1,6 +1,11 @@
 package telemetry
 
-import "testing"
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
 
 func TestRecorderAppendTail(t *testing.T) {
 	r := NewRecorder(4)
@@ -59,5 +64,79 @@ func TestRecorderMinimumCapacity(t *testing.T) {
 	tail := r.Tail(0)
 	if len(tail) != 1 || tail[0].FID != 2 {
 		t.Errorf("capacity-clamped recorder tail = %+v, want just the newest", tail)
+	}
+}
+
+// TestRecorderTornRecords hammers a small ring with wrapping appends
+// while readers tail it continuously. Every record a reader observes
+// must be internally consistent — FID, kind and cause were written
+// together, so a mismatch means a torn read — and each Tail's sequence
+// numbers must be strictly increasing. Run under -race this also
+// proves the lock-free publication carries no data race.
+func TestRecorderTornRecords(t *testing.T) {
+	r := NewRecorder(8) // small ring: appends wrap constantly
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fid := uint32(w<<20 | i&0xfffff)
+				r.Append(EvRuleInstall, fid, fmt.Sprintf("c%d", fid))
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		recs := r.Tail(0)
+		var last uint64
+		for _, rec := range recs {
+			if rec.Cause != fmt.Sprintf("c%d", rec.FID) {
+				t.Errorf("torn record: seq %d fid %d cause %q", rec.Seq, rec.FID, rec.Cause)
+			}
+			if rec.Kind != EvRuleInstall {
+				t.Errorf("torn record: seq %d kind %q", rec.Seq, rec.Kind)
+			}
+			if rec.Seq <= last {
+				t.Errorf("tail sequence not increasing: %d after %d", rec.Seq, last)
+			}
+			last = rec.Seq
+		}
+		if t.Failed() {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRecorderWindowValidation pins the same-slot race semantics: a
+// record that has fallen a full ring lap behind the newest observed
+// sequence is discarded, never served as fresh data.
+func TestRecorderWindowValidation(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Append(EvConsolidate, uint32(i), "")
+	}
+	recs := r.Tail(0)
+	if len(recs) != 4 {
+		t.Fatalf("retained %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if want := uint64(7 + i); rec.Seq != want {
+			t.Errorf("record %d: seq %d, want %d", i, rec.Seq, want)
+		}
+	}
+	if n := r.Len(); n != 4 {
+		t.Errorf("Len() = %d, want 4", n)
+	}
+	if got := r.Tail(2); len(got) != 2 || got[0].Seq != 9 || got[1].Seq != 10 {
+		t.Errorf("Tail(2) = %+v, want seqs 9,10", got)
 	}
 }

@@ -48,6 +48,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/sfunc"
 	"github.com/fastpathnfv/speedybox/internal/telemetry"
 	"github.com/fastpathnfv/speedybox/internal/trace"
+	"github.com/fastpathnfv/speedybox/internal/wal"
 )
 
 // Core NF-integration types. An NF implements Process and records its
@@ -139,6 +140,7 @@ const (
 	FaultBackendFlap    = fault.KindBackendFlap
 	FaultEvictPressure  = fault.KindEvictPressure
 	FaultReconfigAbort  = fault.KindReconfigAbort
+	FaultCrashRestore   = fault.KindCrashRestore
 )
 
 // Fault-injection constructors.
@@ -149,6 +151,44 @@ var (
 	UniformFaultRates = fault.UniformRates
 	// FaultKinds lists every injectable kind.
 	FaultKinds = fault.Kinds
+)
+
+// Durability (DESIGN.md §13): an attached WAL journals every Global
+// MAT mutation and Event Table registration; Engine.Checkpoint
+// snapshots the restorable state at a recorded log position and
+// Engine.Restore rebuilds a fresh engine from a checkpoint plus the
+// journal suffix, replaying transactionally so a torn tail is
+// discarded whole.
+type (
+	// WAL is the group-commit write-ahead log; attach one via
+	// Engine.AttachWAL before traffic flows.
+	WAL = wal.Writer
+	// WALOptions configures group-commit size, the durable byte sink
+	// and the sync observer.
+	WALOptions = wal.Options
+	// WALRecord is one journaled control-plane mutation.
+	WALRecord = wal.Record
+	// Checkpoint is a consistent snapshot of the engine's restorable
+	// state, serializable with Encode/DecodeCheckpoint.
+	Checkpoint = wal.Checkpoint
+	// Snapshotter is the optional NF interface for including NF state
+	// in checkpoints.
+	Snapshotter = core.Snapshotter
+)
+
+// Durability constructors and errors.
+var (
+	// NewWAL builds a write-ahead log writer.
+	NewWAL = wal.NewWriter
+	// DecodeCheckpoint parses an encoded checkpoint (ErrBadCheckpoint
+	// on corruption — a damaged checkpoint has no usable prefix).
+	DecodeCheckpoint = wal.DecodeCheckpoint
+	// ErrBadCheckpoint reports a corrupt or truncated checkpoint blob.
+	ErrBadCheckpoint = wal.ErrBadCheckpoint
+	// ErrNilCheckpoint reports Restore called without a checkpoint.
+	ErrNilCheckpoint = core.ErrNilCheckpoint
+	// ErrPlatformClosed reports an ONVM operation after Close.
+	ErrPlatformClosed = onvm.ErrPlatformClosed
 )
 
 // Packet and flow types.
