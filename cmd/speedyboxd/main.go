@@ -1,0 +1,192 @@
+// Command speedyboxd runs the SpeedyBox daemon: one engine + platform
+// under the HTTP/JSON admin API (plan, checkpoint, restore, drain,
+// status) with /metrics, /statusz and pprof on the same listener.
+//
+// Configuration is flags over an optional JSON config file (flags win):
+//
+//	speedyboxd -config daemon.json
+//	speedyboxd -addr 127.0.0.1:7070 -spec chain.json -workers 8
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the traffic pump drains
+// at a packet boundary, a final checkpoint is written (when a
+// checkpoint path is configured), the WAL syncs, and the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/fastpathnfv/speedybox/internal/server"
+)
+
+// fileConfig is the JSON config-file schema; every field has a flag
+// counterpart and flags take precedence.
+type fileConfig struct {
+	Addr           string          `json:"addr,omitempty"`
+	SpecFile       string          `json:"spec_file,omitempty"`
+	Chain          json.RawMessage `json:"chain,omitempty"` // inline chainspec.Spec
+	Workers        int             `json:"workers,omitempty"`
+	Batch          int             `json:"batch,omitempty"`
+	Baseline       bool            `json:"baseline,omitempty"`
+	WALPath        string          `json:"wal_path,omitempty"`
+	WALGroupCommit int             `json:"wal_group_commit,omitempty"`
+	CheckpointPath string          `json:"checkpoint_path,omitempty"`
+	RestoreFrom    string          `json:"restore_from,omitempty"`
+	RestoreWAL     string          `json:"restore_wal,omitempty"`
+	Pump           pumpFileConfig  `json:"pump,omitempty"`
+}
+
+type pumpFileConfig struct {
+	Disable    bool  `json:"disable,omitempty"`
+	Flows      int   `json:"flows,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
+	GapMS      int   `json:"gap_ms,omitempty"`
+	MaxWindows int   `json:"max_windows,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "speedyboxd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		configPath = flag.String("config", "", "JSON config file (flags override it)")
+		addr       = flag.String("addr", "", "admin listen address (default 127.0.0.1:0)")
+		specPath   = flag.String("spec", "", "chain spec file (chainspec.Spec JSON)")
+		workers    = flag.Int("workers", 0, "multi-queue worker count (default 4)")
+		batch      = flag.Int("batch", 0, "per-worker batch size (default engine default)")
+		baseline   = flag.Bool("baseline", false, "disable SpeedyBox (original chain)")
+		walPath    = flag.String("wal", "", "file receiving the durable WAL stream")
+		walGroup   = flag.Int("wal-group-commit", 0, "WAL records per group commit")
+		ckptPath   = flag.String("checkpoint", "", "default checkpoint file (also written at shutdown)")
+		restore    = flag.String("restore", "", "checkpoint file to restore at boot")
+		restoreWAL = flag.String("restore-wal", "", "journal file replayed past the restored checkpoint")
+		noPump     = flag.Bool("no-pump", false, "disable the built-in traffic pump")
+		pumpFlows  = flag.Int("pump-flows", 0, "pump flows per trace window (default 200)")
+		pumpSeed   = flag.Int64("pump-seed", 0, "pump trace seed (default 1)")
+		pumpGap    = flag.Duration("pump-gap", 0, "idle pause between pump windows")
+		pumpMax    = flag.Int("pump-windows", 0, "stop the pump after N windows (0 = unbounded)")
+	)
+	flag.Parse()
+
+	cfg := server.Config{}
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		var fc fileConfig
+		if err := json.Unmarshal(data, &fc); err != nil {
+			return fmt.Errorf("config %s: %w", *configPath, err)
+		}
+		cfg = server.Config{
+			Addr:           fc.Addr,
+			Workers:        fc.Workers,
+			BatchSize:      fc.Batch,
+			Baseline:       fc.Baseline,
+			WALPath:        fc.WALPath,
+			WALGroupCommit: fc.WALGroupCommit,
+			CheckpointPath: fc.CheckpointPath,
+			RestoreFrom:    fc.RestoreFrom,
+			RestoreWAL:     fc.RestoreWAL,
+			Pump: server.PumpConfig{
+				Disable:    fc.Pump.Disable,
+				Flows:      fc.Pump.Flows,
+				Seed:       fc.Pump.Seed,
+				Gap:        time.Duration(fc.Pump.GapMS) * time.Millisecond,
+				MaxWindows: fc.Pump.MaxWindows,
+			},
+		}
+		if len(fc.Chain) > 0 {
+			cfg.SpecJSON = fc.Chain
+		}
+		if fc.SpecFile != "" {
+			spec, err := os.ReadFile(fc.SpecFile)
+			if err != nil {
+				return err
+			}
+			cfg.SpecJSON = spec
+		}
+	}
+
+	// Flags override the file wherever set.
+	if *addr != "" {
+		cfg.Addr = *addr
+	}
+	if *specPath != "" {
+		spec, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		cfg.SpecJSON = spec
+	}
+	if *workers != 0 {
+		cfg.Workers = *workers
+	}
+	if *batch != 0 {
+		cfg.BatchSize = *batch
+	}
+	if *baseline {
+		cfg.Baseline = true
+	}
+	if *walPath != "" {
+		cfg.WALPath = *walPath
+	}
+	if *walGroup != 0 {
+		cfg.WALGroupCommit = *walGroup
+	}
+	if *ckptPath != "" {
+		cfg.CheckpointPath = *ckptPath
+	}
+	if *restore != "" {
+		cfg.RestoreFrom = *restore
+	}
+	if *restoreWAL != "" {
+		cfg.RestoreWAL = *restoreWAL
+	}
+	if *noPump {
+		cfg.Pump.Disable = true
+	}
+	if *pumpFlows != 0 {
+		cfg.Pump.Flows = *pumpFlows
+	}
+	if *pumpSeed != 0 {
+		cfg.Pump.Seed = *pumpSeed
+	}
+	if *pumpGap != 0 {
+		cfg.Pump.Gap = *pumpGap
+	}
+	if *pumpMax != 0 {
+		cfg.Pump.MaxWindows = *pumpMax
+	}
+
+	d, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("speedyboxd: serving %s on %s (platform %s)\n",
+		jsonChain(d), d.URL(), d.Platform().Name())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := d.Run(ctx); err != nil {
+		return err
+	}
+	fmt.Println("speedyboxd: clean shutdown")
+	return nil
+}
+
+func jsonChain(d *server.Daemon) string {
+	b, _ := json.Marshal(d.Engine().ChainNames())
+	return string(b)
+}

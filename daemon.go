@@ -1,0 +1,68 @@
+package speedybox
+
+import (
+	"github.com/fastpathnfv/speedybox/internal/errcode"
+	"github.com/fastpathnfv/speedybox/internal/server"
+)
+
+// Control plane (DESIGN.md §14): a Daemon owns one engine + platform
+// and exposes the HTTP/JSON admin API — live chain plans, checkpoint/
+// restore, drain/undrain, status — alongside /metrics, /statusz and
+// pprof on a single listener. cmd/speedyboxd is the stock binary;
+// embedders construct one directly:
+//
+//	d, err := speedybox.NewDaemon(speedybox.DaemonConfig{Addr: "127.0.0.1:0"})
+//	if err != nil { ... }
+//	d.Start()
+//	fmt.Println("admin API at", d.URL())
+//	...
+//	d.Shutdown(ctx)
+type (
+	// Daemon is a long-running engine + platform under the admin API.
+	Daemon = server.Daemon
+	// DaemonConfig configures a Daemon; the zero value is runnable
+	// (default chain, ephemeral port, in-memory WAL, pump on).
+	DaemonConfig = server.Config
+	// DaemonPumpConfig configures the built-in traffic source.
+	DaemonPumpConfig = server.PumpConfig
+	// DaemonState is the lifecycle position (starting → serving ⇄
+	// draining → stopped).
+	DaemonState = server.State
+)
+
+// Daemon lifecycle states.
+const (
+	DaemonStarting = server.Starting
+	DaemonServing  = server.Serving
+	DaemonDraining = server.Draining
+	DaemonStopped  = server.Stopped
+)
+
+// NewDaemon builds and binds a daemon (admin API serving immediately,
+// traffic waiting on Start).
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) { return server.New(cfg) }
+
+// Machine-readable error codes: every error the admin API (and the
+// library's validation paths) can return carries a registered
+// "package.name" code, resolvable through arbitrary wrapping.
+type (
+	// ErrorCode is a registered machine-readable failure code.
+	ErrorCode = errcode.Code
+	// ErrorCodeRegistration pairs a code with its description, as
+	// served by GET /v1/errors.
+	ErrorCodeRegistration = errcode.Registration
+)
+
+var (
+	// CodeOf resolves the outermost registered code in an error's wrap
+	// chain (ErrUnknownCode when none).
+	CodeOf = errcode.CodeOf
+	// IsCode reports whether any error in the chain carries the code.
+	IsCode = errcode.Is
+	// ErrorCodes lists every registered code with its description.
+	ErrorCodes = errcode.All
+)
+
+// ErrUnknownCode is CodeOf's fallback for errors without a registered
+// code anywhere in their chain.
+const ErrUnknownCode = errcode.Unknown

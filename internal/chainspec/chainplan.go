@@ -40,10 +40,10 @@ func ParsePlan(data []byte) (*ChainPlan, error) {
 	dec.DisallowUnknownFields()
 	var p ChainPlan
 	if err := dec.Decode(&p); err != nil {
-		return nil, fmt.Errorf("chainspec: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrSpecInvalid, err)
 	}
 	if p.Version != 0 && p.Version != 1 {
-		return nil, fmt.Errorf("chainspec: unsupported plan version %d", p.Version)
+		return nil, fmt.Errorf("%w %d", ErrUnsupportedVersion, p.Version)
 	}
 	if _, err := p.op(); err != nil {
 		return nil, err

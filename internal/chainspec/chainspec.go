@@ -101,15 +101,15 @@ func Parse(data []byte) (*Spec, error) {
 	dec.DisallowUnknownFields()
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
-		return nil, fmt.Errorf("chainspec: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrSpecInvalid, err)
 	}
 	if len(s.NFs) == 0 {
-		return nil, fmt.Errorf("chainspec: empty chain")
+		return nil, ErrEmptyChain
 	}
 	switch s.Platform {
 	case "", "bess", "onvm":
 	default:
-		return nil, fmt.Errorf("chainspec: unknown platform %q", s.Platform)
+		return nil, fmt.Errorf("%w %q", ErrUnknownPlatform, s.Platform)
 	}
 	return &s, nil
 }
@@ -151,13 +151,13 @@ func (n NFSpec) build(name string) (core.NF, error) {
 			var err error
 			rules, err = snort.ParseRules(n.Rules)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%w: %w", ErrNFConfig, err)
 			}
 		}
 		return snort.New(name, rules)
 	case "maglev":
 		if len(n.Backends) == 0 {
-			return nil, fmt.Errorf("maglev needs backends")
+			return nil, fmt.Errorf("%w: maglev needs backends", ErrNFConfig)
 		}
 		backends := make([]maglev.Backend, len(n.Backends))
 		for i, b := range n.Backends {
@@ -206,11 +206,11 @@ func (n NFSpec) build(name string) (core.NF, error) {
 		case "ignore":
 			class = sfunc.ClassIgnore
 		default:
-			return nil, fmt.Errorf("unknown class %q", n.Class)
+			return nil, fmt.Errorf("%w: unknown class %q", ErrNFConfig, n.Class)
 		}
 		return synthetic.New(synthetic.Config{Name: name, Cycles: n.Cycles, Class: class})
 	default:
-		return nil, fmt.Errorf("unknown NF type %q", n.Type)
+		return nil, fmt.Errorf("%w %q", ErrUnknownNFType, n.Type)
 	}
 }
 
@@ -219,12 +219,12 @@ func parseIPv4(s string) ([4]byte, error) {
 	var out [4]byte
 	parts := strings.Split(s, ".")
 	if len(parts) != 4 {
-		return out, fmt.Errorf("bad IPv4 %q", s)
+		return out, fmt.Errorf("%w: bad IPv4 %q", ErrBadAddress, s)
 	}
 	for i, p := range parts {
 		v, err := strconv.ParseUint(p, 10, 8)
 		if err != nil {
-			return out, fmt.Errorf("bad IPv4 %q: %w", s, err)
+			return out, fmt.Errorf("%w: bad IPv4 %q: %w", ErrBadAddress, s, err)
 		}
 		out[i] = byte(v)
 	}
@@ -235,7 +235,7 @@ func parseIPv4(s string) ([4]byte, error) {
 func parseCIDR(s string) ([4]byte, int, error) {
 	addr, bitsStr, ok := strings.Cut(s, "/")
 	if !ok {
-		return [4]byte{}, 0, fmt.Errorf("bad CIDR %q", s)
+		return [4]byte{}, 0, fmt.Errorf("%w: bad CIDR %q", ErrBadAddress, s)
 	}
 	ip, err := parseIPv4(addr)
 	if err != nil {
@@ -243,7 +243,7 @@ func parseCIDR(s string) ([4]byte, int, error) {
 	}
 	bits, err := strconv.Atoi(bitsStr)
 	if err != nil || bits < 1 || bits > 32 {
-		return [4]byte{}, 0, fmt.Errorf("bad prefix length in %q", s)
+		return [4]byte{}, 0, fmt.Errorf("%w: bad prefix length in %q", ErrBadAddress, s)
 	}
 	return ip, bits, nil
 }
@@ -253,12 +253,12 @@ func parseMAC(s string) ([6]byte, error) {
 	var out [6]byte
 	parts := strings.Split(s, ":")
 	if len(parts) != 6 {
-		return out, fmt.Errorf("bad MAC %q", s)
+		return out, fmt.Errorf("%w: bad MAC %q", ErrBadAddress, s)
 	}
 	for i, p := range parts {
 		v, err := strconv.ParseUint(p, 16, 8)
 		if err != nil {
-			return out, fmt.Errorf("bad MAC %q: %w", s, err)
+			return out, fmt.Errorf("%w: bad MAC %q: %w", ErrBadAddress, s, err)
 		}
 		out[i] = byte(v)
 	}

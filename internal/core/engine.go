@@ -8,6 +8,7 @@ import (
 
 	"github.com/fastpathnfv/speedybox/internal/classifier"
 	"github.com/fastpathnfv/speedybox/internal/cost"
+	"github.com/fastpathnfv/speedybox/internal/errcode"
 	"github.com/fastpathnfv/speedybox/internal/event"
 	"github.com/fastpathnfv/speedybox/internal/fault"
 	"github.com/fastpathnfv/speedybox/internal/flow"
@@ -53,14 +54,23 @@ func DefaultOptions() Options {
 // BaselineOptions returns the unmodified original chain.
 func BaselineOptions() Options { return Options{} }
 
-// Sentinel errors.
+// Sentinel errors. Each carries a registered errcode code so
+// API-visible failures resolve to machine-assertable codes
+// (errcode.CodeOf) while errors.Is identity matching is unchanged.
 var (
 	// ErrEmptyChain reports an engine built with no NFs.
-	ErrEmptyChain = errors.New("core: empty service chain")
+	ErrEmptyChain = errcode.Sentinel("core.empty_chain", "core: empty service chain")
 	// ErrDuplicateNF reports two NFs sharing a name.
-	ErrDuplicateNF = errors.New("core: duplicate NF name")
+	ErrDuplicateNF = errcode.Sentinel("core.duplicate_nf", "core: duplicate NF name")
 	// ErrNFFailed wraps NF processing errors.
-	ErrNFFailed = errors.New("core: NF processing failed")
+	ErrNFFailed = errcode.Sentinel("core.nf_failed", "core: NF processing failed")
+	// ErrBadModel reports an engine built over an invalid cost model.
+	ErrBadModel = errcode.Sentinel("core.bad_cost_model", "core: invalid cost model")
+	// ErrNFIndex reports a ProcessNF index outside the live chain.
+	ErrNFIndex = errcode.Sentinel("core.nf_index_out_of_range", "core: NF index out of range")
+	// ErrUnknownEventNF reports an event firing from an NF absent from
+	// the live chain snapshot.
+	ErrUnknownEventNF = errcode.Sentinel("core.event_unknown_nf", "core: event from unknown NF")
 )
 
 // statsShardCount is the number of counter shards (power of two).
@@ -137,6 +147,11 @@ type Engine struct {
 	// Event Table via their journal hooks, never on the per-packet
 	// data path.
 	wal *wal.Writer
+
+	// lastCheckpoint is the unix-nanosecond stamp of the most recent
+	// successful Checkpoint (0 = never), read at scrape time by the
+	// speedybox_checkpoint_age_seconds gauge and by daemon status.
+	lastCheckpoint atomic.Int64
 }
 
 // NewEngine builds an engine over the chain.
@@ -148,7 +163,7 @@ func NewEngine(chain []NF, opts Options) (*Engine, error) {
 		opts.Model = cost.DefaultModel()
 	}
 	if err := opts.Model.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrBadModel, err)
 	}
 	seen := make(map[string]bool, len(chain))
 	for _, nf := range chain {
@@ -348,7 +363,7 @@ func (e *Engine) resetReusedFlow(fid flow.FID) {
 func (e *Engine) ProcessNF(i int, fid flow.FID, pkt *packet.Packet, recording bool) (Verdict, uint64, error) {
 	cs := e.state()
 	if i < 0 || i >= len(cs.chain) {
-		return 0, 0, fmt.Errorf("core: NF index %d out of range", i)
+		return 0, 0, fmt.Errorf("%w: %d", ErrNFIndex, i)
 	}
 	nf := cs.chain[i]
 	ledger := getLedger()
@@ -867,7 +882,7 @@ func (e *Engine) fireEventsCached(fid flow.FID, info *FastPathInfo, rc *RuleCach
 	for _, f := range firings {
 		local, ok := cs.localByName[f.Event.NF]
 		if !ok {
-			return false, fmt.Errorf("core: event from unknown NF %q", f.Event.NF)
+			return false, fmt.Errorf("%w: %q", ErrUnknownEventNF, f.Event.NF)
 		}
 		local.Mutate(fid, func(r *mat.LocalRule) { f.Event.Update(fid, r) })
 		info.ReconsolidateCycles += e.model.EventFire

@@ -1,11 +1,11 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"github.com/fastpathnfv/speedybox/internal/errcode"
 	"github.com/fastpathnfv/speedybox/internal/flow"
 	"github.com/fastpathnfv/speedybox/internal/mat"
 	"github.com/fastpathnfv/speedybox/internal/wal"
@@ -32,7 +32,7 @@ import (
 // loss uses.
 
 // ErrNilCheckpoint reports Restore called without a checkpoint.
-var ErrNilCheckpoint = errors.New("core: restore requires a checkpoint")
+var ErrNilCheckpoint = errcode.Sentinel("core.checkpoint_missing", "core: restore requires a checkpoint")
 
 // walJournal adapts the engine's tables to the WAL writer. Its
 // callbacks run under the owning table shard's lock, so records land
@@ -148,11 +148,22 @@ func (e *Engine) Checkpoint() (*wal.Checkpoint, error) {
 		cp.NFState[nf.Name()] = blob
 	}
 
+	e.lastCheckpoint.Store(time.Now().UnixNano())
 	if e.tel != nil {
 		e.tel.checkpoints.Inc()
 		e.tel.checkpointNanos.Record(uint64(time.Since(start).Nanoseconds()), 0)
 	}
 	return cp, nil
+}
+
+// LastCheckpoint returns when the engine last completed a Checkpoint
+// (zero time = never).
+func (e *Engine) LastCheckpoint() time.Time {
+	ns := e.lastCheckpoint.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 // Restore rebuilds the engine's state from a checkpoint plus the

@@ -1,10 +1,10 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
+	"github.com/fastpathnfv/speedybox/internal/errcode"
 	"github.com/fastpathnfv/speedybox/internal/fault"
 	"github.com/fastpathnfv/speedybox/internal/mat"
 	"github.com/fastpathnfv/speedybox/internal/telemetry"
@@ -91,25 +91,28 @@ func (op ReconfigOp) String() string {
 }
 
 // Reconfiguration sentinel errors. Every rejected plan leaves the
-// chain, the epoch and all installed rules untouched.
+// chain, the epoch and all installed rules untouched. Each sentinel
+// carries a registered errcode code, so a plan rejection surfacing
+// through the daemon's admin API resolves to a machine-assertable
+// code (errcode.CodeOf) while errors.Is matching is unchanged.
 var (
 	// ErrPlanInvalid reports a structurally malformed plan (unknown
 	// operation, insert/replace without an NF).
-	ErrPlanInvalid = errors.New("core: invalid chain plan")
+	ErrPlanInvalid = errcode.Sentinel("core.plan_invalid", "core: invalid chain plan")
 	// ErrPlanDuplicateNF reports a plan that would give two NFs the
 	// same name.
-	ErrPlanDuplicateNF = errors.New("core: plan would duplicate an NF name")
+	ErrPlanDuplicateNF = errcode.Sentinel("core.plan_duplicate_nf", "core: plan would duplicate an NF name")
 	// ErrPlanEmptyChain reports a removal that would leave no NFs.
-	ErrPlanEmptyChain = errors.New("core: plan would empty the chain")
+	ErrPlanEmptyChain = errcode.Sentinel("core.plan_empty_chain", "core: plan would empty the chain")
 	// ErrPlanOutOfRange reports an insert/reorder position outside the
 	// chain.
-	ErrPlanOutOfRange = errors.New("core: plan position out of range")
+	ErrPlanOutOfRange = errcode.Sentinel("core.plan_out_of_range", "core: plan position out of range")
 	// ErrPlanUnknownNF reports a remove/replace/reorder naming an NF
 	// not in the chain.
-	ErrPlanUnknownNF = errors.New("core: plan names an unknown NF")
+	ErrPlanUnknownNF = errcode.Sentinel("core.plan_unknown_nf", "core: plan names an unknown NF")
 	// ErrReconfigAborted reports an injected mid-transition failure;
 	// the rollback left the old chain and epoch in place.
-	ErrReconfigAborted = errors.New("core: reconfiguration aborted")
+	ErrReconfigAborted = errcode.Sentinel("core.reconfig_aborted", "core: reconfiguration aborted")
 )
 
 // ChainPlan is one live chain change: insert, remove, replace or

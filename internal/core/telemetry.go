@@ -197,6 +197,15 @@ func newEngineTelemetry(e *Engine, hub *telemetry.Hub) *engineTelemetry {
 	reg.GaugeFunc("speedybox_chain_epoch",
 		"Current chain epoch (bumped by every completed reconfiguration)",
 		func() float64 { return float64(e.global.Epoch()) })
+	reg.GaugeFunc("speedybox_checkpoint_age_seconds",
+		"Seconds since the last completed checkpoint (-1 before the first)",
+		func() float64 {
+			ns := e.lastCheckpoint.Load()
+			if ns == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, ns)).Seconds()
+		})
 	if inj := e.faults; inj != nil {
 		for _, k := range fault.Kinds() {
 			k := k
@@ -208,11 +217,16 @@ func newEngineTelemetry(e *Engine, hub *telemetry.Hub) *engineTelemetry {
 }
 
 // hookWAL points the attached writer's sync observer at the fsync
-// histogram.
+// histogram and publishes the durable log size as a scrape-time gauge.
+// GaugeFunc replaces its closure on re-registration, so re-attaching a
+// different writer swaps the view rather than duplicating it.
 func (t *engineTelemetry) hookWAL(w *wal.Writer) {
 	w.SetOnSync(func(_ int, d time.Duration) {
 		t.walFsync.Record(uint64(d.Nanoseconds()), 0)
 	})
+	t.hub.Registry.GaugeFunc("speedybox_wal_durable_bytes",
+		"Synced (crash-durable) WAL prefix length in bytes",
+		func() float64 { return float64(w.DurableLen()) })
 }
 
 // accountPacket records the per-path work histogram and the per-NF

@@ -1,0 +1,220 @@
+// Package errcode is the machine-assertable error-code scheme shared
+// by every API-visible failure: each code is a validated
+// "package.name" string (lowercase, underscores, exactly one dot)
+// registered once at package init, and CodeOf extracts the code from
+// any error chain so operators and tests assert on codes — never on
+// message substrings.
+//
+// The scheme follows the convention popularized by ranger's errors
+// package: the package prefix disambiguates codes across subsystems
+// ("core.plan_unknown_nf" vs "chainspec.unknown_nf_type"), the format
+// is enforced at registration (a malformed code is a programming error
+// and panics at init), and the words "error"/"err" are banned from
+// segments — a code names the condition, not the fact it is an error.
+//
+// Subsystems define their sentinels with Sentinel, which registers the
+// code and returns an ordinary error value usable with errors.Is and
+// fmt.Errorf("%w: ...") wrapping:
+//
+//	var ErrPlanUnknownNF = errcode.Sentinel("core.plan_unknown_nf",
+//		"core: plan names an unknown NF")
+//
+// Callers resolve a failure to its code with CodeOf, which walks the
+// wrap chain (including multi-%w joins) and returns Unknown when no
+// coded error is found.
+package errcode
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Code is one validated "package.name" error code.
+type Code string
+
+// Unknown is returned by CodeOf for error chains carrying no coded
+// error. It is registered like every other code so the /v1/errors
+// registry lists it.
+const Unknown Code = "internal.unknown"
+
+// registry maps every registered code to its human description. Codes
+// register at package init (Sentinel/MustRegister in var blocks); the
+// mutex covers late registrations from tests.
+var (
+	regMu    sync.Mutex
+	registry = map[Code]string{}
+)
+
+func init() {
+	MustRegister(Unknown, "failure carrying no registered error code")
+}
+
+// Validate checks the "package.name" format: lowercase letters, digits
+// and underscores in both segments, exactly one dot, each segment
+// starting with a letter, and neither segment equal to "error" or
+// "err" (a code names the condition, not the fact it failed).
+func Validate(c Code) error {
+	s := string(c)
+	if s == "" {
+		return fmt.Errorf("errcode: empty code")
+	}
+	dot := -1
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		switch {
+		case ch == '.':
+			if dot >= 0 {
+				return fmt.Errorf("errcode: %q has more than one dot", s)
+			}
+			dot = i
+		case ch >= 'a' && ch <= 'z', ch == '_', ch >= '0' && ch <= '9':
+		default:
+			return fmt.Errorf("errcode: %q contains %q (lowercase, digits, underscores and one dot only)", s, ch)
+		}
+	}
+	if dot <= 0 || dot == len(s)-1 {
+		return fmt.Errorf("errcode: %q is not package.name", s)
+	}
+	pkg, name := s[:dot], s[dot+1:]
+	for _, seg := range []string{pkg, name} {
+		if seg[0] < 'a' || seg[0] > 'z' {
+			return fmt.Errorf("errcode: segment %q of %q must start with a letter", seg, s)
+		}
+		if seg == "error" || seg == "err" {
+			return fmt.Errorf("errcode: segment %q of %q is banned (name the condition, not the failure)", seg, s)
+		}
+	}
+	return nil
+}
+
+// MustRegister validates and records a code with its description,
+// panicking on a malformed or duplicate code — registration happens at
+// package init, where a bad code is a programming error. It returns
+// the code so registrations compose in var blocks.
+func MustRegister(c Code, desc string) Code {
+	if err := Validate(c); err != nil {
+		panic(err)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[c]; dup {
+		panic(fmt.Sprintf("errcode: %q registered twice", c))
+	}
+	registry[c] = desc
+	return c
+}
+
+// All returns every registered code with its description, sorted by
+// code — the daemon's /v1/errors registry endpoint and the format-gate
+// test both iterate it.
+func All() []Registration {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Registration, 0, len(registry))
+	for c, d := range registry {
+		out = append(out, Registration{Code: c, Description: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// Registration is one registry entry.
+type Registration struct {
+	Code        Code   `json:"code"`
+	Description string `json:"description"`
+}
+
+// E is a coded error: the sentinel form (no cause) doubles as an
+// errors.Is target, and the wrapping forms carry a cause for
+// errors.Is/As traversal.
+type E struct {
+	code Code
+	msg  string
+	err  error
+}
+
+// Error renders the message; a wrapped cause is appended the way
+// fmt.Errorf("%s: %w") would.
+func (e *E) Error() string {
+	if e.err != nil {
+		return e.msg + ": " + e.err.Error()
+	}
+	return e.msg
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *E) Unwrap() error { return e.err }
+
+// Code returns the error's registered code.
+func (e *E) Code() Code { return e.code }
+
+// Sentinel registers the code and returns the package-level sentinel
+// error value. The message should match the conventional
+// "package: condition" sentinel text so wrapped output is unchanged
+// when a plain errors.New sentinel is retrofitted.
+func Sentinel(c Code, msg string) error {
+	return &E{code: MustRegister(c, msg), msg: msg}
+}
+
+// New returns a coded error over an already-registered code. It does
+// not register: ad-hoc codes must still be declared once (Sentinel or
+// MustRegister) so the registry stays the complete catalog.
+func New(c Code, msg string) error { return &E{code: c, msg: msg} }
+
+// Newf is New with formatting.
+func Newf(c Code, format string, args ...any) error {
+	return &E{code: c, msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrap attaches a code to an existing error, preserving the cause for
+// errors.Is/As. A nil cause returns nil.
+func Wrap(c Code, err error, msg string) error {
+	if err == nil {
+		return nil
+	}
+	return &E{code: c, msg: msg, err: err}
+}
+
+// coder is satisfied by any error exposing a Code; *E implements it,
+// and external error types may too.
+type coder interface{ Code() Code }
+
+// CodeOf walks the error chain — single Unwrap() error links and
+// multi-%w Unwrap() []error joins — and returns the first registered
+// code found (outermost wins, so a handler recoding a failure
+// overrides the cause's code). Unknown when err is nil or carries no
+// coded error.
+func CodeOf(err error) Code {
+	if c, ok := findCode(err); ok {
+		return c
+	}
+	return Unknown
+}
+
+func findCode(err error) (Code, bool) {
+	if err == nil {
+		return "", false
+	}
+	var ce coder
+	if errors.As(err, &ce) {
+		return ce.Code(), true
+	}
+	// errors.As does not descend multi-error joins on all paths before
+	// go1.20 semantics; walk them explicitly for robustness.
+	switch x := err.(type) {
+	case interface{ Unwrap() []error }:
+		for _, e := range x.Unwrap() {
+			if c, ok := findCode(e); ok {
+				return c, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Is reports whether the chain's code equals c — the code-level
+// counterpart of errors.Is for handlers that match on codes rather
+// than sentinel identity.
+func Is(err error, c Code) bool { return CodeOf(err) == c }

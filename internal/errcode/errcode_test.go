@@ -1,0 +1,148 @@
+package errcode
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// codePattern is the normative package.name shape; the registry gate
+// below holds every registered code to it.
+var codePattern = regexp.MustCompile(`^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$`)
+
+// TestRegistryFormatGate asserts every registered code matches the
+// package.name format, carries a description, and bans the
+// error/err segment names — the CI unit gate of the code catalog.
+func TestRegistryFormatGate(t *testing.T) {
+	all := All()
+	if len(all) == 0 {
+		t.Fatal("registry is empty")
+	}
+	seen := make(map[Code]bool, len(all))
+	for _, r := range all {
+		if !codePattern.MatchString(string(r.Code)) {
+			t.Errorf("code %q does not match package.name", r.Code)
+		}
+		if err := Validate(r.Code); err != nil {
+			t.Errorf("registered code fails Validate: %v", err)
+		}
+		if r.Description == "" {
+			t.Errorf("code %q has no description", r.Code)
+		}
+		for _, seg := range strings.Split(string(r.Code), ".") {
+			if seg == "error" || seg == "err" {
+				t.Errorf("code %q uses banned segment %q", r.Code, seg)
+			}
+		}
+		if seen[r.Code] {
+			t.Errorf("code %q listed twice", r.Code)
+		}
+		seen[r.Code] = true
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Code{
+		"",
+		"nodot",
+		"two.dots.here",
+		"Upper.case",
+		"core.Plan",
+		"api-rate.limit",
+		"core.",
+		".name",
+		"1core.name",
+		"core.1name",
+		"core.error",
+		"err.something",
+		"core.err",
+		"pkg.error",
+	}
+	for _, c := range bad {
+		if err := Validate(c); err == nil {
+			t.Errorf("Validate(%q) accepted a malformed code", c)
+		}
+	}
+	good := []Code{"core.plan_invalid", "wal.checkpoint_corrupt", "server.bad_transition", "a.b2"}
+	for _, c := range good {
+		if err := Validate(c); err != nil {
+			t.Errorf("Validate(%q): %v", c, err)
+		}
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("malformed", func() { MustRegister("Bad.Code", "x") })
+	MustRegister("errcode_test.once", "test code")
+	mustPanic("duplicate", func() { MustRegister("errcode_test.once", "again") })
+}
+
+func TestSentinelChains(t *testing.T) {
+	sent := Sentinel("errcode_test.sentinel_probe", "errcode_test: probe condition")
+
+	// Identity matching survives fmt wrapping, like any errors.New
+	// sentinel.
+	wrapped := fmt.Errorf("outer context: %w", sent)
+	if !errors.Is(wrapped, sent) {
+		t.Fatal("errors.Is lost the sentinel through fmt wrapping")
+	}
+	if got := CodeOf(wrapped); got != Code("errcode_test.sentinel_probe") {
+		t.Fatalf("CodeOf(wrapped) = %q", got)
+	}
+	if !Is(wrapped, "errcode_test.sentinel_probe") {
+		t.Fatal("Is rejected the wrapped sentinel's code")
+	}
+
+	// Multi-%w joins: the coded branch is found regardless of position.
+	joined := fmt.Errorf("%w: hop: %w", errors.New("plain"), sent)
+	if got := CodeOf(joined); got != Code("errcode_test.sentinel_probe") {
+		t.Fatalf("CodeOf(multi-wrap) = %q", got)
+	}
+
+	// Wrap recodes an existing failure; the outermost code wins while
+	// the cause stays matchable.
+	recoded := Wrap("errcode_test.once", sent, "handler context")
+	if got := CodeOf(recoded); got != Code("errcode_test.once") {
+		t.Fatalf("CodeOf(recoded) = %q (outermost code should win)", got)
+	}
+	if !errors.Is(recoded, sent) {
+		t.Fatal("Wrap broke errors.Is to the cause")
+	}
+}
+
+func TestCodeOfUnknown(t *testing.T) {
+	if got := CodeOf(nil); got != Unknown {
+		t.Fatalf("CodeOf(nil) = %q", got)
+	}
+	if got := CodeOf(errors.New("uncoded")); got != Unknown {
+		t.Fatalf("CodeOf(uncoded) = %q", got)
+	}
+}
+
+func TestWrapNil(t *testing.T) {
+	if Wrap("errcode_test.once", nil, "x") != nil {
+		t.Fatal("Wrap(nil) should be nil")
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	e := Newf("errcode_test.once", "count %d", 3)
+	if e.Error() != "count 3" {
+		t.Fatalf("Newf rendering = %q", e.Error())
+	}
+	w := Wrap("errcode_test.once", errors.New("cause"), "context")
+	if w.Error() != "context: cause" {
+		t.Fatalf("Wrap rendering = %q", w.Error())
+	}
+}

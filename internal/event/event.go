@@ -12,11 +12,11 @@
 package event
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"github.com/fastpathnfv/speedybox/internal/errcode"
 	"github.com/fastpathnfv/speedybox/internal/flow"
 	"github.com/fastpathnfv/speedybox/internal/mat"
 )
@@ -28,7 +28,7 @@ import (
 const MaxPerFlow = 64
 
 // ErrTooManyEvents reports a registration rejected by the per-flow cap.
-var ErrTooManyEvents = errors.New("event: per-flow registration cap reached")
+var ErrTooManyEvents = errcode.Sentinel("event.registration_cap", "event: per-flow registration cap reached")
 
 // ConditionFunc reports whether the event's condition currently holds
 // for the flow. It corresponds to the paper's condition_handler: "a

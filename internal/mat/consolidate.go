@@ -1,9 +1,9 @@
 package mat
 
 import (
-	"errors"
 	"fmt"
 
+	"github.com/fastpathnfv/speedybox/internal/errcode"
 	"github.com/fastpathnfv/speedybox/internal/flow"
 	"github.com/fastpathnfv/speedybox/internal/packet"
 	"github.com/fastpathnfv/speedybox/internal/sfunc"
@@ -52,7 +52,7 @@ type SourceSummary struct {
 // fold into a single rule (e.g. a decap whose type does not match the
 // most recent pending encap). Callers fall back to the original slow
 // path for such flows, preserving correctness.
-var ErrNotConsolidatable = errors.New("mat: action sequence not consolidatable")
+var ErrNotConsolidatable = errcode.Sentinel("mat.not_consolidatable", "mat: action sequence not consolidatable")
 
 // Consolidate synthesizes the Global MAT rule for a flow from the
 // per-NF contributions, implementing §V-B and §V-C:

@@ -26,6 +26,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/classifier"
 	"github.com/fastpathnfv/speedybox/internal/core"
 	"github.com/fastpathnfv/speedybox/internal/cost"
+	"github.com/fastpathnfv/speedybox/internal/errcode"
 	"github.com/fastpathnfv/speedybox/internal/flow"
 	"github.com/fastpathnfv/speedybox/internal/mat"
 	"github.com/fastpathnfv/speedybox/internal/packet"
@@ -39,13 +40,13 @@ import (
 // threads, the paper's 14-core testbed supports at most 5 NFs
 // (§VII-B2: "in OpenNetVM, we can only support a maximum chain length
 // of 5, limited by the number of cores on our testbed").
-var ErrChainTooLong = errors.New("onvm: chain exceeds core budget")
+var ErrChainTooLong = errcode.Sentinel("onvm.chain_too_long", "onvm: chain exceeds core budget")
 
 // ErrPlatformClosed reports an operation attempted after Close. It is
 // a sentinel (test with errors.Is) so callers driving live
 // reconfiguration can tell an orderly shutdown race from a real
 // reconfiguration failure.
-var ErrPlatformClosed = errors.New("onvm: platform closed")
+var ErrPlatformClosed = errcode.Sentinel("onvm.platform_closed", "onvm: platform closed")
 
 // Config configures an OpenNetVM platform instance.
 type Config struct {

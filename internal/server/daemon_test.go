@@ -1,0 +1,330 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/fastpathnfv/speedybox/internal/errcode"
+)
+
+// testDaemon boots a daemon on an ephemeral port and registers its
+// shutdown with the test.
+func testDaemon(t *testing.T, cfg Config) *Daemon {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := d.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return d
+}
+
+// apiJSON issues a request and decodes the JSON response into out,
+// returning the HTTP status.
+func apiJSON(t *testing.T, method, url string, body []byte, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// apiErrCode asserts the request fails and returns the machine code
+// from the error envelope — never the message.
+func apiErrCode(t *testing.T, method, url string, body []byte) (errcode.Code, int) {
+	t.Helper()
+	var e errorBody
+	status := apiJSON(t, method, url, body, &e)
+	if status < 400 {
+		t.Fatalf("%s %s: expected error status, got %d", method, url, status)
+	}
+	return errcode.Code(e.Code), status
+}
+
+func getStatus(t *testing.T, d *Daemon) statusResponse {
+	t.Helper()
+	var st statusResponse
+	if code := apiJSON(t, http.MethodGet, d.URL()+"/v1/status", nil, &st); code != http.StatusOK {
+		t.Fatalf("status: HTTP %d", code)
+	}
+	return st
+}
+
+// waitWindows polls until the pump has completed at least n windows.
+func waitWindows(t *testing.T, d *Daemon, n uint64) statusResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := getStatus(t, d)
+		if st.Pump.Windows >= n {
+			return st
+		}
+		if st.Pump.Error != "" {
+			t.Fatalf("pump failed: %s", st.Pump.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pump stuck at %d/%d windows", st.Pump.Windows, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// hitRate computes the windowed fast-path share between two samples.
+func hitRate(a, b statusResponse) float64 {
+	pkts := b.Stats.Packets - a.Stats.Packets
+	if pkts == 0 {
+		return 0
+	}
+	return float64(b.Stats.FastPath-a.Stats.FastPath) / float64(pkts)
+}
+
+// TestReconfigureUnderTraffic is the e2e acceptance check: a plan
+// submitted over HTTP while the pump replays traffic applies with zero
+// drops, and the windowed fast-path hit rate after the epoch bump
+// recovers to at least 90% of the pre-reconfiguration baseline.
+func TestReconfigureUnderTraffic(t *testing.T) {
+	d := testDaemon(t, Config{Pump: PumpConfig{Flows: 120, Gap: time.Millisecond}})
+	if err := d.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	// Baseline hit rate over a steady window span, past warmup.
+	s1 := waitWindows(t, d, 4)
+	s2 := waitWindows(t, d, s1.Pump.Windows+3)
+	base := hitRate(s1, s2)
+	if base == 0 {
+		t.Fatalf("no fast-path traffic in baseline: %+v", s2.Stats)
+	}
+
+	var pr planResponse
+	plan := []byte(`{"op":"insert","pos":2,"nf":{"type":"monitor","name":"mon-b"}}`)
+	if code := apiJSON(t, http.MethodPost, d.URL()+"/v1/plan", plan, &pr); code != http.StatusOK {
+		t.Fatalf("plan: HTTP %d", code)
+	}
+	if pr.Epoch == 0 {
+		t.Fatalf("plan did not bump the epoch: %+v", pr)
+	}
+	want := []string{"mazunat", "maglev", "mon-b", "monitor", "ipfilter"}
+	if fmt.Sprint(pr.Chain) != fmt.Sprint(want) {
+		t.Fatalf("chain after plan = %v, want %v", pr.Chain, want)
+	}
+
+	// Skip the re-recording window, then measure the recovered rate.
+	s3 := waitWindows(t, d, s2.Pump.Windows+2)
+	s4 := waitWindows(t, d, s3.Pump.Windows+3)
+	rec := hitRate(s3, s4)
+	if rec < 0.9*base {
+		t.Fatalf("hit rate recovered to %.3f, want >= 90%% of baseline %.3f", rec, base)
+	}
+	if s4.Stats.Dropped != 0 || s4.Pump.Drops != 0 {
+		t.Fatalf("drops during live reconfiguration: engine=%d pump=%d",
+			s4.Stats.Dropped, s4.Pump.Drops)
+	}
+	if s4.Epoch != pr.Epoch {
+		t.Fatalf("status epoch %d != plan epoch %d", s4.Epoch, pr.Epoch)
+	}
+}
+
+// TestCheckpointRestoreOverAPI drains a serving daemon, takes an
+// inline checkpoint over HTTP, boots a fresh daemon, restores the
+// snapshot into it over HTTP and verifies the fast path resumes with
+// zero drops.
+func TestCheckpointRestoreOverAPI(t *testing.T) {
+	a := testDaemon(t, Config{Pump: PumpConfig{Flows: 80}})
+	if err := a.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitWindows(t, a, 3)
+
+	var drained stateResponse
+	if code := apiJSON(t, http.MethodPost, a.URL()+"/v1/drain", nil, &drained); code != http.StatusOK {
+		t.Fatalf("drain: HTTP %d", code)
+	}
+	if drained.State != "draining" {
+		t.Fatalf("drain -> %q", drained.State)
+	}
+	var cp checkpointResponse
+	if code := apiJSON(t, http.MethodPost, a.URL()+"/v1/checkpoint",
+		[]byte(`{"inline":true}`), &cp); code != http.StatusOK {
+		t.Fatalf("checkpoint: HTTP %d", code)
+	}
+	if cp.Checkpoint == "" || cp.Bytes == 0 {
+		t.Fatalf("inline checkpoint empty: %+v", cp)
+	}
+	aStats := getStatus(t, a)
+	if aStats.Checkpoint.AgeSeconds < 0 {
+		t.Fatalf("checkpoint age still unset after checkpoint: %+v", aStats.Checkpoint)
+	}
+
+	// Fresh daemon, same chain, restore before traffic.
+	b := testDaemon(t, Config{Pump: PumpConfig{Flows: 80}})
+	body, _ := json.Marshal(restoreRequest{Checkpoint: cp.Checkpoint, WAL: cp.WAL})
+	var rr restoreResponse
+	if code := apiJSON(t, http.MethodPost, b.URL()+"/v1/restore", body, &rr); code != http.StatusOK {
+		t.Fatalf("restore: HTTP %d", code)
+	}
+	if rr.Flows == 0 {
+		t.Fatalf("restore brought back no flows: %+v", rr)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatalf("Start after restore: %v", err)
+	}
+	st := waitWindows(t, b, 3)
+	if st.Stats.FastPath == 0 {
+		t.Fatalf("no fast-path traffic after restore: %+v", st.Stats)
+	}
+	if st.Stats.Dropped != 0 {
+		t.Fatalf("%d drops after restore", st.Stats.Dropped)
+	}
+}
+
+// TestCheckpointToFileAndBootRestore round-trips durability through
+// files: /v1/checkpoint writes the snapshot, a new daemon boots with
+// RestoreFrom and resumes.
+func TestCheckpointToFileAndBootRestore(t *testing.T) {
+	dir := t.TempDir()
+	cpPath := filepath.Join(dir, "daemon.ckpt")
+	walPath := filepath.Join(dir, "daemon.wal")
+
+	a := testDaemon(t, Config{
+		Pump:           PumpConfig{Flows: 60},
+		CheckpointPath: cpPath,
+		WALPath:        walPath,
+	})
+	if err := a.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitWindows(t, a, 2)
+	var cp checkpointResponse
+	if code := apiJSON(t, http.MethodPost, a.URL()+"/v1/checkpoint", nil, &cp); code != http.StatusOK {
+		t.Fatalf("checkpoint: HTTP %d", code)
+	}
+	if cp.Path != cpPath {
+		t.Fatalf("checkpoint path %q, want %q", cp.Path, cpPath)
+	}
+
+	b := testDaemon(t, Config{
+		Pump:        PumpConfig{Flows: 60},
+		RestoreFrom: cpPath,
+		RestoreWAL:  walPath,
+	})
+	if err := b.Start(); err != nil {
+		t.Fatalf("Start after boot restore: %v", err)
+	}
+	st := waitWindows(t, b, 2)
+	if st.Stats.Dropped != 0 {
+		t.Fatalf("%d drops after boot restore", st.Stats.Dropped)
+	}
+	if st.Stats.FastPath == 0 {
+		t.Fatalf("no fast path after boot restore: %+v", st.Stats)
+	}
+}
+
+// TestDrainUndrainLifecycle walks the reversible edge of the state
+// machine and checks the pump gate follows it.
+func TestDrainUndrainLifecycle(t *testing.T) {
+	d := testDaemon(t, Config{Pump: PumpConfig{Flows: 40}})
+	if d.State() != Starting {
+		t.Fatalf("fresh daemon state %v", d.State())
+	}
+	if err := d.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitWindows(t, d, 1)
+
+	var st stateResponse
+	apiJSON(t, http.MethodPost, d.URL()+"/v1/drain", nil, &st)
+	if st.State != "draining" || d.State() != Draining {
+		t.Fatalf("drain -> %q / %v", st.State, d.State())
+	}
+	if !d.pump.paused() {
+		t.Fatal("pump not gated after drain")
+	}
+	// Idempotent drain.
+	apiJSON(t, http.MethodPost, d.URL()+"/v1/drain", nil, &st)
+	if st.State != "draining" {
+		t.Fatalf("second drain -> %q", st.State)
+	}
+	// Windows stop advancing while drained.
+	w := getStatus(t, d).Pump.Windows
+	time.Sleep(20 * time.Millisecond)
+	if got := getStatus(t, d).Pump.Windows; got != w {
+		t.Fatalf("pump advanced %d -> %d while drained", w, got)
+	}
+
+	apiJSON(t, http.MethodPost, d.URL()+"/v1/undrain", nil, &st)
+	if st.State != "serving" || d.State() != Serving {
+		t.Fatalf("undrain -> %q / %v", st.State, d.State())
+	}
+	waitWindows(t, d, w+1) // traffic flows again
+}
+
+// TestShutdownIdempotent verifies double shutdown is a no-op and the
+// lifecycle ends Stopped.
+func TestShutdownIdempotent(t *testing.T) {
+	d, err := New(Config{Pump: PumpConfig{Flows: 30}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	ctx := context.Background()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if d.State() != Stopped {
+		t.Fatalf("state after shutdown: %v", d.State())
+	}
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestShutdownWritesFinalCheckpoint verifies the graceful-exit path
+// persists a final snapshot.
+func TestShutdownWritesFinalCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cpPath := filepath.Join(dir, "final.ckpt")
+	d, err := New(Config{Pump: PumpConfig{Flows: 40}, CheckpointPath: cpPath})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitWindows(t, d, 2)
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	b, err := New(Config{Pump: PumpConfig{Disable: true}, RestoreFrom: cpPath})
+	if err != nil {
+		t.Fatalf("restore from final checkpoint: %v", err)
+	}
+	if err := b.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown b: %v", err)
+	}
+}

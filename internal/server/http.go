@@ -1,0 +1,498 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/fastpathnfv/speedybox/internal/chainspec"
+	"github.com/fastpathnfv/speedybox/internal/errcode"
+	"github.com/fastpathnfv/speedybox/internal/platform"
+	"github.com/fastpathnfv/speedybox/internal/telemetry"
+	"github.com/fastpathnfv/speedybox/internal/wal"
+)
+
+// maxBodyBytes bounds admin request bodies. Plans are a few hundred
+// bytes; inline checkpoint restores dominate, and a megabyte covers
+// any table this model holds.
+const maxBodyBytes = 8 << 20
+
+// handler assembles the admin mux: the /v1 control API plus the
+// observability endpoints on the same listener.
+func (d *Daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	obs := telemetry.Handler(d.hub)
+	mux.Handle("/metrics", obs)
+	mux.Handle("/statusz", obs)
+	mux.Handle("/debug/pprof/", obs)
+	mux.HandleFunc("/v1/plan", d.handlePlan)
+	mux.HandleFunc("/v1/checkpoint", d.handleCheckpoint)
+	mux.HandleFunc("/v1/restore", d.handleRestore)
+	mux.HandleFunc("/v1/drain", d.handleDrain)
+	mux.HandleFunc("/v1/undrain", d.handleUndrain)
+	mux.HandleFunc("/v1/status", d.handleStatus)
+	mux.HandleFunc("/v1/errors", d.handleErrors)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, fmt.Errorf("%w: %s", ErrNotFound, r.URL.Path))
+	})
+	return mux
+}
+
+// readBody drains a size-capped request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, fmt.Errorf("%w: limit %d bytes", ErrBodyTooLarge, mbe.Limit)
+		}
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	return body, nil
+}
+
+func post(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, fmt.Errorf("%w: %s %s", ErrMethodNotAllowed, r.Method, r.URL.Path))
+		return false
+	}
+	return true
+}
+
+func get(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		writeError(w, fmt.Errorf("%w: %s %s", ErrMethodNotAllowed, r.Method, r.URL.Path))
+		return false
+	}
+	return true
+}
+
+// planResponse reports a completed live reconfiguration.
+type planResponse struct {
+	Epoch uint64   `json:"epoch"`
+	Chain []string `json:"chain"`
+}
+
+// handlePlan applies a chainspec.ChainPlan document to the running
+// chain via the platform's live-reconfiguration path. Traffic keeps
+// flowing: the engine's epoch machinery invalidates consolidated rules
+// and in-flight batch workers fall back to the slow path, so no pump
+// quiesce is needed or taken.
+func (d *Daemon) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	d.adminMu.Lock()
+	defer d.adminMu.Unlock()
+	if err := d.guard(); err != nil {
+		writeError(w, err)
+		return
+	}
+	plan, err := chainspec.ParsePlan(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	eng := d.plat.Engine()
+	compiled, err := plan.Compile(eng.ChainNames())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rec, ok := d.plat.(platform.Reconfigurer)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: %s", ErrNotReconfigurable, d.plat.Name()))
+		return
+	}
+	if err := rec.Reconfigure(compiled); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, planResponse{Epoch: eng.Epoch(), Chain: eng.ChainNames()})
+}
+
+// checkpointRequest selects the checkpoint destination: a file path
+// (default Config.CheckpointPath) and/or the encoded bytes inline.
+type checkpointRequest struct {
+	Path   string `json:"path,omitempty"`
+	Inline bool   `json:"inline,omitempty"`
+}
+
+type checkpointResponse struct {
+	Epoch  uint64 `json:"epoch"`
+	WALSeq uint64 `json:"wal_seq"`
+	Bytes  int    `json:"bytes"`
+	Path   string `json:"path,omitempty"`
+	// Checkpoint is the base64-encoded snapshot when inline was
+	// requested — what POST /v1/restore accepts back.
+	Checkpoint string `json:"checkpoint,omitempty"`
+	// WAL is the base64-encoded durable journal when inline was
+	// requested, replayable past the checkpoint on restore.
+	WAL string `json:"wal,omitempty"`
+}
+
+// handleCheckpoint snapshots the engine at a packet boundary. When the
+// daemon is serving, the pump is gated for the duration — the window in
+// flight drains, the snapshot is taken, the gate reopens.
+func (d *Daemon) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req checkpointRequest
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, fmt.Errorf("%w: %w", ErrBadRequest, err))
+			return
+		}
+	}
+	d.adminMu.Lock()
+	defer d.adminMu.Unlock()
+	if err := d.guard(); err != nil {
+		writeError(w, err)
+		return
+	}
+
+	if d.pump != nil && State(d.state.Load()) == Serving {
+		d.pump.pause()
+		defer d.pump.resume()
+	}
+
+	eng := d.plat.Engine()
+	var cp *wal.Checkpoint
+	path := req.Path
+	if path == "" {
+		path = d.cfg.CheckpointPath
+	}
+	if path != "" {
+		cp, _, err = d.saveCheckpoint(path)
+	} else {
+		cp, err = eng.Checkpoint()
+		// No destination anywhere: the bytes must travel inline or the
+		// snapshot would be unreachable.
+		req.Inline = true
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	data := cp.Encode()
+	resp := checkpointResponse{
+		Epoch:  cp.Epoch,
+		WALSeq: cp.WALSeq,
+		Bytes:  len(data),
+		Path:   path,
+	}
+	if req.Inline {
+		resp.Checkpoint = base64.StdEncoding.EncodeToString(data)
+		resp.WAL = base64.StdEncoding.EncodeToString(d.walW.DurableBytes())
+	}
+	writeJSON(w, resp)
+}
+
+// restoreRequest carries the snapshot to load: inline base64 fields
+// (as returned by an inline checkpoint) or file paths.
+type restoreRequest struct {
+	Checkpoint     string `json:"checkpoint,omitempty"`
+	WAL            string `json:"wal,omitempty"`
+	CheckpointPath string `json:"checkpoint_path,omitempty"`
+	WALPath        string `json:"wal_path,omitempty"`
+}
+
+type restoreResponse struct {
+	Epoch uint64   `json:"epoch"`
+	Flows int      `json:"flows"`
+	Rules int      `json:"rules"`
+	Chain []string `json:"chain"`
+}
+
+// handleRestore loads a checkpoint (plus optional journal suffix) into
+// the engine. Only legal while no traffic is flowing — Starting or
+// Draining — mirroring Engine.Restore's fresh-engine precondition.
+func (d *Daemon) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req restoreRequest
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, fmt.Errorf("%w: %w", ErrBadRequest, err))
+			return
+		}
+	}
+	d.adminMu.Lock()
+	defer d.adminMu.Unlock()
+	if err := d.guard(); err != nil {
+		writeError(w, err)
+		return
+	}
+	if st := State(d.state.Load()); st != Starting && st != Draining {
+		writeError(w, fmt.Errorf("%w: restore while %s (drain first)", ErrBadState, st))
+		return
+	}
+
+	var cpData, walData []byte
+	switch {
+	case req.Checkpoint != "":
+		cpData, err = base64.StdEncoding.DecodeString(req.Checkpoint)
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: checkpoint: %w", ErrBadRequest, err))
+			return
+		}
+		if req.WAL != "" {
+			walData, err = base64.StdEncoding.DecodeString(req.WAL)
+			if err != nil {
+				writeError(w, fmt.Errorf("%w: wal: %w", ErrBadRequest, err))
+				return
+			}
+		}
+	case req.CheckpointPath != "":
+		cpData, err = readRestoreFile(req.CheckpointPath)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if req.WALPath != "" {
+			walData, err = readRestoreFile(req.WALPath)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+		}
+	default:
+		writeError(w, fmt.Errorf("%w: restore needs a checkpoint or checkpoint_path", ErrBadRequest))
+		return
+	}
+
+	cp, err := wal.DecodeCheckpoint(cpData)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	eng := d.plat.Engine()
+	if err := eng.Restore(cp, walData); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, restoreResponse{
+		Epoch: eng.Epoch(),
+		Flows: len(cp.Flows),
+		Rules: len(cp.Rules),
+		Chain: eng.ChainNames(),
+	})
+}
+
+type stateResponse struct {
+	State string `json:"state"`
+}
+
+// handleDrain gates the pump at a packet boundary and enters Draining.
+// Idempotent from Draining.
+func (d *Daemon) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	d.adminMu.Lock()
+	defer d.adminMu.Unlock()
+	if err := d.guard(); err != nil {
+		writeError(w, err)
+		return
+	}
+	switch State(d.state.Load()) {
+	case Serving:
+		if d.pump != nil {
+			d.pump.pause()
+		}
+		d.state.Store(int32(Draining))
+	case Draining:
+		// already drained
+	default:
+		writeError(w, fmt.Errorf("%w: drain while %s", ErrBadState, d.State()))
+		return
+	}
+	writeJSON(w, stateResponse{State: d.State().String()})
+}
+
+// handleUndrain reopens the pump gate and returns to Serving.
+// Idempotent from Serving.
+func (d *Daemon) handleUndrain(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	d.adminMu.Lock()
+	defer d.adminMu.Unlock()
+	if err := d.guard(); err != nil {
+		writeError(w, err)
+		return
+	}
+	switch State(d.state.Load()) {
+	case Draining:
+		d.state.Store(int32(Serving))
+		if d.pump != nil {
+			d.pump.resume()
+		}
+	case Serving:
+		// already serving
+	default:
+		writeError(w, fmt.Errorf("%w: undrain while %s", ErrBadState, d.State()))
+		return
+	}
+	writeJSON(w, stateResponse{State: d.State().String()})
+}
+
+type statusStats struct {
+	Packets           uint64 `json:"packets"`
+	FastPath          uint64 `json:"fast_path"`
+	SlowPath          uint64 `json:"slow_path"`
+	Dropped           uint64 `json:"dropped"`
+	Consolidations    uint64 `json:"consolidations"`
+	EventsFired       uint64 `json:"events_fired"`
+	SlowPathFallbacks uint64 `json:"slow_path_fallbacks"`
+	DegradedPackets   uint64 `json:"degraded_packets"`
+	FaultRecoveries   uint64 `json:"fault_recoveries"`
+}
+
+type statusWAL struct {
+	DurableBytes int    `json:"durable_bytes"`
+	Size         int    `json:"size"`
+	Seq          uint64 `json:"seq"`
+	Syncs        uint64 `json:"syncs"`
+}
+
+type statusCheckpoint struct {
+	// AgeSeconds is -1 before the first checkpoint.
+	AgeSeconds float64 `json:"age_seconds"`
+	LastUnix   int64   `json:"last_unix,omitempty"`
+}
+
+type statusWorker struct {
+	Worker     int     `json:"worker"`
+	QueueDepth float64 `json:"queue_depth"`
+	Packets    uint64  `json:"packets"`
+}
+
+type statusPump struct {
+	Enabled bool   `json:"enabled"`
+	Paused  bool   `json:"paused"`
+	Windows uint64 `json:"windows"`
+	Packets uint64 `json:"packets"`
+	Drops   uint64 `json:"drops"`
+	Error   string `json:"error,omitempty"`
+}
+
+type statusResponse struct {
+	State         string           `json:"state"`
+	Platform      string           `json:"platform"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Epoch         uint64           `json:"epoch"`
+	Chain         []string         `json:"chain"`
+	DegradedFlows int              `json:"degraded_flows"`
+	Stats         statusStats      `json:"stats"`
+	WAL           statusWAL        `json:"wal"`
+	Checkpoint    statusCheckpoint `json:"checkpoint"`
+	Workers       []statusWorker   `json:"workers"`
+	Pump          statusPump       `json:"pump"`
+}
+
+// handleStatus reports the daemon's full control-plane view: lifecycle
+// state, chain and epoch, engine counters, WAL durability position,
+// checkpoint age and the per-worker queue gauges.
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if !get(w, r) {
+		return
+	}
+	eng := d.plat.Engine()
+	st := eng.Stats()
+	resp := statusResponse{
+		State:         d.State().String(),
+		Platform:      d.plat.Name(),
+		UptimeSeconds: time.Since(d.started).Seconds(),
+		Epoch:         eng.Epoch(),
+		Chain:         eng.ChainNames(),
+		DegradedFlows: eng.DegradedFlows(),
+		Stats: statusStats{
+			Packets:           st.Packets,
+			FastPath:          st.FastPath,
+			SlowPath:          st.SlowPath,
+			Dropped:           st.Dropped,
+			Consolidations:    st.Consolidations,
+			EventsFired:       st.EventsFired,
+			SlowPathFallbacks: st.SlowPathFallbacks,
+			DegradedPackets:   st.DegradedPackets,
+			FaultRecoveries:   st.FaultRecoveries,
+		},
+		WAL: statusWAL{
+			DurableBytes: d.walW.DurableLen(),
+			Size:         d.walW.Size(),
+			Seq:          d.walW.Seq(),
+			Syncs:        d.walW.Syncs(),
+		},
+		Checkpoint: statusCheckpoint{AgeSeconds: -1},
+	}
+	if last := eng.LastCheckpoint(); !last.IsZero() {
+		resp.Checkpoint.AgeSeconds = time.Since(last).Seconds()
+		resp.Checkpoint.LastUnix = last.Unix()
+	}
+	snap := d.hub.Registry.Snapshot()
+	for i := 0; i < d.mq.Workers(); i++ {
+		resp.Workers = append(resp.Workers, statusWorker{
+			Worker:     i,
+			QueueDepth: snap.Gauges[fmt.Sprintf(`speedybox_mq_queue_depth{worker="%d"}`, i)],
+			Packets:    snap.Counters[fmt.Sprintf(`speedybox_mq_worker_packets_total{worker="%d"}`, i)],
+		})
+	}
+	if p := d.pump; p != nil {
+		resp.Pump = statusPump{
+			Enabled: true,
+			Paused:  p.paused(),
+			Windows: p.windows.Load(),
+			Packets: p.packets.Load(),
+			Drops:   p.drops.Load(),
+		}
+		if err := p.err(); err != nil {
+			resp.Pump.Error = err.Error()
+		}
+	}
+	writeJSON(w, resp)
+}
+
+type errorsResponse struct {
+	Codes []errcode.Registration `json:"codes"`
+}
+
+// handleErrors serves the machine-readable error-code registry so
+// clients can enumerate every code the API may return.
+func (d *Daemon) handleErrors(w http.ResponseWriter, r *http.Request) {
+	if !get(w, r) {
+		return
+	}
+	writeJSON(w, errorsResponse{Codes: errcode.All()})
+}
+
+// readRestoreFile wraps file reads in the checkpoint-IO error family.
+func readRestoreFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCheckpointIO, err)
+	}
+	return data, nil
+}

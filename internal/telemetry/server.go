@@ -65,10 +65,18 @@ func NewServer(addr string, hub *Hub) (*Server, error) {
 
 // Handler returns the admin mux, for embedding the endpoints into an
 // existing server instead of running a standalone one.
-func (s *Server) Handler() http.Handler {
+func (s *Server) Handler() http.Handler { return Handler(s.hub) }
+
+// Handler builds the observability mux over a hub without binding a
+// listener — the daemon mounts these endpoints on its own admin server.
+func Handler(hub *Hub) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeMetrics(w, hub)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		writeStatusz(w, req, hub)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -86,12 +94,12 @@ func (s *Server) URL() string { return "http://" + s.Addr() }
 // Close stops the server and releases the listener.
 func (s *Server) Close() error { return s.srv.Close() }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func writeMetrics(w http.ResponseWriter, hub *Hub) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.hub.Registry.WritePrometheus(w)
+	_ = hub.Registry.WritePrometheus(w)
 }
 
-func (s *Server) handleStatusz(w http.ResponseWriter, req *http.Request) {
+func writeStatusz(w http.ResponseWriter, req *http.Request, hub *Hub) {
 	tail := statusTailDefault
 	if v := req.URL.Query().Get("tail"); v != "" {
 		if n, err := strconv.Atoi(v); err == nil {
@@ -101,5 +109,5 @@ func (s *Server) handleStatusz(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(s.hub.Status(tail))
+	_ = enc.Encode(hub.Status(tail))
 }

@@ -2,10 +2,10 @@ package wal
 
 import (
 	"encoding/binary"
-	"errors"
 	"hash/crc32"
 	"sort"
 
+	"github.com/fastpathnfv/speedybox/internal/errcode"
 	"github.com/fastpathnfv/speedybox/internal/flow"
 	"github.com/fastpathnfv/speedybox/internal/packet"
 )
@@ -59,7 +59,7 @@ const (
 // checksum validation. Unlike a torn WAL tail — which is expected
 // after a crash and skipped silently — a corrupt checkpoint has no
 // usable prefix, so decoding fails loudly.
-var ErrBadCheckpoint = errors.New("wal: corrupt or truncated checkpoint")
+var ErrBadCheckpoint = errcode.Sentinel("wal.checkpoint_corrupt", "wal: corrupt or truncated checkpoint")
 
 // Encode serializes the checkpoint. Maps are emitted in sorted key
 // order so encoding is deterministic.

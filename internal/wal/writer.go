@@ -127,6 +127,19 @@ func (w *Writer) DurableBytes() []byte {
 	return b
 }
 
+// DurableLen returns the synced prefix length in bytes without
+// copying the log — the scrape-time value behind the
+// speedybox_wal_durable_bytes gauge.
+func (w *Writer) DurableLen() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	n := w.durable
+	w.mu.Unlock()
+	return n
+}
+
 // Bytes returns a copy of the whole log including the unsynced tail.
 func (w *Writer) Bytes() []byte {
 	if w == nil {
