@@ -10,6 +10,7 @@
 //	chainsim -chain snort,monitor -pcap trace.pcap
 //	chainsim -config testdata/chain.json
 //	chainsim -chain nat,monitor -fault-rate 0.1 -fault-seed 7
+//	chainsim -topo examples/multitenant/topo.json -synflood 400
 package main
 
 import (
@@ -49,6 +50,9 @@ func run(args []string) error {
 	faultRate := fs.Float64("fault-rate", 0, "inject control-plane faults into the SpeedyBox variant at this per-decision rate (0 disables; packets are never dropped, only degraded to the slow path)")
 	faultSeed := fs.Int64("fault-seed", 1, "fault-injection seed (with -fault-rate); equal seeds replay the identical fault schedule")
 	configPath := fs.String("config", "", "build the chain from this JSON chain-spec file (overrides -chain and -platform)")
+	topoPath := fs.String("topo", "", "run a multi-chain topology from this JSON topology-spec file (overrides -chain/-config/-platform; see internal/topo for the format)")
+	synFlood := fs.Int("synflood", 0, "append this many handshake-only SYN-flood flows clustered mid-trace (adversarial trace model)")
+	eventStorm := fs.Float64("eventstorm", 0, "fraction of flows whose every data packet carries the IDS alert signature (adversarial trace model)")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. :8080)")
 	telemetryLinger := fs.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the run, for scraping")
 	if err := fs.Parse(args); err != nil {
@@ -56,6 +60,15 @@ func run(args []string) error {
 	}
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be >= 1 (got %d)", *workers)
+	}
+	if *topoPath != "" {
+		return runTopo(topoRunConfig{
+			path: *topoPath, sbox: *sbox, seed: *seed, flows: *flows,
+			workers: *workers, batch: *batch,
+			synFlood: *synFlood, eventStorm: *eventStorm,
+			faultRate: *faultRate, faultSeed: *faultSeed,
+			telemetryAddr: *telemetryAddr, telemetryLinger: *telemetryLinger,
+		})
 	}
 
 	var spec *chainspec.Spec
@@ -86,7 +99,7 @@ func run(args []string) error {
 	}
 
 	names := strings.Split(*chainSpec, ",")
-	pktsFor, err := packetSource(*pcapPath, *seed, *flows)
+	pktsFor, err := packetSource(*pcapPath, *seed, *flows, *synFlood, *eventStorm)
 	if err != nil {
 		return err
 	}
@@ -212,8 +225,9 @@ func change(a, b float64) float64 {
 }
 
 // packetSource returns a function producing a fresh packet sequence
-// per call (each variant consumes its own copies).
-func packetSource(pcapPath string, seed int64, flows int) (func() []*speedybox.Packet, error) {
+// per call (each variant consumes its own copies). A nonzero synFlood
+// or eventStorm switches to the adversarial generator.
+func packetSource(pcapPath string, seed int64, flows, synFlood int, eventStorm float64) (func() []*speedybox.Packet, error) {
 	if pcapPath != "" {
 		f, err := os.Open(pcapPath)
 		if err != nil {
@@ -232,11 +246,190 @@ func packetSource(pcapPath string, seed int64, flows int) (func() []*speedybox.P
 			return out
 		}, nil
 	}
-	tr, err := trace.Generate(trace.Config{Seed: seed, Flows: flows, Interleave: true})
+	cfg := trace.Config{Seed: seed, Flows: flows, Interleave: true}
+	if synFlood > 0 || eventStorm > 0 {
+		tr, err := trace.GenerateAdversarial(trace.AdversarialConfig{
+			Config: cfg, SYNFloodFlows: synFlood, EventStormFraction: eventStorm,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return tr.Packets, nil
+	}
+	tr, err := trace.Generate(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return tr.Packets, nil
+}
+
+// topoRunConfig carries the -topo mode settings.
+type topoRunConfig struct {
+	path            string
+	sbox            bool
+	seed            int64
+	flows           int
+	workers         int
+	batch           int
+	synFlood        int
+	eventStorm      float64
+	faultRate       float64
+	faultSeed       int64
+	telemetryAddr   string
+	telemetryLinger time.Duration
+}
+
+// topoTrace synthesizes the topology's traffic: one adversarial
+// sub-trace per policy destination port (flows split evenly), merged
+// round-robin so the services overlap in time. The SYN flood and event
+// storm ride the first port's sub-trace. Policies without a port match
+// (CIDR-only rules) share the default-port sub-trace.
+func topoTrace(spec *speedybox.TopologySpec, cfg topoRunConfig) ([]*speedybox.Packet, error) {
+	var ports []uint16
+	seen := map[uint16]bool{}
+	for _, p := range spec.Policies {
+		if p.DstPortMin != 0 && !seen[p.DstPortMin] {
+			ports = append(ports, p.DstPortMin)
+			seen[p.DstPortMin] = true
+		}
+	}
+	if len(ports) == 0 {
+		ports = []uint16{0} // generator default port
+	}
+	per := cfg.flows / len(ports)
+	if per < 1 {
+		per = 1
+	}
+	var streams [][]*speedybox.Packet
+	for i, port := range ports {
+		acfg := speedybox.AdversarialTraceConfig{
+			Config: speedybox.TraceConfig{
+				Seed: cfg.seed + int64(i), Flows: per, DstPort: port, Interleave: true,
+			},
+		}
+		if i == 0 {
+			acfg.SYNFloodFlows = cfg.synFlood
+			acfg.EventStormFraction = cfg.eventStorm
+		}
+		tr, err := speedybox.GenerateAdversarialTrace(acfg)
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, tr.Packets())
+	}
+	var out []*speedybox.Packet
+	for k := 0; ; k++ {
+		emitted := false
+		for _, s := range streams {
+			if k < len(s) {
+				out = append(out, s[k])
+				emitted = true
+			}
+		}
+		if !emitted {
+			return out, nil
+		}
+	}
+}
+
+// runTopo is the -topo mode: build the multi-chain topology, push the
+// merged adversarial trace through it (fair-share multi-queue when
+// -workers > 1), and report per-chain and per-tenant accounting.
+func runTopo(cfg topoRunConfig) error {
+	data, err := os.ReadFile(cfg.path)
+	if err != nil {
+		return err
+	}
+	spec, err := speedybox.ParseTopology(data)
+	if err != nil {
+		return err
+	}
+
+	opts := speedybox.BaselineOptions()
+	if cfg.sbox {
+		opts = speedybox.DefaultOptions()
+	}
+	var inj *speedybox.FaultInjector
+	if cfg.sbox && cfg.faultRate > 0 {
+		inj = speedybox.NewFaultInjector(speedybox.FaultConfig{
+			Seed: cfg.faultSeed, Rates: speedybox.UniformFaultRates(cfg.faultRate),
+		})
+		opts.Faults = inj
+	}
+	bc := speedybox.TopologyBuildConfig{Options: opts}
+	if cfg.telemetryAddr != "" {
+		bc.Hub = speedybox.NewTelemetry()
+		srv, err := speedybox.NewTelemetryServer(cfg.telemetryAddr, bc.Hub)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("telemetry: %s/metrics  %s/statusz\n", srv.URL(), srv.URL())
+		if cfg.telemetryLinger > 0 {
+			defer func() {
+				fmt.Printf("telemetry: lingering %v for scrapes (ctrl-C to stop)\n", cfg.telemetryLinger)
+				time.Sleep(cfg.telemetryLinger)
+			}()
+		}
+	}
+	tp, err := speedybox.BuildTopology(spec, bc)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = tp.Close() }()
+
+	pkts, err := topoTrace(spec, cfg)
+	if err != nil {
+		return err
+	}
+	var res *speedybox.RunResult
+	if cfg.workers > 1 {
+		mq, err := tp.NewMultiQueue(cfg.workers, cfg.batch)
+		if err != nil {
+			return err
+		}
+		res, err = mq.Run(pkts)
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err = tp.RunBatch(pkts, cfg.batch)
+		if err != nil {
+			return err
+		}
+	}
+
+	label := fmt.Sprintf("topo %s", spec.Name)
+	if cfg.sbox {
+		label += " w/ SBox"
+	}
+	ft := res.FlowTimesMicros()
+	fmt.Printf("%-16s chains=%d packets=%d drops=%d fastpath=%d events=%d\n",
+		label, tp.NumChains(), res.Packets, res.Drops, res.Stats.FastPath, res.Stats.EventsFired)
+	fmt.Printf("%-16s rate=%.3f Mpps  latency(mean)=%.3f µs  flow p50=%.1f µs  p90=%.1f µs\n",
+		"", res.RateMpps(), res.MeanLatencyMicros(),
+		stats.Percentile(ft, 50), stats.Percentile(ft, 90))
+	if cfg.workers > 1 {
+		fmt.Printf("%-16s aggregate(%d queues)=%.3f Mpps\n", "", cfg.workers, res.AggregateRateMpps())
+	}
+	for i := 0; i < tp.NumChains(); i++ {
+		c := tp.Chain(i)
+		st := tp.Engine(i).Stats()
+		fmt.Printf("  chain %-10s weight=%d packets=%d fastpath=%d slowpath=%d events=%d degraded=%d\n",
+			c.Name, c.Weight, st.Packets, st.FastPath, st.SlowPath, st.EventsFired, st.DegradedPackets)
+	}
+	adm := tp.Admission()
+	for _, ten := range spec.Tenants {
+		fmt.Printf("  tenant %-4d rules=%d events=%d rule-denied=%d event-denied=%d\n",
+			ten.ID, adm.RulesHeld(ten.ID), adm.EventsHeld(ten.ID),
+			adm.RuleDenials(ten.ID), adm.EventDenials(ten.ID))
+	}
+	if inj != nil {
+		fmt.Printf("%-16s %s\n", "", inj.Summary())
+		fmt.Printf("%-16s fallbacks=%d degraded=%d recoveries=%d\n", "",
+			res.Stats.SlowPathFallbacks, res.Stats.DegradedPackets, res.Stats.FaultRecoveries)
+	}
+	return nil
 }
 
 func buildChain(names []string, snortRules []speedybox.SnortRule) ([]speedybox.NF, error) {

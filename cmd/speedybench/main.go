@@ -44,7 +44,7 @@ func main() {
 type formatter interface{ Format() string }
 
 // experiments enumerates the runnable experiments in paper order.
-func experiments(cfg harness.Config, oracleSchedules, oracleReconfigs, oracleCrashes int) []struct {
+func experiments(cfg harness.Config, oracleSchedules, oracleReconfigs, oracleCrashes int, oracleTopo bool) []struct {
 	name string
 	run  func() (formatter, error)
 } {
@@ -68,6 +68,7 @@ func experiments(cfg harness.Config, oracleSchedules, oracleReconfigs, oracleCra
 			res, err := harness.RunOracle(harness.OracleConfig{
 				Seed: cfg.Seed, Schedules: oracleSchedules, Flows: cfg.Flows,
 				Batch: cfg.Batch, Reconfigs: oracleReconfigs, Crashes: oracleCrashes,
+				Topo: oracleTopo,
 			})
 			if err != nil {
 				return nil, err
@@ -106,6 +107,7 @@ func run(args []string, out io.Writer) error {
 	oracleSchedules := fs.Int("oracle-schedules", 200, "fault schedules for -exp oracle")
 	oracleReconfigs := fs.Int("oracle-reconfigs", 0, "live chain reconfigurations per oracle schedule (0 = none)")
 	oracleCrashes := fs.Int("oracle-crashes", 0, "engine kill/restore cycles per oracle schedule (0 = none, capped at 4)")
+	oracleTopo := fs.Bool("oracle-topo", false, "run the multi-chain topology oracle (three chains, three tenants, shared NFs) instead of the single-chain one")
 	seed := fs.Int64("seed", 1, "trace generation seed")
 	flows := fs.Int("flows", 0, "trace size in flows (0 = experiment default)")
 	batch := fs.Int("batch", 0, "process packets in vectors of this size (0 = per-packet); for -exp oracle the fast engine runs batched against the scalar reference")
@@ -135,7 +137,7 @@ func run(args []string, out io.Writer) error {
 
 	jsonOut := make(map[string]any)
 	ran := false
-	for _, e := range experiments(cfg, *oracleSchedules, *oracleReconfigs, *oracleCrashes) {
+	for _, e := range experiments(cfg, *oracleSchedules, *oracleReconfigs, *oracleCrashes, *oracleTopo) {
 		if *exp != "all" && *exp != e.name {
 			continue
 		}

@@ -1,0 +1,156 @@
+// Multi-tenant edge PoP: three service chains (web IDS, VoIP gateway,
+// bulk rate limiting) share one Monitor instance, a first-match policy
+// classifier routes flows by destination port and tags them with a
+// tenant, and per-tenant admission quotas keep one tenant's rule and
+// event appetite from starving the others. The traffic is adversarial
+// — a SYN flood aimed at the web chain and elephant flows on the bulk
+// chain — and the demo checks that consolidation changes nothing
+// observable: same drops, same shared-monitor counters, zero drops
+// under flood, and quota denials confined to the tenant that earned
+// them.
+//
+// The embedded topo.json is the same file `chainsim -topo` accepts:
+//
+//	go run ./cmd/chainsim -topo examples/multitenant/topo.json -synflood 400
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"log"
+
+	speedybox "github.com/fastpathnfv/speedybox"
+)
+
+//go:embed topo.json
+var topoJSON []byte
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// traffic returns a fresh copy of the merged adversarial trace: one
+// sub-trace per service port, interleaved round-robin so the chains
+// compete for the fast path concurrently. The web stream carries the
+// SYN flood; the bulk stream is elephant-heavy.
+func traffic() ([]*speedybox.Packet, error) {
+	cfgs := []speedybox.AdversarialTraceConfig{
+		{Config: speedybox.TraceConfig{Seed: 1, Flows: 200, DstPort: 80, Interleave: true},
+			SYNFloodFlows: 400, SYNFloodAt: 0.5},
+		{Config: speedybox.TraceConfig{Seed: 2, Flows: 120, DstPort: 5060, Interleave: true}},
+		{Config: speedybox.TraceConfig{Seed: 3, Flows: 80, DstPort: 9000, Interleave: true},
+			ElephantFraction: 0.25},
+	}
+	var streams [][]*speedybox.Packet
+	for _, cfg := range cfgs {
+		tr, err := speedybox.GenerateAdversarialTrace(cfg)
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, tr.Packets())
+	}
+	var out []*speedybox.Packet
+	for k := 0; ; k++ {
+		emitted := false
+		for _, s := range streams {
+			if k < len(s) {
+				out = append(out, s[k])
+				emitted = true
+			}
+		}
+		if !emitted {
+			return out, nil
+		}
+	}
+}
+
+func run() error {
+	spec, err := speedybox.ParseTopology(topoJSON)
+	if err != nil {
+		return err
+	}
+
+	type outcome struct {
+		label    string
+		drops    int
+		counters speedybox.MonitorCounters
+		latency  float64
+		rate     float64
+	}
+	var outcomes []outcome
+	var sbox *speedybox.Topology
+
+	for _, mode := range []struct {
+		label string
+		opts  speedybox.Options
+	}{
+		{"baseline", speedybox.BaselineOptions()},
+		{"w/ SBox", speedybox.DefaultOptions()},
+	} {
+		tp, err := speedybox.BuildTopology(spec, speedybox.TopologyBuildConfig{Options: mode.opts})
+		if err != nil {
+			return err
+		}
+		pkts, err := traffic()
+		if err != nil {
+			return err
+		}
+		res, err := tp.RunBatch(pkts, 32)
+		if err != nil {
+			return err
+		}
+		mon := tp.NF("mon").(*speedybox.Monitor)
+		outcomes = append(outcomes, outcome{
+			label:    mode.label,
+			drops:    res.Drops,
+			counters: mon.Totals(),
+			latency:  res.MeanLatencyMicros(),
+			rate:     res.RateMpps(),
+		})
+		if mode.label == "w/ SBox" {
+			sbox = tp // report per-chain/per-tenant accounting below
+		} else if err := tp.Close(); err != nil {
+			return err
+		}
+	}
+	defer func() { _ = sbox.Close() }()
+
+	fmt.Println("variant     latency(µs)  rate(Mpps)  drops  shared-mon pkts")
+	for _, o := range outcomes {
+		fmt.Printf("%-10s  %11.3f  %10.3f  %5d  %15d\n",
+			o.label, o.latency, o.rate, o.drops, o.counters.Packets)
+	}
+
+	fmt.Println("\nper-chain accounting (w/ SBox):")
+	for i := 0; i < sbox.NumChains(); i++ {
+		c := sbox.Chain(i)
+		st := sbox.Engine(i).Stats()
+		fmt.Printf("  %-5s weight=%d packets=%d fastpath=%d events=%d degraded=%d\n",
+			c.Name, c.Weight, st.Packets, st.FastPath, st.EventsFired, st.DegradedPackets)
+	}
+	adm := sbox.Admission()
+	fmt.Println("per-tenant admission (w/ SBox):")
+	for _, ten := range spec.Tenants {
+		fmt.Printf("  tenant %d: rules=%d events=%d rule-denied=%d event-denied=%d\n",
+			ten.ID, adm.RulesHeld(ten.ID), adm.EventsHeld(ten.ID),
+			adm.RuleDenials(ten.ID), adm.EventDenials(ten.ID))
+	}
+
+	// Equivalence and isolation checks.
+	a, b := outcomes[0], outcomes[1]
+	if a.drops != b.drops || a.counters != b.counters {
+		return fmt.Errorf("equivalence violated between %q and %q", a.label, b.label)
+	}
+	if b.drops != 0 {
+		return fmt.Errorf("SYN flood caused %d drops", b.drops)
+	}
+	if adm.RuleDenials(2) != 0 {
+		return fmt.Errorf("unlimited tenant 2 saw %d rule denials", adm.RuleDenials(2))
+	}
+	fmt.Println("\nVerdicts and shared-monitor counters identical with and without")
+	fmt.Println("SpeedyBox; flood absorbed with zero drops; quota denials confined")
+	fmt.Println("to the tenants that exceeded their declared quotas.")
+	return nil
+}

@@ -131,6 +131,19 @@ func (s *Spec) Build() ([]core.NF, error) {
 	return chain, nil
 }
 
+// Instantiate builds this one NF under the given instance name.
+// Multi-chain topologies (internal/topo) use it to construct shared NF
+// instances once and wire them into several chains by name.
+func (n NFSpec) Instantiate(name string) (core.NF, error) {
+	return n.build(name)
+}
+
+// ParseCIDR parses "a.b.c.d/n" into a prefix and mask length, shared
+// with topology policy rules that match flows by source prefix.
+func ParseCIDR(s string) ([4]byte, int, error) {
+	return parseCIDR(s)
+}
+
 func (n NFSpec) build(name string) (core.NF, error) {
 	switch n.Type {
 	case "ipfilter":

@@ -44,6 +44,15 @@ type Options struct {
 	// (see internal/fault). Nil disables injection entirely, with zero
 	// data-path overhead.
 	Faults *fault.Injector
+	// Admission attaches a tenant-isolation policy: fresh rule
+	// installs and event registrations are gated through it (see the
+	// Admission interface). Nil admits everything with zero overhead.
+	Admission Admission
+	// ChainLabel, when set, is appended as a {chain="..."} label to
+	// every engine metric name, so several chain engines sharing one
+	// telemetry hub (a multi-chain topology) keep distinct series
+	// instead of silently merging into one.
+	ChainLabel string
 }
 
 // DefaultOptions returns full SpeedyBox: both optimizations on.
@@ -86,7 +95,8 @@ type statsShard struct {
 	fastPath, slowPath, dropped                     atomic.Uint64
 	eventsFired, consolidations                     atomic.Uint64
 	slowFallbacks, degradedPackets, faultRecoveries atomic.Uint64
-	_                                               [24]byte // pad to 128 bytes against false sharing
+	ruleQuotaDenied, eventCapDenied                 atomic.Uint64
+	_                                               [8]byte // pad to 128 bytes against false sharing
 }
 
 // recShardCount is the number of recording-slot shards (power of two).
@@ -134,6 +144,11 @@ type Engine struct {
 	// faults is the optional injector (Options.Faults); nil means no
 	// injection. All injection sites guard on the nil check.
 	faults *fault.Injector
+	// admission is the optional tenant-isolation policy
+	// (Options.Admission); nil admits everything. Consulted only at
+	// control-plane sites (consolidation, event registration,
+	// teardown), never per fast-path packet.
+	admission Admission
 	// degraded is the graceful-degradation ladder (degrade.go).
 	degraded [degradeShardCount]degradeShard
 
@@ -187,6 +202,7 @@ func NewEngine(chain []NF, opts Options) (*Engine, error) {
 		e.degraded[i].flows = make(map[flow.FID]*degradeState)
 	}
 	e.faults = opts.Faults
+	e.admission = opts.Admission
 	if opts.EnableSpeedyBox {
 		// LookupLive, not Lookup: a stale-marked rule must classify the
 		// flow's packets as initial (re-record) rather than subsequent
@@ -197,7 +213,7 @@ func NewEngine(chain []NF, opts Options) (*Engine, error) {
 		}
 	}
 	if opts.Telemetry != nil {
-		e.tel = newEngineTelemetry(e, opts.Telemetry)
+		e.tel = newEngineTelemetry(e, opts.Telemetry, opts.ChainLabel)
 	}
 	return e, nil
 }
@@ -205,6 +221,31 @@ func NewEngine(chain []NF, opts Options) (*Engine, error) {
 // recShardFor returns the recording shard owning a FID.
 func (e *Engine) recShardFor(fid flow.FID) *recShard {
 	return &e.recording[uint32(fid)&(recShardCount-1)]
+}
+
+// statsFor returns the counter shard owning a FID.
+func (e *Engine) statsFor(fid flow.FID) *statsShard {
+	return &e.stats[uint32(fid)&(statsShardCount-1)]
+}
+
+// releaseRuleBudget returns the flow's rule admission budget (no-op
+// without an admission policy). Called wherever the engine discards
+// the flow's consolidated state, whether or not a rule was installed:
+// an admitted-but-never-installed reservation (install fault,
+// unconsolidatable actions) must not leak.
+func (e *Engine) releaseRuleBudget(fid flow.FID) {
+	if e.admission != nil {
+		e.admission.ReleaseRule(fid)
+	}
+}
+
+// releaseEventBudget returns the flow's event admission budget (no-op
+// without an admission policy). Called wherever the engine empties the
+// flow's Event Table entry.
+func (e *Engine) releaseEventBudget(fid flow.FID) {
+	if e.admission != nil {
+		e.admission.ReleaseEvents(fid)
+	}
 }
 
 // TryBeginRecording claims the flow's recording slot. When several
@@ -305,6 +346,8 @@ func (e *Engine) Stats() Stats {
 		s.SlowPathFallbacks += sh.slowFallbacks.Load()
 		s.DegradedPackets += sh.degradedPackets.Load()
 		s.FaultRecoveries += sh.faultRecoveries.Load()
+		s.RuleQuotaDenied += sh.ruleQuotaDenied.Load()
+		s.EventCapDenied += sh.eventCapDenied.Load()
 	}
 	return s
 }
@@ -340,6 +383,8 @@ func (e *Engine) resetReusedFlow(fid flow.FID) {
 		l.Delete(fid)
 	}
 	e.events.Remove(fid)
+	e.releaseRuleBudget(fid)
+	e.releaseEventBudget(fid)
 	// The new connection must not inherit the old one's fault backoff.
 	e.dropDegraded(fid)
 	for _, nf := range cs.chain {
@@ -378,6 +423,8 @@ func (e *Engine) ProcessNF(i int, fid flow.FID, pkt *packet.Packet, recording bo
 		events:    e.events,
 		recording: recording,
 		epoch:     cs.epoch,
+		admit:     e.admission,
+		tenant:    pkt.Meta.Tenant,
 	}
 	v, err := nf.Process(ctx, pkt)
 	if err != nil {
@@ -405,6 +452,7 @@ func (e *Engine) PrepareRecording(fid flow.FID) {
 		l.Delete(fid)
 	}
 	e.events.Remove(fid)
+	e.releaseEventBudget(fid)
 }
 
 // ConsolidateFlow snapshots the Local MATs and installs the Global MAT
@@ -413,7 +461,7 @@ func (e *Engine) PrepareRecording(fid flow.FID) {
 // path; the caller decides whether that is fatal.
 func (e *Engine) ConsolidateFlow(fid flow.FID) (uint64, error) {
 	info := &SlowPathInfo{}
-	if err := e.consolidate(fid, info, e.state()); err != nil {
+	if err := e.consolidate(fid, -1, info, e.state()); err != nil {
 		return 0, err
 	}
 	return info.ConsolidateCycles, nil
@@ -553,6 +601,8 @@ func (e *Engine) slowPath(fid flow.FID, pkt *packet.Packet, recording bool) (*Pa
 		events:    e.events,
 		recording: recording,
 		epoch:     cs.epoch,
+		admit:     e.admission,
+		tenant:    pkt.Meta.Tenant,
 	}
 	abortRecording := false
 	for i, nf := range cs.chain {
@@ -599,8 +649,20 @@ func (e *Engine) slowPath(fid flow.FID, pkt *packet.Packet, recording bool) (*Pa
 		e.degradeFlow(fid, CauseNFError)
 		recording = false
 	}
+	if recording && ctx.eventDenied {
+		// An event registration ran into the tenant's cap: serving a
+		// consolidated rule without the event would skip the NF's
+		// update, so abandon the recording (releasing whatever events
+		// were admitted) and keep the flow on the slow path. Unlike a
+		// fault this is not degradation-laddered — the flow simply
+		// retries on its next initial packet, succeeding as soon as
+		// the tenant's other flows release budget.
+		e.PrepareRecording(fid)
+		e.statsFor(fid).eventCapDenied.Add(1)
+		recording = false
+	}
 	if recording {
-		if err := e.consolidate(fid, info, cs); err != nil {
+		if err := e.consolidate(fid, ctx.tenant, info, cs); err != nil {
 			if !errors.Is(err, mat.ErrNotConsolidatable) {
 				return nil, err
 			}
@@ -616,8 +678,25 @@ func (e *Engine) slowPath(fid flow.FID, pkt *packet.Packet, recording bool) (*Pa
 // installs the Global MAT rule, charging the consolidation cost into
 // info. The installed rule carries the snapshot's epoch: if a
 // reconfiguration raced this traversal, the rule is born under the
-// retired epoch and LookupLive never serves it.
-func (e *Engine) consolidate(fid flow.FID, info *SlowPathInfo, cs *chainState) error {
+// retired epoch and LookupLive never serves it. tenant attributes the
+// install for admission (-1 = resolve the flow's recorded tenant).
+func (e *Engine) consolidate(fid flow.FID, tenant int32, info *SlowPathInfo, cs *chainState) error {
+	if e.admission != nil {
+		if _, exists := e.global.Lookup(fid); !exists {
+			// Only a flow's first install consumes quota; replacements
+			// (event-driven reconsolidation, re-records over a stale
+			// rule) reuse the admission already held. AdmitRule is
+			// idempotent per FID, so a retry after an install fault
+			// does not double-charge.
+			if !e.admission.AdmitRule(tenant, fid) {
+				// Refused: the flow stays on the (always correct) slow
+				// path with nothing installed, marked or degraded, and
+				// retries on its next initial packet.
+				e.statsFor(fid).ruleQuotaDenied.Add(1)
+				return nil
+			}
+		}
+	}
 	contribs := make([]mat.Contribution, 0, len(cs.chain))
 	contributed := 0
 	for i, nf := range cs.chain {
@@ -706,6 +785,8 @@ func (e *Engine) evictConsolidated(fid flow.FID) {
 		l.Delete(fid)
 	}
 	e.events.Remove(fid)
+	e.releaseRuleBudget(fid)
+	e.releaseEventBudget(fid)
 	if e.tel != nil {
 		e.tel.rec.Append(telemetry.EvFaultInject, uint32(fid), fault.KindEvictPressure.String())
 		e.tel.rec.Append(telemetry.EvFlowEvict, uint32(fid), CauseFaultEvict)
@@ -719,7 +800,7 @@ func (e *Engine) evictConsolidated(fid flow.FID) {
 // the same chain snapshot the firings were validated under.
 func (e *Engine) reconsolidate(fid flow.FID, cs *chainState) (uint64, error) {
 	info := &SlowPathInfo{}
-	if err := e.consolidate(fid, info, cs); err != nil {
+	if err := e.consolidate(fid, -1, info, cs); err != nil {
 		return 0, err
 	}
 	return info.ConsolidateCycles, nil
@@ -876,6 +957,7 @@ func (e *Engine) fireEventsCached(fid flow.FID, info *FastPathInfo, rc *RuleCach
 			// epoch (PrepareRecording wipes them before re-recording) —
 			// and let the slow path re-record under the live chain.
 			e.events.Remove(fid)
+			e.releaseEventBudget(fid)
 			return false, nil
 		}
 	}
@@ -932,6 +1014,7 @@ func (e *Engine) fireEventsCached(fid flow.FID, info *FastPathInfo, rc *RuleCach
 		if e.global.Remove(fid) && e.tel != nil {
 			e.tel.ruleRemoved(uint32(fid), CauseEventUnconsolidatable)
 		}
+		e.releaseRuleBudget(fid)
 	default:
 		return false, err
 	}
@@ -1005,6 +1088,8 @@ func (e *Engine) teardown(fid flow.FID, cause string) {
 		l.Delete(fid)
 	}
 	e.events.Remove(fid)
+	e.releaseRuleBudget(fid)
+	e.releaseEventBudget(fid)
 	// Ladder state dies with the flow: a later reincarnation of the
 	// FID starts clean instead of inheriting this connection's backoff.
 	e.dropDegraded(fid)

@@ -79,6 +79,14 @@ type Ctx struct {
 	// is traversing, so firings recorded under a retired chain are
 	// discarded instead of mutating post-reconfiguration rules.
 	epoch uint64
+	// admit is the engine's admission policy (nil = admit all) and
+	// tenant the packet's tenant tag; RegisterEvent gates through
+	// them. eventDenied records that a registration was refused, which
+	// poisons the recording — the engine abandons consolidation for
+	// this traversal (see Engine.slowPath).
+	admit       Admission
+	tenant      int32
+	eventDenied bool
 }
 
 // FlowCloser is an optional NF interface: the engine calls FlowClosed
@@ -202,6 +210,10 @@ func (c *Ctx) RegisterEvent(e event.Event) error {
 		return nil
 	}
 	c.Charge(c.Model.RecordEvent)
+	if c.admit != nil && !c.admit.AdmitEvent(c.tenant, c.FID) {
+		c.eventDenied = true
+		return nil
+	}
 	e.NF = c.nf
 	e.Epoch = c.epoch
 	if err := c.events.Register(c.FID, e); err != nil {

@@ -124,4 +124,32 @@ type Stats struct {
 	// FaultRecoveries counts degraded flows that returned to the fast
 	// path via a successful rule reinstall.
 	FaultRecoveries uint64
+	// RuleQuotaDenied counts fresh consolidated-rule installs the
+	// admission policy refused (tenant rule quota); the affected flows
+	// stayed on the always-correct slow path.
+	RuleQuotaDenied uint64
+	// EventCapDenied counts recordings abandoned because an event
+	// registration exceeded the tenant's event cap; the affected flows
+	// stayed on the slow path and retry on their next initial packet.
+	EventCapDenied uint64
+}
+
+// Add folds another snapshot into s. Multi-chain dispatchers use it to
+// aggregate per-chain engine stats into one run total.
+func (s *Stats) Add(o Stats) {
+	s.Packets += o.Packets
+	s.Initial += o.Initial
+	s.Subsequent += o.Subsequent
+	s.Handshake += o.Handshake
+	s.Final += o.Final
+	s.FastPath += o.FastPath
+	s.SlowPath += o.SlowPath
+	s.Dropped += o.Dropped
+	s.EventsFired += o.EventsFired
+	s.Consolidations += o.Consolidations
+	s.SlowPathFallbacks += o.SlowPathFallbacks
+	s.DegradedPackets += o.DegradedPackets
+	s.FaultRecoveries += o.FaultRecoveries
+	s.RuleQuotaDenied += o.RuleQuotaDenied
+	s.EventCapDenied += o.EventCapDenied
 }

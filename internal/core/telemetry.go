@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +47,9 @@ const (
 type engineTelemetry struct {
 	hub *telemetry.Hub
 	rec *telemetry.Recorder
+	// chain is the Options.ChainLabel this engine's metric names carry
+	// (empty for single-chain deployments — names stay unlabeled).
+	chain string
 
 	// Per-path work histograms (modeled cycles, the paper's
 	// "CPU cycle per packet" currency — deterministic and free of
@@ -94,57 +98,74 @@ type engineTelemetry struct {
 	walFsync        *telemetry.Histogram
 }
 
+// chainLabeled appends a {chain="..."} label to a metric name,
+// splicing into an existing label set when the name already carries
+// one. An empty chain returns the name unchanged, so single-chain
+// deployments keep their historical metric names bit-for-bit.
+func chainLabeled(name, chain string) string {
+	if chain == "" {
+		return name
+	}
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + `,chain=` + fmt.Sprintf("%q", chain) + `}`
+	}
+	return name + `{chain=` + fmt.Sprintf("%q", chain) + `}`
+}
+
 // newEngineTelemetry resolves the engine's metrics against the hub and
 // registers the scrape-time views over the engine's existing counters
-// and table occupancies.
-func newEngineTelemetry(e *Engine, hub *telemetry.Hub) *engineTelemetry {
+// and table occupancies. chain (Options.ChainLabel) distinguishes the
+// series of several engines sharing one hub.
+func newEngineTelemetry(e *Engine, hub *telemetry.Hub, chain string) *engineTelemetry {
 	reg := hub.Registry
+	n := func(name string) string { return chainLabeled(name, chain) }
 	t := &engineTelemetry{
-		hub: hub,
-		rec: hub.Recorder,
-		fastLat: reg.Histogram(`speedybox_engine_path_work_cycles{path="fast"}`,
+		hub:   hub,
+		rec:   hub.Recorder,
+		chain: chain,
+		fastLat: reg.Histogram(n(`speedybox_engine_path_work_cycles{path="fast"}`),
 			"Per-packet modeled work cycles by data path"),
-		slowLat: reg.Histogram(`speedybox_engine_path_work_cycles{path="slow"}`,
+		slowLat: reg.Histogram(n(`speedybox_engine_path_work_cycles{path="slow"}`),
 			"Per-packet modeled work cycles by data path"),
-		handshakeLat: reg.Histogram(`speedybox_engine_path_work_cycles{path="handshake"}`,
+		handshakeLat: reg.Histogram(n(`speedybox_engine_path_work_cycles{path="handshake"}`),
 			"Per-packet modeled work cycles by data path"),
-		installs: reg.Counter("speedybox_mat_installs_total",
+		installs: reg.Counter(n("speedybox_mat_installs_total"),
 			"Global MAT first-time rule installations"),
-		replacements: reg.Counter("speedybox_mat_replacements_total",
+		replacements: reg.Counter(n("speedybox_mat_replacements_total"),
 			"Global MAT rule replacements (event-driven reconsolidations)"),
-		removeFin: reg.Counter(`speedybox_mat_removals_total{reason="fin-teardown"}`,
+		removeFin: reg.Counter(n(`speedybox_mat_removals_total{reason="fin-teardown"}`),
 			"Global MAT rule removals by reason"),
-		removeIdle: reg.Counter(`speedybox_mat_removals_total{reason="idle-expiry"}`,
+		removeIdle: reg.Counter(n(`speedybox_mat_removals_total{reason="idle-expiry"}`),
 			"Global MAT rule removals by reason"),
-		removeReuse: reg.Counter(`speedybox_mat_removals_total{reason="syn-reuse"}`,
+		removeReuse: reg.Counter(n(`speedybox_mat_removals_total{reason="syn-reuse"}`),
 			"Global MAT rule removals by reason"),
-		removeEvent: reg.Counter(`speedybox_mat_removals_total{reason="event-unconsolidatable"}`,
+		removeEvent: reg.Counter(n(`speedybox_mat_removals_total{reason="event-unconsolidatable"}`),
 			"Global MAT rule removals by reason"),
-		removeFault: reg.Counter(`speedybox_mat_removals_total{reason="fault-evict"}`,
+		removeFault: reg.Counter(n(`speedybox_mat_removals_total{reason="fault-evict"}`),
 			"Global MAT rule removals by reason"),
-		flowResets: reg.Counter("speedybox_flow_resets_total",
+		flowResets: reg.Counter(n("speedybox_flow_resets_total"),
 			"Flows reset by a SYN reusing a tracked 5-tuple"),
-		unconsolidatable: reg.Counter("speedybox_consolidate_unconsolidatable_total",
+		unconsolidatable: reg.Counter(n("speedybox_consolidate_unconsolidatable_total"),
 			"Consolidation attempts whose actions did not fold into one rule"),
-		reconfigRollbacks: reg.Counter("speedybox_reconfig_rollbacks_total",
+		reconfigRollbacks: reg.Counter(n("speedybox_reconfig_rollbacks_total"),
 			"Chain reconfigurations aborted mid-transition and rolled back"),
-		reconfigSweep: reg.Histogram("speedybox_reconfig_sweep_nanos",
+		reconfigSweep: reg.Histogram(n("speedybox_reconfig_sweep_nanos"),
 			"Wall-clock nanoseconds stale-sweeping old-epoch rules after a reconfiguration"),
-		checkpoints: reg.Counter("speedybox_checkpoints_total",
+		checkpoints: reg.Counter(n("speedybox_checkpoints_total"),
 			"Engine state checkpoints taken"),
-		restores: reg.Counter("speedybox_restores_total",
+		restores: reg.Counter(n("speedybox_restores_total"),
 			"Engine restores from checkpoint plus WAL replay"),
-		walReplayed: reg.Counter("speedybox_wal_replayed_records_total",
+		walReplayed: reg.Counter(n("speedybox_wal_replayed_records_total"),
 			"WAL records replayed past the checkpoint during restores"),
-		checkpointNanos: reg.Histogram("speedybox_checkpoint_nanos",
+		checkpointNanos: reg.Histogram(n("speedybox_checkpoint_nanos"),
 			"Wall-clock nanoseconds per checkpoint"),
-		restoreNanos: reg.Histogram("speedybox_wal_replay_nanos",
+		restoreNanos: reg.Histogram(n("speedybox_wal_replay_nanos"),
 			"Wall-clock nanoseconds per restore (checkpoint load plus journal replay)"),
-		walFsync: reg.Histogram("speedybox_wal_fsync_nanos",
+		walFsync: reg.Histogram(n("speedybox_wal_fsync_nanos"),
 			"Wall-clock nanoseconds per WAL group commit"),
 	}
 	for _, op := range []ReconfigOp{OpInsert, OpRemove, OpReplace, OpReorder} {
-		t.reconfigs[op-1] = reg.Counter(fmt.Sprintf("speedybox_reconfigs_total{kind=%q}", op),
+		t.reconfigs[op-1] = reg.Counter(n(fmt.Sprintf("speedybox_reconfigs_total{kind=%q}", op)),
 			"Completed chain reconfigurations by plan kind")
 	}
 	t.rebuildStages(e.state().chain)
@@ -152,52 +173,58 @@ func newEngineTelemetry(e *Engine, hub *telemetry.Hub) *engineTelemetry {
 	// Scrape-time views over state the engine already maintains. The
 	// closures read sharded atomics / table sizes; they hold no engine
 	// locks and may run concurrently with the data path.
-	reg.CounterFunc("speedybox_engine_packets_total",
+	reg.CounterFunc(n("speedybox_engine_packets_total"),
 		"Packets processed", func() uint64 { return e.Stats().Packets })
-	reg.CounterFunc(`speedybox_engine_path_packets_total{path="fast"}`,
+	reg.CounterFunc(n(`speedybox_engine_path_packets_total{path="fast"}`),
 		"Packets by data path", func() uint64 { return e.Stats().FastPath })
-	reg.CounterFunc(`speedybox_engine_path_packets_total{path="slow"}`,
+	reg.CounterFunc(n(`speedybox_engine_path_packets_total{path="slow"}`),
 		"Packets by data path", func() uint64 { return e.Stats().SlowPath })
-	reg.CounterFunc("speedybox_engine_dropped_total",
+	reg.CounterFunc(n("speedybox_engine_dropped_total"),
 		"Packets dropped by the chain", func() uint64 { return e.Stats().Dropped })
-	reg.CounterFunc("speedybox_engine_consolidations_total",
+	reg.CounterFunc(n("speedybox_engine_consolidations_total"),
 		"Successful flow consolidations", func() uint64 { return e.Stats().Consolidations })
-	reg.CounterFunc("speedybox_engine_events_fired_total",
+	reg.CounterFunc(n("speedybox_engine_events_fired_total"),
 		"Event Table firings observed on the fast path", func() uint64 { return e.Stats().EventsFired })
-	reg.GaugeFunc("speedybox_flow_table_flows",
+	reg.GaugeFunc(n("speedybox_flow_table_flows"),
 		"Tracked flows (flow table occupancy)", func() float64 { return float64(e.class.Flows().Len()) })
-	reg.GaugeFunc("speedybox_mat_global_rules",
+	reg.GaugeFunc(n("speedybox_mat_global_rules"),
 		"Installed Global MAT rules", func() float64 { return float64(e.global.Len()) })
-	reg.GaugeFunc("speedybox_event_flows",
+	reg.GaugeFunc(n("speedybox_event_flows"),
 		"Flows with registered events", func() float64 { return float64(e.events.Len()) })
-	reg.CounterFunc("speedybox_event_registered_total",
+	reg.CounterFunc(n("speedybox_event_registered_total"),
 		"Event Table registrations", func() uint64 { return e.events.RegisteredTotal() })
-	reg.CounterFunc("speedybox_event_fired_total",
+	reg.CounterFunc(n("speedybox_event_fired_total"),
 		"Event Table firings", func() uint64 { return e.events.FiredTotal() })
 
 	// Fault-injection and graceful-degradation observability. The
 	// fallback/degradation counters are registered unconditionally —
 	// they also advance on organic rule loss (concurrent teardown) —
 	// while the per-kind injection counters need an injector.
-	reg.CounterFunc("speedybox_slowpath_fallbacks_total",
+	reg.CounterFunc(n("speedybox_slowpath_fallbacks_total"),
 		"Packets transparently redirected to the slow path by a missing or stale rule",
 		func() uint64 { return e.Stats().SlowPathFallbacks })
-	reg.CounterFunc("speedybox_fastpath_degraded_total",
+	reg.CounterFunc(n("speedybox_fastpath_degraded_total"),
 		"Initial packets held on the slow path by the degradation ladder",
 		func() uint64 { return e.Stats().DegradedPackets })
-	reg.CounterFunc("speedybox_fault_recoveries_total",
+	reg.CounterFunc(n("speedybox_fault_recoveries_total"),
 		"Degraded flows recovered to the fast path by a successful reinstall",
 		func() uint64 { return e.Stats().FaultRecoveries })
-	reg.GaugeFunc("speedybox_fault_degraded_flows",
+	reg.CounterFunc(n("speedybox_engine_rule_quota_denied_total"),
+		"Consolidated-rule installs refused by the admission policy",
+		func() uint64 { return e.Stats().RuleQuotaDenied })
+	reg.CounterFunc(n("speedybox_engine_event_cap_denied_total"),
+		"Recordings abandoned on event-cap denial by the admission policy",
+		func() uint64 { return e.Stats().EventCapDenied })
+	reg.GaugeFunc(n("speedybox_fault_degraded_flows"),
 		"Flows currently on the degradation ladder",
 		func() float64 { return float64(e.degradedLen()) })
-	reg.GaugeFunc("speedybox_mat_stale_rules",
+	reg.GaugeFunc(n("speedybox_mat_stale_rules"),
 		"Stale-marked Global MAT rules awaiting reinstall",
 		func() float64 { return float64(e.global.StaleLen()) })
-	reg.GaugeFunc("speedybox_chain_epoch",
+	reg.GaugeFunc(n("speedybox_chain_epoch"),
 		"Current chain epoch (bumped by every completed reconfiguration)",
 		func() float64 { return float64(e.global.Epoch()) })
-	reg.GaugeFunc("speedybox_checkpoint_age_seconds",
+	reg.GaugeFunc(n("speedybox_checkpoint_age_seconds"),
 		"Seconds since the last completed checkpoint (-1 before the first)",
 		func() float64 {
 			ns := e.lastCheckpoint.Load()
@@ -209,7 +236,7 @@ func newEngineTelemetry(e *Engine, hub *telemetry.Hub) *engineTelemetry {
 	if inj := e.faults; inj != nil {
 		for _, k := range fault.Kinds() {
 			k := k
-			reg.CounterFunc(fmt.Sprintf("speedybox_faults_injected_total{kind=%q}", k),
+			reg.CounterFunc(n(fmt.Sprintf("speedybox_faults_injected_total{kind=%q}", k)),
 				"Injected faults by kind", func() uint64 { return inj.Injected(k) })
 		}
 	}
@@ -224,7 +251,7 @@ func (t *engineTelemetry) hookWAL(w *wal.Writer) {
 	w.SetOnSync(func(_ int, d time.Duration) {
 		t.walFsync.Record(uint64(d.Nanoseconds()), 0)
 	})
-	t.hub.Registry.GaugeFunc("speedybox_wal_durable_bytes",
+	t.hub.Registry.GaugeFunc(chainLabeled("speedybox_wal_durable_bytes", t.chain),
 		"Synced (crash-durable) WAL prefix length in bytes",
 		func() float64 { return float64(w.DurableLen()) })
 }
@@ -261,7 +288,7 @@ func (t *engineTelemetry) rebuildStages(chain []NF) {
 	reg := t.hub.Registry
 	m := make(map[string]*telemetry.Histogram, 2*len(chain))
 	for i, nf := range chain {
-		h := reg.Histogram(fmt.Sprintf("speedybox_nf_stage_cycles{nf=%q}", nf.Name()),
+		h := reg.Histogram(chainLabeled(fmt.Sprintf("speedybox_nf_stage_cycles{nf=%q}", nf.Name()), t.chain),
 			"Per-NF slow-path stage work cycles")
 		m[nf.Name()] = h
 		m[fmt.Sprintf("nf%d", i)] = h

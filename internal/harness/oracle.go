@@ -15,6 +15,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/nf/maglev"
 	"github.com/fastpathnfv/speedybox/internal/nf/monitor"
 	"github.com/fastpathnfv/speedybox/internal/nf/snort"
+	"github.com/fastpathnfv/speedybox/internal/packet"
 	"github.com/fastpathnfv/speedybox/internal/trace"
 	"github.com/fastpathnfv/speedybox/internal/wal"
 )
@@ -75,6 +76,18 @@ type OracleConfig struct {
 	// under the new epoch models a broken invalidation and must be
 	// caught as a divergence.
 	TamperReconfig func(eng *core.Engine, pre []*mat.GlobalRule)
+	// Topo switches to the multi-chain topology oracle: each schedule
+	// runs a fixed three-chain, three-tenant topology (shared monitor,
+	// per-chain policies, tight tenant quotas) against per-flow pure
+	// slow-path references — the same lockstep verdict/drop/byte
+	// comparison, plus shared-NF observables, composed with Batch,
+	// Reconfigs and Crashes.
+	Topo bool
+	// TamperRoute, when set with Topo, overrides the fast topology's
+	// classifier (receiving each packet and the honest chain index).
+	// Test-only teeth: routing a flow down the wrong chain must be
+	// caught as a divergence.
+	TamperRoute func(pkt *packet.Packet, chain int) int
 	// Crashes > 0 kills and restores the fast engine at up to that many
 	// (capped at 4) seeded packet indices per schedule: a
 	// crash-consistent checkpoint is taken at the kill point, the engine
@@ -177,7 +190,13 @@ func RunOracle(cfg OracleConfig) (*OracleResult, error) {
 		if chain == 0 {
 			chain = 1 + s%2
 		}
-		if err := runOracleSchedule(cfg, s, seed, chain, rates, res); err != nil {
+		var err error
+		if cfg.Topo {
+			err = runTopoSchedule(cfg, s, seed, rates, res)
+		} else {
+			err = runOracleSchedule(cfg, s, seed, chain, rates, res)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("harness: oracle schedule %d (seed %d): %w", s, seed, err)
 		}
 		res.Schedules++

@@ -1,0 +1,354 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/chainspec"
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/fault"
+	"github.com/fastpathnfv/speedybox/internal/nf/monitor"
+	"github.com/fastpathnfv/speedybox/internal/nf/snort"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/topo"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+// The multi-chain oracle extends the differential property to
+// topologies: three chains with different semantics (a pass-through
+// IDS chain, a MAC-rewriting VoIP chain, a DoS-filtered bulk chain)
+// share a monitor instance and split flows by destination port across
+// three tenants with deliberately tight quotas. Every packet runs
+// through the fast topology (SpeedyBox engines, fault injector, tenant
+// admission) and through a pure slow-path reference topology built
+// from the same spec, in lockstep; admission denials must never change
+// a verdict, reconfigurations and crash-restores on one chain must
+// never leak into another, and the shared NF must accumulate the
+// identical state either way.
+
+// Per-chain service ports of the fixed oracle topology.
+const (
+	topoWebPort  = 80
+	topoVoipPort = 5060
+	topoBulkPort = 9000
+)
+
+// topoOracleSpec is the fixed topology every topo schedule runs.
+func topoOracleSpec() *topo.Spec {
+	return &topo.Spec{
+		Name: "oracle",
+		Chains: []topo.ChainSpec{
+			{Name: "web", Weight: 2, NFs: []chainspec.NFSpec{
+				{Type: "ipfilter", ACLSize: 100},
+				{Type: "monitor", Name: "mon"},
+				{Type: "snort", Name: "ids"},
+			}},
+			{Name: "voip", NFs: []chainspec.NFSpec{
+				{Type: "gateway", Name: "voip-gw", NextHopMAC: "02:00:00:00:00:01",
+					VoicePorts: []uint16{topoVoipPort}},
+				{Type: "monitor", Name: "mon"},
+			}},
+			{Name: "bulk", NFs: []chainspec.NFSpec{
+				{Type: "dos"},
+				{Type: "ipfilter", ACLSize: 50},
+				{Type: "monitor", Name: "mon"},
+			}},
+		},
+		Policies: []topo.PolicySpec{
+			{Chain: "voip", Tenant: 2, DstPortMin: topoVoipPort},
+			{Chain: "bulk", Tenant: 3, DstPortMin: topoBulkPort},
+			{Chain: "web", Tenant: 1, DstPortMin: topoWebPort},
+		},
+		// Tenant 2's quotas are deliberately tight so admission denials
+		// actually fire under the oracle — proving they are
+		// verdict-neutral, not just plausible.
+		Tenants: []topo.TenantSpec{
+			{ID: 1, RuleQuota: 64, EventCap: 128},
+			{ID: 2, RuleQuota: 4, EventCap: 8},
+			{ID: 3},
+		},
+	}
+}
+
+// topoTrace builds the schedule's merged three-service trace: one
+// sub-trace per chain port, interleaved round-robin (each sub-trace's
+// internal arrival order — hence per-flow order — is preserved).
+func topoTrace(seed int64, flows int) ([]*packet.Packet, error) {
+	per := flows/3 + 1
+	var streams [][]*packet.Packet
+	for i, port := range []uint16{topoWebPort, topoVoipPort, topoBulkPort} {
+		tr, err := trace.Generate(trace.Config{
+			Seed: seed + int64(i), Flows: per,
+			AlertFraction: 0.15, LogFraction: 0.15,
+			DstPort:    port,
+			Interleave: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, tr.Packets())
+	}
+	var out []*packet.Packet
+	for k := 0; ; k++ {
+		emitted := false
+		for _, s := range streams {
+			if k < len(s) {
+				out = append(out, s[k])
+				emitted = true
+			}
+		}
+		if !emitted {
+			return out, nil
+		}
+	}
+}
+
+// cloneAll deep-copies a packet slice so the reference and the fast
+// topology each consume an independent stream.
+func cloneAll(pkts []*packet.Packet) []*packet.Packet {
+	out := make([]*packet.Packet, len(pkts))
+	for i, p := range pkts {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// runTopoSchedule replays one fault schedule through the fast topology
+// and its pure slow-path reference.
+func runTopoSchedule(cfg OracleConfig, sched int, seed int64, rates map[fault.Kind]float64, res *OracleResult) error {
+	spec := topoOracleSpec()
+	pkts, err := topoTrace(seed, cfg.Flows)
+	if err != nil {
+		return err
+	}
+	refPkts, fastPkts := cloneAll(pkts), cloneAll(pkts)
+
+	refTopo, err := topo.Build(spec, topo.BuildConfig{Options: core.BaselineOptions()})
+	if err != nil {
+		return err
+	}
+	inj := fault.New(fault.Config{Seed: seed, Rates: rates})
+	fastOpts := core.DefaultOptions()
+	fastOpts.Faults = inj
+	fastTopo, err := topo.Build(spec, topo.BuildConfig{Options: fastOpts})
+	if err != nil {
+		return err
+	}
+	fastTopo.TamperRoute = cfg.TamperRoute
+
+	diverge := func(pkt int, format string, args ...any) {
+		res.Divergences = append(res.Divergences, OracleDivergence{
+			Schedule: sched, Seed: seed, Packet: pkt,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Reconfigurations target one chain per schedule, rotating across
+	// schedules; the same plans apply to the reference chain at the
+	// same packet indices.
+	target := sched % fastTopo.NumChains()
+	var reEvents []reconfigEvent
+	if cfg.Reconfigs > 0 {
+		names := chainNamesOf(spec.Chains[target])
+		reEvents = buildReconfigEvents(seed, cfg.Reconfigs, len(refPkts), names)
+	}
+	nextRe := 0
+	var appliedRe []reconfigEvent
+	applyReconfig := func(ev reconfigEvent) error {
+		fastPlan, err := ev.mk()
+		if err != nil {
+			return err
+		}
+		if ferr := fastTopo.Engine(target).Reconfigure(fastPlan); ferr != nil {
+			if errors.Is(ferr, core.ErrReconfigAborted) {
+				res.ReconfigAborts++
+			}
+			return nil
+		}
+		refPlan, err := ev.mk()
+		if err != nil {
+			return err
+		}
+		if rerr := refTopo.Engine(target).Reconfigure(refPlan); rerr != nil {
+			return fmt.Errorf("reference reconfigure (%s): %v", refPlan, rerr)
+		}
+		res.Reconfigs++
+		appliedRe = append(appliedRe, ev)
+		return nil
+	}
+
+	var crashes []fault.Crash
+	if cfg.Crashes > 0 {
+		inj.SetRate(fault.KindCrashRestore, float64(cfg.Crashes-1)/4+0.05)
+		crashes = inj.CrashPlan(len(refPkts))
+	}
+	nextCrash := 0
+
+	// crashRestore kills the whole fast topology: every chain engine
+	// is checkpointed at the kill point, the topology (shared NFs
+	// included) is rebuilt from the spec, surviving reconfigurations
+	// replay onto the target chain, and RestoreAll rehydrates each
+	// engine. The reference runs on uninterrupted.
+	crashRestore := func() error {
+		cps, err := fastTopo.CheckpointAll()
+		if err != nil {
+			return fmt.Errorf("crash checkpoint: %w", err)
+		}
+		for i := 0; i < fastTopo.NumChains(); i++ {
+			st := fastTopo.Engine(i).Stats()
+			res.Fallbacks += st.SlowPathFallbacks
+			res.Degraded += st.DegradedPackets
+			res.Recoveries += st.FaultRecoveries
+		}
+		ntopo, err := topo.Build(spec, topo.BuildConfig{Options: fastOpts})
+		if err != nil {
+			return err
+		}
+		abortRate := inj.Rate(fault.KindReconfigAbort)
+		inj.SetRate(fault.KindReconfigAbort, 0)
+		for _, ev := range appliedRe {
+			plan, err := ev.mk()
+			if err != nil {
+				return err
+			}
+			if rerr := ntopo.Engine(target).Reconfigure(plan); rerr != nil {
+				return fmt.Errorf("crash rebuild reconfigure (%s): %v", plan, rerr)
+			}
+		}
+		inj.SetRate(fault.KindReconfigAbort, abortRate)
+		if err := ntopo.RestoreAll(cps); err != nil {
+			return fmt.Errorf("crash restore: %w", err)
+		}
+		ntopo.TamperRoute = cfg.TamperRoute
+		fastTopo = ntopo
+		res.CrashRestores++
+		return nil
+	}
+
+	batches := make([]*core.Batch, fastTopo.NumChains())
+
+	i := 0
+scan:
+	for i < len(refPkts) {
+		for nextCrash < len(crashes) && crashes[nextCrash].At <= i {
+			nextCrash++
+			if err := crashRestore(); err != nil {
+				return fmt.Errorf("packet %d: %w", i, err)
+			}
+		}
+		for nextRe < len(reEvents) && reEvents[nextRe].at <= i {
+			ev := reEvents[nextRe]
+			nextRe++
+			if err := applyReconfig(ev); err != nil {
+				return err
+			}
+		}
+		// One packet, or one same-chain vector clipped at the next
+		// reconfiguration or crash index and at chain boundaries, so
+		// every packet of a batch observes the same topology state as
+		// its scalar reference twin.
+		chain := fastTopo.Route(fastPkts[i])
+		end := i + 1
+		if cfg.Batch > 1 {
+			lim := i + cfg.Batch
+			if lim > len(refPkts) {
+				lim = len(refPkts)
+			}
+			if nextRe < len(reEvents) && reEvents[nextRe].at < lim {
+				lim = reEvents[nextRe].at
+			}
+			if nextCrash < len(crashes) && crashes[nextCrash].At < lim {
+				lim = crashes[nextCrash].At
+			}
+			for end < lim && fastTopo.Route(fastPkts[end]) == chain {
+				end++
+			}
+		}
+		var fastResults []*core.PacketResult
+		if cfg.Batch > 1 {
+			if batches[chain] == nil {
+				batches[chain] = core.NewBatch(cfg.Batch)
+			}
+			fastResults, err = fastTopo.Engine(chain).ProcessBatch(fastPkts[i:end], batches[chain])
+			if err != nil {
+				return fmt.Errorf("packet %d: fast batch err %v", i, err)
+			}
+		}
+		for k := i; k < end; k++ {
+			refRes, refChain, refErr := refTopo.Process(refPkts[k])
+			var fastRes *core.PacketResult
+			var fastErr error
+			if fastResults != nil {
+				fastRes = fastResults[k-i]
+			} else {
+				fastRes, fastErr = fastTopo.Engine(chain).ProcessPacket(fastPkts[k])
+			}
+			if refErr != nil || fastErr != nil {
+				return fmt.Errorf("packet %d: ref err %v, fast err %v", k, refErr, fastErr)
+			}
+			_ = refChain
+			res.Packets++
+			if refRes.Verdict != fastRes.Verdict {
+				diverge(k, "verdict: ref %v, fast %v", refRes.Verdict, fastRes.Verdict)
+				break scan
+			}
+			if refPkts[k].Dropped() != fastPkts[k].Dropped() {
+				diverge(k, "dropped: ref %v, fast %v", refPkts[k].Dropped(), fastPkts[k].Dropped())
+				break scan
+			}
+			if !refPkts[k].Dropped() && !bytes.Equal(refPkts[k].Data(), fastPkts[k].Data()) {
+				diverge(k, "rewritten bytes differ (%d vs %d bytes)",
+					len(refPkts[k].Data()), len(fastPkts[k].Data()))
+				break scan
+			}
+		}
+		i = end
+	}
+
+	// End-of-trace shared-NF observables: the monitor instance every
+	// chain shares and the web chain's IDS must have accumulated the
+	// identical state down both topologies.
+	if rm, fm := refTopo.NF("mon"), fastTopo.NF("mon"); rm != nil && fm != nil {
+		if rc, fc := rm.(*monitor.Monitor).Totals(), fm.(*monitor.Monitor).Totals(); rc != fc {
+			diverge(-1, "shared monitor counters: ref %+v, fast %+v", rc, fc)
+		}
+	}
+	if ri, fi := refTopo.NF("ids"), fastTopo.NF("ids"); ri != nil && fi != nil {
+		rl, fl := ri.(*snort.Snort).Logs(), fi.(*snort.Snort).Logs()
+		if len(rl) != len(fl) {
+			diverge(-1, "snort logs: ref %d entries, fast %d", len(rl), len(fl))
+		} else {
+			for j := range rl {
+				if rl[j].RuleID != fl[j].RuleID || rl[j].Type != fl[j].Type {
+					diverge(-1, "snort log %d: ref (%d,%v), fast (%d,%v)",
+						j, rl[j].RuleID, rl[j].Type, fl[j].RuleID, fl[j].Type)
+					break
+				}
+			}
+		}
+	}
+
+	for i := 0; i < fastTopo.NumChains(); i++ {
+		st := fastTopo.Engine(i).Stats()
+		res.Fallbacks += st.SlowPathFallbacks
+		res.Degraded += st.DegradedPackets
+		res.Recoveries += st.FaultRecoveries
+	}
+	res.Injected += inj.InjectedTotal()
+	return nil
+}
+
+// chainNamesOf resolves the instance names a topo chain spec produces,
+// mirroring topo.Build's naming (explicit name, else "chain.typeN").
+func chainNamesOf(cs topo.ChainSpec) []string {
+	names := make([]string, len(cs.NFs))
+	for i, n := range cs.NFs {
+		if n.Name != "" {
+			names[i] = n.Name
+		} else {
+			names[i] = fmt.Sprintf("%s.%s%d", cs.Name, n.Type, i+1)
+		}
+	}
+	return names
+}

@@ -22,11 +22,30 @@ type MultiQueue struct {
 	workers int
 	batch   int
 
+	// Multi-chain fair-share mode (SetClasses): each worker splits its
+	// queue into per-class subqueues via route and drains them
+	// weighted-round-robin through the class platforms.
+	classes []ChainClass
+	route   func(*packet.Packet) int
+
 	// Per-worker telemetry, nil slices when the wrapped engine has no
 	// hub: queueDepth[w] is set at partition time, workerPkts[w] counts
 	// packets the worker completed.
 	queueDepth []*telemetry.Gauge
 	workerPkts []*telemetry.Counter
+}
+
+// ChainClass pairs one chain's platform with a scheduling weight for
+// fair-share draining in a multi-chain topology.
+type ChainClass struct {
+	// Platform processes the class's packets (one chain's engine).
+	Platform Platform
+	// Weight is the class's relative share, >= 1: per scheduling round
+	// a class may process up to Weight×quantum packets before yielding
+	// to the next class (quantum = the batch size, min 1). A tenant
+	// flooding one chain therefore delays other chains' packets by at
+	// most one round of bounded quanta, not by its whole backlog.
+	Weight int
 }
 
 // NewMultiQueue wraps the platform with a workers-way RSS dispatcher.
@@ -68,6 +87,109 @@ func (m *MultiQueue) BatchSize() int { return m.batch }
 
 // Platform returns the wrapped platform.
 func (m *MultiQueue) Platform() Platform { return m.p }
+
+// SetClasses switches the dispatcher to multi-chain fair-share mode:
+// route maps each packet to a class index (out-of-range falls back to
+// class 0, whose platform also reports parse errors), and every worker
+// drains its per-class subqueues weighted-round-robin through the
+// class platforms instead of the wrapped one. Flow-hash partitioning
+// is unchanged — a flow still lands on exactly one worker, and because
+// routing is flow-stable, on exactly one class there — so per-flow
+// ordering survives; only cross-chain interleaving changes, which no
+// chain can observe. An empty classes slice returns to single-chain
+// mode. Call before Run, not during one.
+func (m *MultiQueue) SetClasses(classes []ChainClass, route func(*packet.Packet) int) error {
+	if len(classes) == 0 {
+		m.classes, m.route = nil, nil
+		return nil
+	}
+	if route == nil {
+		return fmt.Errorf("platform: multiqueue: classes without a route function")
+	}
+	for i, c := range classes {
+		if c.Platform == nil {
+			return fmt.Errorf("platform: multiqueue: class %d has a nil platform", i)
+		}
+		if c.Weight < 1 {
+			return fmt.Errorf("platform: multiqueue: class %d weight must be >= 1, got %d", i, c.Weight)
+		}
+	}
+	m.classes = classes
+	m.route = route
+	return nil
+}
+
+// drainClasses feeds one worker's queue through the class platforms in
+// weighted-round-robin order: per round, class c processes up to
+// Weight×quantum of its own backlog, then yields. Packets keep their
+// arrival order within a class (per-flow order), while classes
+// interleave at quantum granularity — the fair-share guarantee.
+func (m *MultiQueue) drainClasses(w int, q []*packet.Packet, part *mqPartial) {
+	nc := len(m.classes)
+	sub := make([][]*packet.Packet, nc)
+	for _, pkt := range q {
+		c := m.route(pkt)
+		if c < 0 || c >= nc {
+			c = 0
+		}
+		sub[c] = append(sub[c], pkt)
+	}
+	quantum := m.batch
+	if quantum < 1 {
+		quantum = 1
+	}
+	batches := make([]*Batch, nc)
+	off := make([]int, nc)
+	remaining := len(q)
+	for remaining > 0 {
+		for c := 0; c < nc && part.err == nil; c++ {
+			budget := m.classes[c].Weight * quantum
+			for budget > 0 && off[c] < len(sub[c]) {
+				end := off[c] + budget
+				if m.batch > 1 && end > off[c]+m.batch {
+					end = off[c] + m.batch
+				}
+				if end > len(sub[c]) {
+					end = len(sub[c])
+				}
+				span := sub[c][off[c]:end]
+				if m.batch > 1 {
+					if batches[c] == nil {
+						batches[c] = NewBatch(m.batch)
+					}
+					ms, err := m.classes[c].Platform.ProcessBatch(span, batches[c])
+					if err != nil {
+						part.err = fmt.Errorf("platform %s: queue %d class %d batch at packet %d: %w",
+							m.classes[c].Platform.Name(), w, c, off[c], err)
+						return
+					}
+					for i := range ms {
+						part.add(&ms[i])
+					}
+				} else {
+					for i, pkt := range span {
+						meas, err := m.classes[c].Platform.Process(pkt)
+						if err != nil {
+							part.err = fmt.Errorf("platform %s: queue %d class %d packet %d: %w",
+								m.classes[c].Platform.Name(), w, c, off[c]+i, err)
+							return
+						}
+						part.add(&meas)
+					}
+				}
+				if m.workerPkts != nil {
+					m.workerPkts[w].Add(uint64(len(span)))
+				}
+				budget -= len(span)
+				off[c] = end
+				remaining -= len(span)
+			}
+		}
+		if part.err != nil {
+			return
+		}
+	}
+}
 
 // mqPartial is one worker's private slice of the run aggregate; the
 // partials are merged after all workers join, so workers never share a
@@ -150,6 +272,10 @@ func (m *MultiQueue) Run(pkts []*packet.Packet) (*RunResult, error) {
 			defer wg.Done()
 			part := &partials[w]
 			part.flowCycles = make(map[flow.FID]uint64)
+			if m.classes != nil {
+				m.drainClasses(w, queues[w], part)
+				return
+			}
 			if m.batch > 1 {
 				m.drainBatched(w, queues[w], part)
 				return
@@ -193,7 +319,13 @@ func (m *MultiQueue) Run(pkts []*packet.Packet) (*RunResult, error) {
 			res.FlowCycles[fid] += c
 		}
 	}
-	res.Stats = m.p.Engine().Stats()
+	if m.classes != nil {
+		for _, c := range m.classes {
+			res.Stats.Add(c.Platform.Engine().Stats())
+		}
+	} else {
+		res.Stats = m.p.Engine().Stats()
+	}
 	if firstErr != nil {
 		return res, firstErr
 	}

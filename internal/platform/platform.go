@@ -121,6 +121,29 @@ type RunResult struct {
 	model       *cost.Model
 }
 
+// NewRunResult returns an empty aggregate bound to the cost model,
+// for callers (multi-chain topologies) that fold measurements in
+// themselves rather than through Run/RunBatch.
+func NewRunResult(m *cost.Model) *RunResult {
+	return &RunResult{FlowCycles: make(map[flow.FID]uint64), model: m}
+}
+
+// Fold appends a vector of measurements into the aggregate. Call it
+// before the vector's Batch is reused — measurements point into it.
+func (r *RunResult) Fold(ms []Measurement) {
+	for i := range ms {
+		m := &ms[i]
+		r.Packets++
+		if m.Result.Verdict == core.VerdictDrop {
+			r.Drops++
+		}
+		r.WorkCycles = append(r.WorkCycles, m.WorkCycles)
+		r.Latencies = append(r.Latencies, m.LatencyCycles)
+		r.Bottlenecks = append(r.Bottlenecks, m.BottleneckCycles)
+		r.FlowCycles[m.Result.FID] += m.LatencyCycles
+	}
+}
+
 // MeanWorkCycles returns the average per-packet work.
 func (r *RunResult) MeanWorkCycles() float64 { return meanU64(r.WorkCycles) }
 

@@ -41,6 +41,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/onvm"
 	"github.com/fastpathnfv/speedybox/internal/platform"
 	"github.com/fastpathnfv/speedybox/internal/telemetry"
+	"github.com/fastpathnfv/speedybox/internal/topo"
 	"github.com/fastpathnfv/speedybox/internal/wal"
 )
 
@@ -163,6 +164,9 @@ type Daemon struct {
 	state   atomic.Int32
 	pump    *pump
 	started time.Time
+	// stagedTopo is the last topology accepted by POST /v1/topo
+	// (validated and dry-run built, awaiting deployment).
+	stagedTopo *topo.Spec
 
 	ln  net.Listener
 	srv *http.Server

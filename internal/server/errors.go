@@ -61,6 +61,8 @@ func httpStatus(c errcode.Code) int {
 	switch {
 	case strings.HasPrefix(cs, "chainspec."):
 		return http.StatusBadRequest
+	case strings.HasPrefix(cs, "topo."):
+		return http.StatusBadRequest
 	case strings.HasPrefix(cs, "core.plan_"):
 		return http.StatusBadRequest
 	}

@@ -31,6 +31,7 @@ func (d *Daemon) handler() http.Handler {
 	mux.Handle("/statusz", obs)
 	mux.Handle("/debug/pprof/", obs)
 	mux.HandleFunc("/v1/plan", d.handlePlan)
+	mux.HandleFunc("/v1/topo", d.handleTopo)
 	mux.HandleFunc("/v1/checkpoint", d.handleCheckpoint)
 	mux.HandleFunc("/v1/restore", d.handleRestore)
 	mux.HandleFunc("/v1/drain", d.handleDrain)

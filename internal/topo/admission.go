@@ -1,0 +1,204 @@
+package topo
+
+import (
+	"sync"
+
+	"github.com/fastpathnfv/speedybox/internal/flow"
+)
+
+// TenantAdmission implements core.Admission over the spec's tenant
+// quotas: each tenant holds at most RuleQuota concurrently installed
+// rules and EventCap concurrently registered events, summed across
+// every chain of the topology. Untagged flows (tenant 0) are exempt;
+// tenants a policy tags but the spec does not declare are tracked for
+// telemetry and never denied.
+//
+// All state lives behind one mutex — admission is consulted only at
+// control-plane sites (consolidation, event registration, teardown),
+// never per fast-path packet, so contention is bounded by the flow
+// arrival rate, not the packet rate.
+type TenantAdmission struct {
+	mu      sync.Mutex
+	tenants map[int32]*tenantState
+	flows   map[flow.FID]*flowHold
+}
+
+// tenantState is one tenant's quota configuration and live usage.
+type tenantState struct {
+	ruleQuota uint64 // 0 = unlimited
+	eventCap  uint64 // 0 = unlimited
+	rules     uint64
+	events    uint64
+	// Denial counters, monotonic; exported for telemetry and tests.
+	ruleDenied  uint64
+	eventDenied uint64
+}
+
+// flowHold is the budget one flow currently holds, kept so releases
+// and tenant resolution (tenant < 0 callers) need no external lookup.
+type flowHold struct {
+	tenant int32
+	rule   bool
+	events uint64
+}
+
+// NewTenantAdmission builds the policy from the spec's declarations.
+func NewTenantAdmission(specs []TenantSpec) *TenantAdmission {
+	a := &TenantAdmission{
+		tenants: make(map[int32]*tenantState, len(specs)),
+		flows:   make(map[flow.FID]*flowHold),
+	}
+	for _, s := range specs {
+		a.tenants[s.ID] = &tenantState{ruleQuota: s.RuleQuota, eventCap: s.EventCap}
+	}
+	return a
+}
+
+// state returns the tenant's usage record, creating an unlimited one
+// for tenants the spec did not declare.
+func (a *TenantAdmission) state(tenant int32) *tenantState {
+	ts := a.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{}
+		a.tenants[tenant] = ts
+	}
+	return ts
+}
+
+// hold returns the flow's budget record, creating it on first use.
+func (a *TenantAdmission) hold(fid flow.FID) *flowHold {
+	h := a.flows[fid]
+	if h == nil {
+		h = &flowHold{}
+		a.flows[fid] = h
+	}
+	return h
+}
+
+// resolve maps a caller-supplied tenant to the effective one: -1 means
+// "whatever this flow was recorded under" (0 if nothing is recorded).
+func (a *TenantAdmission) resolve(tenant int32, fid flow.FID) int32 {
+	if tenant >= 0 {
+		return tenant
+	}
+	if h := a.flows[fid]; h != nil {
+		return h.tenant
+	}
+	return 0
+}
+
+// AdmitRule implements core.Admission.
+func (a *TenantAdmission) AdmitRule(tenant int32, fid flow.FID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tenant = a.resolve(tenant, fid)
+	if tenant == 0 {
+		return true
+	}
+	h := a.hold(fid)
+	if h.rule {
+		return true // idempotent: install retries reuse the held budget
+	}
+	ts := a.state(tenant)
+	if ts.ruleQuota > 0 && ts.rules >= ts.ruleQuota {
+		ts.ruleDenied++
+		if !h.rule && h.events == 0 {
+			delete(a.flows, fid)
+		}
+		return false
+	}
+	ts.rules++
+	h.tenant = tenant
+	h.rule = true
+	return true
+}
+
+// ReleaseRule implements core.Admission.
+func (a *TenantAdmission) ReleaseRule(fid flow.FID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h := a.flows[fid]
+	if h == nil || !h.rule {
+		return
+	}
+	a.state(h.tenant).rules--
+	h.rule = false
+	if h.events == 0 {
+		delete(a.flows, fid)
+	}
+}
+
+// AdmitEvent implements core.Admission.
+func (a *TenantAdmission) AdmitEvent(tenant int32, fid flow.FID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tenant = a.resolve(tenant, fid)
+	if tenant == 0 {
+		return true
+	}
+	ts := a.state(tenant)
+	if ts.eventCap > 0 && ts.events >= ts.eventCap {
+		ts.eventDenied++
+		return false
+	}
+	ts.events++
+	h := a.hold(fid)
+	h.tenant = tenant
+	h.events++
+	return true
+}
+
+// ReleaseEvents implements core.Admission.
+func (a *TenantAdmission) ReleaseEvents(fid flow.FID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h := a.flows[fid]
+	if h == nil || h.events == 0 {
+		return
+	}
+	a.state(h.tenant).events -= h.events
+	h.events = 0
+	if !h.rule {
+		delete(a.flows, fid)
+	}
+}
+
+// RulesHeld returns the tenant's concurrently held rule count.
+func (a *TenantAdmission) RulesHeld(tenant int32) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ts := a.tenants[tenant]; ts != nil {
+		return ts.rules
+	}
+	return 0
+}
+
+// EventsHeld returns the tenant's concurrently held event count.
+func (a *TenantAdmission) EventsHeld(tenant int32) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ts := a.tenants[tenant]; ts != nil {
+		return ts.events
+	}
+	return 0
+}
+
+// RuleDenials returns the tenant's cumulative rule-quota denials.
+func (a *TenantAdmission) RuleDenials(tenant int32) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ts := a.tenants[tenant]; ts != nil {
+		return ts.ruleDenied
+	}
+	return 0
+}
+
+// EventDenials returns the tenant's cumulative event-cap denials.
+func (a *TenantAdmission) EventDenials(tenant int32) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ts := a.tenants[tenant]; ts != nil {
+		return ts.eventDenied
+	}
+	return 0
+}

@@ -1,0 +1,92 @@
+package topo
+
+import (
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/flow"
+)
+
+// TestAdmissionRuleSemantics pins the core.Admission contract the
+// engine relies on: idempotent per-FID admits, tolerant releases, and
+// -1 tenant resolution against the flow's recorded hold.
+func TestAdmissionRuleSemantics(t *testing.T) {
+	a := NewTenantAdmission([]TenantSpec{{ID: 1, RuleQuota: 1}})
+	f1, f2 := flow.FID(100), flow.FID(200)
+
+	a.ReleaseRule(f1) // never admitted: must be a no-op
+	if !a.AdmitRule(1, f1) {
+		t.Fatal("first admit under quota denied")
+	}
+	if !a.AdmitRule(1, f1) {
+		t.Fatal("repeat admit for the same FID denied (must be idempotent)")
+	}
+	if got := a.RulesHeld(1); got != 1 {
+		t.Fatalf("RulesHeld = %d after idempotent re-admit, want 1", got)
+	}
+	if a.AdmitRule(1, f2) {
+		t.Fatal("second flow admitted over quota 1")
+	}
+	if got := a.RuleDenials(1); got != 1 {
+		t.Fatalf("RuleDenials = %d, want 1", got)
+	}
+	// -1 resolves the recorded tenant: f1 holds under tenant 1.
+	if !a.AdmitRule(-1, f1) {
+		t.Fatal("resolve-tenant re-admit denied")
+	}
+	a.ReleaseRule(f1)
+	if got := a.RulesHeld(1); got != 0 {
+		t.Fatalf("RulesHeld = %d after release, want 0", got)
+	}
+	if !a.AdmitRule(1, f2) {
+		t.Fatal("admit after release denied")
+	}
+}
+
+func TestAdmissionEventSemantics(t *testing.T) {
+	a := NewTenantAdmission([]TenantSpec{{ID: 1, EventCap: 2}})
+	f := flow.FID(7)
+
+	a.ReleaseEvents(f) // never admitted: no-op
+	if !a.AdmitEvent(1, f) || !a.AdmitEvent(1, f) {
+		t.Fatal("admits under cap denied")
+	}
+	if a.AdmitEvent(1, f) {
+		t.Fatal("third event admitted over cap 2")
+	}
+	if got := a.EventsHeld(1); got != 2 {
+		t.Fatalf("EventsHeld = %d, want 2", got)
+	}
+	if got := a.EventDenials(1); got != 1 {
+		t.Fatalf("EventDenials = %d, want 1", got)
+	}
+	// ReleaseEvents returns the flow's whole event budget at once
+	// (conservative hold until the flow is wiped).
+	a.ReleaseEvents(f)
+	if got := a.EventsHeld(1); got != 0 {
+		t.Fatalf("EventsHeld = %d after release, want 0", got)
+	}
+}
+
+func TestAdmissionExemptions(t *testing.T) {
+	a := NewTenantAdmission([]TenantSpec{{ID: 1, RuleQuota: 1, EventCap: 1}})
+	// Tenant 0 (untagged) is exempt from everything.
+	for i := 0; i < 10; i++ {
+		if !a.AdmitRule(0, flow.FID(i)) || !a.AdmitEvent(0, flow.FID(i)) {
+			t.Fatal("untagged flow denied")
+		}
+	}
+	// A tenant policies tag but the spec never declared is tracked,
+	// never denied.
+	for i := 10; i < 20; i++ {
+		if !a.AdmitRule(9, flow.FID(i)) || !a.AdmitEvent(9, flow.FID(i)) {
+			t.Fatal("undeclared tenant denied")
+		}
+	}
+	if a.RulesHeld(9) != 10 || a.EventsHeld(9) != 10 {
+		t.Errorf("undeclared tenant not tracked: rules=%d events=%d",
+			a.RulesHeld(9), a.EventsHeld(9))
+	}
+	if a.RuleDenials(9) != 0 || a.EventDenials(9) != 0 {
+		t.Error("undeclared tenant was denied")
+	}
+}

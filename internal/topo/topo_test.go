@@ -1,0 +1,418 @@
+package topo
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/chainspec"
+	"github.com/fastpathnfv/speedybox/internal/core"
+	"github.com/fastpathnfv/speedybox/internal/nf/monitor"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/trace"
+)
+
+func TestValidate(t *testing.T) {
+	mon := chainspec.NFSpec{Type: "monitor"}
+	chain := func(name string) ChainSpec {
+		return ChainSpec{Name: name, NFs: []chainspec.NFSpec{mon}}
+	}
+	cases := []struct {
+		name string
+		spec Spec
+		want error
+	}{
+		{"no chains", Spec{}, ErrNoChains},
+		{"unnamed chain", Spec{Chains: []ChainSpec{chain("")}}, ErrSpecInvalid},
+		{"duplicate chain", Spec{Chains: []ChainSpec{chain("a"), chain("a")}}, ErrDuplicateChain},
+		{"empty chain", Spec{Chains: []ChainSpec{{Name: "a"}}}, ErrSpecInvalid},
+		{"negative weight", Spec{Chains: []ChainSpec{{Name: "a", Weight: -1, NFs: []chainspec.NFSpec{mon}}}}, ErrSpecInvalid},
+		{"policy unknown chain", Spec{Chains: []ChainSpec{chain("a")},
+			Policies: []PolicySpec{{Chain: "b"}}}, ErrPolicyUnknownChain},
+		{"policy negative tenant", Spec{Chains: []ChainSpec{chain("a")},
+			Policies: []PolicySpec{{Chain: "a", Tenant: -1}}}, ErrPolicyInvalid},
+		{"policy bad cidr", Spec{Chains: []ChainSpec{chain("a")},
+			Policies: []PolicySpec{{Chain: "a", SrcCIDR: "nope"}}}, ErrPolicyInvalid},
+		{"policy inverted ports", Spec{Chains: []ChainSpec{chain("a")},
+			Policies: []PolicySpec{{Chain: "a", DstPortMin: 100, DstPortMax: 10}}}, ErrPolicyInvalid},
+		{"policy bad proto", Spec{Chains: []ChainSpec{chain("a")},
+			Policies: []PolicySpec{{Chain: "a", Proto: "sctp"}}}, ErrPolicyInvalid},
+		{"tenant id zero", Spec{Chains: []ChainSpec{chain("a")},
+			Tenants: []TenantSpec{{ID: 0}}}, ErrTenantInvalid},
+		{"duplicate tenant", Spec{Chains: []ChainSpec{chain("a")},
+			Tenants: []TenantSpec{{ID: 1}, {ID: 1}}}, ErrTenantInvalid},
+		{"shared type conflict", Spec{Chains: []ChainSpec{
+			{Name: "a", NFs: []chainspec.NFSpec{{Type: "monitor", Name: "x"}}},
+			{Name: "b", NFs: []chainspec.NFSpec{{Type: "snort", Name: "x"}}},
+		}}, ErrSharedNFMismatch},
+	}
+	for _, tc := range cases {
+		if err := tc.spec.Validate(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	doc := []byte(`{
+		"name": "edge",
+		"chains": [
+			{"name": "web", "weight": 2, "nfs": [
+				{"type": "monitor", "name": "shared-mon"},
+				{"type": "ipfilter", "acl_size": 100}]},
+			{"name": "voip", "nfs": [
+				{"type": "monitor", "name": "shared-mon"},
+				{"type": "ratelimiter", "quota": 1000}]}
+		],
+		"policies": [
+			{"chain": "voip", "tenant": 2, "dst_port_min": 5060, "dst_port_max": 5061, "proto": "udp"},
+			{"chain": "web", "tenant": 1, "src_cidr": "10.1.0.0/16"}
+		],
+		"tenants": [
+			{"id": 1, "rule_quota": 1000, "event_cap": 4000},
+			{"id": 2, "rule_quota": 200}
+		]
+	}`)
+	spec, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "edge" || len(spec.Chains) != 2 || spec.Chains[0].Weight != 2 ||
+		len(spec.Policies) != 2 || len(spec.Tenants) != 2 {
+		t.Errorf("parsed spec off: %+v", spec)
+	}
+	if _, err := Parse([]byte(`{"chains": `)); !errors.Is(err, ErrSpecInvalid) {
+		t.Errorf("truncated JSON: err = %v", err)
+	}
+	if _, err := Parse([]byte(`{"chains": [], "bogus": 1}`)); !errors.Is(err, ErrSpecInvalid) {
+		t.Errorf("unknown field: err = %v", err)
+	}
+}
+
+func build(t *testing.T, spec *Spec) *Topology {
+	t.Helper()
+	topo, err := Build(spec, BuildConfig{Options: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { topo.Close() })
+	return topo
+}
+
+func TestClassifier(t *testing.T) {
+	topo := build(t, &Spec{
+		Name: "cls",
+		Chains: []ChainSpec{
+			{Name: "a", NFs: []chainspec.NFSpec{{Type: "monitor"}}},
+			{Name: "b", NFs: []chainspec.NFSpec{{Type: "monitor"}}},
+		},
+		Policies: []PolicySpec{
+			{Chain: "b", Tenant: 7, SrcCIDR: "10.9.0.0/16", Proto: "udp"},
+			{Chain: "b", Tenant: 8, DstPortMin: 2000, DstPortMax: 2010},
+		},
+	})
+	if topo.ChainIndex("b") != 1 || topo.ChainIndex("nope") != -1 {
+		t.Fatalf("ChainIndex: b=%d nope=%d", topo.ChainIndex("b"), topo.ChainIndex("nope"))
+	}
+	pkt := func(src [4]byte, dport uint16, proto uint8) *packet.Packet {
+		return packet.MustBuild(packet.Spec{
+			SrcIP: src, DstIP: packet.IP4(192, 0, 2, 1),
+			SrcPort: 40000, DstPort: dport, Proto: proto,
+		})
+	}
+	cases := []struct {
+		name   string
+		pkt    *packet.Packet
+		chain  int
+		tenant int32
+	}{
+		{"udp in cidr", pkt(packet.IP4(10, 9, 1, 2), 53, packet.ProtoUDP), 1, 7},
+		{"tcp in cidr (proto mismatch)", pkt(packet.IP4(10, 9, 1, 2), 80, packet.ProtoTCP), 0, 0},
+		{"udp outside cidr", pkt(packet.IP4(10, 10, 1, 2), 53, packet.ProtoUDP), 0, 0},
+		{"port range hit", pkt(packet.IP4(172, 16, 0, 1), 2005, packet.ProtoTCP), 1, 8},
+		{"port range edge", pkt(packet.IP4(172, 16, 0, 1), 2010, packet.ProtoTCP), 1, 8},
+		{"port range miss", pkt(packet.IP4(172, 16, 0, 1), 2011, packet.ProtoTCP), 0, 0},
+		{"first match wins", pkt(packet.IP4(10, 9, 3, 4), 2005, packet.ProtoUDP), 1, 7},
+	}
+	for _, tc := range cases {
+		if got := topo.Route(tc.pkt); got != tc.chain || tc.pkt.Meta.Tenant != tc.tenant {
+			t.Errorf("%s: chain=%d tenant=%d, want %d/%d",
+				tc.name, got, tc.pkt.Meta.Tenant, tc.chain, tc.tenant)
+		}
+	}
+}
+
+func TestBuildRejectsUnknownNF(t *testing.T) {
+	_, err := Build(&Spec{Chains: []ChainSpec{
+		{Name: "a", NFs: []chainspec.NFSpec{{Type: "warpdrive"}}},
+	}}, BuildConfig{Options: core.DefaultOptions()})
+	if err == nil {
+		t.Fatal("unknown NF type accepted")
+	}
+}
+
+// mergedTrace interleaves one sub-trace per destination port,
+// round-robin, so flows of every service overlap in time.
+func mergedTrace(t *testing.T, seed int64, flows int, ports ...uint16) []*packet.Packet {
+	t.Helper()
+	var streams [][]*packet.Packet
+	for i, port := range ports {
+		tr, err := trace.Generate(trace.Config{
+			Seed: seed + int64(i), Flows: flows, DstPort: port, Interleave: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, tr.Packets())
+	}
+	var out []*packet.Packet
+	for k := 0; ; k++ {
+		emitted := false
+		for _, s := range streams {
+			if k < len(s) {
+				out = append(out, s[k])
+				emitted = true
+			}
+		}
+		if !emitted {
+			return out
+		}
+	}
+}
+
+// TestSharedNFAcrossChains checks that a named NF is one instance: the
+// monitor listed by both chains must see every packet of both.
+func TestSharedNFAcrossChains(t *testing.T) {
+	topo := build(t, &Spec{
+		Name: "shared",
+		Chains: []ChainSpec{
+			{Name: "a", NFs: []chainspec.NFSpec{{Type: "monitor", Name: "mon"}}},
+			{Name: "b", NFs: []chainspec.NFSpec{{Type: "monitor", Name: "mon"}}},
+		},
+		Policies: []PolicySpec{{Chain: "b", DstPortMin: 2000}},
+	})
+	pkts := mergedTrace(t, 3, 12, 1000, 2000)
+	chains := make(map[int]int)
+	for _, pkt := range pkts {
+		_, chain, err := topo.Process(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chains[chain]++
+	}
+	if chains[0] == 0 || chains[1] == 0 {
+		t.Fatalf("traffic did not split across chains: %v", chains)
+	}
+	mon := topo.NF("mon").(*monitor.Monitor)
+	if got := mon.Totals().Packets; got != uint64(len(pkts)) {
+		t.Errorf("shared monitor counted %d packets, want %d", got, len(pkts))
+	}
+	// Anonymous NFs stay private: both chains of TestClassifier's shape
+	// would get distinct "a.monitor1"/"b.monitor1" instances; here only
+	// the shared name exists.
+	if topo.NF("a.monitor1") != nil {
+		t.Error("anonymous instance registered under a shared monitor spec")
+	}
+}
+
+// tenantSpec is the isolation fixture: one chain whose ratelimiter
+// registers an Event Table entry for every flow, split across tenant 1
+// (port 1000) and tenant 2 (port 2000) by policy.
+func tenantSpec(tenants []TenantSpec) *Spec {
+	return &Spec{
+		Name: "tenants",
+		Chains: []ChainSpec{{Name: "svc", NFs: []chainspec.NFSpec{
+			{Type: "ratelimiter", Quota: 1 << 30},
+			{Type: "monitor", Name: "mon"},
+		}}},
+		Policies: []PolicySpec{
+			{Chain: "svc", Tenant: 1, DstPortMin: 1000},
+			{Chain: "svc", Tenant: 2, DstPortMin: 2000},
+		},
+		Tenants: tenants,
+	}
+}
+
+// lockstep feeds two identically generated streams through a limited
+// and an unlimited topology and requires bit-identical externally
+// visible behaviour: admission denials degrade performance, never
+// correctness. probe is called after each packet pair.
+func lockstep(t *testing.T, limited, free *Topology, probe func()) {
+	t.Helper()
+	lim := mergedTrace(t, 11, 24, 1000, 2000)
+	ref := mergedTrace(t, 11, 24, 1000, 2000)
+	for i := range lim {
+		lres, _, err := limited.Process(lim[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rres, _, err := free.Process(ref[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lres.Verdict != rres.Verdict {
+			t.Fatalf("packet %d: verdict %v under quotas, %v without", i, lres.Verdict, rres.Verdict)
+		}
+		if !lim[i].Dropped() && !bytes.Equal(lim[i].Data(), ref[i].Data()) {
+			t.Fatalf("packet %d: bytes differ under quotas", i)
+		}
+		if probe != nil {
+			probe()
+		}
+	}
+}
+
+// TestTenantRuleQuotaIsolation exhausts tenant 1's rule quota and
+// checks the blast radius: tenant 1 is denied (and capped at its
+// quota), tenant 2 keeps installing rules freely, and no verdict or
+// payload byte changes anywhere.
+func TestTenantRuleQuotaIsolation(t *testing.T) {
+	const quota = 2
+	limited := build(t, tenantSpec([]TenantSpec{{ID: 1, RuleQuota: quota}, {ID: 2}}))
+	free := build(t, tenantSpec(nil))
+	adm := limited.Admission()
+	var max1, max2 uint64
+	lockstep(t, limited, free, func() {
+		if h := adm.RulesHeld(1); h > max1 {
+			max1 = h
+		}
+		if h := adm.RulesHeld(2); h > max2 {
+			max2 = h
+		}
+	})
+	if adm.RuleDenials(1) == 0 {
+		t.Error("tenant 1 never hit its rule quota; the test is vacuous")
+	}
+	if d := adm.RuleDenials(2); d != 0 {
+		t.Errorf("tenant 2 denied %d times by tenant 1's quota", d)
+	}
+	if max1 > quota {
+		t.Errorf("tenant 1 held %d rules, quota %d", max1, quota)
+	}
+	if max2 <= quota {
+		t.Errorf("tenant 2 peaked at %d held rules; expected more than tenant 1's quota %d", max2, quota)
+	}
+	if st := limited.Engine(0).Stats(); st.RuleQuotaDenied == 0 || st.FastPath == 0 {
+		t.Errorf("engine stats: ruleQuotaDenied=%d fastPath=%d", st.RuleQuotaDenied, st.FastPath)
+	}
+}
+
+// TestTenantEventCapIsolation is the event-side twin: tenant 1's cap
+// of one concurrent Event Table registration forces its other flows to
+// abandon recording (staying on the always-correct slow path), while
+// tenant 2 keeps registering and consolidating, verdicts unchanged.
+func TestTenantEventCapIsolation(t *testing.T) {
+	const cap = 1
+	limited := build(t, tenantSpec([]TenantSpec{{ID: 1, EventCap: cap}, {ID: 2}}))
+	free := build(t, tenantSpec(nil))
+	adm := limited.Admission()
+	var max1, max2 uint64
+	lockstep(t, limited, free, func() {
+		if h := adm.EventsHeld(1); h > max1 {
+			max1 = h
+		}
+		if h := adm.EventsHeld(2); h > max2 {
+			max2 = h
+		}
+	})
+	if adm.EventDenials(1) == 0 {
+		t.Error("tenant 1 never hit its event cap; the test is vacuous")
+	}
+	if d := adm.EventDenials(2); d != 0 {
+		t.Errorf("tenant 2 denied %d times by tenant 1's cap", d)
+	}
+	if max1 > cap {
+		t.Errorf("tenant 1 held %d events, cap %d", max1, cap)
+	}
+	if max2 <= cap {
+		t.Errorf("tenant 2 peaked at %d held events; expected more than tenant 1's cap %d", max2, cap)
+	}
+	if st := limited.Engine(0).Stats(); st.EventCapDenied == 0 || st.FastPath == 0 {
+		t.Errorf("engine stats: eventCapDenied=%d fastPath=%d", st.EventCapDenied, st.FastPath)
+	}
+}
+
+// twoChainSpec routes two services to two chains sharing a monitor.
+func twoChainSpec() *Spec {
+	return &Spec{
+		Name: "pair",
+		Chains: []ChainSpec{
+			{Name: "a", NFs: []chainspec.NFSpec{
+				{Type: "ratelimiter", Quota: 1 << 30},
+				{Type: "monitor", Name: "mon"},
+			}},
+			{Name: "b", Weight: 2, NFs: []chainspec.NFSpec{
+				{Type: "monitor", Name: "mon"},
+			}},
+		},
+		Policies: []PolicySpec{
+			{Chain: "a", Tenant: 1, DstPortMin: 1000},
+			{Chain: "b", Tenant: 2, DstPortMin: 2000},
+		},
+	}
+}
+
+// TestRunBatchMatchesProcess drives the chain-boundary batch splitter
+// over the same stream as the scalar path and compares the per-chain
+// engine accounting.
+func TestRunBatchMatchesProcess(t *testing.T) {
+	serial := build(t, twoChainSpec())
+	batch := build(t, twoChainSpec())
+	drops := 0
+	pktsA := mergedTrace(t, 5, 20, 1000, 2000)
+	for _, pkt := range pktsA {
+		res, _, err := serial.Process(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict == core.VerdictDrop {
+			drops++
+		}
+	}
+	pktsB := mergedTrace(t, 5, 20, 1000, 2000)
+	res, err := batch.RunBatch(pktsB, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != len(pktsB) || res.Drops != drops {
+		t.Errorf("batch packets=%d drops=%d, serial packets=%d drops=%d",
+			res.Packets, res.Drops, len(pktsB), drops)
+	}
+	for i := 0; i < serial.NumChains(); i++ {
+		if s, b := serial.Engine(i).Stats(), batch.Engine(i).Stats(); s != b {
+			t.Errorf("chain %d stats diverged:\nserial: %+v\nbatch:  %+v", i, s, b)
+		}
+	}
+}
+
+// TestMultiQueueFairShare runs the topology through the weighted
+// fair-share dispatcher and compares the aggregate accounting with the
+// serial batch runner: scheduling order may differ, accounting may not.
+func TestMultiQueueFairShare(t *testing.T) {
+	serial := build(t, twoChainSpec())
+	sres, err := serial.RunBatch(mergedTrace(t, 9, 20, 1000, 2000), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{0, 8} {
+		par := build(t, twoChainSpec())
+		mq, err := par.NewMultiQueue(4, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := mq.Run(mergedTrace(t, 9, 20, 1000, 2000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pres.Packets != sres.Packets || pres.Drops != sres.Drops {
+			t.Errorf("batch=%d: packets=%d drops=%d, serial %d/%d",
+				batch, pres.Packets, pres.Drops, sres.Packets, sres.Drops)
+		}
+		if pres.Stats != sres.Stats {
+			t.Errorf("batch=%d: stats diverged:\nmq:     %+v\nserial: %+v", batch, pres.Stats, sres.Stats)
+		}
+		if len(pres.QueueDepths) != 4 {
+			t.Errorf("batch=%d: QueueDepths = %v, want 4 workers", batch, pres.QueueDepths)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// AdversarialConfig extends Config with hostile traffic models: a
+// diurnal load curve that compresses arrivals at peaks, an
+// elephant/mice size split with Pareto-tailed elephants, a SYN-flood
+// cluster of handshake-only flows, and event-storm flows whose every
+// data packet carries the Snort alert signature (a train of Event
+// Table registrations and firings). All models compose — each is off
+// at its zero value — and generation stays deterministic per seed.
+type AdversarialConfig struct {
+	Config
+
+	// Diurnal warps flow start times by a sinusoidal load curve:
+	// DiurnalPeriods full cycles across the trace, with peak arrival
+	// density DiurnalPeak times the trough (defaults 2 and 4).
+	Diurnal        bool
+	DiurnalPeriods int
+	DiurnalPeak    float64
+
+	// ElephantFraction of flows draw their size from a Pareto tail
+	// (α≈1.2, scale 20 data packets, clamped at 2000) instead of the
+	// log-normal body — the classic elephant/mice mix.
+	ElephantFraction float64
+
+	// SYNFloodFlows appends that many handshake-only flows (one SYN,
+	// no data, no FIN) clustered at SYNFloodAt of the trace's time
+	// span (default 0.5): flow-table pressure and DoS-defender load
+	// with zero consolidatable traffic.
+	SYNFloodFlows int
+	SYNFloodAt    float64
+
+	// EventStormFraction of flows are alert trains: every data packet
+	// carries the ATTACK signature, so each one fires the IDS event on
+	// every packet instead of once per flow.
+	EventStormFraction float64
+}
+
+func (c AdversarialConfig) withDefaults() AdversarialConfig {
+	c.Config = c.Config.withDefaults()
+	if c.DiurnalPeriods == 0 {
+		c.DiurnalPeriods = 2
+	}
+	if c.DiurnalPeak == 0 {
+		c.DiurnalPeak = 4
+	}
+	if c.SYNFloodAt == 0 {
+		c.SYNFloodAt = 0.5
+	}
+	return c
+}
+
+// GenerateAdversarial synthesizes a trace under the adversarial
+// models. Packets are always interleaved by arrival time — the attack
+// models are about temporal clustering, which back-to-back flow
+// playback would erase.
+func GenerateAdversarial(cfg AdversarialConfig) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	if cfg.PayloadMax < cfg.PayloadMin {
+		return nil, fmt.Errorf("trace: payload bounds inverted (%d > %d)", cfg.PayloadMin, cfg.PayloadMax)
+	}
+	if cfg.SYNFloodAt < 0 || cfg.SYNFloodAt >= 1 {
+		return nil, fmt.Errorf("trace: syn-flood position %v outside [0,1)", cfg.SYNFloodAt)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{}
+	var timed []timedPacket
+	seq := 0
+	span := float64(cfg.Flows) // same time scale as Generate
+
+	// load maps a position in [0,1) to the diurnal arrival density.
+	load := func(u float64) float64 {
+		if !cfg.Diurnal {
+			return 1
+		}
+		s := 0.5 * (1 + math.Sin(2*math.Pi*float64(cfg.DiurnalPeriods)*u))
+		return 1 + (cfg.DiurnalPeak-1)*s
+	}
+
+	for f := 0; f < cfg.Flows; f++ {
+		tuple := packet.FiveTuple{
+			SrcIP:   offsetIP(cfg.SrcBase, uint32(rng.Intn(1<<16))+1),
+			DstIP:   offsetIP(cfg.DstBase, uint32(rng.Intn(1<<12))+1),
+			SrcPort: uint16(1024 + rng.Intn(60000)),
+			DstPort: cfg.DstPort,
+			Proto:   packet.ProtoTCP,
+		}
+		if rng.Float64() < cfg.UDPFraction {
+			tuple.Proto = packet.ProtoUDP
+		}
+
+		storm := rng.Float64() < cfg.EventStormFraction
+		kind := KindBenign
+		if storm {
+			kind = KindAlert
+		} else {
+			switch r := rng.Float64(); {
+			case r < cfg.AlertFraction:
+				kind = KindAlert
+			case r < cfg.AlertFraction+cfg.LogFraction:
+				kind = KindLog
+			}
+		}
+
+		var nData int
+		if rng.Float64() < cfg.ElephantFraction {
+			// Pareto(α=1.2, x_m=20): heavy tail, occasionally huge.
+			nData = int(20 / math.Pow(1-rng.Float64(), 1/1.2))
+		} else {
+			nData = int(math.Round(math.Exp(math.Log(cfg.MeanPackets) + cfg.SigmaPackets*rng.NormFloat64())))
+		}
+		if nData < 1 {
+			nData = 1
+		}
+		if nData > 2000 {
+			nData = 2000
+		}
+
+		// Diurnal: bias the start position toward peaks by rejection
+		// sampling against the load curve, then pace packets faster
+		// under higher load.
+		u := rng.Float64()
+		if cfg.Diurnal {
+			for rng.Float64()*cfg.DiurnalPeak > load(u) {
+				u = rng.Float64()
+			}
+		}
+		at := u * span
+		emit := func(p *packet.Packet) {
+			timed = append(timed, timedPacket{at: at, seq: seq, pkt: p})
+			p.Meta.SeqInFlow = seq
+			seq++
+			at += (0.5 + rng.ExpFloat64()) / load(at/span+math.SmallestNonzeroFloat64)
+		}
+
+		total := 0
+		if tuple.Proto == packet.ProtoTCP {
+			emit(mustPkt(tuple, packet.TCPFlagSYN, nil, 0))
+			emit(mustPkt(tuple, packet.TCPFlagACK, nil, 1))
+			total += 2
+		}
+		alertAt := 0
+		if nData > 1 {
+			alertAt = 1
+		}
+		for i := 0; i < nData; i++ {
+			at2 := alertAt
+			if storm {
+				at2 = i // signature in every packet: an event train
+			}
+			payload := dataPayload(rng, cfg.Config, kind, i, at2)
+			flags := uint8(packet.TCPFlagACK | packet.TCPFlagPSH)
+			if tuple.Proto == packet.ProtoUDP {
+				flags = 0
+			}
+			emit(mustPkt(tuple, flags, payload, uint32(2+i)))
+			total++
+		}
+		if tuple.Proto == packet.ProtoTCP {
+			emit(mustPkt(tuple, packet.TCPFlagFIN|packet.TCPFlagACK, nil, uint32(2+nData)))
+			total++
+		}
+		tr.Flows = append(tr.Flows, FlowInfo{Tuple: tuple, Kind: kind, DataPackets: nData, TotalPkts: total})
+	}
+
+	// SYN flood: a burst of handshake-only flows packed into a narrow
+	// window around SYNFloodAt.
+	floodAt := cfg.SYNFloodAt * span
+	for f := 0; f < cfg.SYNFloodFlows; f++ {
+		tuple := packet.FiveTuple{
+			SrcIP:   offsetIP(cfg.SrcBase, uint32(1<<16)+uint32(f)+1),
+			DstIP:   offsetIP(cfg.DstBase, uint32(rng.Intn(1<<12))+1),
+			SrcPort: uint16(1024 + rng.Intn(60000)),
+			DstPort: cfg.DstPort,
+			Proto:   packet.ProtoTCP,
+		}
+		p := mustPkt(tuple, packet.TCPFlagSYN, nil, 0)
+		p.Meta.SeqInFlow = seq
+		timed = append(timed, timedPacket{at: floodAt + 0.001*float64(f), seq: seq, pkt: p})
+		seq++
+		tr.Flows = append(tr.Flows, FlowInfo{Tuple: tuple, Kind: KindBenign, DataPackets: 0, TotalPkts: 1})
+	}
+
+	sort.SliceStable(timed, func(i, j int) bool {
+		if timed[i].at != timed[j].at {
+			return timed[i].at < timed[j].at
+		}
+		return timed[i].seq < timed[j].seq
+	})
+	fixPerFlowOrder(timed)
+	tr.packets = make([]*packet.Packet, len(timed))
+	for i, tp := range timed {
+		tr.packets[i] = tp.pkt
+	}
+	return tr, nil
+}

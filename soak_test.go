@@ -101,6 +101,155 @@ func TestSoakPipelinedFreeRunning(t *testing.T) {
 	}
 }
 
+// TestSoakAdversarialMultiChain soaks a three-chain, three-tenant
+// topology under composed adversarial traffic: diurnal load with event
+// storms on the web chain, Pareto elephants on the VoIP chain, and a
+// SYN flood clustered mid-trace on the bulk chain. The bar: zero
+// drops, no flow left degraded, and the fast-path hit rate back within
+// 90% of the pre-flood baseline by the end of the run.
+func TestSoakAdversarialMultiChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	spec := &speedybox.TopologySpec{
+		Name: "adversarial",
+		Chains: []speedybox.TopologyChainSpec{
+			{Name: "web", Weight: 2, NFs: []speedybox.NFSpec{
+				{Type: "snort"},
+				{Type: "monitor", Name: "mon"},
+			}},
+			{Name: "voip", NFs: []speedybox.NFSpec{
+				{Type: "gateway", NextHopMAC: "02:00:00:00:00:01", VoicePorts: []uint16{5060}},
+				{Type: "monitor", Name: "mon"},
+			}},
+			{Name: "bulk", NFs: []speedybox.NFSpec{
+				{Type: "ratelimiter", Quota: 1 << 40},
+				{Type: "monitor", Name: "mon"},
+			}},
+		},
+		Policies: []speedybox.TopologyPolicySpec{
+			{Chain: "web", Tenant: 1, DstPortMin: 80},
+			{Chain: "voip", Tenant: 2, DstPortMin: 5060},
+			{Chain: "bulk", Tenant: 3, DstPortMin: 9000},
+		},
+		Tenants: []speedybox.TenantSpec{{ID: 1}, {ID: 2}, {ID: 3}},
+	}
+	// The Event Table storm rides the fault injector: always-firing
+	// no-op events registered against freshly consolidated flows force
+	// reconsolidation churn without ever changing a verdict.
+	opts := speedybox.DefaultOptions()
+	opts.Faults = speedybox.NewFaultInjector(speedybox.FaultConfig{
+		Seed:  99,
+		Rates: map[speedybox.FaultKind]float64{speedybox.FaultEventStorm: 0.05},
+	})
+	tp, err := speedybox.BuildTopology(spec, speedybox.TopologyBuildConfig{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+
+	// One adversarial stream per chain, merged round-robin (per-flow
+	// order survives: each flow lives in one stream, and the merge
+	// preserves every stream's internal order).
+	base := func(seed int64, flows int, port uint16) speedybox.TraceConfig {
+		return speedybox.TraceConfig{
+			Seed: seed, Flows: flows, DstPort: port, Interleave: true,
+			UDPFraction: 0.0001, // all TCP: flows tear down via FIN
+		}
+	}
+	var streams [][]*speedybox.Packet
+	total := 0
+	for _, cfg := range []speedybox.AdversarialTraceConfig{
+		{Config: base(101, 500, 80), Diurnal: true, EventStormFraction: 0.1},
+		{Config: base(102, 500, 5060), ElephantFraction: 0.2},
+		{Config: base(103, 500, 9000), SYNFloodFlows: 400, SYNFloodAt: 0.5},
+	} {
+		tr, err := speedybox.GenerateAdversarialTrace(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, tr.Packets())
+		total += tr.Len()
+	}
+	pkts := make([]*speedybox.Packet, 0, total)
+	for k := 0; ; k++ {
+		emitted := false
+		for _, s := range streams {
+			if k < len(s) {
+				pkts = append(pkts, s[k])
+				emitted = true
+			}
+		}
+		if !emitted {
+			break
+		}
+	}
+	t.Logf("adversarial soak: %d packets over %d chains", len(pkts), tp.NumChains())
+
+	sumStats := func() speedybox.Stats {
+		var s speedybox.Stats
+		for i := 0; i < tp.NumChains(); i++ {
+			s.Add(tp.Engine(i).Stats())
+		}
+		return s
+	}
+
+	const window = 512
+	windows := len(pkts) / window
+	floodStart := windows / 3 // flood is clustered at 0.5 of the bulk span
+	prev := sumStats()
+	var hitRates []float64
+	drops := 0
+	for w := 0; w*window < len(pkts); w++ {
+		end := (w + 1) * window
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		res, err := tp.RunBatch(pkts[w*window:end], 32)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		drops += res.Drops
+		st := sumStats()
+		if eligible := (st.Subsequent - prev.Subsequent) + (st.Final - prev.Final); eligible > 0 {
+			hitRates = append(hitRates, float64(st.FastPath-prev.FastPath)/float64(eligible))
+		}
+		prev = st
+	}
+
+	if drops != 0 {
+		t.Errorf("adversarial soak dropped %d packets", drops)
+	}
+	final := sumStats()
+	if final.Packets != uint64(len(pkts)) {
+		t.Errorf("accounted %d of %d packets", final.Packets, len(pkts))
+	}
+	if final.EventsFired == 0 {
+		t.Error("no events fired; the event storm was vacuous")
+	}
+	for i := 0; i < tp.NumChains(); i++ {
+		if n := tp.Engine(i).DegradedFlows(); n != 0 {
+			t.Errorf("chain %d: %d flows stuck degraded after a fault-free soak", i, n)
+		}
+	}
+	var baseline float64
+	n := 0
+	for i := 1; i < floodStart && i < len(hitRates); i++ { // window 0 warms up
+		baseline += hitRates[i]
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no pre-flood windows measured")
+	}
+	baseline /= float64(n)
+	finalRate := hitRates[len(hitRates)-1]
+	if baseline <= 0 || finalRate < 0.9*baseline {
+		t.Errorf("hit rate never recovered: final %.3f vs baseline %.3f", finalRate, baseline)
+	}
+	t.Logf("adversarial soak: baseline hit rate %.3f, final %.3f, drops %d, events fired %d",
+		baseline, finalRate, drops, final.EventsFired)
+}
+
 // TestSoakPeriodicReconfigure soaks the live-reconfiguration path: a
 // large all-TCP trace streams through Chain 1 in windows while the
 // middle third of the run alternately splices a pass-all filter into

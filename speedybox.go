@@ -36,6 +36,7 @@ package speedybox
 
 import (
 	"github.com/fastpathnfv/speedybox/internal/bess"
+	"github.com/fastpathnfv/speedybox/internal/chainspec"
 	"github.com/fastpathnfv/speedybox/internal/core"
 	"github.com/fastpathnfv/speedybox/internal/cost"
 	"github.com/fastpathnfv/speedybox/internal/event"
@@ -47,6 +48,7 @@ import (
 	"github.com/fastpathnfv/speedybox/internal/platform"
 	"github.com/fastpathnfv/speedybox/internal/sfunc"
 	"github.com/fastpathnfv/speedybox/internal/telemetry"
+	"github.com/fastpathnfv/speedybox/internal/topo"
 	"github.com/fastpathnfv/speedybox/internal/trace"
 	"github.com/fastpathnfv/speedybox/internal/wal"
 )
@@ -286,7 +288,69 @@ type (
 	Trace = trace.Trace
 	// TraceConfig controls trace synthesis.
 	TraceConfig = trace.Config
+	// AdversarialTraceConfig extends TraceConfig with hostile traffic
+	// models: diurnal load, elephant/mice, SYN floods, event storms.
+	AdversarialTraceConfig = trace.AdversarialConfig
 )
+
+// Multi-chain topologies (DESIGN.md §15): a Topology runs N named
+// chains that share NF instances by name, classifies flows to chains
+// and tenants by first-match policy, and isolates tenants from each
+// other's fast-path resource consumption through per-tenant rule
+// quotas and event caps.
+type (
+	// Topology is a built multi-chain, multi-tenant deployment.
+	Topology = topo.Topology
+	// TopologySpec is the declarative topology description.
+	TopologySpec = topo.Spec
+	// TopologyChainSpec is one named chain of a topology.
+	TopologyChainSpec = topo.ChainSpec
+	// TopologyPolicySpec is one flow-classification rule.
+	TopologyPolicySpec = topo.PolicySpec
+	// TenantSpec declares one tenant's isolation quotas.
+	TenantSpec = topo.TenantSpec
+	// TenantAdmission is the quota-enforcing core.Admission policy a
+	// built topology shares across its chain engines.
+	TenantAdmission = topo.TenantAdmission
+	// TopologyBuildConfig configures topology construction.
+	TopologyBuildConfig = topo.BuildConfig
+	// Admission gates fast-path resource installs; set Options.Admission
+	// to attach a custom policy to a single engine.
+	Admission = core.Admission
+	// NFSpec is the declarative NF notation used by chain and topology
+	// specs.
+	NFSpec = chainspec.NFSpec
+	// ChainClass pairs a chain's platform with a fair-share weight for
+	// MultiQueue.SetClasses.
+	ChainClass = platform.ChainClass
+)
+
+// Topology spec errors (match with errors.Is).
+var (
+	ErrTopoSpecInvalid        = topo.ErrSpecInvalid
+	ErrTopoNoChains           = topo.ErrNoChains
+	ErrTopoDuplicateChain     = topo.ErrDuplicateChain
+	ErrTopoPolicyUnknownChain = topo.ErrPolicyUnknownChain
+	ErrTopoPolicyInvalid      = topo.ErrPolicyInvalid
+	ErrTopoTenantInvalid      = topo.ErrTenantInvalid
+	ErrTopoSharedNFMismatch   = topo.ErrSharedNFMismatch
+)
+
+// ParseTopology decodes and validates a JSON topology spec.
+func ParseTopology(data []byte) (*TopologySpec, error) { return topo.Parse(data) }
+
+// BuildTopology instantiates a topology: one labeled engine per chain,
+// shared NF instances, compiled policies and the tenant admission
+// policy.
+func BuildTopology(spec *TopologySpec, cfg TopologyBuildConfig) (*Topology, error) {
+	return topo.Build(spec, cfg)
+}
+
+// GenerateAdversarialTrace synthesizes a trace under the adversarial
+// traffic models.
+func GenerateAdversarialTrace(cfg AdversarialTraceConfig) (*Trace, error) {
+	return trace.GenerateAdversarial(cfg)
+}
 
 // DefaultOptions returns full SpeedyBox: recording, consolidation,
 // events and Table-I parallel state-function execution.
