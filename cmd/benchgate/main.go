@@ -19,6 +19,19 @@
 //     by ns/op of the gated benchmark must reach the bound. Set
 //     -min-speedup 0 to disable (machine-dependent timing gates are
 //     advisory by default in CI).
+//   - -max-ns: the gated benchmark's ns/op must not exceed the bound
+//     (0 = disabled). An absolute wall-clock gate: use it where the
+//     hardware is known, e.g. the committed fast-path budget.
+//   - -baseline/-max-regress-pct: compare the gated benchmark's ns/op
+//     against the same benchmark in a previously committed benchgate
+//     JSON report and fail when it regressed by more than the given
+//     percentage (default 10). Relative, so it tolerates machine drift
+//     better than -max-ns; pass -baseline "" to skip.
+//
+// A second mode, -render <report.json>, prints a committed report back
+// out in standard `go test -bench` text form and exits, so tools that
+// consume bench format (benchstat, benchcmp) can diff a fresh run
+// against the committed baseline without the raw text being committed.
 package main
 
 import (
@@ -68,8 +81,16 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	maxAllocs := fs.Float64("max-allocs", 1, "fail if the gated benchmark exceeds this many allocs/op")
 	speedupBase := fs.String("speedup-base", "BenchmarkFastPath", "scalar baseline for the speedup ratio")
 	minSpeedup := fs.Float64("min-speedup", 0, "fail if base ns/op / gated ns/op falls below this (0 = report only)")
+	maxNs := fs.Float64("max-ns", 0, "fail if the gated benchmark exceeds this many ns/op (0 = no absolute time gate)")
+	baseline := fs.String("baseline", "", "committed benchgate JSON report to compare the gated benchmark against")
+	maxRegressPct := fs.Float64("max-regress-pct", 10, "with -baseline: fail if the gated ns/op regressed by more than this percentage")
+	render := fs.String("render", "", "print this benchgate JSON report as go-bench text and exit (no gating)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *render != "" {
+		return renderReport(*render, out)
 	}
 
 	if *inPath != "-" {
@@ -126,7 +147,69 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			return fmt.Errorf("speedup %.2fx below gate %.2fx", rep.Speedup, *minSpeedup)
 		}
 	}
+	if *maxNs > 0 && gated.NsPerOp > *maxNs {
+		return fmt.Errorf("%s runs at %.1f ns/op, gate is %.1f", *gate, gated.NsPerOp, *maxNs)
+	}
+	if *baseline != "" {
+		old, err := loadBaseline(*baseline, *gate)
+		if err != nil {
+			return err
+		}
+		if old.NsPerOp > 0 {
+			pct := (gated.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+			fmt.Fprintf(out, "baseline %s: %.1f -> %.1f ns/op (%+.1f%%)\n",
+				*gate, old.NsPerOp, gated.NsPerOp, pct)
+			if pct > *maxRegressPct {
+				return fmt.Errorf("%s regressed %.1f%% vs %s (%.1f -> %.1f ns/op), gate is %.1f%%",
+					*gate, pct, *baseline, old.NsPerOp, gated.NsPerOp, *maxRegressPct)
+			}
+		}
+	}
 	return nil
+}
+
+// renderReport prints a committed benchgate JSON report in the
+// standard bench text format benchstat consumes. Custom metrics are
+// re-emitted too; the iteration count is carried through verbatim.
+func renderReport(path string, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("render %s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("render %s: report has no results", path)
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(out, "%s\t%d\t%g ns/op\t%g B/op\t%g allocs/op",
+			r.Name, r.Iters, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		for unit, val := range r.Metrics {
+			fmt.Fprintf(out, "\t%g %s", val, unit)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// loadBaseline reads a previously committed benchgate report and pulls
+// the named benchmark out of it.
+func loadBaseline(path, name string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	r := find(rep.Results, name)
+	if r == nil {
+		return nil, fmt.Errorf("baseline %s has no result for %s", path, name)
+	}
+	return r, nil
 }
 
 // find returns the result whose name matches base (ignoring the -N

@@ -88,6 +88,93 @@ func TestGateFailsOnMissingBenchmark(t *testing.T) {
 	}
 }
 
+func TestMaxNsGate(t *testing.T) {
+	if err := run([]string{"-max-ns", "150"}, strings.NewReader(sampleOutput), &strings.Builder{}); err != nil {
+		t.Fatalf("146.6 ns/op failed a 150 ns gate: %v", err)
+	}
+	err := run([]string{"-max-ns", "100"}, strings.NewReader(sampleOutput), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "gate is 100") {
+		t.Fatalf("err = %v, want absolute-time-gate failure", err)
+	}
+}
+
+func TestBaselineRegressionGate(t *testing.T) {
+	// Commit a baseline report, then gate a run that regressed 30%.
+	base := filepath.Join(t.TempDir(), "BENCH_base.json")
+	if err := run([]string{"-out", base}, strings.NewReader(sampleOutput), &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	within := strings.ReplaceAll(sampleOutput, "146.6 ns/op", "155.0 ns/op")
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base, "-max-regress-pct", "10"},
+		strings.NewReader(within), &sb); err != nil {
+		t.Fatalf("5.7%% drift failed a 10%% gate: %v", err)
+	}
+	if !strings.Contains(sb.String(), "baseline BenchmarkFastPathBatch") {
+		t.Errorf("comparison line missing from output:\n%s", sb.String())
+	}
+	regressed := strings.ReplaceAll(sampleOutput, "146.6 ns/op", "190.0 ns/op")
+	err := run([]string{"-baseline", base, "-max-regress-pct", "10"},
+		strings.NewReader(regressed), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("err = %v, want regression-gate failure", err)
+	}
+	// A faster run is never a regression.
+	improved := strings.ReplaceAll(sampleOutput, "146.6 ns/op", "80.0 ns/op")
+	if err := run([]string{"-baseline", base, "-max-regress-pct", "10"},
+		strings.NewReader(improved), &strings.Builder{}); err != nil {
+		t.Fatalf("improvement failed the regression gate: %v", err)
+	}
+}
+
+func TestBaselineMissingBenchmark(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH_base.json")
+	if err := run([]string{"-out", base}, strings.NewReader(sampleOutput), &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-gate", "BenchmarkFastPath", "-max-allocs", "2", "-baseline", base, "-speedup-base", "x"},
+		strings.NewReader(sampleOutput), &strings.Builder{})
+	if err != nil {
+		t.Fatalf("baseline lookup by different gate name failed: %v", err)
+	}
+	err = run([]string{"-baseline", filepath.Join(t.TempDir(), "absent.json")},
+		strings.NewReader(sampleOutput), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("err = %v, want missing-baseline failure", err)
+	}
+}
+
+func TestRenderRoundTrips(t *testing.T) {
+	// A written report, rendered back to bench text, must parse to the
+	// same results — that is what lets CI feed the committed baseline
+	// to benchstat next to a fresh run.
+	rep := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run([]string{"-out", rep}, strings.NewReader(sampleOutput), &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-render", rep}, nil, &sb); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	got, err := parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-parse of rendered output: %v\n%s", err, sb.String())
+	}
+	want, _ := parse(strings.NewReader(sampleOutput))
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost results: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || got[i].NsPerOp != want[i].NsPerOp ||
+			got[i].AllocsPerOp != want[i].AllocsPerOp || got[i].Metrics["pkts-Mpps"] != want[i].Metrics["pkts-Mpps"] {
+			t.Errorf("result %d diverged: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if err := run([]string{"-render", filepath.Join(t.TempDir(), "absent.json")}, nil, &strings.Builder{}); err == nil {
+		t.Fatal("render of a missing report succeeded")
+	}
+}
+
 func TestEmptyInputFails(t *testing.T) {
 	err := run(nil, strings.NewReader("no benchmarks here\n"), &strings.Builder{})
 	if err == nil || !strings.Contains(err.Error(), "no benchmark lines") {

@@ -122,40 +122,43 @@ func (c *Classifier) Classify(pkt *packet.Packet, hasRule func(flow.FID) bool) (
 	flags, isTCP := pkt.TCPFlags()
 	final := isTCP && flags&(packet.TCPFlagFIN|packet.TCPFlagRST) != 0
 
+	// The state machine runs on the snapshot and commits the result:
+	// RSS partitioning makes this classifier call the flow's only
+	// writer, so the read-modify-write needs no lock held across it,
+	// and the closure-free shape keeps the snapshot on the stack.
 	now := c.seq.Add(1)
-	c.flows.Update(fid, func(e *flow.Entry) {
-		e.Packets++
-		e.Bytes += uint64(pkt.Len())
-		e.LastSeen = now
-		switch {
-		case final:
-			e.State = flow.StateClosed
-		case !isTCP:
-			// UDP flows are established by their first packet.
-			e.State = flow.StateEstablished
-		case flags&packet.TCPFlagSYN != 0:
-			// A SYN on a flow already past the handshake is 5-tuple
-			// reuse (the FIN/RST of the previous connection was never
-			// seen): the connection restarts, and the caller must tear
-			// down the previous connection's consolidated state.
-			if e.State != flow.StateHandshake {
-				res.Reused = true
-			}
-			e.State = flow.StateHandshake
-		case e.State == flow.StateHandshake && flags&packet.TCPFlagACK != 0 && len(pkt.Payload()) == 0:
-			// The bare ACK completing the 3-way handshake: the
-			// connection is now established, but per §III the
-			// *next* packet is the initial packet.
-			e.State = flow.StateEstablished
-			res.Kind = KindHandshake
-		case e.State == flow.StateHandshake:
-			// Data before the handshake completed (or we joined the
-			// connection mid-stream): promote to established.
-			e.State = flow.StateEstablished
-		default:
-			e.State = flow.StateEstablished
+	entry.Packets++
+	entry.Bytes += uint64(pkt.Len())
+	entry.LastSeen = now
+	switch {
+	case final:
+		entry.State = flow.StateClosed
+	case !isTCP:
+		// UDP flows are established by their first packet.
+		entry.State = flow.StateEstablished
+	case flags&packet.TCPFlagSYN != 0:
+		// A SYN on a flow already past the handshake is 5-tuple
+		// reuse (the FIN/RST of the previous connection was never
+		// seen): the connection restarts, and the caller must tear
+		// down the previous connection's consolidated state.
+		if entry.State != flow.StateHandshake {
+			res.Reused = true
 		}
-	})
+		entry.State = flow.StateHandshake
+	case entry.State == flow.StateHandshake && flags&packet.TCPFlagACK != 0 && len(pkt.Payload()) == 0:
+		// The bare ACK completing the 3-way handshake: the
+		// connection is now established, but per §III the
+		// *next* packet is the initial packet.
+		entry.State = flow.StateEstablished
+		res.Kind = KindHandshake
+	case entry.State == flow.StateHandshake:
+		// Data before the handshake completed (or we joined the
+		// connection mid-stream): promote to established.
+		entry.State = flow.StateEstablished
+	default:
+		entry.State = flow.StateEstablished
+	}
+	c.flows.Commit(fid, &entry)
 
 	if res.Kind != 0 {
 		return res, nil // already decided (handshake-completing ACK)
@@ -220,6 +223,15 @@ func (c *Classifier) Teardown(fid flow.FID) bool {
 // Now returns the logical clock: the number of packets classified so
 // far.
 func (c *Classifier) Now() uint64 { return c.seq.Load() }
+
+// SeqClock exposes the logical clock itself. The batched data path
+// ticks it directly for cache-classified packets, bypassing the full
+// state machine while producing the exact per-packet values scalar
+// classification would. Ticks must stay one-per-packet in arrival
+// order: degradation-ladder deadlines are expressed in these ticks, so
+// a clock that runs ahead of processing would skew backoff decisions
+// relative to the scalar reference.
+func (c *Classifier) SeqClock() *atomic.Uint64 { return &c.seq }
 
 // RestoreClock forces the logical clock forward to at least v. A
 // restored engine resumes the checkpointed clock so LastSeen stamps in

@@ -124,21 +124,70 @@ type statsDelta struct {
 	eventsFired, consolidations                    uint64
 }
 
+// flowCacheWays is the associativity of the per-worker flow-handle
+// cache, matching the rule cache: the flows interleaved within one
+// vector.
+const flowCacheWays = 4
+
+// flowSlot caches one flow's table handle keyed by 5-tuple, plus the
+// batch-local bookkeeping deltas folded into the flow entry at flush:
+// the steady-state per-packet flow touch is then a tuple compare, two
+// generation/state loads and plain integer adds — no lock, no map, no
+// per-packet atomic read-modify-write.
+type flowSlot struct {
+	// kHi/kLo are the packed flow key (packet.FlowKey) the hot probe
+	// compares; tuple is the same key unpacked, kept for re-acquiring
+	// the handle when the table generation moves.
+	kHi, kLo uint64
+	tuple    packet.FiveTuple
+	h        flow.Handle
+	gen      uint64
+	used     bool
+	dirty    bool
+	// Folded established-data bookkeeping: packet and byte counts,
+	// and the logical-clock tick of the flow's most recent packet.
+	dPkts    uint64
+	dBytes   uint64
+	lastTick uint64
+}
+
+// flush folds the slot's pending bookkeeping into the flow entry.
+func (sl *flowSlot) flush() {
+	if !sl.dirty {
+		return
+	}
+	sl.h.FoldTouches(sl.dPkts, sl.dBytes, sl.lastTick)
+	sl.dPkts, sl.dBytes, sl.dirty = 0, 0, false
+}
+
 // Batch is the per-worker scratch state of the batched data path: the
-// rule cache, preallocated result storage, and the counter-fold
-// buffers. A Batch must not be shared between goroutines (each
-// MultiQueue worker, and the ONVM manager, owns one); results returned
-// by ProcessBatch and FastProcessBatch point into the Batch's storage
-// and are valid only until the next call on the same Batch.
+// rule and flow-handle caches, preallocated result storage, the
+// per-packet classification scratch (structure-of-arrays, so the
+// classify and process loops each stream through contiguous memory),
+// and the counter-fold buffers. A Batch must not be shared between
+// goroutines (each MultiQueue worker, and the ONVM manager, owns one);
+// results returned by ProcessBatch and FastProcessBatch point into the
+// Batch's storage and are valid only until the next call on the same
+// Batch.
 type Batch struct {
-	cache RuleCache
+	cache  RuleCache
+	flows  [flowCacheWays]flowSlot
+	fclock uint8
 
 	res  []PacketResult
 	info []FastPathInfo
 	out  []*PacketResult
 
+	// Per-packet classification scratch for the current vector,
+	// indexed by packet position: the FID and the flow-cache slot it
+	// resolved to.
 	delta [statsShardCount]statsDelta
 	dirty []uint32
+
+	// flowHits/flowMisses count flow-handle cache outcomes across the
+	// batch, folded into the engine counters at flush.
+	flowHits   uint64
+	flowMisses uint64
 
 	// telVal/telN/telHint fold the fast-path latency histogram: a run
 	// of packets with identical modeled work collapses into one RecordN.
@@ -162,9 +211,9 @@ func NewBatch(n int) *Batch {
 	}
 }
 
-// begin resets the per-vector storage for n packets. The rule cache
-// deliberately survives across vectors — that is where the amortization
-// for repeated flows comes from.
+// begin resets the per-vector storage for n packets. The rule and
+// flow caches deliberately survive across vectors — that is where the
+// amortization for repeated flows comes from.
 func (b *Batch) begin(n int) {
 	if cap(b.res) < n {
 		b.res = make([]PacketResult, n)
@@ -177,6 +226,64 @@ func (b *Batch) begin(n int) {
 		b.info[i] = FastPathInfo{}
 	}
 	b.out = b.out[:0]
+}
+
+// flushFlows folds every flow slot's pending bookkeeping into the
+// flow table. It must run before any code that reads or rewrites a
+// flow entry through the locked paths (the scalar fallback, teardown)
+// and at end of batch.
+func (b *Batch) flushFlows() {
+	for i := range b.flows {
+		b.flows[i].flush()
+	}
+}
+
+// flowSlotFor resolves a packet's flow key to a flow-cache slot,
+// acquiring (or revalidating) the table handle as needed. The hot
+// probe compares the packed two-word key; the FiveTuple struct is only
+// built on the acquire paths. The table generation is read before
+// every acquire, so a racing removal can only leave the slot
+// conservatively stale. It reports ok=false when the flow is not
+// tracked — the caller falls back to full classification.
+func (b *Batch) flowSlotFor(flows *flow.Table, pkt *packet.Packet, kHi, kLo uint64) (uint8, bool) {
+	gen := flows.Gen()
+	for i := range b.flows {
+		sl := &b.flows[i]
+		if !sl.used || sl.kHi != kHi || sl.kLo != kLo {
+			continue
+		}
+		if sl.gen == gen {
+			b.flowHits++
+			return uint8(i), true
+		}
+		// The table mutated since the handle was cached: pending
+		// deltas belong to the old entry, so fold them through the
+		// old handle before re-acquiring.
+		sl.flush()
+		h, ok := flows.Acquire(sl.tuple)
+		if !ok {
+			sl.used = false
+			return 0, false
+		}
+		sl.h, sl.gen = h, gen
+		b.flowHits++
+		return uint8(i), true
+	}
+	b.flowMisses++
+	ft, err := pkt.FiveTuple()
+	if err != nil {
+		return 0, false
+	}
+	h, ok := flows.Acquire(ft)
+	if !ok {
+		return 0, false
+	}
+	v := b.fclock & (flowCacheWays - 1)
+	b.fclock++
+	sl := &b.flows[v]
+	sl.flush()
+	*sl = flowSlot{kHi: kHi, kLo: kLo, tuple: ft, h: h, gen: gen, used: true}
+	return v, true
 }
 
 // account folds one finished packet into the batch-local deltas and
@@ -244,9 +351,19 @@ func (b *Batch) flushTel(e *Engine) {
 }
 
 // flushStats folds the batch-local counter deltas into the shared
-// sharded counters.
+// sharded counters, after folding pending flow bookkeeping.
 func (e *Engine) flushStats(b *Batch) {
+	b.flushFlows()
 	b.flushTel(e)
+	if b.flowHits != 0 || b.flowMisses != 0 {
+		// Cache hit rates are implementation telemetry, not behavior:
+		// they go to the hub, never into the oracle-compared Stats.
+		if e.tel != nil {
+			e.tel.flowCacheHits.Add(b.flowHits)
+			e.tel.flowCacheMisses.Add(b.flowMisses)
+		}
+		b.flowHits, b.flowMisses = 0, 0
+	}
 	for _, shard := range b.dirty {
 		d := &b.delta[shard]
 		s := &e.stats[shard]
@@ -316,7 +433,23 @@ func (e *Engine) ProcessBatch(pkts []*packet.Packet, b *Batch) ([]*PacketResult,
 	b.begin(len(pkts))
 	out := b.out
 	for i, pkt := range pkts {
-		res, err := e.processBatched(pkt, &b.info[i], &b.res[i], b)
+		fid, ok := e.classifyFast(pkt, b)
+		if !ok {
+			// Not fast-shaped (unparseable, handshake, FIN/RST,
+			// untracked or not-yet-established flow): fold the pending
+			// flow bookkeeping — the scalar path reads and rewrites the
+			// same entries — then take the full scalar path, which
+			// accounts for itself.
+			b.flushFlows()
+			res, err := e.ProcessPacket(pkt)
+			if err != nil {
+				e.flushStats(b)
+				return nil, err
+			}
+			out = append(out, res)
+			continue
+		}
+		res, err := e.processClassified(fid, pkt, &b.info[i], &b.res[i], b)
 		if err != nil {
 			e.flushStats(b)
 			return nil, err
@@ -328,19 +461,56 @@ func (e *Engine) ProcessBatch(pkts []*packet.Packet, b *Batch) ([]*PacketResult,
 	return out, nil
 }
 
-// processBatched routes one packet of a vector, mirroring
-// ProcessPacket's decision sequence exactly: classify, eviction-
-// pressure fault, then kind dispatch. Only the common shape — a plain
-// data packet of an established flow — takes the amortized path;
-// everything else (handshake, FIN/RST, 5-tuple reuse, parse errors)
-// falls back to the scalar ProcessPacket, which accounts for itself.
-func (e *Engine) processBatched(pkt *packet.Packet, info *FastPathInfo, res *PacketResult, b *Batch) (*PacketResult, error) {
-	cls, ok := e.class.ClassifyData(pkt)
-	if !ok {
-		return e.ProcessPacket(pkt)
+// classifyFast classifies one fast-shaped packet — a plain data packet
+// (no SYN/FIN/RST) of an established, tracked flow — through the
+// Batch's flow-handle cache: a tuple compare, a generation load and a
+// state load replace the scalar path's lock acquisition and map probe.
+// Per-flow bookkeeping folds into the flow slot (flushed at batch
+// boundaries and before any locked flow-table access); the logical
+// clock ticks once per packet, exactly as scalar classification would,
+// so clock-deadline reads during processing (the degradation ladder's
+// backoff arithmetic) observe identical values on both paths.
+//
+// For every other packet shape it reports ok=false without mutating
+// the flow table or consuming a clock tick, and the caller routes the
+// packet through the full scalar path.
+func (e *Engine) classifyFast(pkt *packet.Packet, b *Batch) (flow.FID, bool) {
+	if !pkt.Parsed() {
+		if err := pkt.Parse(); err != nil {
+			return 0, false // full Classify reproduces the error
+		}
 	}
-	fid := cls.FID
+	if flags, isTCP := pkt.TCPFlags(); isTCP &&
+		flags&(packet.TCPFlagSYN|packet.TCPFlagFIN|packet.TCPFlagRST) != 0 {
+		return 0, false
+	}
+	kHi, kLo, ok := pkt.FlowKey()
+	if !ok {
+		return 0, false
+	}
+	si, ok := b.flowSlotFor(e.class.Flows(), pkt, kHi, kLo)
+	if !ok {
+		return 0, false
+	}
+	sl := &b.flows[si]
+	if !sl.h.Established() {
+		return 0, false
+	}
+	sl.dPkts++
+	sl.dBytes += uint64(pkt.Len())
+	sl.lastTick = e.class.SeqClock().Add(1)
+	sl.dirty = true
+	fid := sl.h.FID()
+	pkt.Meta.FID = uint32(fid)
+	pkt.Meta.HasFID = true
+	return fid, true
+}
 
+// processClassified routes one fast-shaped, already-classified packet
+// of a vector, mirroring ProcessPacket's decision sequence from the
+// post-classification point exactly: eviction-pressure fault, then
+// Subsequent (fast path) versus Initial (recording slow path).
+func (e *Engine) processClassified(fid flow.FID, pkt *packet.Packet, info *FastPathInfo, res *PacketResult, b *Batch) (*PacketResult, error) {
 	// Decide Subsequent vs Initial before the eviction fault, exactly
 	// as the scalar classifier's hasRule probe runs inside Classify: a
 	// fault evicting the rule right after classification must leave a
@@ -365,7 +535,10 @@ func (e *Engine) processBatched(pkt *packet.Packet, info *FastPathInfo, res *Pac
 
 	// Established data packet without a live rule: the flow's initial
 	// packet (or a re-record after eviction/staleness). Same recording
-	// gate as ProcessPacket's KindInitial arm.
+	// gate as ProcessPacket's KindInitial arm. The slow path drives
+	// the original chain and may observe flow entries, so pending
+	// folded bookkeeping is flushed first.
+	b.flushFlows()
 	pkt.Meta.Initial = true
 	recording := false
 	if e.recordingAllowed(fid) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"github.com/fastpathnfv/speedybox/internal/classifier"
 	"github.com/fastpathnfv/speedybox/internal/cost"
@@ -88,26 +89,42 @@ var (
 // cache lines; Stats() folds the shards into one snapshot.
 const statsShardCount = 32
 
-// statsShard is one padded block of engine counters, updated with
+// statsShardCore is one block of engine counters, updated with
 // atomics — never a lock — on the per-packet accounting path.
-type statsShard struct {
+type statsShardCore struct {
 	packets, initial, subsequent, handshake, final  atomic.Uint64
 	fastPath, slowPath, dropped                     atomic.Uint64
 	eventsFired, consolidations                     atomic.Uint64
 	slowFallbacks, degradedPackets, faultRecoveries atomic.Uint64
 	ruleQuotaDenied, eventCapDenied                 atomic.Uint64
-	_                                               [8]byte // pad to 128 bytes against false sharing
 }
+
+// statsShard pads the counters to a cache-line multiple against false
+// sharing, sized from the real field layout so adding a counter can
+// never silently leave two shards sharing a line.
+type statsShard struct {
+	statsShardCore
+	_ [(cacheLine - unsafe.Sizeof(statsShardCore{})%cacheLine) % cacheLine]byte
+}
+
+// cacheLine is the coherence granule the shard padding targets.
+const cacheLine = 64
 
 // recShardCount is the number of recording-slot shards (power of two).
 const recShardCount = 32
 
-// recShard is one independently locked slice of the recording-claims
-// set.
-type recShard struct {
+// recShardCore is one independently locked slice of the
+// recording-claims set.
+type recShardCore struct {
 	mu   sync.Mutex
 	fids map[flow.FID]struct{}
-	_    [40]byte // pad to a 64-byte cache line (best effort)
+}
+
+// recShard pads the claims to a full cache line (the old hard-coded
+// pad left the struct at 56 bytes — adjacent shards shared a line).
+type recShard struct {
+	recShardCore
+	_ [(cacheLine - unsafe.Sizeof(recShardCore{})%cacheLine) % cacheLine]byte
 }
 
 // Engine wires a service chain to the SpeedyBox machinery. It is safe
@@ -878,8 +895,11 @@ func (e *Engine) fastPathInto(fid flow.FID, pkt *packet.Packet, info *FastPathIn
 	}
 
 	// Consolidated header work (functionally always the consolidated
-	// rule; the ablation only changes the *charged* cost).
-	alive, err := rule.ApplyHeader(pkt)
+	// rule; the ablation only changes the *charged* cost). ExecHeader
+	// runs the rule's compiled action program — byte-identical to the
+	// interpreted ApplyHeader, which it falls back to for uncompiled
+	// rules.
+	alive, err := rule.ExecHeader(pkt)
 	if err != nil {
 		return nil, err
 	}

@@ -77,6 +77,14 @@ type engineTelemetry struct {
 	// Flow lifecycle.
 	flowResets *telemetry.Counter
 
+	// Batched fast-path classification: packets served from a worker's
+	// flow-handle cache versus those that took the shard read lock.
+	// Implementation telemetry, deliberately kept out of core.Stats —
+	// Stats is the oracle-compared behavioral surface and cache hit
+	// rates legitimately differ between scalar and batched execution.
+	flowCacheHits   *telemetry.Counter
+	flowCacheMisses *telemetry.Counter
+
 	// Consolidation attempts that did not fold into one rule.
 	unconsolidatable *telemetry.Counter
 
@@ -145,6 +153,10 @@ func newEngineTelemetry(e *Engine, hub *telemetry.Hub, chain string) *engineTele
 			"Global MAT rule removals by reason"),
 		flowResets: reg.Counter(n("speedybox_flow_resets_total"),
 			"Flows reset by a SYN reusing a tracked 5-tuple"),
+		flowCacheHits: reg.Counter(n("speedybox_flow_cache_hits_total"),
+			"Batched classifications served from a worker's flow-handle cache"),
+		flowCacheMisses: reg.Counter(n("speedybox_flow_cache_misses_total"),
+			"Batched classifications that acquired the flow handle through the shard lock"),
 		unconsolidatable: reg.Counter(n("speedybox_consolidate_unconsolidatable_total"),
 			"Consolidation attempts whose actions did not fold into one rule"),
 		reconfigRollbacks: reg.Counter(n("speedybox_reconfig_rollbacks_total"),

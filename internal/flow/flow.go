@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"github.com/fastpathnfv/speedybox/internal/packet"
 )
@@ -111,9 +112,9 @@ func (s State) String() string {
 	}
 }
 
-// Entry is the tracked state of one flow. Lookup, LookupFID and Insert
-// return it by value: callers always see a consistent snapshot taken
-// under the shard lock, and no mutable table state escapes the lock.
+// Entry is the tracked state of one flow as a plain value snapshot.
+// Lookup, LookupFID and Insert return it by value: callers always see
+// a self-consistent copy, and no mutable table state escapes.
 type Entry struct {
 	FID     FID
 	Tuple   packet.FiveTuple
@@ -127,20 +128,119 @@ type Entry struct {
 	LastSeen uint64
 }
 
+// tracked is the table's internal representation of one flow. The
+// identity fields (fid, tuple) are immutable after insertion; the
+// mutable lifecycle and bookkeeping fields are atomics, so the
+// per-packet touch on the hot classification path updates them
+// without taking the shard's write lock — the map structure is only
+// read (RLock or none at all via a cached Handle). RSS partitioning
+// gives every flow a single writer, so the per-flow fields never
+// contend; atomics make concurrent cross-flow readers (Snapshot,
+// IdleSince, telemetry) race-free.
+type tracked struct {
+	fid      FID
+	tuple    packet.FiveTuple
+	state    atomic.Int32
+	packets  atomic.Uint64
+	bytes    atomic.Uint64
+	lastSeen atomic.Uint64
+}
+
+// snapshot copies the entry into a plain value. Field loads are
+// individually atomic; cross-field consistency is guaranteed for the
+// flow's single writer and best-effort for concurrent observers
+// (exactly the guarantee checkpoint and expiry scans need — they run
+// against quiesced or conservatively-read tables).
+func (e *tracked) snapshot() Entry {
+	return Entry{
+		FID:      e.fid,
+		Tuple:    e.tuple,
+		State:    State(e.state.Load()),
+		Packets:  e.packets.Load(),
+		Bytes:    e.bytes.Load(),
+		LastSeen: e.lastSeen.Load(),
+	}
+}
+
+// storeFrom writes the mutable fields of a snapshot back. The caller
+// holds the shard's write lock (Update path).
+func (e *tracked) storeFrom(s *Entry) {
+	e.state.Store(int32(s.State))
+	e.packets.Store(s.Packets)
+	e.bytes.Store(s.Bytes)
+	e.lastSeen.Store(s.LastSeen)
+}
+
+// Handle is a stable, lock-free reference to a tracked flow. Batch
+// workers cache handles keyed by 5-tuple and revalidate them against
+// the table generation (Gen), so the steady-state per-packet touch is
+// a few uncontended atomic operations — no lock, no map probe, no
+// hashing. The zero Handle is invalid.
+type Handle struct{ e *tracked }
+
+// Valid reports whether the handle references a flow.
+func (h Handle) Valid() bool { return h.e != nil }
+
+// FID returns the flow's identifier.
+func (h Handle) FID() FID { return h.e.fid }
+
+// Established reports whether the flow is currently established — the
+// shape gate of the batched fast classification.
+func (h Handle) Established() bool {
+	return State(h.e.state.Load()) == StateEstablished
+}
+
+// TouchEstablished applies the established-data-packet bookkeeping
+// through the handle: if the flow is established it counts the packet
+// and bytes and stamps LastSeen from a fresh clock tick, returning
+// true. Any other state returns false with flow and clock untouched.
+func (h Handle) TouchEstablished(bytes uint64, clock *atomic.Uint64) bool {
+	e := h.e
+	if State(e.state.Load()) != StateEstablished {
+		return false
+	}
+	e.packets.Add(1)
+	e.bytes.Add(bytes)
+	e.lastSeen.Store(clock.Add(1))
+	return true
+}
+
+// FoldTouches folds a batch's accumulated bookkeeping for the flow in
+// three atomic operations: pkts packets, bytes bytes, and the logical
+// timestamp of the flow's last packet in the batch. The caller (one
+// batch worker — the flow's single writer under RSS partitioning)
+// guarantees lastSeen is monotonic with respect to its own earlier
+// stores.
+func (h Handle) FoldTouches(pkts, bytes, lastSeen uint64) {
+	e := h.e
+	e.packets.Add(pkts)
+	e.bytes.Add(bytes)
+	e.lastSeen.Store(lastSeen)
+}
+
 // ErrTableFull reports FID space exhaustion.
 var ErrTableFull = errors.New("flow: FID space exhausted")
 
-// tableShard is one independently locked slice of the FID space: every
-// FID congruent to the shard index modulo ShardCount lives here. Both
-// maps point at the same *Entry, so the tuple-keyed lookup on the hot
-// classifier path resolves in a single hash instead of tuple→FID→entry
-// chaining through two maps.
-type tableShard struct {
+// tableShardCore is the hot state of one shard: the structural lock
+// and the two views of its entries. Both maps point at the same
+// *tracked, so the tuple-keyed lookup on the hot classifier path
+// resolves in a single hash instead of tuple→FID→entry chaining
+// through two maps.
+type tableShardCore struct {
 	mu      sync.RWMutex
-	entries map[FID]*Entry
-	byTuple map[packet.FiveTuple]*Entry
-	_       [24]byte // pad to a 64-byte cache line (best effort)
+	entries map[FID]*tracked
+	byTuple map[packet.FiveTuple]*tracked
 }
+
+// tableShard pads the core to a full cache-line multiple, sized from
+// the real field layout so the pad survives field changes.
+type tableShard struct {
+	tableShardCore
+	_ [(cacheLine - unsafe.Sizeof(tableShardCore{})%cacheLine) % cacheLine]byte
+}
+
+// cacheLine is the coherence granule the shard padding targets.
+const cacheLine = 64
 
 // Table tracks flows and allocates collision-free FIDs by linear
 // probing in FID space: a flow whose home slot is taken by a different
@@ -151,17 +251,30 @@ type tableShard struct {
 // drives it from one goroutine per RSS queue.
 type Table struct {
 	shards [ShardCount]tableShard
+	// gen counts mutations that can invalidate a cached Handle:
+	// removals and restore-time replacements. Workers revalidate
+	// cached handles with one atomic load; insertions of *new* flows
+	// deliberately do not bump it (they cannot change what an existing
+	// tuple's handle refers to).
+	gen atomic.Uint64
 }
 
 // NewTable returns an empty flow table.
 func NewTable() *Table {
 	t := &Table{}
 	for i := range t.shards {
-		t.shards[i].entries = make(map[FID]*Entry)
-		t.shards[i].byTuple = make(map[packet.FiveTuple]*Entry)
+		t.shards[i].entries = make(map[FID]*tracked)
+		t.shards[i].byTuple = make(map[packet.FiveTuple]*tracked)
 	}
 	return t
 }
+
+// Gen returns the handle-invalidation generation. A Handle acquired
+// after reading Gen() is valid for exactly as long as Gen() still
+// returns that value (read the generation *before* Acquire, so a
+// racing removal can only make the cached handle conservatively
+// stale).
+func (t *Table) Gen() uint64 { return t.gen.Load() }
 
 // shardFor returns the shard owning a FID (equivalently: the shard
 // owning every probe slot of the tuple hashing to that FID).
@@ -173,50 +286,59 @@ func (t *Table) shardFor(fid FID) *tableShard {
 func (t *Table) Lookup(ft packet.FiveTuple) (Entry, bool) {
 	s := t.shardFor(HashTuple(ft))
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	e, ok := s.byTuple[ft]
+	s.mu.RUnlock()
 	if !ok {
 		return Entry{}, false
 	}
-	return *e, true
+	return e.snapshot(), true
 }
 
-// TouchEstablished is the batched classifier's hot-path update: if the
-// tuple is tracked and the flow is established, it applies the
-// data-packet bookkeeping (packet and byte counts, LastSeen stamped
-// from a fresh tick of clock) and returns a snapshot — one lock
-// acquisition and one map hash for the lookup-then-update pair the
-// scalar path performs separately. Any other state (handshake, closed,
-// untracked) returns ok=false with the table and the clock untouched,
-// and the caller falls back to the full classifier state machine,
-// which ticks the clock itself — so every classified packet consumes
-// exactly one tick on either path.
+// Acquire returns a lock-free Handle on the tracked flow for ft. Read
+// Gen before calling and revalidate cached handles against it; see
+// Gen for the invalidation contract.
+func (t *Table) Acquire(ft packet.FiveTuple) (Handle, bool) {
+	s := t.shardFor(HashTuple(ft))
+	s.mu.RLock()
+	e, ok := s.byTuple[ft]
+	s.mu.RUnlock()
+	if !ok {
+		return Handle{}, false
+	}
+	return Handle{e}, true
+}
+
+// TouchEstablished is the scalar form of the batched classifier's
+// hot-path update: if the tuple is tracked and the flow is
+// established, it applies the data-packet bookkeeping (packet and
+// byte counts, LastSeen stamped from a fresh tick of clock) and
+// returns a snapshot. Any other state (handshake, closed, untracked)
+// returns ok=false with the table and the clock untouched, and the
+// caller falls back to the full classifier state machine, which ticks
+// the clock itself — so every classified packet consumes exactly one
+// tick on either path. Only the shard read lock is taken (map
+// structure); the bookkeeping itself is atomic per field.
 func (t *Table) TouchEstablished(ft packet.FiveTuple, bytes uint64, clock *atomic.Uint64) (Entry, bool) {
 	s := t.shardFor(HashTuple(ft))
-	s.mu.Lock()
+	s.mu.RLock()
 	e, ok := s.byTuple[ft]
-	if !ok || e.State != StateEstablished {
-		s.mu.Unlock()
+	s.mu.RUnlock()
+	if !ok || !(Handle{e}).TouchEstablished(bytes, clock) {
 		return Entry{}, false
 	}
-	e.Packets++
-	e.Bytes += bytes
-	e.LastSeen = clock.Add(1)
-	snap := *e
-	s.mu.Unlock()
-	return snap, true
+	return e.snapshot(), true
 }
 
 // LookupFID returns a snapshot of the entry for a FID, if tracked.
 func (t *Table) LookupFID(fid FID) (Entry, bool) {
 	s := t.shardFor(fid)
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	e, ok := s.entries[fid]
+	s.mu.RUnlock()
 	if !ok {
 		return Entry{}, false
 	}
-	return *e, true
+	return e.snapshot(), true
 }
 
 // Insert tracks a new flow, allocating a collision-free FID, and
@@ -228,17 +350,18 @@ func (t *Table) Insert(ft packet.FiveTuple) (Entry, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.byTuple[ft]; ok {
-		return *e, nil
+		return e.snapshot(), nil
 	}
 	fid := home
 	// Each shard owns (MaxFID+1)/ShardCount slots; probing in
 	// ShardCount strides visits exactly those.
 	for probes := 0; probes < (MaxFID+1)/ShardCount; probes++ {
 		if _, taken := s.entries[fid]; !taken {
-			e := &Entry{FID: fid, Tuple: ft, State: StateHandshake}
+			e := &tracked{fid: fid, tuple: ft}
+			e.state.Store(int32(StateHandshake))
 			s.entries[fid] = e
 			s.byTuple[ft] = e
-			return *e, nil
+			return e.snapshot(), nil
 		}
 		fid = (fid + ShardCount) & MaxFID
 	}
@@ -255,7 +378,8 @@ func (t *Table) Remove(fid FID) bool {
 		return false
 	}
 	delete(s.entries, fid)
-	delete(s.byTuple, e.Tuple)
+	delete(s.byTuple, e.tuple)
+	t.gen.Add(1)
 	return true
 }
 
@@ -287,8 +411,10 @@ func (t *Table) FIDs() []FID {
 	return out
 }
 
-// Update applies fn to the entry for fid under the shard lock. The
-// *Entry passed to fn must not be retained past the call.
+// Update applies fn to a snapshot of the entry for fid under the
+// shard lock and stores the mutable fields back. The *Entry passed to
+// fn must not be retained past the call; changes to FID or Tuple are
+// ignored (flow identity is immutable).
 func (t *Table) Update(fid FID, fn func(*Entry)) bool {
 	s := t.shardFor(fid)
 	s.mu.Lock()
@@ -297,7 +423,28 @@ func (t *Table) Update(fid FID, fn func(*Entry)) bool {
 	if !ok {
 		return false
 	}
-	fn(e)
+	snap := e.snapshot()
+	fn(&snap)
+	e.storeFrom(&snap)
+	return true
+}
+
+// Commit stores snap's mutable fields back into the tracked entry for
+// fid. It is the closure-free write half of a Lookup/Insert →
+// local-state-machine → Commit sequence (the scalar classifier's
+// shape): because RSS partitioning gives each flow a single writer,
+// the read-modify-write needs no lock across the sequence, and Commit
+// itself only takes the shard read lock to find the entry — the field
+// stores are atomic. It reports whether the flow is still tracked.
+func (t *Table) Commit(fid FID, snap *Entry) bool {
+	s := t.shardFor(fid)
+	s.mu.RLock()
+	e, ok := s.entries[fid]
+	s.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	e.storeFrom(snap)
 	return true
 }
 
@@ -309,7 +456,7 @@ func (t *Table) Snapshot() []Entry {
 		s := &t.shards[i]
 		s.mu.RLock()
 		for _, e := range s.entries {
-			out = append(out, *e)
+			out = append(out, e.snapshot())
 		}
 		s.mu.RUnlock()
 	}
@@ -320,20 +467,23 @@ func (t *Table) Snapshot() []Entry {
 // RestoreEntry places a checkpointed entry back at its recorded FID,
 // bypassing Insert's probing (the FID was already allocated when the
 // snapshot was taken, so probe order must not re-run). An existing
-// entry at the FID or tuple is replaced.
+// entry at the FID or tuple is replaced, and cached handles are
+// invalidated.
 func (t *Table) RestoreEntry(e Entry) {
 	s := t.shardFor(e.FID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if old, ok := s.entries[e.FID]; ok {
-		delete(s.byTuple, old.Tuple)
+		delete(s.byTuple, old.tuple)
 	}
 	if old, ok := s.byTuple[e.Tuple]; ok {
-		delete(s.entries, old.FID)
+		delete(s.entries, old.fid)
 	}
-	stored := e
-	s.entries[e.FID] = &stored
-	s.byTuple[e.Tuple] = &stored
+	stored := &tracked{fid: e.FID, tuple: e.Tuple}
+	stored.storeFrom(&e)
+	s.entries[e.FID] = stored
+	s.byTuple[e.Tuple] = stored
+	t.gen.Add(1)
 }
 
 // IdleSince returns the FIDs of flows whose LastSeen is strictly
@@ -344,7 +494,7 @@ func (t *Table) IdleSince(cutoff uint64) []FID {
 		s := &t.shards[i]
 		s.mu.RLock()
 		for fid, e := range s.entries {
-			if e.LastSeen < cutoff {
+			if e.lastSeen.Load() < cutoff {
 				out = append(out, fid)
 			}
 		}

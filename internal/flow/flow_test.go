@@ -113,9 +113,10 @@ func TestTableCollisionProbing(t *testing.T) {
 	victim := tuple(2)
 	home := HashTuple(victim)
 	s := tbl.shardFor(home)
-	squatter := &Entry{FID: home, Tuple: tuple(999), State: StateEstablished}
+	squatter := &tracked{fid: home, tuple: tuple(999)}
+	squatter.state.Store(int32(StateEstablished))
 	s.entries[home] = squatter
-	s.byTuple[squatter.Tuple] = squatter
+	s.byTuple[squatter.tuple] = squatter
 
 	e, err := tbl.Insert(victim)
 	if err != nil {

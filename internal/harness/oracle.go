@@ -606,6 +606,10 @@ scan:
 				if r, ok := fastEng.Global().Lookup(fastRes.FID); ok {
 					broken := *r
 					cfg.TamperRule(&broken)
+					// Recompile so the tamper reaches the compiled
+					// action program the data path executes — exactly
+					// as a genuinely broken Consolidate would.
+					broken.Compile()
 					fastEng.Global().Install(&broken)
 				}
 			}

@@ -146,6 +146,7 @@ func Consolidate(fid flow.FID, contribs []Contribution) (*GlobalRule, error) {
 		rule.Stack = StackOps{}
 	}
 	rule.Plan = sfunc.Plan(rule.Batches)
+	rule.Compile()
 	return rule, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"github.com/fastpathnfv/speedybox/internal/flow"
 	"github.com/fastpathnfv/speedybox/internal/packet"
@@ -47,6 +48,14 @@ type GlobalRule struct {
 	// retired chain layout: LookupLive refuses it even before the
 	// post-reconfiguration sweep reaches its shard.
 	Epoch uint64
+	// Prog is the compiled action program: the rule's header work
+	// (residual decaps, encaps, merged modifies, checksum refresh)
+	// flattened into one opcode+immediate byte stream at consolidation
+	// time, executed per packet by ExecHeader's small loop instead of
+	// interpreting the three slices above. Nil means not compiled
+	// (hand-built rules, rules decoded from an old WAL); ExecHeader
+	// then falls back to ApplyHeader, the reference implementation.
+	Prog []byte
 }
 
 // ApplyHeader performs the consolidated header work on a packet:
@@ -134,25 +143,155 @@ const ShardCount = 32
 
 const shardMask = ShardCount - 1
 
-// globalShard is one independently locked slice of the rule table.
-type globalShard struct {
-	mu    sync.RWMutex
-	rules map[flow.FID]*GlobalRule
-	// stale marks rules known to disagree with the Local MATs (a
+// shardBits is log2(ShardCount): the FID bits consumed by shard
+// selection, skipped by the in-shard slot hash.
+const shardBits = 5
+
+// ruleSlot is one slot of a shard's open-addressing table: the rule,
+// its key, and the per-rule flags that LookupLive consults (staleness
+// rides in the slot, not a side map, so the lock-free read path
+// resolves liveness and the rule in one probe).
+type ruleSlot struct {
+	rule *GlobalRule
+	fid  flow.FID
+	used bool
+	// stale marks a rule known to disagree with the Local MATs (a
 	// failed install left the previous version behind, or a recompute
-	// was dropped). LookupLive refuses them so the fast path degrades
+	// was dropped). LookupLive refuses it so the fast path degrades
 	// to the slow path instead of serving outdated actions.
-	stale map[flow.FID]struct{}
-	_     [16]byte // pad to a 64-byte cache line (best effort)
+	stale bool
 }
+
+// ruleTable is one shard's immutable table snapshot: a power-of-two
+// open-addressing array probed linearly. Writers never mutate a
+// published snapshot — every mutation builds a replacement under the
+// shard mutex and publishes it with one atomic pointer store — so
+// readers probe without locks, fences or torn-read hazards. The table
+// is tombstone-free: removal rebuilds the array, so probe chains
+// never accumulate dead slots.
+type ruleTable struct {
+	slots []ruleSlot
+	mask  uint32 // len(slots)-1
+	count int    // occupied slots
+	stale int    // stale-marked among them
+}
+
+// emptyRuleTable is the shared snapshot of an empty shard: one unused
+// slot, so probes terminate immediately. Immutable, hence shareable
+// by every shard of every Global.
+var emptyRuleTable = &ruleTable{slots: make([]ruleSlot, 1)}
+
+// hashFID spreads a FID over a shard's slot array. All FIDs of a
+// shard agree on the low shardBits, so the multiplicative hash runs on
+// the distinguishing high bits, with a fold so the table-index low
+// bits of the product are well mixed.
+func hashFID(fid flow.FID) uint32 {
+	h := uint32(fid>>shardBits) * 2654435761 // Knuth's multiplicative constant
+	return h ^ h>>16
+}
+
+// get returns the slot holding fid, or nil. The probe always
+// terminates: builders keep load strictly below capacity, so every
+// chain reaches an unused slot.
+func (t *ruleTable) get(fid flow.FID) *ruleSlot {
+	i := hashFID(fid) & t.mask
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			return nil
+		}
+		if s.fid == fid {
+			return s
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// place inserts a slot during table construction (never on a
+// published table). The caller guarantees free capacity and that fid
+// is not already present.
+func (t *ruleTable) place(s ruleSlot) {
+	i := hashFID(s.fid) & t.mask
+	for t.slots[i].used {
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = s
+	t.count++
+	if s.stale {
+		t.stale++
+	}
+}
+
+// tableFor returns an unpublished table sized for n rules at under
+// 3/4 load, minimum 8 slots.
+func tableFor(n int) *ruleTable {
+	size := 8
+	for n >= size-size/4 {
+		size *= 2
+	}
+	return &ruleTable{slots: make([]ruleSlot, size), mask: uint32(size - 1)}
+}
+
+// rebuild returns an unpublished copy of t sized for its count plus
+// extra upcoming insertions, skipping the slot for skip (NoFID-like
+// sentinel: pass an impossible key to keep everything). Rehashing
+// from scratch is what makes removal tombstone-free.
+func (t *ruleTable) rebuild(extra int, skip flow.FID, skipValid bool) *ruleTable {
+	n := t.count + extra
+	if skipValid {
+		n--
+	}
+	nt := tableFor(n)
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.used || (skipValid && s.fid == skip) {
+			continue
+		}
+		nt.place(*s)
+	}
+	return nt
+}
+
+// globalShardCore is the hot state of one shard: the write-serializing
+// mutex and the published snapshot pointer.
+type globalShardCore struct {
+	mu    sync.Mutex
+	table atomic.Pointer[ruleTable]
+}
+
+// globalShard pads the core to a full cache-line multiple, computed
+// from the real field layout (a hard-coded pad silently stops padding
+// when fields change), so no two shards' hot words share a line.
+type globalShard struct {
+	globalShardCore
+	_ [(cacheLine - unsafe.Sizeof(globalShardCore{})%cacheLine) % cacheLine]byte
+}
+
+// cacheLine is the coherence granule the shard padding targets.
+const cacheLine = 64
 
 // Global is the Global MAT: the table of consolidated fast-path rules
 // keyed by FID (implemented in BESS as a global array reachable from
 // all Local MATs, and in ONVM at the NF manager, §VI-A). It is safe
 // for concurrent use; rules returned by Lookup are immutable once
 // installed — replacement installs a fresh rule pointer.
+//
+// Reads are lock-free: each shard publishes an immutable
+// open-addressing snapshot through an atomic pointer, so the data
+// path's LookupLive is one atomic load plus a linear probe over
+// contiguous slots — no mutex, no map hashing. Writers serialize on
+// the shard mutex, copy the slot array, apply the mutation to the
+// copy, publish it, and only then bump the generation: a worker cache
+// that validated against the pre-publication generation is invalidated
+// by the bump, and one that read the post-bump generation can only
+// have probed the already-published snapshot (or a newer one), so a
+// generation-valid cached rule is never staler than the table.
 type Global struct {
 	shards [ShardCount]globalShard
+	// publishes counts snapshot publications (copy-on-write table
+	// swaps), one per successful mutation — the control-plane write
+	// amplification the lock-free read path is bought with.
+	publishes atomic.Uint64
 	// gen counts table mutations that can change what LookupLive
 	// returns (Install, Remove, MarkStale — bumped under the owning
 	// shard's lock). Batch workers cache rule pointers keyed by this
@@ -224,8 +363,7 @@ func NewGlobal() *Global {
 	g := &Global{}
 	g.gen.Store(tableGen.Add(1) << 32)
 	for i := range g.shards {
-		g.shards[i].rules = make(map[flow.FID]*GlobalRule)
-		g.shards[i].stale = make(map[flow.FID]struct{})
+		g.shards[i].table.Store(emptyRuleTable)
 	}
 	return g
 }
@@ -234,32 +372,47 @@ func (g *Global) shardFor(fid flow.FID) *globalShard {
 	return &g.shards[uint32(fid)&shardMask]
 }
 
+// publish swaps in a shard's new snapshot and then bumps the table
+// generation — in that order, so a reader that observes the new
+// generation before probing can only see the new (or an even newer)
+// snapshot. The caller holds the shard mutex.
+func (g *Global) publish(s *globalShard, t *ruleTable) {
+	s.table.Store(t)
+	g.publishes.Add(1)
+	g.gen.Add(1)
+}
+
+// Publishes returns the number of copy-on-write snapshot publications
+// since the table was created — the write-side cost of lock-free
+// reads, for telemetry and capacity planning.
+func (g *Global) Publishes() uint64 { return g.publishes.Load() }
+
 // Install inserts or replaces the rule for a flow, reporting whether
 // an existing rule was replaced (telemetry distinguishes first-time
 // installs from event-driven reconsolidations). When replacing, the
 // version counter carries over and increments — on a private copy of
 // the rule, never by writing through the caller's pointer: platforms
 // may still hold (and read) previously installed rules concurrently.
+// A fresh install supersedes any stale mark.
 func (g *Global) Install(r *GlobalRule) (replaced bool) {
 	s := g.shardFor(r.FID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	g.gen.Add(1)
-	delete(s.stale, r.FID) // a fresh install supersedes any stale mark
-	if old, ok := s.rules[r.FID]; ok {
+	t := s.table.Load()
+	stored := r
+	if old := t.get(r.FID); old != nil {
 		versioned := *r
-		versioned.Version = old.Version + 1
-		s.rules[r.FID] = &versioned
-		if j := g.journalOf(); j != nil {
-			j.RuleInstalled(&versioned, true)
-		}
-		return true
+		versioned.Version = old.rule.Version + 1
+		stored = &versioned
+		replaced = true
 	}
-	s.rules[r.FID] = r
+	nt := t.rebuild(1, r.FID, replaced)
+	nt.place(ruleSlot{rule: stored, fid: r.FID, used: true})
+	g.publish(s, nt)
 	if j := g.journalOf(); j != nil {
-		j.RuleInstalled(r, false)
+		j.RuleInstalled(stored, replaced)
 	}
-	return false
+	return replaced
 }
 
 // Gen returns the table's mutation generation. A rule obtained from
@@ -313,34 +466,37 @@ func (g *Global) SweepEpoch(cur uint64) int {
 	for i := range g.shards {
 		s := &g.shards[i]
 		s.mu.Lock()
+		t := s.table.Load()
 		marked := false
-		for fid, r := range s.rules {
-			if r.Epoch == cur {
+		var nt *ruleTable
+		for si := range t.slots {
+			sl := &t.slots[si]
+			if !sl.used || sl.stale || sl.rule.Epoch == cur {
 				continue
 			}
-			if _, already := s.stale[fid]; already {
-				continue
+			if nt == nil {
+				nt = t.rebuild(0, 0, false)
 			}
-			s.stale[fid] = struct{}{}
+			nt.get(sl.fid).stale = true
+			nt.stale++
 			marked = true
 			n++
 		}
 		if marked {
-			g.gen.Add(1)
+			g.publish(s, nt)
 		}
 		s.mu.Unlock()
 	}
 	return n
 }
 
-// Lookup fetches the rule for a flow. The returned rule must be
-// treated as immutable.
+// Lookup fetches the rule for a flow, lock-free off the shard's
+// published snapshot. The returned rule must be treated as immutable.
 func (g *Global) Lookup(fid flow.FID) (*GlobalRule, bool) {
-	s := g.shardFor(fid)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.rules[fid]
-	return r, ok
+	if sl := g.shardFor(fid).table.Load().get(fid); sl != nil {
+		return sl.rule, true
+	}
+	return nil, false
 }
 
 // Remove deletes a flow's rule (FIN/RST teardown, §VI-B). It reports
@@ -349,12 +505,15 @@ func (g *Global) Remove(fid flow.FID) bool {
 	s := g.shardFor(fid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	g.gen.Add(1)
-	delete(s.stale, fid)
-	if _, ok := s.rules[fid]; !ok {
+	t := s.table.Load()
+	if t.get(fid) == nil {
+		// Nothing to remove; bump the generation anyway so the call's
+		// cache-invalidation contract matches the locked-table era
+		// (callers rely on Remove invalidating worker caches).
+		g.gen.Add(1)
 		return false
 	}
-	delete(s.rules, fid)
+	g.publish(s, t.rebuild(0, fid, true))
 	if j := g.journalOf(); j != nil {
 		j.RuleRemoved(fid)
 	}
@@ -372,11 +531,20 @@ func (g *Global) MarkStale(fid flow.FID) bool {
 	s := g.shardFor(fid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	g.gen.Add(1)
-	if _, ok := s.rules[fid]; !ok {
+	t := s.table.Load()
+	sl := t.get(fid)
+	if sl == nil {
+		g.gen.Add(1) // cache-invalidation contract, as in Remove
 		return false
 	}
-	s.stale[fid] = struct{}{}
+	if !sl.stale {
+		nt := t.rebuild(0, 0, false)
+		nt.get(fid).stale = true
+		nt.stale++
+		g.publish(s, nt)
+	} else {
+		g.gen.Add(1)
+	}
 	if j := g.journalOf(); j != nil {
 		j.RuleStaled(fid)
 	}
@@ -385,41 +553,33 @@ func (g *Global) MarkStale(fid flow.FID) bool {
 
 // IsStale reports whether the flow's rule is stale-marked.
 func (g *Global) IsStale(fid flow.FID) bool {
-	s := g.shardFor(fid)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.stale[fid]
-	return ok
+	sl := g.shardFor(fid).table.Load().get(fid)
+	return sl != nil && sl.stale
 }
 
 // LookupLive fetches the rule for a flow only if it is current: a
 // stale-marked rule misses, sending the caller to the always-correct
-// slow path. This is the data path's (and classifier probe's) lookup;
-// plain Lookup keeps returning stale rules for inspection.
+// slow path. This is the data path's (and classifier probe's) lookup —
+// one atomic snapshot load and a lock-free linear probe; plain Lookup
+// keeps returning stale rules for inspection.
 func (g *Global) LookupLive(fid flow.FID) (*GlobalRule, bool) {
-	s := g.shardFor(fid)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, stale := s.stale[fid]; stale {
+	sl := g.shardFor(fid).table.Load().get(fid)
+	if sl == nil || sl.stale {
 		return nil, false
 	}
-	r, ok := s.rules[fid]
-	if ok && r.Epoch != g.epoch.Load() {
+	if sl.rule.Epoch != g.epoch.Load() {
 		// Consolidated under a retired chain layout; dead even if the
 		// epoch sweep has not stale-marked it yet.
 		return nil, false
 	}
-	return r, ok
+	return sl.rule, true
 }
 
 // StaleLen returns the number of stale-marked rules.
 func (g *Global) StaleLen() int {
 	n := 0
 	for i := range g.shards {
-		s := &g.shards[i]
-		s.mu.RLock()
-		n += len(s.stale)
-		s.mu.RUnlock()
+		n += g.shards[i].table.Load().stale
 	}
 	return n
 }
@@ -428,24 +588,23 @@ func (g *Global) StaleLen() int {
 func (g *Global) Len() int {
 	n := 0
 	for i := range g.shards {
-		s := &g.shards[i]
-		s.mu.RLock()
-		n += len(s.rules)
-		s.mu.RUnlock()
+		n += g.shards[i].table.Load().count
 	}
 	return n
 }
 
-// ForEach calls fn for every installed rule under the shard read
-// locks; fn must not mutate the rule or call back into the table.
+// ForEach calls fn for every installed rule. It iterates each shard's
+// published snapshot, so fn sees a per-shard-consistent view and may
+// safely call back into the table; rules must still be treated as
+// immutable.
 func (g *Global) ForEach(fn func(*GlobalRule)) {
 	for i := range g.shards {
-		s := &g.shards[i]
-		s.mu.RLock()
-		for _, r := range s.rules {
-			fn(r)
+		t := g.shards[i].table.Load()
+		for si := range t.slots {
+			if t.slots[si].used {
+				fn(t.slots[si].rule)
+			}
 		}
-		s.mu.RUnlock()
 	}
 }
 

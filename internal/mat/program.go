@@ -1,0 +1,149 @@
+package mat
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// Compiled action programs. Interpreting a consolidated rule means
+// walking three slices of structs per packet (Stack.Decaps,
+// Stack.Encaps, Modifies) plus a touched-flag branch for the checksum
+// refresh. A rule's header work is fixed at consolidation time, so it
+// compiles once into a flat byte program — opcode, then immediate
+// operands, contiguous in one allocation — and the per-packet executor
+// is a single loop over that byte slice with no pointer chasing and a
+// branch pattern the predictor learns after one packet. ApplyHeader
+// remains the reference implementation: the executor must be
+// byte-identical to it (the program differential fuzzer enforces
+// this), and rules without a program (hand-built tests, rules decoded
+// from an old WAL) transparently fall back to it.
+//
+// Layout: prog[0] is the format version; the opcodes follow. A
+// forward-only rule compiles to just the version byte, so the hot
+// common case — no residual header work — executes zero opcodes.
+const (
+	// progVersion is the program format tag in prog[0]. Bump it when
+	// the encoding changes; the executor falls back to ApplyHeader on
+	// an unknown version, so stale programs degrade to interpretation
+	// instead of misexecuting.
+	progVersion = 1
+)
+
+// Program opcodes. Each is followed by its fixed-size operands.
+const (
+	// opDrop consumes the packet (terminal; compiled alone).
+	opDrop byte = iota + 1
+	// opDecap pops the outermost header: operand [1]type.
+	opDecap
+	// opEncap pushes a header: operands [1]type [4]spi [4]seq [2]tag
+	// (big-endian), mirroring packet.ExtraHeader.
+	opEncap
+	// opModify rewrites a header field: operands [1]field [1]width,
+	// then width value bytes. The executor passes the value as a
+	// subslice of the program, so no per-packet copy is made.
+	opModify
+	// opChecksum refreshes the IPv4 and transport checksums (terminal
+	// when present; compiled iff any prior opcode touched the header).
+	opChecksum
+)
+
+// Compile builds (and attaches) the rule's action program from its
+// consolidated header work. Consolidate calls it on every rule it
+// emits; restore paths call it on rules decoded from a WAL or
+// checkpoint, whose encodings predate the program.
+func (r *GlobalRule) Compile() {
+	r.Prog = compileHeader(r)
+}
+
+// compileHeader encodes the rule's header work in ApplyHeader's exact
+// order: decaps, encaps, modifies, checksum refresh if anything was
+// touched. Drop rules compile to the lone drop opcode (Consolidate
+// already clears their header work).
+func compileHeader(r *GlobalRule) []byte {
+	if r.Drop {
+		return []byte{progVersion, opDrop}
+	}
+	n := 1 + 2*len(r.Stack.Decaps) + 12*len(r.Stack.Encaps)
+	for _, m := range r.Modifies {
+		n += 3 + len(m.Value)
+	}
+	touched := len(r.Stack.Decaps) > 0 || len(r.Stack.Encaps) > 0 || len(r.Modifies) > 0
+	if touched {
+		n++
+	}
+	p := make([]byte, 1, n)
+	p[0] = progVersion
+	for _, t := range r.Stack.Decaps {
+		p = append(p, opDecap, byte(t))
+	}
+	for _, h := range r.Stack.Encaps {
+		var op [11]byte
+		op[0] = byte(h.Type)
+		binary.BigEndian.PutUint32(op[1:5], h.SPI)
+		binary.BigEndian.PutUint32(op[5:9], h.Seq)
+		binary.BigEndian.PutUint16(op[9:11], h.Tag)
+		p = append(p, opEncap)
+		p = append(p, op[:]...)
+	}
+	for _, m := range r.Modifies {
+		p = append(p, opModify, byte(m.Field), byte(len(m.Value)))
+		p = append(p, m.Value...)
+	}
+	if touched {
+		p = append(p, opChecksum)
+	}
+	return p
+}
+
+// ExecHeader performs the consolidated header work by running the
+// rule's compiled action program; it is the data path's ApplyHeader.
+// A rule without a program (or with one in an unknown format) falls
+// back to the interpreted reference. It returns false when the
+// verdict is drop.
+func (r *GlobalRule) ExecHeader(pkt *packet.Packet) (alive bool, err error) {
+	p := r.Prog
+	if len(p) == 0 || p[0] != progVersion {
+		return r.ApplyHeader(pkt)
+	}
+	for i := 1; i < len(p); {
+		switch p[i] {
+		case opDrop:
+			pkt.Drop()
+			return false, nil
+		case opDecap:
+			if err := pkt.Decap(packet.HeaderType(p[i+1])); err != nil {
+				return false, fmt.Errorf("mat: global rule %v: %w", r.FID, err)
+			}
+			i += 2
+		case opEncap:
+			h := packet.ExtraHeader{
+				Type: packet.HeaderType(p[i+1]),
+				SPI:  binary.BigEndian.Uint32(p[i+2 : i+6]),
+				Seq:  binary.BigEndian.Uint32(p[i+6 : i+10]),
+				Tag:  binary.BigEndian.Uint16(p[i+10 : i+12]),
+			}
+			if err := pkt.Encap(h); err != nil {
+				return false, fmt.Errorf("mat: global rule %v: %w", r.FID, err)
+			}
+			i += 12
+		case opModify:
+			f := packet.Field(p[i+1])
+			w := int(p[i+2])
+			if err := pkt.Set(f, p[i+3:i+3+w]); err != nil {
+				return false, fmt.Errorf("mat: global rule %v: %w", r.FID, err)
+			}
+			i += 3 + w
+		case opChecksum:
+			if err := pkt.FinalizeChecksums(); err != nil {
+				return false, err
+			}
+			i++
+		default:
+			// Corrupt program: the interpreted path is always correct.
+			return r.ApplyHeader(pkt)
+		}
+	}
+	return true, nil
+}

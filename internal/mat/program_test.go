@@ -1,0 +1,187 @@
+package mat
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+// progTestPacket builds the canonical test packet the program tests
+// mutate.
+func progTestPacket(t testing.TB) *packet.Packet {
+	t.Helper()
+	p, err := packet.Build(packet.Spec{
+		SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 0, 0, 2),
+		SrcPort: 1111, DstPort: 2222, Proto: packet.ProtoTCP,
+		TCPFlags: packet.TCPFlagACK, Seq: 7,
+		Payload: []byte("program-equivalence"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// diffExec runs the interpreted reference and the compiled executor on
+// clones of the same packet and fails on any observable divergence:
+// aliveness, error, drop flag, or output bytes.
+func diffExec(t *testing.T, rule *GlobalRule, base *packet.Packet) {
+	t.Helper()
+	pRef, pProg := base.Clone(), base.Clone()
+	aliveRef, errRef := rule.ApplyHeader(pRef)
+	aliveProg, errProg := rule.ExecHeader(pProg)
+	if (errRef == nil) != (errProg == nil) {
+		t.Fatalf("error divergence: interpreted %v, compiled %v", errRef, errProg)
+	}
+	if errRef != nil {
+		if errRef.Error() != errProg.Error() {
+			t.Fatalf("error text divergence:\ninterpreted: %v\ncompiled:    %v", errRef, errProg)
+		}
+		return
+	}
+	if aliveRef != aliveProg {
+		t.Fatalf("verdict divergence: interpreted alive=%v, compiled alive=%v", aliveRef, aliveProg)
+	}
+	if pRef.Dropped() != pProg.Dropped() {
+		t.Fatalf("drop-flag divergence: interpreted %v, compiled %v", pRef.Dropped(), pProg.Dropped())
+	}
+	if !aliveRef {
+		return
+	}
+	if !bytes.Equal(pRef.Data(), pProg.Data()) {
+		t.Fatalf("byte divergence:\ninterpreted: %x\ncompiled:    %x", pRef.Data(), pProg.Data())
+	}
+}
+
+// FuzzProgramExec is the compiled-program equivalence property: for
+// every rule the consolidator emits from fuzzed per-NF action lists,
+// executing the compiled program must be observably identical — alive
+// verdict, error, drop flag and output bytes — to interpreting the
+// rule with ApplyHeader, which remains the reference implementation.
+// The corpus decoder is shared with FuzzConsolidate, so the program
+// executor is exercised over exactly the rule shapes consolidation can
+// produce (including decap-of-absent-header runtime errors).
+func FuzzProgramExec(f *testing.F) {
+	f.Add([]byte{0, 1, 0})
+	f.Add([]byte{3, 4, 1, 1, 9, 9, 9, 9, 1, 0, 10, 0, 0, 2, 1})
+	f.Add([]byte{1, 3, 2, 7, 3, 200, 4, 1})
+	f.Add([]byte{2, 2, 1, 5, 42, 42, 0, 13})
+	f.Add([]byte{0, 2, 5, 0, 5, 1, 1})
+	f.Add([]byte{255, 4, 2, 9, 1, 1, 1, 2, 3, 4, 3, 77, 4, 1, 1, 3, 1, 4, 5, 6, 0, 26})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cs := decodeContribs(data)
+		if len(cs) == 0 {
+			t.Skip()
+		}
+		rule, err := Consolidate(1, cs)
+		if err != nil {
+			if !errors.Is(err, ErrNotConsolidatable) {
+				t.Fatalf("Consolidate failed with a non-sentinel error: %v", err)
+			}
+			return
+		}
+		if len(rule.Prog) == 0 {
+			t.Fatal("Consolidate emitted a rule without a compiled program")
+		}
+		base, err := packet.Build(packet.Spec{
+			SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 0, 0, 2),
+			SrcPort: 1111, DstPort: 2222, Proto: packet.ProtoTCP,
+			TCPFlags: packet.TCPFlagACK, Seq: 7,
+			Payload: []byte("program-equivalence"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffExec(t, rule, base)
+	})
+}
+
+// TestProgramForwardOnly checks the hot common case: a rule with no
+// residual header work compiles to just the version byte, and the
+// executor leaves the packet untouched.
+func TestProgramForwardOnly(t *testing.T) {
+	rule := &GlobalRule{FID: 3}
+	rule.Compile()
+	if len(rule.Prog) != 1 || rule.Prog[0] != progVersion {
+		t.Fatalf("forward-only program = %x, want just the version byte", rule.Prog)
+	}
+	p := progTestPacket(t)
+	before := append([]byte(nil), p.Data()...)
+	alive, err := rule.ExecHeader(p)
+	if err != nil || !alive {
+		t.Fatalf("ExecHeader = (%v, %v), want (true, nil)", alive, err)
+	}
+	if !bytes.Equal(before, p.Data()) {
+		t.Fatal("forward-only program mutated the packet")
+	}
+}
+
+// TestProgramDrop checks that a drop rule compiles to the lone drop
+// opcode and the executor consumes the packet.
+func TestProgramDrop(t *testing.T) {
+	rule := &GlobalRule{FID: 4, Drop: true}
+	rule.Compile()
+	want := []byte{progVersion, opDrop}
+	if !bytes.Equal(rule.Prog, want) {
+		t.Fatalf("drop program = %x, want %x", rule.Prog, want)
+	}
+	p := progTestPacket(t)
+	alive, err := rule.ExecHeader(p)
+	if err != nil || alive {
+		t.Fatalf("ExecHeader = (%v, %v), want (false, nil)", alive, err)
+	}
+	if !p.Dropped() {
+		t.Fatal("packet not marked dropped")
+	}
+}
+
+// TestProgramFallback checks every degradation path to the interpreted
+// reference: no program at all, an unknown format version, and a
+// corrupt opcode mid-program. All three must produce ApplyHeader's
+// exact output.
+func TestProgramFallback(t *testing.T) {
+	mkRule := func() *GlobalRule {
+		return &GlobalRule{
+			FID: 9,
+			Modifies: []FieldValue{
+				{Field: packet.FieldTTL, Value: []byte{17}},
+				{Field: packet.FieldDstPort, Value: []byte{0x1f, 0x90}},
+			},
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		prog func(r *GlobalRule)
+	}{
+		{"nil-program", func(r *GlobalRule) { r.Prog = nil }},
+		{"unknown-version", func(r *GlobalRule) {
+			r.Compile()
+			r.Prog[0] = progVersion + 1
+		}},
+		{"corrupt-opcode", func(r *GlobalRule) {
+			r.Compile()
+			r.Prog[1] = 0xee // not an opcode: executor must bail to the reference
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rule := mkRule()
+			tc.prog(rule)
+			diffExec(t, rule, progTestPacket(t))
+		})
+	}
+}
+
+// TestProgramErrorParity checks that runtime failures — here a decap
+// of a header the packet never carried — surface identically from the
+// compiled and interpreted paths, including the error text.
+func TestProgramErrorParity(t *testing.T) {
+	rule := &GlobalRule{FID: 11, Stack: StackOps{Decaps: []packet.HeaderType{packet.HeaderAH}}}
+	rule.Compile()
+	diffExec(t, rule, progTestPacket(t))
+	p := progTestPacket(t)
+	if _, err := rule.ExecHeader(p); err == nil {
+		t.Fatal("decap of absent header succeeded")
+	}
+}

@@ -135,6 +135,23 @@ func (p *Packet) FiveTuple() (FiveTuple, error) {
 	return ft, nil
 }
 
+// FlowKey returns the five-tuple packed into two words — the source
+// and destination addresses in hi, the ports and protocol in lo — for
+// key comparisons on hot paths that would otherwise build and compare
+// the 13-byte FiveTuple struct per packet. Two packets have equal
+// (hi, lo) keys exactly when their FiveTuples are equal. ok is false
+// for unparsed packets.
+func (p *Packet) FlowKey() (hi, lo uint64, ok bool) {
+	if !p.parsed {
+		return 0, 0, false
+	}
+	ip := p.hdr.IPOff
+	l4 := p.hdr.L4Off
+	hi = binary.BigEndian.Uint64(p.data[ip+12 : ip+20])
+	lo = uint64(binary.BigEndian.Uint32(p.data[l4:l4+4]))<<8 | uint64(p.hdr.L4Proto)
+	return hi, lo, true
+}
+
 // TCP flag bits in the 13th byte of the TCP header.
 const (
 	TCPFlagFIN = 1 << 0

@@ -119,6 +119,26 @@ func (m *MultiQueue) SetClasses(classes []ChainClass, route func(*packet.Packet)
 	return nil
 }
 
+// partition maps a flow's home FID (flow.HashTuple) to a worker queue.
+// For worker counts up to the engine's shard count, the mapping groups
+// whole state shards into contiguous per-worker ranges: the engine
+// shards every per-flow structure — flow table, Global MAT, stats,
+// degradation ladder — by the FID's low ShardCount bits, and flow-table
+// collision probing advances in ShardCount strides, so those bits are
+// stable for every FID a flow can end up with. Each shard (and each
+// shard's mutexes and cache lines) is then touched by exactly one
+// worker for the whole run instead of ping-ponging between cores.
+// Worker counts above the shard count cannot own whole shards and fall
+// back to plain modulo.
+func (m *MultiQueue) partition(home flow.FID) int {
+	w := uint32(m.workers)
+	if w <= flow.ShardCount {
+		shard := uint32(home) & (flow.ShardCount - 1)
+		return int(shard * w / flow.ShardCount)
+	}
+	return int(uint32(home) % w)
+}
+
 // drainClasses feeds one worker's queue through the class platforms in
 // weighted-round-robin order: per round, class c processes up to
 // Weight×quantum of its own backlog, then yields. Packets keep their
@@ -254,7 +274,7 @@ func (m *MultiQueue) Run(pkts []*packet.Packet) (*RunResult, error) {
 	for _, pkt := range pkts {
 		w := 0
 		if ft, err := pkt.FiveTuple(); err == nil {
-			w = int(uint32(flow.HashTuple(ft)) % uint32(m.workers))
+			w = m.partition(flow.HashTuple(ft))
 		}
 		queues[w] = append(queues[w], pkt)
 	}

@@ -153,6 +153,10 @@ func (im *RuleImage) Rule() *mat.GlobalRule {
 	r.Stack.Decaps = append(r.Stack.Decaps, im.Decaps...)
 	r.Stack.Encaps = append(r.Stack.Encaps, im.Encaps...)
 	r.Sources = append(r.Sources, im.Sources...)
+	// The image predates (or deliberately omits) the compiled action
+	// program; rebuild it so restored rules run the compiled fast path
+	// instead of falling back to interpretation forever.
+	r.Compile()
 	return r
 }
 
