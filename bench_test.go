@@ -653,6 +653,64 @@ func BenchmarkTopoFastPathBatch(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "pkts-Mpps")
 }
 
+// BenchmarkClusterFastPathBatch measures the clustered fast path in
+// steady state: a 2-instance fleet behind the consistent-hash steerer,
+// fed 32-packet vectors that ProcessRuns splits into same-instance
+// runs. Steering (route + view recheck + instance RLock) is in the
+// timed region — that is the cluster's per-packet overhead versus
+// BenchmarkFastPathBatch. Gated at 0 allocs/packet in CI: one
+// generation-banded Batch serves every instance, so the migration
+// machinery must cost nothing when no rebalance is in flight.
+func BenchmarkClusterFastPathBatch(b *testing.B) {
+	cl, err := speedybox.NewCluster(speedybox.ClusterConfig{
+		Chain: mqChain(b), Options: speedybox.DefaultOptions(), Instances: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	tr, err := speedybox.GenerateTrace(speedybox.TraceConfig{
+		Seed: 1, Flows: 8, MeanPackets: 256, SigmaPackets: 0.01,
+		UDPFraction: 1.0, Interleave: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := tr.Packets()
+	// Prime: record and consolidate every flow on its home instance;
+	// timed replays then run pure fast path.
+	if _, err := cl.RunBatch(pkts, 32, nil); err != nil {
+		b.Fatal(err)
+	}
+	spread := 0
+	for _, in := range cl.Instances() {
+		if in.Flows > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		b.Fatalf("trace landed on %d instance(s); steering not exercised", spread)
+	}
+	const vec = 32
+	vecs := make([][]*speedybox.Packet, 0, len(pkts)/vec)
+	for off := 0; off+vec <= len(pkts); off += vec {
+		vecs = append(vecs, pkts[off:off+vec])
+	}
+	bat := speedybox.NewBatch(vec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	i := 0
+	for n := 0; n < b.N; {
+		v := vecs[i%len(vecs)]
+		i++
+		if err := cl.ProcessRuns(v, vec, bat, nil); err != nil {
+			b.Fatal(err)
+		}
+		n += len(v)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "pkts-Mpps")
+}
+
 // BenchmarkTraceGeneration measures synthetic trace synthesis.
 func BenchmarkTraceGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {

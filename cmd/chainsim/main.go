@@ -8,6 +8,7 @@
 //	chainsim -chain ipfilter,snort,monitor -platform onvm -flows 300
 //	chainsim -chain vpn-encap,monitor,vpn-decap -compare=false -sbox
 //	chainsim -chain snort,monitor -pcap trace.pcap
+//	chainsim -chain nat,monitor -instances 4 -workers 8 -batch 32
 //	chainsim -config testdata/chain.json
 //	chainsim -chain nat,monitor -fault-rate 0.1 -fault-seed 7
 //	chainsim -topo examples/multitenant/topo.json -synflood 400
@@ -44,6 +45,7 @@ func run(args []string) error {
 	flows := fs.Int("flows", 200, "trace size in flows")
 	workers := fs.Int("workers", 1, "RSS worker queues: >1 hash-partitions flows across concurrent workers")
 	batch := fs.Int("batch", 0, "process packets in vectors of this size (0 = per-packet); composes with -workers")
+	instances := fs.Int("instances", 1, "engine instances behind the consistent-hash flow steerer: >1 runs a static cluster (bess only) and reports per-instance stats")
 	pcapPath := fs.String("pcap", "", "replay this pcap instead of generating a trace")
 	dumpRules := fs.Bool("dump-rules", false, "print the consolidated Global MAT rules after the SpeedyBox run")
 	snortRules := fs.String("snort-rules", "", "load Snort rules for snort NFs from this file (Snort rule syntax)")
@@ -60,6 +62,9 @@ func run(args []string) error {
 	}
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be >= 1 (got %d)", *workers)
+	}
+	if *instances < 1 {
+		return fmt.Errorf("-instances must be >= 1 (got %d)", *instances)
 	}
 	if *topoPath != "" {
 		return runTopo(topoRunConfig{
@@ -160,6 +165,39 @@ func run(args []string) error {
 		}
 		if err != nil {
 			return err
+		}
+		if *instances > 1 {
+			if *platformName != "bess" {
+				return fmt.Errorf("-instances > 1 requires -platform bess (got %q)", *platformName)
+			}
+			cl, err := speedybox.NewCluster(speedybox.ClusterConfig{
+				Chain: chain, Options: opts, Instances: *instances, Hub: hub,
+			})
+			if err != nil {
+				return err
+			}
+			res, err := cl.Run(pktsFor(), *workers, *batch)
+			if err != nil {
+				_ = cl.Close()
+				return err
+			}
+			rollup := cl.Instances()
+			if cerr := cl.Close(); cerr != nil {
+				return cerr
+			}
+			results = append(results, res)
+			report(fmt.Sprintf("%s x%d", *platformName, *instances), enabled, *workers, res)
+			for _, ist := range rollup {
+				fmt.Printf("  instance %-4s flows=%d epoch=%d packets=%d fastpath=%d slowpath=%d degraded=%d\n",
+					ist.Name, ist.Flows, ist.Epoch, ist.Stats.Packets,
+					ist.Stats.FastPath, ist.Stats.SlowPath, ist.Stats.DegradedPackets)
+			}
+			if inj != nil {
+				fmt.Printf("%-16s %s\n", "", inj.Summary())
+				fmt.Printf("%-16s fallbacks=%d degraded=%d recoveries=%d\n", "",
+					res.Stats.SlowPathFallbacks, res.Stats.DegradedPackets, res.Stats.FaultRecoveries)
+			}
+			continue
 		}
 		var p speedybox.Platform
 		switch *platformName {

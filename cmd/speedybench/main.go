@@ -46,7 +46,7 @@ func main() {
 type formatter interface{ Format() string }
 
 // experiments enumerates the runnable experiments in paper order.
-func experiments(cfg harness.Config, oracleSchedules, oracleReconfigs, oracleCrashes int, oracleTopo bool) []struct {
+func experiments(cfg harness.Config, oracleSchedules, oracleReconfigs, oracleCrashes int, oracleTopo, oracleCluster bool) []struct {
 	name string
 	run  func() (formatter, error)
 } {
@@ -70,7 +70,7 @@ func experiments(cfg harness.Config, oracleSchedules, oracleReconfigs, oracleCra
 			res, err := harness.RunOracle(harness.OracleConfig{
 				Seed: cfg.Seed, Schedules: oracleSchedules, Flows: cfg.Flows,
 				Batch: cfg.Batch, Reconfigs: oracleReconfigs, Crashes: oracleCrashes,
-				Topo: oracleTopo,
+				Topo: oracleTopo, Cluster: oracleCluster,
 			})
 			if err != nil {
 				return nil, err
@@ -110,6 +110,7 @@ func run(args []string, out io.Writer) error {
 	oracleReconfigs := fs.Int("oracle-reconfigs", 0, "live chain reconfigurations per oracle schedule (0 = none)")
 	oracleCrashes := fs.Int("oracle-crashes", 0, "engine kill/restore cycles per oracle schedule (0 = none, capped at 4)")
 	oracleTopo := fs.Bool("oracle-topo", false, "run the multi-chain topology oracle (three chains, three tenants, shared NFs) instead of the single-chain one")
+	oracleCluster := fs.Bool("oracle-cluster", false, "run the cluster oracle: an engine fleet scaling 1→2→4→3 mid-trace with live flow migration, against a static single-engine reference")
 	seed := fs.Int64("seed", 1, "trace generation seed")
 	flows := fs.Int("flows", 0, "trace size in flows (0 = experiment default)")
 	batch := fs.Int("batch", 0, "process packets in vectors of this size (0 = per-packet); for -exp oracle the fast engine runs batched against the scalar reference")
@@ -169,7 +170,7 @@ func run(args []string, out io.Writer) error {
 
 	jsonOut := make(map[string]any)
 	ran := false
-	for _, e := range experiments(cfg, *oracleSchedules, *oracleReconfigs, *oracleCrashes, *oracleTopo) {
+	for _, e := range experiments(cfg, *oracleSchedules, *oracleReconfigs, *oracleCrashes, *oracleTopo, *oracleCluster) {
 		if *exp != "all" && *exp != e.name {
 			continue
 		}

@@ -6,6 +6,7 @@
 //
 //	speedyboxd -config daemon.json
 //	speedyboxd -addr 127.0.0.1:7070 -spec chain.json -workers 8
+//	speedyboxd -instances 2   # engine fleet; POST /v1/cluster/scale resizes it live
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the traffic pump drains
 // at a packet boundary, a final checkpoint is written (when a
@@ -34,6 +35,8 @@ type fileConfig struct {
 	Chain          json.RawMessage `json:"chain,omitempty"` // inline chainspec.Spec
 	Workers        int             `json:"workers,omitempty"`
 	Batch          int             `json:"batch,omitempty"`
+	Instances      int             `json:"instances,omitempty"`
+	MaxInstances   int             `json:"max_instances,omitempty"`
 	Baseline       bool            `json:"baseline,omitempty"`
 	WALPath        string          `json:"wal_path,omitempty"`
 	WALGroupCommit int             `json:"wal_group_commit,omitempty"`
@@ -65,6 +68,8 @@ func run() error {
 		specPath   = flag.String("spec", "", "chain spec file (chainspec.Spec JSON)")
 		workers    = flag.Int("workers", 0, "multi-queue worker count (default 4)")
 		batch      = flag.Int("batch", 0, "per-worker batch size (default engine default)")
+		instances  = flag.Int("instances", 0, "engine instances behind the flow steerer; >1 enables cluster mode with POST /v1/cluster/scale (default 1)")
+		maxInst    = flag.Int("max-instances", 0, "autoscale suggestion upper bound in cluster mode (default 8)")
 		baseline   = flag.Bool("baseline", false, "disable SpeedyBox (original chain)")
 		walPath    = flag.String("wal", "", "file receiving the durable WAL stream")
 		walGroup   = flag.Int("wal-group-commit", 0, "WAL records per group commit")
@@ -93,6 +98,8 @@ func run() error {
 			Addr:           fc.Addr,
 			Workers:        fc.Workers,
 			BatchSize:      fc.Batch,
+			Instances:      fc.Instances,
+			MaxInstances:   fc.MaxInstances,
 			Baseline:       fc.Baseline,
 			WALPath:        fc.WALPath,
 			WALGroupCommit: fc.WALGroupCommit,
@@ -136,6 +143,12 @@ func run() error {
 	if *batch != 0 {
 		cfg.BatchSize = *batch
 	}
+	if *instances != 0 {
+		cfg.Instances = *instances
+	}
+	if *maxInst != 0 {
+		cfg.MaxInstances = *maxInst
+	}
 	if *baseline {
 		cfg.Baseline = true
 	}
@@ -175,7 +188,7 @@ func run() error {
 		return err
 	}
 	fmt.Printf("speedyboxd: serving %s on %s (platform %s)\n",
-		jsonChain(d), d.URL(), d.Platform().Name())
+		jsonChain(d), d.URL(), d.PlatformName())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

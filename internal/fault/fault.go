@@ -74,6 +74,13 @@ const (
 	// scenario driver decides where the crash lands so the reference
 	// engine can run uninterrupted for comparison.
 	KindCrashRestore
+	// KindMigrationAbort fails a cluster flow migration after the flow
+	// has been extracted from its old owner but before the new owner
+	// commits it: Cluster rebalancing must roll the move back completely
+	// — the flow stays on (returns to) the old owner, the new owner
+	// keeps no orphan rule or flow entry, and neither engine's epoch
+	// moves.
+	KindMigrationAbort
 
 	kindCount
 )
@@ -109,6 +116,8 @@ func (k Kind) String() string {
 		return "reconfig-abort"
 	case KindCrashRestore:
 		return "crash-restore"
+	case KindMigrationAbort:
+		return "migration-abort"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

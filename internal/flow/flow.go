@@ -81,6 +81,30 @@ func HashTuple(ft packet.FiveTuple) FID {
 	return FID(h & MaxFID)
 }
 
+// HashKey maps a packed two-word flow key (packet.FlowKey's encoding:
+// hi = SrcIP‖DstIP big-endian, lo = SrcPort‖DstPort‖Proto) to the same
+// home FID HashTuple computes from the unpacked 5-tuple. The cluster
+// steerer hashes the packed key straight off the wire — no FiveTuple
+// materialization — and equality with HashTuple is what guarantees the
+// steering decision agrees with the owning instance's flow table.
+func HashKey(hi, lo uint64) FID {
+	h := uint32(fnvOffset32)
+	h = (h ^ uint32(byte(hi>>56))) * fnvPrime32 // SrcIP
+	h = (h ^ uint32(byte(hi>>48))) * fnvPrime32
+	h = (h ^ uint32(byte(hi>>40))) * fnvPrime32
+	h = (h ^ uint32(byte(hi>>32))) * fnvPrime32
+	h = (h ^ uint32(byte(hi>>24))) * fnvPrime32 // DstIP
+	h = (h ^ uint32(byte(hi>>16))) * fnvPrime32
+	h = (h ^ uint32(byte(hi>>8))) * fnvPrime32
+	h = (h ^ uint32(byte(hi))) * fnvPrime32
+	h = (h ^ uint32(byte(lo>>32))) * fnvPrime32 // SrcPort
+	h = (h ^ uint32(byte(lo>>24))) * fnvPrime32
+	h = (h ^ uint32(byte(lo>>16))) * fnvPrime32 // DstPort
+	h = (h ^ uint32(byte(lo>>8))) * fnvPrime32
+	h = (h ^ uint32(byte(lo))) * fnvPrime32 // Proto
+	return FID(h & MaxFID)
+}
+
 // State is the lifecycle of a tracked flow.
 type State int
 
@@ -259,9 +283,17 @@ type Table struct {
 	gen atomic.Uint64
 }
 
+// tableGen hands every table a distinct 2^32-wide generation band, so
+// a cached Handle validated against one table's generation can never be
+// accidentally revalidated by another table's — a cluster runs one flow
+// table per engine instance, and batch workers carry their caches
+// across instances.
+var tableGen atomic.Uint64
+
 // NewTable returns an empty flow table.
 func NewTable() *Table {
 	t := &Table{}
+	t.gen.Store(tableGen.Add(1) << 32)
 	for i := range t.shards {
 		t.shards[i].entries = make(map[FID]*tracked)
 		t.shards[i].byTuple = make(map[packet.FiveTuple]*tracked)

@@ -88,6 +88,25 @@ type OracleConfig struct {
 	// Test-only teeth: routing a flow down the wrong chain must be
 	// caught as a divergence.
 	TamperRoute func(pkt *packet.Packet, chain int) int
+	// Cluster switches to the multi-instance cluster oracle: each
+	// schedule drives the identical trace through a static single
+	// engine (the reference) and through a cluster that scales
+	// 1→2→4→3 at seeded mid-trace packet indices, live-migrating
+	// every reassigned flow at each step. Per-packet verdicts, drop
+	// decisions and rewritten bytes must stay bit-identical across
+	// every rebalance — zero drops during migration — and the
+	// end-of-trace NF observables must match. Composes with Batch
+	// (the cluster runs its batched run-splitting path), Reconfigs
+	// (applied cluster-wide at a common packet boundary) and Crashes
+	// (random instances are killed and restored from checkpoint+WAL
+	// mid-trace). Injected fault.KindMigrationAbort decisions roll
+	// whole rebalances back, which must also be verdict-invisible.
+	Cluster bool
+	// TamperMigration, when set with Cluster, corrupts each decoded
+	// migration record before the new owner adopts it. Test-only
+	// teeth: a migration that delivers the wrong rule must be caught
+	// as a divergence.
+	TamperMigration func(*wal.MigrationRecord)
 	// Crashes > 0 kills and restores the fast engine at up to that many
 	// (capped at 4) seeded packet indices per schedule: a
 	// crash-consistent checkpoint is taken at the kill point, the engine
@@ -131,6 +150,12 @@ type OracleResult struct {
 	ReconfigAborts uint64
 	// CrashRestores totals the fast-engine kill/restore cycles survived.
 	CrashRestores uint64
+	// Migrations, MigrationAborts and Rebalances total the cluster
+	// oracle's live flow moves, rolled-back rebalances and completed
+	// rebalances (zero outside Cluster mode).
+	Migrations      uint64
+	MigrationAborts uint64
+	Rebalances      uint64
 	// Divergences lists every disagreement (empty on a pass; capped —
 	// a broken engine would otherwise produce one per packet).
 	Divergences []OracleDivergence
@@ -149,7 +174,7 @@ func (r *OracleResult) Passed() bool {
 func (r *OracleResult) Format() string {
 	t := &tableWriter{}
 	t.title("Differential fast/slow-path equivalence oracle (randomized fault schedules)")
-	t.row("schedules", "packets", "faults injected", "fallbacks", "degraded pkts", "recoveries", "reconfigs", "aborted", "crashes", "divergences", "result")
+	t.row("schedules", "packets", "faults injected", "fallbacks", "degraded pkts", "recoveries", "reconfigs", "aborted", "crashes", "migrations", "mig aborts", "divergences", "result")
 	status := "PASS"
 	if !r.Passed() {
 		status = "FAIL"
@@ -159,6 +184,7 @@ func (r *OracleResult) Format() string {
 		fmt.Sprintf("%d", r.Degraded), fmt.Sprintf("%d", r.Recoveries),
 		fmt.Sprintf("%d", r.Reconfigs), fmt.Sprintf("%d", r.ReconfigAborts),
 		fmt.Sprintf("%d", r.CrashRestores),
+		fmt.Sprintf("%d", r.Migrations), fmt.Sprintf("%d", r.MigrationAborts),
 		fmt.Sprintf("%d", len(r.Divergences)), status)
 	out := t.String()
 	for _, d := range r.Divergences {
@@ -189,11 +215,20 @@ func RunOracle(cfg OracleConfig) (*OracleResult, error) {
 		chain := cfg.Chain
 		if chain == 0 {
 			chain = 1 + s%2
+			if cfg.Cluster {
+				// Cycle in the stateless chain so rule-carrying
+				// migration runs alongside the demotion path the
+				// monitor-bearing chains force.
+				chain = 1 + s%3
+			}
 		}
 		var err error
-		if cfg.Topo {
+		switch {
+		case cfg.Topo:
 			err = runTopoSchedule(cfg, s, seed, rates, res)
-		} else {
+		case cfg.Cluster:
+			err = runClusterSchedule(cfg, s, seed, chain, rates, res)
+		default:
 			err = runOracleSchedule(cfg, s, seed, chain, rates, res)
 		}
 		if err != nil {
@@ -223,6 +258,8 @@ func buildOracleChain(chain int) (*oracleChain, error) {
 	switch chain {
 	case 1:
 		nfs, err = Chain1()
+	case 3:
+		nfs, err = ChainStateless()
 	default:
 		nfs, err = Chain2()
 	}

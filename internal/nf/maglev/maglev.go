@@ -131,6 +131,12 @@ func isPrime(n int) bool {
 	return true
 }
 
+// HashName exposes the permutation hash (FNV-64a over a two-byte seed
+// prefix then the name). The cluster steerer derives its per-instance
+// permutations with it, exactly as the balancer derives per-backend
+// ones.
+func HashName(s string, seed uint32) uint64 { return hashString(s, seed) }
+
 func hashString(s string, seed uint32) uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte{byte(seed), byte(seed >> 8)})

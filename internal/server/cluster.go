@@ -1,0 +1,136 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"github.com/fastpathnfv/speedybox/internal/cluster"
+	"github.com/fastpathnfv/speedybox/internal/packet"
+	"github.com/fastpathnfv/speedybox/internal/platform"
+)
+
+// Autoscale advice thresholds over the mean per-worker queue depth of
+// the last pump window. Between them the suggestion is "stay"; the
+// daemon only ever reports the suggestion (via /v1/status), it never
+// resizes the fleet on its own.
+const (
+	scaleDownDepth = 64
+	scaleUpDepth   = 1024
+)
+
+// clusterRunner adapts the cluster's worker-partitioned Run to the
+// pump's trafficRunner shape and remembers the last window's per-worker
+// queue depths — the signal behind the autoscaling suggestion.
+type clusterRunner struct {
+	cl      *cluster.Cluster
+	workers int
+	batch   int
+	depths  atomic.Pointer[[]int]
+}
+
+func (cr *clusterRunner) Run(pkts []*packet.Packet) (*platform.RunResult, error) {
+	res, err := cr.cl.Run(pkts, cr.workers, cr.batch)
+	if res != nil {
+		d := append([]int(nil), res.QueueDepths...)
+		cr.depths.Store(&d)
+	}
+	return res, err
+}
+
+// lastDepths returns the most recent window's per-worker queue depths
+// (nil before the first window).
+func (cr *clusterRunner) lastDepths() []int {
+	if p := cr.depths.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// clusterScaleRequest asks the fleet to resize to a target instance
+// count; the rebalances run live against flowing traffic.
+type clusterScaleRequest struct {
+	Instances int `json:"instances"`
+}
+
+// clusterScaleResponse reports the fleet after the resize, in the same
+// shape the /v1/status cluster section uses.
+type clusterScaleResponse struct {
+	Instances  []cluster.InstanceStatus `json:"instances"`
+	Migrations uint64                   `json:"migrations_total"`
+	Rebalances uint64                   `json:"rebalances_total"`
+	Aborts     uint64                   `json:"migration_aborts_total"`
+}
+
+// handleClusterScale resizes the engine fleet one rebalance at a time.
+// The pump is deliberately NOT paused: live migration under traffic is
+// the operation's contract — packets racing a rebalance buffer at the
+// instances' drain gates and re-route, so the resize drops nothing.
+func (d *Daemon) handleClusterScale(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req clusterScaleRequest
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, fmt.Errorf("%w: %w", ErrBadRequest, err))
+			return
+		}
+	}
+	if req.Instances == 0 {
+		writeError(w, fmt.Errorf("%w: scale needs a target instance count", ErrBadRequest))
+		return
+	}
+	d.adminMu.Lock()
+	defer d.adminMu.Unlock()
+	if err := d.guard(); err != nil {
+		writeError(w, err)
+		return
+	}
+	if d.cl == nil {
+		writeError(w, fmt.Errorf("%w: start with -instances > 1", ErrNotClustered))
+		return
+	}
+	if err := d.cl.ScaleTo(req.Instances); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, clusterScaleResponse{
+		Instances:  d.cl.Instances(),
+		Migrations: d.cl.Migrations(),
+		Rebalances: d.cl.Rebalances(),
+		Aborts:     d.cl.Aborts(),
+	})
+}
+
+// statusCluster is the /v1/status cluster section: the per-instance
+// rollup plus fleet counters and the autoscaling suggestion.
+type statusCluster struct {
+	Instances          []cluster.InstanceStatus `json:"instances"`
+	Migrations         uint64                   `json:"migrations_total"`
+	Rebalances         uint64                   `json:"rebalances_total"`
+	MigrationAborts    uint64                   `json:"migration_aborts_total"`
+	SuggestedInstances int                      `json:"suggested_instances"`
+}
+
+// clusterStatus assembles the cluster section (nil when not clustered).
+func (d *Daemon) clusterStatus() *statusCluster {
+	if d.cl == nil {
+		return nil
+	}
+	return &statusCluster{
+		Instances:       d.cl.Instances(),
+		Migrations:      d.cl.Migrations(),
+		Rebalances:      d.cl.Rebalances(),
+		MigrationAborts: d.cl.Aborts(),
+		SuggestedInstances: cluster.AdviseInstances(
+			d.cl.Len(), 1, d.cfg.MaxInstances,
+			d.clRun.lastDepths(), scaleDownDepth, scaleUpDepth),
+	}
+}

@@ -36,6 +36,7 @@ import (
 
 	"github.com/fastpathnfv/speedybox/internal/bess"
 	"github.com/fastpathnfv/speedybox/internal/chainspec"
+	"github.com/fastpathnfv/speedybox/internal/cluster"
 	"github.com/fastpathnfv/speedybox/internal/core"
 	"github.com/fastpathnfv/speedybox/internal/errcode"
 	"github.com/fastpathnfv/speedybox/internal/onvm"
@@ -128,6 +129,17 @@ type Config struct {
 	// RestoreWAL, when set, is a journal file whose suffix past the
 	// checkpoint's sequence is replayed after RestoreFrom.
 	RestoreWAL string
+	// Instances, when > 1, runs a fleet of that many engine instances
+	// behind the consistent-hash flow steerer instead of a single
+	// platform. POST /v1/cluster/scale resizes the fleet live;
+	// /v1/status gains a per-instance rollup. Cluster mode requires the
+	// bess platform and excludes WALPath/CheckpointPath/RestoreFrom
+	// (per-instance durability is internal to the cluster).
+	Instances int
+	// MaxInstances bounds the autoscaling suggestion in /v1/status
+	// (default 8). It does not bound POST /v1/cluster/scale, which the
+	// cluster caps at its steering-table size.
+	MaxInstances int
 	// Pump configures the built-in traffic source.
 	Pump PumpConfig
 }
@@ -145,17 +157,29 @@ func (c Config) withDefaults() Config {
 	if c.BatchSize == 0 {
 		c.BatchSize = core.DefaultBatchSize
 	}
+	if c.Instances == 0 {
+		c.Instances = 1
+	}
+	if c.MaxInstances == 0 {
+		c.MaxInstances = 8
+	}
 	return c
 }
 
-// Daemon is one engine + platform under an HTTP/JSON control plane.
+// Daemon is one engine + platform — or, in cluster mode, a fleet of
+// engine instances behind the flow steerer — under an HTTP/JSON
+// control plane.
 type Daemon struct {
 	cfg  Config
 	hub  *telemetry.Hub
-	plat platform.Platform
-	mq   *platform.MultiQueue
-	walW *wal.Writer
-	walF *os.File // WALPath sink, nil for in-memory logs
+	plat platform.Platform    // nil in cluster mode
+	mq   *platform.MultiQueue // nil in cluster mode
+	// cl and clRun are set in cluster mode (Config.Instances > 1): the
+	// engine fleet and the pump adapter driving it.
+	cl    *cluster.Cluster
+	clRun *clusterRunner
+	walW  *wal.Writer
+	walF  *os.File // WALPath sink, nil for in-memory logs
 
 	// adminMu serializes every admin mutation (plan, checkpoint,
 	// restore, drain, undrain, shutdown). The data path never takes it;
@@ -193,55 +217,80 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	opts.Telemetry = hub
 
-	var plat platform.Platform
-	switch spec.Platform {
-	case "onvm":
-		plat, err = onvm.New(onvm.Config{Chain: chain, Options: opts})
-	default:
-		plat, err = bess.New(bess.Config{Chain: chain, Options: opts})
-	}
-	if err != nil {
-		return nil, err
-	}
-	d := &Daemon{cfg: cfg, hub: hub, plat: plat, started: time.Now()}
-	eng := plat.Engine()
-
-	// Restore precedes WAL attachment: replayed installs must not be
-	// re-journaled into the fresh log, whose first records should be
-	// post-boot mutations anchored by the next checkpoint.
-	if cfg.RestoreFrom != "" {
-		if err := d.restoreFromFiles(cfg.RestoreFrom, cfg.RestoreWAL); err != nil {
-			plat.Close()
+	d := &Daemon{cfg: cfg, hub: hub, started: time.Now()}
+	var sink trafficRunner
+	if cfg.Instances > 1 {
+		if spec.Platform == "onvm" {
+			return nil, fmt.Errorf("%w: cluster mode requires the bess platform", cluster.ErrBadConfig)
+		}
+		if cfg.WALPath != "" || cfg.CheckpointPath != "" || cfg.RestoreFrom != "" {
+			return nil, fmt.Errorf("%w: file durability options apply to single-instance mode", ErrClusterMode)
+		}
+		d.cl, err = cluster.New(cluster.Config{
+			Chain: chain, Options: opts,
+			Instances: cfg.Instances, Hub: hub, Durable: true,
+		})
+		if err != nil {
 			return nil, err
 		}
-	}
-
-	walOpts := wal.Options{GroupCommit: cfg.WALGroupCommit}
-	if cfg.WALPath != "" {
-		f, err := os.Create(cfg.WALPath)
-		if err != nil {
-			plat.Close()
-			return nil, fmt.Errorf("%w: %w", ErrCheckpointIO, err)
+		d.clRun = &clusterRunner{cl: d.cl, workers: cfg.Workers, batch: cfg.BatchSize}
+		sink = d.clRun
+		// Durability in cluster mode is per-instance and internal to the
+		// cluster; the daemon's own WAL writer stays unattached so
+		// /v1/status reports zeros rather than panicking.
+		d.walW = wal.NewWriter(wal.Options{})
+	} else {
+		var plat platform.Platform
+		switch spec.Platform {
+		case "onvm":
+			plat, err = onvm.New(onvm.Config{Chain: chain, Options: opts})
+		default:
+			plat, err = bess.New(bess.Config{Chain: chain, Options: opts})
 		}
-		d.walF = f
-		walOpts.Sink = f
-	}
-	d.walW = wal.NewWriter(walOpts)
-	eng.AttachWAL(d.walW)
+		if err != nil {
+			return nil, err
+		}
+		d.plat = plat
+		eng := plat.Engine()
 
-	d.mq, err = platform.NewMultiQueue(plat, cfg.Workers)
-	if err != nil {
-		d.closeFiles()
-		plat.Close()
-		return nil, err
-	}
-	d.mq.SetBatchSize(cfg.BatchSize)
+		// Restore precedes WAL attachment: replayed installs must not be
+		// re-journaled into the fresh log, whose first records should be
+		// post-boot mutations anchored by the next checkpoint.
+		if cfg.RestoreFrom != "" {
+			if err := d.restoreFromFiles(cfg.RestoreFrom, cfg.RestoreWAL); err != nil {
+				plat.Close()
+				return nil, err
+			}
+		}
 
-	if !cfg.Pump.Disable {
-		d.pump, err = newPump(d.mq, cfg.Pump)
+		walOpts := wal.Options{GroupCommit: cfg.WALGroupCommit}
+		if cfg.WALPath != "" {
+			f, err := os.Create(cfg.WALPath)
+			if err != nil {
+				plat.Close()
+				return nil, fmt.Errorf("%w: %w", ErrCheckpointIO, err)
+			}
+			d.walF = f
+			walOpts.Sink = f
+		}
+		d.walW = wal.NewWriter(walOpts)
+		eng.AttachWAL(d.walW)
+
+		d.mq, err = platform.NewMultiQueue(plat, cfg.Workers)
 		if err != nil {
 			d.closeFiles()
 			plat.Close()
+			return nil, err
+		}
+		d.mq.SetBatchSize(cfg.BatchSize)
+		sink = d.mq
+	}
+
+	if !cfg.Pump.Disable {
+		d.pump, err = newPump(sink, cfg.Pump)
+		if err != nil {
+			d.closeFiles()
+			d.closePlatform()
 			return nil, err
 		}
 	}
@@ -256,7 +305,7 @@ func New(cfg Config) (*Daemon, error) {
 	d.ln, err = net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		d.closeFiles()
-		plat.Close()
+		d.closePlatform()
 		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
 	}
 	d.srv = &http.Server{Handler: d.handler(), ReadHeaderTimeout: 5 * time.Second}
@@ -273,11 +322,38 @@ func (d *Daemon) URL() string { return "http://" + d.Addr() }
 // State returns the current lifecycle state.
 func (d *Daemon) State() State { return State(d.state.Load()) }
 
-// Engine exposes the daemon's engine (tests and embedders).
-func (d *Daemon) Engine() *core.Engine { return d.plat.Engine() }
+// Engine exposes the daemon's engine — instance 0's in cluster mode
+// (tests and embedders).
+func (d *Daemon) Engine() *core.Engine {
+	if d.cl != nil {
+		return d.cl.Engine(0)
+	}
+	return d.plat.Engine()
+}
 
-// Platform exposes the daemon's execution platform.
+// Platform exposes the daemon's execution platform (nil in cluster
+// mode; use Cluster).
 func (d *Daemon) Platform() platform.Platform { return d.plat }
+
+// Cluster exposes the engine fleet (nil when not clustered).
+func (d *Daemon) Cluster() *cluster.Cluster { return d.cl }
+
+// PlatformName names the execution platform, annotated with the live
+// fleet size in cluster mode.
+func (d *Daemon) PlatformName() string {
+	if d.cl != nil {
+		return fmt.Sprintf("bess[%d]", d.cl.Len())
+	}
+	return d.plat.Name()
+}
+
+// closePlatform releases whichever data plane the daemon owns.
+func (d *Daemon) closePlatform() error {
+	if d.cl != nil {
+		return d.cl.Close()
+	}
+	return d.plat.Close()
+}
 
 // Hub exposes the daemon's telemetry hub.
 func (d *Daemon) Hub() *telemetry.Hub { return d.hub }
@@ -336,7 +412,7 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	if err := d.srv.Shutdown(ctx); err != nil && firstErr == nil {
 		firstErr = err
 	}
-	if err := d.plat.Close(); err != nil && firstErr == nil {
+	if err := d.closePlatform(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	d.state.Store(int32(Stopped))

@@ -33,6 +33,12 @@ var (
 	ErrCheckpointIO = errcode.Sentinel("server.checkpoint_io", "server: checkpoint file I/O failed")
 	// ErrStopped reports an admin operation after shutdown began.
 	ErrStopped = errcode.Sentinel("server.stopped", "server: daemon is stopped")
+	// ErrNotClustered reports a cluster endpoint on a daemon running a
+	// single instance.
+	ErrNotClustered = errcode.Sentinel("server.not_clustered", "server: daemon is not running in cluster mode")
+	// ErrClusterMode reports a single-instance-only operation
+	// (checkpoint, restore, file WAL) on a clustered daemon.
+	ErrClusterMode = errcode.Sentinel("server.cluster_mode", "server: operation not available in cluster mode")
 )
 
 // httpByCode pins HTTP statuses for codes whose meaning is not captured
@@ -45,9 +51,15 @@ var httpByCode = map[errcode.Code]int{
 	"server.body_too_large":     http.StatusRequestEntityTooLarge,
 	"server.not_reconfigurable": http.StatusNotImplemented,
 	"server.stopped":            http.StatusConflict,
+	"server.not_clustered":      http.StatusConflict,
+	"server.cluster_mode":       http.StatusConflict,
 	"core.checkpoint_missing":   http.StatusBadRequest,
 	"wal.checkpoint_corrupt":    http.StatusBadRequest,
 	"onvm.chain_too_long":       http.StatusBadRequest,
+	// An aborted migration is a rolled-back transaction, not a bad
+	// request: the client may retry the same scale target.
+	"cluster.migration_aborted": http.StatusConflict,
+	"cluster.unknown_instance":  http.StatusNotFound,
 }
 
 // httpStatus maps an error code onto the response status: explicit
@@ -64,6 +76,10 @@ func httpStatus(c errcode.Code) int {
 	case strings.HasPrefix(cs, "topo."):
 		return http.StatusBadRequest
 	case strings.HasPrefix(cs, "core.plan_"):
+		return http.StatusBadRequest
+	case strings.HasPrefix(cs, "cluster."):
+		// Remaining cluster codes (scale_invalid, last_instance,
+		// config_invalid) are client errors.
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError

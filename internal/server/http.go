@@ -34,6 +34,7 @@ func (d *Daemon) handler() http.Handler {
 	mux.HandleFunc("/v1/topo", d.handleTopo)
 	mux.HandleFunc("/v1/checkpoint", d.handleCheckpoint)
 	mux.HandleFunc("/v1/restore", d.handleRestore)
+	mux.HandleFunc("/v1/cluster/scale", d.handleClusterScale)
 	mux.HandleFunc("/v1/drain", d.handleDrain)
 	mux.HandleFunc("/v1/undrain", d.handleUndrain)
 	mux.HandleFunc("/v1/status", d.handleStatus)
@@ -104,10 +105,20 @@ func (d *Daemon) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	eng := d.plat.Engine()
+	eng := d.Engine()
 	compiled, err := plan.Compile(eng.ChainNames())
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if d.cl != nil {
+		// Cluster mode: the plan commits fleet-wide at a common packet
+		// boundary or not at all.
+		if err := d.cl.Reconfigure(compiled); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, planResponse{Epoch: eng.Epoch(), Chain: eng.ChainNames()})
 		return
 	}
 	rec, ok := d.plat.(platform.Reconfigurer)
@@ -165,6 +176,10 @@ func (d *Daemon) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	defer d.adminMu.Unlock()
 	if err := d.guard(); err != nil {
 		writeError(w, err)
+		return
+	}
+	if d.cl != nil {
+		writeError(w, fmt.Errorf("%w: per-instance checkpoints are internal to the cluster", ErrClusterMode))
 		return
 	}
 
@@ -244,6 +259,10 @@ func (d *Daemon) handleRestore(w http.ResponseWriter, r *http.Request) {
 	defer d.adminMu.Unlock()
 	if err := d.guard(); err != nil {
 		writeError(w, err)
+		return
+	}
+	if d.cl != nil {
+		writeError(w, fmt.Errorf("%w: crash-restore is internal to the cluster", ErrClusterMode))
 		return
 	}
 	if st := State(d.state.Load()); st != Starting && st != Draining {
@@ -412,24 +431,40 @@ type statusResponse struct {
 	Checkpoint    statusCheckpoint `json:"checkpoint"`
 	Workers       []statusWorker   `json:"workers"`
 	Pump          statusPump       `json:"pump"`
+	// Cluster is the per-instance rollup, fleet counters and autoscale
+	// suggestion; present only in cluster mode.
+	Cluster *statusCluster `json:"cluster,omitempty"`
 }
 
 // handleStatus reports the daemon's full control-plane view: lifecycle
 // state, chain and epoch, engine counters, WAL durability position,
-// checkpoint age and the per-worker queue gauges.
+// checkpoint age and the per-worker queue gauges. In cluster mode the
+// stats aggregate the whole fleet (including retired instances, so
+// counters stay monotonic across scale-in) and a cluster section adds
+// the per-instance rollup.
 func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if !get(w, r) {
 		return
 	}
-	eng := d.plat.Engine()
+	eng := d.Engine()
 	st := eng.Stats()
+	degraded := eng.DegradedFlows()
+	clStatus := d.clusterStatus()
+	if clStatus != nil {
+		st = d.cl.Stats()
+		degraded = 0
+		for _, in := range clStatus.Instances {
+			degraded += in.Degraded
+		}
+	}
 	resp := statusResponse{
 		State:         d.State().String(),
-		Platform:      d.plat.Name(),
+		Platform:      d.PlatformName(),
 		UptimeSeconds: time.Since(d.started).Seconds(),
 		Epoch:         eng.Epoch(),
 		Chain:         eng.ChainNames(),
-		DegradedFlows: eng.DegradedFlows(),
+		DegradedFlows: degraded,
+		Cluster:       clStatus,
 		Stats: statusStats{
 			Packets:           st.Packets,
 			FastPath:          st.FastPath,
@@ -453,13 +488,21 @@ func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
 		resp.Checkpoint.AgeSeconds = time.Since(last).Seconds()
 		resp.Checkpoint.LastUnix = last.Unix()
 	}
-	snap := d.hub.Registry.Snapshot()
-	for i := 0; i < d.mq.Workers(); i++ {
-		resp.Workers = append(resp.Workers, statusWorker{
-			Worker:     i,
-			QueueDepth: snap.Gauges[fmt.Sprintf(`speedybox_mq_queue_depth{worker="%d"}`, i)],
-			Packets:    snap.Counters[fmt.Sprintf(`speedybox_mq_worker_packets_total{worker="%d"}`, i)],
-		})
+	if d.mq != nil {
+		snap := d.hub.Registry.Snapshot()
+		for i := 0; i < d.mq.Workers(); i++ {
+			resp.Workers = append(resp.Workers, statusWorker{
+				Worker:     i,
+				QueueDepth: snap.Gauges[fmt.Sprintf(`speedybox_mq_queue_depth{worker="%d"}`, i)],
+				Packets:    snap.Counters[fmt.Sprintf(`speedybox_mq_worker_packets_total{worker="%d"}`, i)],
+			})
+		}
+	} else {
+		// Cluster mode: the steerer partitions per window; report the
+		// last window's per-worker queue depths.
+		for i, depth := range d.clRun.lastDepths() {
+			resp.Workers = append(resp.Workers, statusWorker{Worker: i, QueueDepth: float64(depth)})
+		}
 	}
 	if p := d.pump; p != nil {
 		resp.Pump = statusPump{

@@ -5,9 +5,18 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/fastpathnfv/speedybox/internal/packet"
 	"github.com/fastpathnfv/speedybox/internal/platform"
 	"github.com/fastpathnfv/speedybox/internal/trace"
 )
+
+// trafficRunner is the pump's sink: one window of packets in, one
+// aggregated result out, returning only after every packet has fully
+// drained. The multi-queue dispatcher satisfies it in single-instance
+// mode; the cluster steerer's adapter satisfies it in cluster mode.
+type trafficRunner interface {
+	Run(pkts []*packet.Packet) (*platform.RunResult, error)
+}
 
 // PumpConfig controls the daemon's built-in traffic source: a
 // deterministic synthesized trace replayed window after window through
@@ -47,9 +56,9 @@ func (c PumpConfig) withDefaults() PumpConfig {
 // reaches a deterministic steady rhythm: established flows ride the
 // fast path until their FIN, then a SYN reuse re-records them.
 type pump struct {
-	mq  *platform.MultiQueue
-	tr  *trace.Trace
-	cfg PumpConfig
+	sink trafficRunner
+	tr   *trace.Trace
+	cfg  PumpConfig
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -65,7 +74,7 @@ type pump struct {
 	done chan struct{}
 }
 
-func newPump(mq *platform.MultiQueue, cfg PumpConfig) (*pump, error) {
+func newPump(sink trafficRunner, cfg PumpConfig) (*pump, error) {
 	cfg = cfg.withDefaults()
 	tr, err := trace.Generate(trace.Config{
 		Seed:       cfg.Seed,
@@ -75,7 +84,7 @@ func newPump(mq *platform.MultiQueue, cfg PumpConfig) (*pump, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &pump{mq: mq, tr: tr, cfg: cfg, done: make(chan struct{})}
+	p := &pump{sink: sink, tr: tr, cfg: cfg, done: make(chan struct{})}
 	p.cond = sync.NewCond(&p.mu)
 	return p, nil
 }
@@ -103,7 +112,7 @@ func (p *pump) run() {
 		p.idle = false
 		p.mu.Unlock()
 
-		res, err := p.mq.Run(p.tr.Packets())
+		res, err := p.sink.Run(p.tr.Packets())
 		if res != nil {
 			p.packets.Add(uint64(res.Packets))
 			p.drops.Add(uint64(res.Drops))

@@ -1,0 +1,98 @@
+package wal
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/fastpathnfv/speedybox/internal/packet"
+)
+
+func sampleMigration() []MigrationRecord {
+	return []MigrationRecord{
+		{
+			Flow: FlowEntry{FID: 4, Tuple: packet.FiveTuple{
+				SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2},
+				SrcPort: 6000, DstPort: 80, Proto: 6,
+			}, State: 2, Packets: 12, Bytes: 900, LastSeen: 8999},
+			Rule: sampleImage(4),
+		},
+		{
+			// A demoted flow: entry only, no rule — the new owner
+			// re-records it on its next packet.
+			Flow: FlowEntry{FID: 9, Tuple: packet.FiveTuple{
+				SrcIP: [4]byte{10, 0, 1, 1}, DstIP: [4]byte{10, 0, 1, 2},
+				SrcPort: 5353, DstPort: 53, Proto: 17,
+			}, State: 1, Packets: 2, Bytes: 128, LastSeen: 8800},
+		},
+	}
+}
+
+func TestMigrationRoundTrip(t *testing.T) {
+	want := sampleMigration()
+	data := EncodeMigration(want)
+	got, err := DecodeMigration(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if !bytes.Equal(data, EncodeMigration(want)) {
+		t.Error("migration encoding is not deterministic")
+	}
+	empty, err := DecodeMigration(EncodeMigration(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Errorf("empty batch decoded to %d records", len(empty))
+	}
+}
+
+// TestMigrationCorruptionFailsLoudly: a migration record commits a
+// flow onto a new owner, so a damaged blob must be rejected whole —
+// every truncation, byte flip and trailing-garbage variant returns
+// ErrBadMigration, never a partial transfer.
+func TestMigrationCorruptionFailsLoudly(t *testing.T) {
+	data := EncodeMigration(sampleMigration())
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeMigration(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for i := range data {
+		if i == 6 || i == 7 {
+			continue // reserved header bytes, not validated
+		}
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		if _, err := DecodeMigration(mut); err == nil {
+			t.Fatalf("byte flip at %d accepted", i)
+		}
+	}
+	if _, err := DecodeMigration(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+// FuzzDecodeMigration: arbitrary bytes must never panic or yield a
+// record batch that re-encodes differently than a clean round trip.
+func FuzzDecodeMigration(f *testing.F) {
+	data := EncodeMigration(sampleMigration())
+	f.Add(data)
+	f.Add(data[:len(data)-2])
+	f.Add([]byte{})
+	mut := append([]byte(nil), data...)
+	mut[14] ^= 0x20
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		recs, err := DecodeMigration(in)
+		if err != nil {
+			return
+		}
+		if got, rerr := DecodeMigration(EncodeMigration(recs)); rerr != nil || !reflect.DeepEqual(got, recs) {
+			t.Fatalf("accepted batch does not round-trip: %v", rerr)
+		}
+	})
+}

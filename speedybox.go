@@ -37,6 +37,7 @@ package speedybox
 import (
 	"github.com/fastpathnfv/speedybox/internal/bess"
 	"github.com/fastpathnfv/speedybox/internal/chainspec"
+	"github.com/fastpathnfv/speedybox/internal/cluster"
 	"github.com/fastpathnfv/speedybox/internal/core"
 	"github.com/fastpathnfv/speedybox/internal/cost"
 	"github.com/fastpathnfv/speedybox/internal/event"
@@ -143,6 +144,7 @@ const (
 	FaultEvictPressure  = fault.KindEvictPressure
 	FaultReconfigAbort  = fault.KindReconfigAbort
 	FaultCrashRestore   = fault.KindCrashRestore
+	FaultMigrationAbort = fault.KindMigrationAbort
 )
 
 // Fault-injection constructors.
@@ -323,6 +325,36 @@ type (
 	// ChainClass pairs a chain's platform with a fair-share weight for
 	// MultiQueue.SetClasses.
 	ChainClass = platform.ChainClass
+)
+
+// Engine clustering (DESIGN.md §17): a Cluster runs N engine instances
+// behind a consistent-hash flow steerer keyed by home FID, and scaling
+// the fleet live-migrates every reassigned flow — entry, consolidated
+// rule and clock travel through the serialized migration record and
+// commit transactionally on the new owner, with zero drops and zero
+// verdict divergence.
+type (
+	// Cluster is an engine fleet behind the flow steerer.
+	Cluster = cluster.Cluster
+	// ClusterConfig configures a cluster.
+	ClusterConfig = cluster.Config
+	// ClusterInstanceStatus is one instance's status-rollup row.
+	ClusterInstanceStatus = cluster.InstanceStatus
+)
+
+// Cluster constructors and errors (match errors with errors.Is).
+var (
+	// NewCluster builds an engine fleet over a shared chain.
+	NewCluster = cluster.New
+	// AdviseClusterInstances is the pure autoscaling hint over observed
+	// per-worker queue depths.
+	AdviseClusterInstances = cluster.AdviseInstances
+
+	ErrClusterConfig           = cluster.ErrBadConfig
+	ErrClusterUnknownInstance  = cluster.ErrUnknownInstance
+	ErrClusterLastInstance     = cluster.ErrLastInstance
+	ErrClusterScale            = cluster.ErrBadScale
+	ErrClusterMigrationAborted = cluster.ErrMigrationAborted
 )
 
 // Topology spec errors (match with errors.Is).
